@@ -1,0 +1,30 @@
+//! Criterion bench regenerating Figure 3 (rejuvenation-interval sweep).
+//!
+//! One iteration produces the full reduced-resolution curve plus the
+//! golden-section optimum search — the complete per-figure workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvp_bench::experiments::fig3;
+use nvp_bench::Fidelity;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    // Validate the claim once before timing.
+    let result = fig3::compute(Fidelity::Quick).unwrap();
+    assert!(
+        (300.0..=700.0).contains(&result.optimum.0),
+        "interior optimum expected near 450-550 s, got {}",
+        result.optimum.0
+    );
+
+    c.bench_function("fig3/gamma_sweep_and_optimum", |b| {
+        b.iter(|| black_box(fig3::compute(Fidelity::Quick).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3
+);
+criterion_main!(benches);

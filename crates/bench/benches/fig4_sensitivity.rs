@@ -1,0 +1,39 @@
+//! Criterion benches regenerating the four panels of Figure 4.
+//!
+//! Each bench runs one panel's two-system sweep at reduced resolution —
+//! Figure 4 (a) mean time to compromise, (b) error dependency α, (c) healthy
+//! inaccuracy p, (d) compromised inaccuracy p′.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvp_bench::experiments::fig4;
+use nvp_core::analysis::{linspace, ParamAxis};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+
+    let mttc_grid = [300.0, 1523.0, 6000.0];
+    group.bench_function("a_mean_time_to_compromise", |b| {
+        b.iter(|| black_box(fig4::panel(ParamAxis::MeanTimeToCompromise, &mttc_grid).unwrap()))
+    });
+
+    let alpha_grid = linspace(0.1, 1.0, 4);
+    group.bench_function("b_alpha", |b| {
+        b.iter(|| black_box(fig4::panel(ParamAxis::Alpha, &alpha_grid).unwrap()))
+    });
+
+    let p_grid = linspace(0.01, 0.2, 4);
+    group.bench_function("c_healthy_inaccuracy", |b| {
+        b.iter(|| black_box(fig4::panel(ParamAxis::HealthyInaccuracy, &p_grid).unwrap()))
+    });
+
+    let pp_grid = linspace(0.1, 0.8, 4);
+    group.bench_function("d_compromised_inaccuracy", |b| {
+        b.iter(|| black_box(fig4::panel(ParamAxis::CompromisedInaccuracy, &pp_grid).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches of the discrete-event simulator and the per-request
+//! perception pipeline (events/requests per second of wall time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvp_core::params::SystemParams;
+use nvp_core::reward::RewardPolicy;
+use nvp_core::state::SystemState;
+use nvp_core::voting::VotingScheme;
+use nvp_sim::dspn::{simulate_reward, SimOptions};
+use nvp_sim::perception::EnsembleModel;
+use nvp_sim::scenario::model_reward_fn;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let params = SystemParams::paper_six_version();
+    let net = nvp_core::model::build_model(&params).unwrap();
+    let reward = model_reward_fn(&net, &params, RewardPolicy::FailedOnly).unwrap();
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    // ~100k s of model time covers ~170 clock ticks plus fault events.
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("dspn_six_version_100ks", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                simulate_reward(
+                    &net,
+                    &reward,
+                    &SimOptions {
+                        horizon: 100_000.0,
+                        warmup: 1_000.0,
+                        seed,
+                        batches: 2,
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+
+    let ensemble = EnsembleModel {
+        p: 0.08,
+        p_prime: 0.5,
+        alpha: 0.5,
+        scheme: VotingScheme::BftThreshold { threshold: 4 },
+    };
+    let mut group = c.benchmark_group("perception");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("ensemble_10k_requests", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ensemble.run(SystemState::new(4, 2, 0), 10_000, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

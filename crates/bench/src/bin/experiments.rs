@@ -1,0 +1,88 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] [ID ...]
+//! ```
+//!
+//! Runs the named experiments (all by default), prints the combined markdown
+//! report to stdout, and writes per-figure CSV files to `DIR`
+//! (default `results/`).
+
+use nvp_bench::experiments::{run_one, RenderedExperiment, ALL_IDS};
+use nvp_bench::Fidelity;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut fidelity = Fidelity::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => fidelity = Fidelity::Quick,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: experiments [--quick] [--out DIR] [ID ...]");
+                println!("experiment ids: {}", ALL_IDS.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`; see --help");
+                return ExitCode::FAILURE;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create output directory {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for id in &ids {
+        match run_one(id, fidelity) {
+            Ok(exp) => {
+                print_experiment(&exp);
+                for (name, content) in &exp.csv {
+                    let path = out_dir.join(name);
+                    if let Err(e) = std::fs::write(&path, content) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        failures += 1;
+                    } else {
+                        eprintln!("wrote {}", path.display());
+                    }
+                }
+                if exp.markdown.contains('❌') {
+                    failures += 1;
+                    eprintln!("experiment `{id}` has failing claims");
+                }
+            }
+            Err(e) => {
+                eprintln!("experiment `{id}` failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) reported problems");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_experiment(exp: &RenderedExperiment) {
+    println!("## {} (`{}`)\n", exp.title, exp.id);
+    println!("{}", exp.markdown);
+}

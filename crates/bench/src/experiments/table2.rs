@@ -1,0 +1,103 @@
+//! Table II — the default input parameters.
+//!
+//! The parameters are encoded once in `nvp_core::params::SystemParams`; this
+//! experiment renders them back as the paper's table and asserts the
+//! encoding matches the published values, so any drift in defaults is caught
+//! by the harness itself.
+
+use super::RenderedExperiment;
+use crate::report::{claims_table, ClaimCheck};
+use crate::Result;
+use nvp_core::params::SystemParams;
+use std::fmt::Write as _;
+
+/// Renders and checks Table II.
+///
+/// # Errors
+///
+/// Fails when the encoded defaults no longer match the published table.
+pub fn run() -> Result<RenderedExperiment> {
+    let p = SystemParams::paper_six_version();
+    let rows: Vec<(&str, &str, String, f64, f64)> = vec![
+        // (param, transition, rendered value, encoded, published)
+        ("N", "-", "4 or 6".into(), f64::from(p.n), 6.0),
+        ("f", "-", p.f.to_string(), f64::from(p.f), 1.0),
+        ("r", "-", p.r.to_string(), f64::from(p.r), 1.0),
+        ("alpha", "-", p.alpha.to_string(), p.alpha, 0.5),
+        ("p", "-", p.p.to_string(), p.p, 0.08),
+        ("p'", "-", p.p_prime.to_string(), p.p_prime, 0.5),
+        (
+            "1/lambda_c",
+            "Tc",
+            format!("{} s", p.mean_time_to_compromise),
+            p.mean_time_to_compromise,
+            1523.0,
+        ),
+        (
+            "1/lambda",
+            "Tf",
+            format!("{} s", p.mean_time_to_failure),
+            p.mean_time_to_failure,
+            3000.0,
+        ),
+        (
+            "1/mu",
+            "Tr",
+            format!("{} s", p.mean_time_to_repair),
+            p.mean_time_to_repair,
+            3.0,
+        ),
+        (
+            "1/mu_r",
+            "Trj",
+            format!("#Pmr x {} s", p.rejuvenation_unit),
+            p.rejuvenation_unit,
+            3.0,
+        ),
+        (
+            "1/gamma",
+            "Trc",
+            format!("{} s", p.rejuvenation_interval),
+            p.rejuvenation_interval,
+            600.0,
+        ),
+    ];
+    let mut claims = Vec::new();
+    let mut table = String::from("| Param. | Associated transition | Value |\n|---|---|---|\n");
+    for (name, transition, rendered, encoded, published) in &rows {
+        let _ = writeln!(table, "| {name} | {transition} | {rendered} |");
+        claims.push(ClaimCheck {
+            claim: format!("Table II default for {name}"),
+            paper: published.to_string(),
+            measured: encoded.to_string(),
+            holds: (encoded - published).abs() < 1e-12,
+        });
+    }
+    if let Some(broken) = claims.iter().find(|c| !c.holds) {
+        return Err(format!(
+            "encoded defaults drifted from Table II: {} (paper {}, encoded {})",
+            broken.claim, broken.paper, broken.measured
+        )
+        .into());
+    }
+    let markdown = format!("{table}\n{}", claims_table(&claims));
+    Ok(RenderedExperiment {
+        id: "table2",
+        title: "Table II — default input parameters".into(),
+        markdown,
+        csv: vec![],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults_hold() {
+        let r = run().unwrap();
+        assert!(r.markdown.contains("1523"));
+        assert!(r.markdown.contains("Trc"));
+        assert!(!r.markdown.contains("❌"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each submodule of [`experiments`] reproduces one artifact of the paper's
+//! evaluation (§V) and returns a typed result that can be rendered to CSV
+//! (for plotting) and markdown (for `EXPERIMENTS.md`):
+//!
+//! | id | paper artifact | module |
+//! |----|----------------|--------|
+//! | `table2`   | Table II — default input parameters | [`experiments::table2`] |
+//! | `headline` | §V-B first paragraph — E\[R_4v\], E\[R_6v\], ≥13% improvement | [`experiments::headline`] |
+//! | `fig3`     | Figure 3 — reliability vs rejuvenation interval | [`experiments::fig3`] |
+//! | `fig4a`    | Figure 4(a) — vs mean time to compromise, crossovers | [`experiments::fig4`] |
+//! | `fig4b`    | Figure 4(b) — vs error dependency α | [`experiments::fig4`] |
+//! | `fig4c`    | Figure 4(c) — vs healthy inaccuracy p | [`experiments::fig4`] |
+//! | `fig4d`    | Figure 4(d) — vs compromised inaccuracy p′, crossover | [`experiments::fig4`] |
+//! | `xval`     | extension — simulation vs analytic cross-validation | [`experiments::xval`] |
+//! | `pipeline` | extension — per-request pipeline vs reliability functions | [`experiments::pipeline`] |
+//! | `nsweep`   | extension — generic N sweep | [`experiments::nsweep`] |
+//! | `transient`| extension — transient R(t), quorum loss, sensitivities | [`experiments::transient`] |
+//! | `weather`  | extension — environment-modulated input difficulty | [`experiments::weather`] |
+//! | `tuning`   | extension — optimal interval vs threat level | [`experiments::tuning`] |
+//! | `ablations`| extension — reward policy / semantics / Trj / repair budget | [`experiments::ablations`] |
+//!
+//! The `experiments` binary runs them all and writes `results/*.csv` plus a
+//! combined markdown report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+/// Error type of the harness (delegates to the model crates).
+pub type BenchError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, BenchError>;
+
+/// Fidelity of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Full resolution, as reported in `EXPERIMENTS.md`.
+    Full,
+    /// Reduced resolution for criterion benchmarks and smoke tests.
+    Quick,
+}

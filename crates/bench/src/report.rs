@@ -1,0 +1,220 @@
+//! Result types shared by the experiments, with CSV and markdown rendering.
+
+use std::fmt::Write as _;
+
+/// A named data series (one curve of a figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedSeries {
+    /// Curve label (e.g. "six-version w/ rejuvenation").
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A family of curves over a common x-axis (one figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSeries {
+    /// Label of the x-axis.
+    pub axis_label: String,
+    /// Label of the y-axis.
+    pub value_label: String,
+    /// The curves.
+    pub series: Vec<NamedSeries>,
+}
+
+impl SweepSeries {
+    /// Renders the series as CSV: one `x` column plus one column per curve.
+    /// Curves are aligned by point index (all sweeps here share the x grid).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.axis_label));
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_escape(&s.name));
+        }
+        out.push('\n');
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        for row in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(row).map(|&(x, _)| x));
+            let _ = match x {
+                Some(x) => write!(out, "{x}"),
+                None => write!(out, ""),
+            };
+            for s in &self.series {
+                match s.points.get(row) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the series as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "| {} |", self.axis_label);
+        for s in &self.series {
+            let _ = write!(out, " {} |", s.name);
+        }
+        out.push('\n');
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        out.push('\n');
+        let rows = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
+        for row in 0..rows {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(row).map(|&(x, _)| x));
+            let _ = match x {
+                Some(x) => write!(out, "| {x:.4} |"),
+                None => write!(out, "| |"),
+            };
+            for s in &self.series {
+                match s.points.get(row) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, " {y:.6} |");
+                    }
+                    None => {
+                        let _ = write!(out, " |");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One claim from the paper checked against the reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimCheck {
+    /// What the paper states.
+    pub claim: String,
+    /// The paper's quantitative value, as text (units included).
+    pub paper: String,
+    /// The reproduction's measured value, as text.
+    pub measured: String,
+    /// Whether the claim's *shape* holds in the reproduction.
+    pub holds: bool,
+}
+
+impl ClaimCheck {
+    /// Renders one markdown table row.
+    pub fn to_markdown_row(&self) -> String {
+        format!(
+            "| {} | {} | {} | {} |\n",
+            self.claim,
+            self.paper,
+            self.measured,
+            if self.holds { "✅" } else { "❌" }
+        )
+    }
+}
+
+/// Renders a claims table in markdown.
+pub fn claims_table(claims: &[ClaimCheck]) -> String {
+    let mut out = String::from("| claim | paper | measured | holds |\n|---|---|---|---|\n");
+    for c in claims {
+        out.push_str(&c.to_markdown_row());
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> SweepSeries {
+        SweepSeries {
+            axis_label: "x".into(),
+            value_label: "E[R]".into(),
+            series: vec![
+                NamedSeries {
+                    name: "a".into(),
+                    points: vec![(1.0, 0.5), (2.0, 0.6)],
+                },
+                NamedSeries {
+                    name: "b,with comma".into(),
+                    points: vec![(1.0, 0.7), (2.0, 0.8)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = demo().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "x,a,\"b,with comma\"");
+        assert_eq!(lines[1], "1,0.5,0.7");
+        assert_eq!(lines[2], "2,0.6,0.8");
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let md = demo().to_markdown();
+        assert!(md.contains("|---|"));
+        assert!(md.contains("0.500000"));
+    }
+
+    #[test]
+    fn ragged_series_render_blanks() {
+        let s = SweepSeries {
+            axis_label: "x".into(),
+            value_label: "y".into(),
+            series: vec![
+                NamedSeries {
+                    name: "long".into(),
+                    points: vec![(1.0, 0.1), (2.0, 0.2)],
+                },
+                NamedSeries {
+                    name: "short".into(),
+                    points: vec![(1.0, 0.9)],
+                },
+            ],
+        };
+        let csv = s.to_csv();
+        assert!(csv.lines().nth(2).unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn claim_rows_render_status() {
+        let c = ClaimCheck {
+            claim: "rejuvenation wins".into(),
+            paper: ">13%".into(),
+            measured: "14.1%".into(),
+            holds: true,
+        };
+        let table = claims_table(&[c]);
+        assert!(table.contains("✅"));
+        assert!(table.contains("14.1%"));
+    }
+}

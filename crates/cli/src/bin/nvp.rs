@@ -1,0 +1,16 @@
+//! The `nvp` command-line tool. All logic lives in `nvp_cli::run`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match nvp_cli::run(&args, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nvp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,648 @@
+//! Implementation of the `nvp` command-line interface.
+//!
+//! The binary (`src/bin/nvp.rs`) is a thin wrapper over [`run`], which
+//! writes to any `io::Write` so the whole CLI is unit-testable.
+//!
+//! ```text
+//! nvp analyze [PARAM OPTIONS] [--matrix] [--sensitivities] [--states N]
+//! nvp sweep --axis AXIS --from X --to Y --steps N [PARAM OPTIONS]
+//! nvp solve FILE.dspn [--reward EXPR] [--max-markings N]
+//! nvp simulate FILE.dspn --reward EXPR [--horizon T] [--seed S]
+//! nvp dot FILE.dspn [--reach]
+//! ```
+//!
+//! Parameter options (for `analyze` and `sweep`): `--n`, `--f`, `--r`,
+//! `--no-rejuvenation`, `--alpha`, `--p`, `--p-prime`, `--mttc`, `--mttf`,
+//! `--mttr`, `--interval`, `--policy failed-only|as-written`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nvp_core::analysis::{self, ParamAxis};
+use nvp_core::params::SystemParams;
+use nvp_core::report::{render, ReportOptions};
+use nvp_core::reward::RewardPolicy;
+use nvp_sim::dspn::{simulate_reward, SimOptions};
+use std::io::Write;
+
+/// CLI errors: message plus the exit code to report.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+macro_rules! from_error {
+    ($($ty:ty),*) => {
+        $(impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError {
+                    message: e.to_string(),
+                }
+            }
+        })*
+    };
+}
+
+from_error!(
+    nvp_core::CoreError,
+    nvp_petri::PetriError,
+    nvp_mrgp::MrgpError,
+    nvp_sim::SimError,
+    nvp_numerics::NumericsError,
+    std::io::Error
+);
+
+/// Result alias for CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Usage text printed by `nvp help`.
+pub const USAGE: &str = "\
+nvp — N-version perception reliability toolkit
+
+USAGE:
+  nvp analyze [PARAMS] [--matrix] [--sensitivities] [--states N]
+      Analyze a perception system and print a report.
+  nvp sweep --axis AXIS --from X --to Y --steps N [PARAMS]
+      Print a CSV sweep of E[R] over one parameter axis.
+      AXIS: gamma | mttc | mttf | mttr | alpha | p | pprime
+  nvp solve FILE.dspn [--reward EXPR] [--max-markings N]
+      Solve a DSPN model file for its stationary distribution.
+  nvp simulate FILE.dspn --reward EXPR [--horizon T] [--seed S]
+      Estimate a steady-state reward of a DSPN model by simulation.
+  nvp dot FILE.dspn [--reach]
+      Render a DSPN model (or its reachability graph) as Graphviz DOT.
+  nvp invariants FILE.dspn
+      Compute place invariants (conserved weighted token sums).
+  nvp fmt FILE.dspn
+      Parse a model file and print its normalized form.
+  nvp help
+      Show this message.
+
+PARAMS (defaults = the paper's Table II):
+  --n N --f F --r R --no-rejuvenation
+  --alpha A --p P --p-prime P'
+  --mttc S --mttf S --mttr S --interval S
+  --policy failed-only|as-written
+";
+
+/// Entry point shared by the binary and the tests.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message for malformed
+/// invocations or failed analyses.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
+    let Some(command) = args.first() else {
+        return Err(CliError {
+            message: format!("missing command\n\n{USAGE}"),
+        });
+    };
+    match command.as_str() {
+        "analyze" => cmd_analyze(&args[1..], out),
+        "sweep" => cmd_sweep(&args[1..], out),
+        "solve" => cmd_solve(&args[1..], out),
+        "simulate" => cmd_simulate(&args[1..], out),
+        "dot" => cmd_dot(&args[1..], out),
+        "invariants" => cmd_invariants(&args[1..], out),
+        "fmt" => cmd_fmt(&args[1..], out),
+        "help" | "--help" | "-h" => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError {
+            message: format!("unknown command `{other}`\n\n{USAGE}"),
+        }),
+    }
+}
+
+/// A simple flag cursor over the argument list.
+struct Args<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Args { args, pos: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let a = self.args.get(self.pos)?;
+        self.pos += 1;
+        Some(a)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str> {
+        self.next().ok_or_else(|| CliError {
+            message: format!("flag `{flag}` requires a value"),
+        })
+    }
+
+    fn value_f64(&mut self, flag: &str) -> Result<f64> {
+        let v = self.value(flag)?;
+        v.parse().map_err(|e| CliError {
+            message: format!("bad value `{v}` for `{flag}`: {e}"),
+        })
+    }
+
+    fn value_u32(&mut self, flag: &str) -> Result<u32> {
+        let v = self.value(flag)?;
+        v.parse().map_err(|e| CliError {
+            message: format!("bad value `{v}` for `{flag}`: {e}"),
+        })
+    }
+
+    fn value_u64(&mut self, flag: &str) -> Result<u64> {
+        let v = self.value(flag)?;
+        v.parse().map_err(|e| CliError {
+            message: format!("bad value `{v}` for `{flag}`: {e}"),
+        })
+    }
+
+    fn value_usize(&mut self, flag: &str) -> Result<usize> {
+        let v = self.value(flag)?;
+        v.parse().map_err(|e| CliError {
+            message: format!("bad value `{v}` for `{flag}`: {e}"),
+        })
+    }
+}
+
+/// Parses the shared parameter flags; returns the params, the reward
+/// policy, and the flags it did not consume.
+fn parse_params(args: &[String]) -> Result<(SystemParams, RewardPolicy, Vec<String>)> {
+    let mut params = SystemParams::paper_six_version();
+    let mut policy = RewardPolicy::FailedOnly;
+    let mut rest = Vec::new();
+    let mut cursor = Args::new(args);
+    while let Some(flag) = cursor.next() {
+        match flag {
+            "--n" => params.n = cursor.value_u32(flag)?,
+            "--f" => params.f = cursor.value_u32(flag)?,
+            "--r" => params.r = cursor.value_u32(flag)?,
+            "--no-rejuvenation" => params.rejuvenation = false,
+            "--alpha" => params.alpha = cursor.value_f64(flag)?,
+            "--p" => params.p = cursor.value_f64(flag)?,
+            "--p-prime" => params.p_prime = cursor.value_f64(flag)?,
+            "--mttc" => params.mean_time_to_compromise = cursor.value_f64(flag)?,
+            "--mttf" => params.mean_time_to_failure = cursor.value_f64(flag)?,
+            "--mttr" => params.mean_time_to_repair = cursor.value_f64(flag)?,
+            "--interval" => params.rejuvenation_interval = cursor.value_f64(flag)?,
+            "--policy" => {
+                policy = match cursor.value(flag)? {
+                    "failed-only" => RewardPolicy::FailedOnly,
+                    "as-written" => RewardPolicy::AsWritten,
+                    other => {
+                        return Err(CliError {
+                            message: format!("bad policy `{other}` (failed-only | as-written)"),
+                        });
+                    }
+                }
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    // A four-version default when rejuvenation is turned off and no size was
+    // given: matches the paper's comparison pair.
+    if !params.rejuvenation && !args.iter().any(|a| a == "--n") {
+        params.n = 4;
+    }
+    Ok((params, policy, rest))
+}
+
+fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<()> {
+    let (params, policy, rest) = parse_params(args)?;
+    let mut options = ReportOptions::default();
+    let mut cursor = Args::new(&rest);
+    while let Some(flag) = cursor.next() {
+        match flag {
+            "--matrix" => options.matrix = true,
+            "--no-matrix" => options.matrix = false,
+            "--sensitivities" => options.sensitivities = true,
+            "--states" => options.state_rows = cursor.value_usize(flag)?,
+            other => {
+                return Err(CliError {
+                    message: format!("unknown flag `{other}` for analyze"),
+                });
+            }
+        }
+    }
+    let text = render(&params, policy, &options)?;
+    write!(out, "{text}")?;
+    Ok(())
+}
+
+fn axis_from_name(name: &str) -> Result<ParamAxis> {
+    Ok(match name {
+        "gamma" | "interval" => ParamAxis::RejuvenationInterval,
+        "mttc" => ParamAxis::MeanTimeToCompromise,
+        "mttf" => ParamAxis::MeanTimeToFailure,
+        "mttr" => ParamAxis::MeanTimeToRepair,
+        "alpha" => ParamAxis::Alpha,
+        "p" => ParamAxis::HealthyInaccuracy,
+        "pprime" | "p-prime" => ParamAxis::CompromisedInaccuracy,
+        other => {
+            return Err(CliError {
+                message: format!(
+                    "unknown axis `{other}` (gamma | mttc | mttf | mttr | alpha | p | pprime)"
+                ),
+            });
+        }
+    })
+}
+
+fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<()> {
+    let (params, policy, rest) = parse_params(args)?;
+    let mut axis = None;
+    let mut from = None;
+    let mut to = None;
+    let mut steps = 10usize;
+    let mut cursor = Args::new(&rest);
+    while let Some(flag) = cursor.next() {
+        match flag {
+            "--axis" => axis = Some(axis_from_name(cursor.value(flag)?)?),
+            "--from" => from = Some(cursor.value_f64(flag)?),
+            "--to" => to = Some(cursor.value_f64(flag)?),
+            "--steps" => steps = cursor.value_usize(flag)?,
+            other => {
+                return Err(CliError {
+                    message: format!("unknown flag `{other}` for sweep"),
+                });
+            }
+        }
+    }
+    let (Some(axis), Some(from), Some(to)) = (axis, from, to) else {
+        return Err(CliError {
+            message: "sweep requires --axis, --from and --to".into(),
+        });
+    };
+    let grid = analysis::linspace(from, to, steps.max(2));
+    let series = analysis::sweep(&params, axis, &grid, policy)?;
+    writeln!(out, "{},expected_reliability", axis.label())?;
+    for (x, r) in series {
+        writeln!(out, "{x},{r}")?;
+    }
+    Ok(())
+}
+
+fn load_net(path: &str) -> Result<nvp_petri::net::PetriNet> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError {
+        message: format!("cannot read `{path}`: {e}"),
+    })?;
+    Ok(nvp_petri::text::parse_net(&text)?)
+}
+
+fn cmd_solve(args: &[String], out: &mut dyn Write) -> Result<()> {
+    let mut cursor = Args::new(args);
+    let Some(path) = cursor.next() else {
+        return Err(CliError {
+            message: "solve requires a model file".into(),
+        });
+    };
+    let mut reward_expr = None;
+    let mut max_markings = 200_000usize;
+    while let Some(flag) = cursor.next() {
+        match flag {
+            "--reward" => reward_expr = Some(cursor.value(flag)?.to_string()),
+            "--max-markings" => max_markings = cursor.value_usize(flag)?,
+            other => {
+                return Err(CliError {
+                    message: format!("unknown flag `{other}` for solve"),
+                });
+            }
+        }
+    }
+    let net = load_net(path)?;
+    let graph = nvp_petri::reach::explore(&net, max_markings)?;
+    let solution = nvp_mrgp::steady_state(&graph)?;
+    writeln!(
+        out,
+        "net `{}`: {} tangible markings",
+        net.name(),
+        graph.tangible_count()
+    )?;
+    let mut rows: Vec<(usize, f64)> = solution
+        .probabilities()
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+    writeln!(out, "stationary distribution (descending):")?;
+    for (idx, p) in rows {
+        if p < 1e-9 {
+            continue;
+        }
+        writeln!(
+            out,
+            "  {:<40} {p:.6}",
+            net.format_marking(&graph.markings()[idx])
+        )?;
+    }
+    if let Some(src) = reward_expr {
+        let expr = net.parse_expr(&src)?;
+        let rewards = graph.reward_expr(&expr)?;
+        writeln!(
+            out,
+            "expected reward of `{src}`: {:.6}",
+            solution.expected_reward(&rewards)
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<()> {
+    let mut cursor = Args::new(args);
+    let Some(path) = cursor.next() else {
+        return Err(CliError {
+            message: "simulate requires a model file".into(),
+        });
+    };
+    let mut reward_expr = None;
+    let mut horizon = 1e6;
+    let mut seed = 1u64;
+    while let Some(flag) = cursor.next() {
+        match flag {
+            "--reward" => reward_expr = Some(cursor.value(flag)?.to_string()),
+            "--horizon" => horizon = cursor.value_f64(flag)?,
+            "--seed" => seed = cursor.value_u64(flag)?,
+            other => {
+                return Err(CliError {
+                    message: format!("unknown flag `{other}` for simulate"),
+                });
+            }
+        }
+    }
+    let Some(src) = reward_expr else {
+        return Err(CliError {
+            message: "simulate requires --reward EXPR".into(),
+        });
+    };
+    let net = load_net(path)?;
+    let expr = net.parse_expr(&src)?;
+    let estimate = simulate_reward(
+        &net,
+        &|m| expr.eval(m).unwrap_or(f64::NAN),
+        &SimOptions {
+            horizon,
+            warmup: horizon / 100.0,
+            seed,
+            batches: 20,
+        },
+    )?;
+    writeln!(
+        out,
+        "simulated expected reward of `{src}`: {:.6} ± {:.6} (95% CI, {} batches)",
+        estimate.mean, estimate.half_width, estimate.samples
+    )?;
+    Ok(())
+}
+
+fn cmd_dot(args: &[String], out: &mut dyn Write) -> Result<()> {
+    let mut cursor = Args::new(args);
+    let Some(path) = cursor.next() else {
+        return Err(CliError {
+            message: "dot requires a model file".into(),
+        });
+    };
+    let mut reach = false;
+    while let Some(flag) = cursor.next() {
+        match flag {
+            "--reach" => reach = true,
+            other => {
+                return Err(CliError {
+                    message: format!("unknown flag `{other}` for dot"),
+                });
+            }
+        }
+    }
+    let net = load_net(path)?;
+    if reach {
+        let graph = nvp_petri::reach::explore(&net, 200_000)?;
+        write!(out, "{}", nvp_petri::dot::reach_to_dot(&net, &graph))?;
+    } else {
+        write!(out, "{}", nvp_petri::dot::net_to_dot(&net))?;
+    }
+    Ok(())
+}
+
+fn cmd_invariants(args: &[String], out: &mut dyn Write) -> Result<()> {
+    let Some(path) = args.first() else {
+        return Err(CliError {
+            message: "invariants requires a model file".into(),
+        });
+    };
+    let net = load_net(path)?;
+    let report = nvp_petri::invariants::place_invariants(&net);
+    if report.invariants.is_empty() {
+        writeln!(out, "no place invariants")?;
+    }
+    for inv in &report.invariants {
+        let terms: Vec<String> = inv
+            .support()
+            .into_iter()
+            .map(|i| {
+                let w = inv.weights[i];
+                let name = &net.places()[i].name;
+                if w == 1 {
+                    format!("#{name}")
+                } else {
+                    format!("{w}*#{name}")
+                }
+            })
+            .collect();
+        writeln!(
+            out,
+            "{} = {}",
+            terms.join(" + "),
+            inv.value(&net.initial_marking())
+        )?;
+    }
+    if !report.skipped_transitions.is_empty() {
+        let names: Vec<&str> = report
+            .skipped_transitions
+            .iter()
+            .map(|&i| net.transitions()[i].name.as_str())
+            .collect();
+        writeln!(
+            out,
+            "note: transitions with marking-dependent arcs skipped: {}",
+            names.join(", ")
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_fmt(args: &[String], out: &mut dyn Write) -> Result<()> {
+    let Some(path) = args.first() else {
+        return Err(CliError {
+            message: "fmt requires a model file".into(),
+        });
+    };
+    let net = load_net(path)?;
+    write!(out, "{}", nvp_petri::text::to_text(&net))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf-8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_to_string(&["help"]).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("analyze"));
+    }
+
+    #[test]
+    fn missing_and_unknown_commands_error() {
+        assert!(run(&[], &mut Vec::new()).is_err());
+        assert!(run_to_string(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn analyze_defaults_reproduce_the_paper_numbers() {
+        let text = run_to_string(&["analyze"]).unwrap();
+        assert!(text.contains("E[R_sys] = 0.93817"), "{text}");
+        let text = run_to_string(&["analyze", "--no-rejuvenation"]).unwrap();
+        assert!(text.contains("N = 4"), "{text}");
+        assert!(text.contains("E[R_sys] = 0.8223487"), "{text}");
+    }
+
+    #[test]
+    fn analyze_flags_are_applied() {
+        let text = run_to_string(&[
+            "analyze",
+            "--interval",
+            "450",
+            "--states",
+            "3",
+            "--sensitivities",
+            "--no-matrix",
+        ])
+        .unwrap();
+        assert!(text.contains("1/gamma = 450 s"));
+        assert!(text.contains("sensitivity elasticities"));
+        assert!(!text.contains("R (N = 6)"));
+        assert!(run_to_string(&["analyze", "--alpha", "2.0"]).is_err());
+        assert!(run_to_string(&["analyze", "--bogus"]).is_err());
+        assert!(run_to_string(&["analyze", "--policy", "nonsense"]).is_err());
+    }
+
+    #[test]
+    fn sweep_emits_csv() {
+        let text = run_to_string(&[
+            "sweep", "--axis", "gamma", "--from", "300", "--to", "900", "--steps", "3",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("expected_reliability"));
+        assert!(lines[1].starts_with("300,"));
+        assert!(lines[3].starts_with("900,"));
+        assert!(run_to_string(&["sweep", "--axis", "gamma"]).is_err());
+        assert!(run_to_string(&["sweep", "--axis", "warp", "--from", "1", "--to", "2"]).is_err());
+    }
+
+    fn write_model(dir: &std::path::Path) -> std::path::PathBuf {
+        let path = dir.join("updown.dspn");
+        std::fs::write(
+            &path,
+            "net updown\nplace Up 1\nplace Down 0\n\
+             transition fail exponential rate = 0.25\n  input Up\n  output Down\n\
+             transition repair exponential rate = 1.0\n  input Down\n  output Up\n",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn solve_model_file_with_reward() {
+        let dir = std::env::temp_dir().join("nvp-cli-test-solve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_model(&dir);
+        let text = run_to_string(&["solve", path.to_str().unwrap(), "--reward", "#Up"]).unwrap();
+        assert!(text.contains("2 tangible markings"));
+        // pi(Up) = 1 / 1.25 = 0.8.
+        assert!(
+            text.contains("expected reward of `#Up`: 0.800000"),
+            "{text}"
+        );
+        assert!(run_to_string(&["solve", "/nonexistent/file.dspn"]).is_err());
+    }
+
+    #[test]
+    fn simulate_model_file() {
+        let dir = std::env::temp_dir().join("nvp-cli-test-sim");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_model(&dir);
+        let text = run_to_string(&[
+            "simulate",
+            path.to_str().unwrap(),
+            "--reward",
+            "#Up",
+            "--horizon",
+            "200000",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(text.contains("simulated expected reward"));
+        // Parse the estimate back out and check it is near 0.8.
+        let mean: f64 = text
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((mean - 0.8).abs() < 0.02, "{mean}");
+        assert!(run_to_string(&["simulate", path.to_str().unwrap()]).is_err());
+    }
+
+    #[test]
+    fn invariants_and_fmt_commands() {
+        let dir = std::env::temp_dir().join("nvp-cli-test-inv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_model(&dir);
+        let text = run_to_string(&["invariants", path.to_str().unwrap()]).unwrap();
+        assert!(text.contains("#Up + #Down = 1"), "{text}");
+        let text = run_to_string(&["fmt", path.to_str().unwrap()]).unwrap();
+        assert!(text.starts_with("net updown"));
+        // The normalized form must itself parse.
+        let reparsed = nvp_petri::text::parse_net(&text).unwrap();
+        assert_eq!(reparsed.places().len(), 2);
+        assert!(run_to_string(&["invariants"]).is_err());
+        assert!(run_to_string(&["fmt", "/no/such/file"]).is_err());
+    }
+
+    #[test]
+    fn dot_renders_net_and_reach() {
+        let dir = std::env::temp_dir().join("nvp-cli-test-dot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_model(&dir);
+        let text = run_to_string(&["dot", path.to_str().unwrap()]).unwrap();
+        assert!(text.starts_with("digraph"));
+        assert!(text.contains("exp(0.25)"));
+        let text = run_to_string(&["dot", path.to_str().unwrap(), "--reach"]).unwrap();
+        assert!(text.contains("(1, 0)"));
+    }
+}

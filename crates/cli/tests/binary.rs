@@ -1,0 +1,67 @@
+//! End-to-end tests of the compiled `nvp` binary (exit codes, stdout,
+//! stderr routing).
+
+use std::process::Command;
+
+fn nvp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nvp"))
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let output = nvp().arg("help").output().expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_stderr() {
+    let output = nvp().arg("bogus").output().expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(output.stdout.is_empty());
+}
+
+#[test]
+fn analyze_prints_the_paper_number() {
+    let output = nvp()
+        .args([
+            "analyze",
+            "--no-rejuvenation",
+            "--states",
+            "0",
+            "--no-matrix",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("E[R_sys] = 0.8223487"), "{stdout}");
+}
+
+#[test]
+fn solve_pipeline_from_file() {
+    let dir = std::env::temp_dir().join("nvp-binary-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("m.dspn");
+    std::fs::write(
+        &model,
+        "net m\nplace A 1\nplace B 0\n\
+         transition go exponential rate = 1\n  input A\n  output B\n\
+         transition back exponential rate = 3\n  input B\n  output A\n",
+    )
+    .unwrap();
+    let output = nvp()
+        .args(["solve", model.to_str().unwrap(), "--reward", "#A"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // pi(A) = 3 / 4.
+    assert!(
+        stdout.contains("expected reward of `#A`: 0.750000"),
+        "{stdout}"
+    );
+}

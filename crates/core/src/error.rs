@@ -1,0 +1,97 @@
+//! Error type shared by the model crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or analyzing perception-system models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter value was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        what: &'static str,
+        /// Description of the violated constraint.
+        constraint: String,
+    },
+    /// The requested paper-exact reliability functions only exist for the
+    /// configurations evaluated in the paper.
+    UnsupportedConfiguration {
+        /// Description of what was requested.
+        what: String,
+    },
+    /// A Petri-net operation failed.
+    Petri(nvp_petri::PetriError),
+    /// The steady-state solver failed.
+    Mrgp(nvp_mrgp::MrgpError),
+    /// A numerical routine failed.
+    Numerics(nvp_numerics::NumericsError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { what, constraint } => {
+                write!(f, "invalid parameter {what}: {constraint}")
+            }
+            CoreError::UnsupportedConfiguration { what } => {
+                write!(f, "unsupported configuration: {what}")
+            }
+            CoreError::Petri(e) => write!(f, "petri net error: {e}"),
+            CoreError::Mrgp(e) => write!(f, "solver error: {e}"),
+            CoreError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Petri(e) => Some(e),
+            CoreError::Mrgp(e) => Some(e),
+            CoreError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nvp_petri::PetriError> for CoreError {
+    fn from(e: nvp_petri::PetriError) -> Self {
+        CoreError::Petri(e)
+    }
+}
+
+impl From<nvp_mrgp::MrgpError> for CoreError {
+    fn from(e: nvp_mrgp::MrgpError) -> Self {
+        CoreError::Mrgp(e)
+    }
+}
+
+impl From<nvp_numerics::NumericsError> for CoreError {
+    fn from(e: nvp_numerics::NumericsError) -> Self {
+        CoreError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants = vec![
+            CoreError::InvalidParameter {
+                what: "alpha",
+                constraint: "must lie in [0, 1]".into(),
+            },
+            CoreError::UnsupportedConfiguration {
+                what: "paper-exact N=5".into(),
+            },
+            CoreError::Petri(nvp_petri::PetriError::NoTangibleMarking),
+            CoreError::Mrgp(nvp_mrgp::MrgpError::DeadMarking { marking: 0 }),
+            CoreError::Numerics(nvp_numerics::NumericsError::SingularMatrix { pivot: 0 }),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

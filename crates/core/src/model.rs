@@ -1,0 +1,449 @@
+//! DSPN builders for the paper's perception-system models (Figure 2).
+//!
+//! * [`build_no_rejuvenation`] — Figure 2 (a): `N` modules cycling through
+//!   healthy (`Pmh`) → compromised (`Pmc`) → non-operational (`Pmf`) →
+//!   repaired.
+//! * [`build_rejuvenation`] — Figures 2 (b) and (c): the same fault/repair
+//!   cycle plus the deterministic rejuvenation clock (`Prc`/`Trc`/`Ptr`) and
+//!   the rejuvenation mechanism (`Tac`, `Trj1`, `Trj2`, `Trj`, `Trt`) with
+//!   the guard functions and marking-dependent arc weights of Table I.
+//!
+//! # Encoding notes (see also `DESIGN.md`)
+//!
+//! * Table I prints guard `g1` as `(#Pac + #Pmr) = 1`; from the surrounding
+//!   text (`Tac` becomes fireable when the clock token reaches `Ptr` and no
+//!   rejuvenation is pending) it is encoded as
+//!   `#Ptr == 1 && (#Pac + #Pmr) < 1`.
+//! * When guard `g2` blocks `Trj1`/`Trj2`, the activation tokens in `Pac`
+//!   are flushed when `Trt` resets the clock (marking-dependent input arc of
+//!   multiplicity `#Pac`), so a blocked rejuvenation round is skipped rather
+//!   than queued.
+//! * Weights `w5`/`w6` are both encoded as `#Pmr`: guard `g2` maintains the
+//!   invariant `#Pmr ≤ r`, under which the printed
+//!   `w5 = IF (#Pmr < r): #Pmr ELSE r` equals `#Pmr`.
+//! * Firing priorities order the immediate cascade after a clock tick:
+//!   `Tac` (3) → `Trj1`/`Trj2` (2) → `Trt` (1).
+
+use crate::params::{RejuvenationDistribution, ServerSemantics, SystemParams};
+use crate::Result;
+use nvp_petri::expr::Expr;
+use nvp_petri::net::{NetBuilder, PetriNet, TransitionKind};
+
+/// Place name: healthy ML modules.
+pub const PLACE_HEALTHY: &str = "Pmh";
+/// Place name: compromised ML modules.
+pub const PLACE_COMPROMISED: &str = "Pmc";
+/// Place name: non-operational ML modules.
+pub const PLACE_FAILED: &str = "Pmf";
+/// Place name: rejuvenating ML modules.
+pub const PLACE_REJUVENATING: &str = "Pmr";
+/// Place name: rejuvenation activation tokens.
+pub const PLACE_ACTIVATION: &str = "Pac";
+/// Place name: rejuvenation clock armed.
+pub const PLACE_CLOCK: &str = "Prc";
+/// Place name: rejuvenation clock fired.
+pub const PLACE_CLOCK_FIRED: &str = "Ptr";
+
+/// Builds the DSPN matching `params`: Figure 2 (a) without rejuvenation,
+/// Figures 2 (b, c) with it.
+///
+/// # Errors
+///
+/// Parameter-validation errors ([`SystemParams::validate`]) and net
+/// construction errors.
+///
+/// # Example
+///
+/// ```
+/// use nvp_core::model::build_model;
+/// use nvp_core::params::SystemParams;
+///
+/// # fn main() -> Result<(), nvp_core::CoreError> {
+/// let net = build_model(&SystemParams::paper_six_version())?;
+/// assert_eq!(net.places().len(), 7);
+/// assert!(net.transition_by_name("Trc").is_some(), "rejuvenation clock");
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_model(params: &SystemParams) -> Result<PetriNet> {
+    if params.rejuvenation {
+        build_rejuvenation(params)
+    } else {
+        build_no_rejuvenation(params)
+    }
+}
+
+/// Rate expression honouring the configured server semantics.
+fn rate_expr(rate: f64, place: &str, semantics: ServerSemantics) -> Expr {
+    match semantics {
+        ServerSemantics::SingleServer => Expr::constant(rate),
+        ServerSemantics::InfiniteServer => Expr::Binary(
+            nvp_petri::expr::BinOp::Mul,
+            Box::new(Expr::constant(rate)),
+            Box::new(Expr::tokens(place)),
+        ),
+    }
+}
+
+/// Builds the Figure 2 (a) net: faults and repair, no rejuvenation.
+///
+/// # Errors
+///
+/// Parameter-validation and net-construction errors.
+pub fn build_no_rejuvenation(params: &SystemParams) -> Result<PetriNet> {
+    params.validate()?;
+    let mut b = NetBuilder::new(format!("{}-version-perception", params.n));
+    let pmh = b.place(PLACE_HEALTHY, params.n);
+    let pmc = b.place(PLACE_COMPROMISED, 0);
+    let pmf = b.place(PLACE_FAILED, 0);
+
+    b.transition(
+        "Tc",
+        TransitionKind::exponential(rate_expr(
+            params.lambda_c(),
+            PLACE_HEALTHY,
+            params.semantics,
+        )),
+    )?
+    .input(pmh, 1)
+    .output(pmc, 1);
+
+    b.transition(
+        "Tf",
+        TransitionKind::exponential(rate_expr(
+            params.lambda(),
+            PLACE_COMPROMISED,
+            params.semantics,
+        )),
+    )?
+    .input(pmc, 1)
+    .output(pmf, 1);
+
+    b.transition(
+        "Tr",
+        TransitionKind::exponential(rate_expr(params.mu(), PLACE_FAILED, params.semantics)),
+    )?
+    .input(pmf, 1)
+    .output(pmh, 1);
+
+    Ok(b.build()?)
+}
+
+/// Builds the Figures 2 (b, c) net: faults, repair, and the time-based
+/// rejuvenation mechanism.
+///
+/// # Errors
+///
+/// Parameter-validation and net-construction errors.
+pub fn build_rejuvenation(params: &SystemParams) -> Result<PetriNet> {
+    params.validate()?;
+    let mut b = NetBuilder::new(format!("{}-version-perception-rejuvenation", params.n));
+    let pmh = b.place(PLACE_HEALTHY, params.n);
+    let pmc = b.place(PLACE_COMPROMISED, 0);
+    let pmf = b.place(PLACE_FAILED, 0);
+    let pmr = b.place(PLACE_REJUVENATING, 0);
+    let pac = b.place(PLACE_ACTIVATION, 0);
+    let prc = b.place(PLACE_CLOCK, 1);
+    let ptr = b.place(PLACE_CLOCK_FIRED, 0);
+
+    // --- Fault and repair cycle (as in Figure 2 (a)). ---
+    b.transition(
+        "Tc",
+        TransitionKind::exponential(rate_expr(
+            params.lambda_c(),
+            PLACE_HEALTHY,
+            params.semantics,
+        )),
+    )?
+    .input(pmh, 1)
+    .output(pmc, 1);
+
+    b.transition(
+        "Tf",
+        TransitionKind::exponential(rate_expr(
+            params.lambda(),
+            PLACE_COMPROMISED,
+            params.semantics,
+        )),
+    )?
+    .input(pmc, 1)
+    .output(pmf, 1);
+
+    {
+        let mut tr = b.transition(
+            "Tr",
+            TransitionKind::exponential(rate_expr(params.mu(), PLACE_FAILED, params.semantics)),
+        )?;
+        tr.input(pmf, 1).output(pmh, 1);
+        if params.repair_shares_budget {
+            // Ablation: recovery counts against the same r budget as
+            // rejuvenation (the §II-B reading); repair waits while a
+            // rejuvenation is in flight beyond the remaining budget.
+            tr.guard(Expr::parse(&format!(
+                "#{PLACE_REJUVENATING} < {}",
+                params.r
+            ))?);
+        }
+    }
+
+    // --- Rejuvenation clock (Figure 2 (b)). ---
+    b.transition(
+        "Trc",
+        TransitionKind::deterministic_delay(params.rejuvenation_interval),
+    )?
+    .input(prc, 1)
+    .output(ptr, 1);
+
+    // --- Rejuvenation mechanism (Figure 2 (c), Table I). ---
+    // Tac: on a clock tick with no pending rejuvenation, emit r activation
+    // tokens (arc weights w3/w4 = r). Guard g1 (see module docs).
+    b.transition(
+        "Tac",
+        TransitionKind::immediate_weighted(Expr::constant(1.0), 3),
+    )?
+    .guard(Expr::parse(&format!(
+        "#{PLACE_CLOCK_FIRED} == 1 && (#{PLACE_ACTIVATION} + #{PLACE_REJUVENATING}) < 1"
+    ))?)
+    .output(pac, params.r);
+
+    // Trj1: rejuvenate a compromised module. Guard g2, weight w1.
+    let g2 = format!("(#{PLACE_FAILED} + #{PLACE_REJUVENATING}) < {}", params.r);
+    let w1 = format!(
+        "if(#{PLACE_COMPROMISED} == 0, 0.00001, \
+         #{PLACE_COMPROMISED} / (#{PLACE_COMPROMISED} + #{PLACE_HEALTHY}))"
+    );
+    b.transition(
+        "Trj1",
+        TransitionKind::immediate_weighted(Expr::parse(&w1)?, 2),
+    )?
+    .guard(Expr::parse(&g2)?)
+    .input(pmc, 1)
+    .input(pac, 1)
+    .output(pmr, 1);
+
+    // Trj2: rejuvenate a healthy module (the system cannot distinguish).
+    // Guard g2, weight w2.
+    let w2 = format!(
+        "if(#{PLACE_HEALTHY} == 0, 0.00001, \
+         #{PLACE_HEALTHY} / (#{PLACE_COMPROMISED} + #{PLACE_HEALTHY}))"
+    );
+    b.transition(
+        "Trj2",
+        TransitionKind::immediate_weighted(Expr::parse(&w2)?, 2),
+    )?
+    .guard(Expr::parse(&g2)?)
+    .input(pmh, 1)
+    .input(pac, 1)
+    .output(pmr, 1);
+
+    // Trt: reset the clock (guard g3) and flush unconsumed activation
+    // tokens so a blocked round is skipped.
+    b.transition(
+        "Trt",
+        TransitionKind::immediate_weighted(Expr::constant(1.0), 1),
+    )?
+    .guard(Expr::parse(&format!(
+        "(#{PLACE_REJUVENATING} + #{PLACE_ACTIVATION}) > 0"
+    ))?)
+    .input(ptr, 1)
+    .input_expr(pac, Expr::parse(&format!("#{PLACE_ACTIVATION}"))?)
+    .output(prc, 1);
+
+    // Trj: the rejuvenation batch completes; all rejuvenating modules
+    // return to healthy (arc weights w5/w6). Mean duration #Pmr × unit.
+    let trj_kind = match params.rejuvenation_distribution {
+        RejuvenationDistribution::Exponential => TransitionKind::exponential(Expr::parse(
+            &format!("1 / ({} * #{PLACE_REJUVENATING})", params.rejuvenation_unit),
+        )?),
+        RejuvenationDistribution::Deterministic => TransitionKind::deterministic(Expr::parse(
+            &format!("{} * #{PLACE_REJUVENATING}", params.rejuvenation_unit),
+        )?),
+    };
+    b.transition("Trj", trj_kind)?
+        .guard(Expr::parse(&format!("#{PLACE_REJUVENATING} > 0"))?)
+        .input_expr(pmr, Expr::parse(&format!("#{PLACE_REJUVENATING}"))?)
+        .output_expr(pmh, Expr::parse(&format!("#{PLACE_REJUVENATING}"))?);
+
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_petri::marking::Marking;
+    use nvp_petri::reach::explore;
+
+    fn place_idx(net: &PetriNet, name: &str) -> usize {
+        net.place_by_name(name).unwrap().index()
+    }
+
+    #[test]
+    fn no_rejuvenation_net_structure() {
+        let net = build_no_rejuvenation(&SystemParams::paper_four_version()).unwrap();
+        assert_eq!(net.places().len(), 3);
+        assert_eq!(net.transitions().len(), 3);
+        assert_eq!(
+            net.initial_marking(),
+            Marking::new(vec![4, 0, 0]),
+            "all modules start healthy"
+        );
+    }
+
+    #[test]
+    fn no_rejuvenation_state_space_is_simplex() {
+        // (i, j, k) with i + j + k = 4: C(6, 2) = 15 tangible markings.
+        let net = build_no_rejuvenation(&SystemParams::paper_four_version()).unwrap();
+        let g = explore(&net, 1000).unwrap();
+        assert_eq!(g.tangible_count(), 15);
+        let (h, c, f) = (
+            place_idx(&net, PLACE_HEALTHY),
+            place_idx(&net, PLACE_COMPROMISED),
+            place_idx(&net, PLACE_FAILED),
+        );
+        for m in g.markings() {
+            assert_eq!(m.tokens(h) + m.tokens(c) + m.tokens(f), 4);
+        }
+    }
+
+    #[test]
+    fn rejuvenation_net_structure() {
+        let net = build_rejuvenation(&SystemParams::paper_six_version()).unwrap();
+        assert_eq!(net.places().len(), 7);
+        assert_eq!(net.transitions().len(), 9);
+        let m0 = net.initial_marking();
+        assert_eq!(m0.tokens(place_idx(&net, PLACE_HEALTHY)), 6);
+        assert_eq!(m0.tokens(place_idx(&net, PLACE_CLOCK)), 1);
+    }
+
+    #[test]
+    fn rejuvenation_net_invariants_hold_in_every_tangible_marking() {
+        let params = SystemParams::paper_six_version();
+        let net = build_rejuvenation(&params).unwrap();
+        let g = explore(&net, 10_000).unwrap();
+        assert!(g.tangible_count() > 15, "rejuvenation enlarges the space");
+        let h = place_idx(&net, PLACE_HEALTHY);
+        let c = place_idx(&net, PLACE_COMPROMISED);
+        let f = place_idx(&net, PLACE_FAILED);
+        let rj = place_idx(&net, PLACE_REJUVENATING);
+        let ac = place_idx(&net, PLACE_ACTIVATION);
+        let clk = place_idx(&net, PLACE_CLOCK);
+        let fired = place_idx(&net, PLACE_CLOCK_FIRED);
+        for m in g.markings() {
+            // Module conservation.
+            assert_eq!(
+                m.tokens(h) + m.tokens(c) + m.tokens(f) + m.tokens(rj),
+                6,
+                "module tokens lost/created in {m}"
+            );
+            // Exactly one clock token, always armed in tangible markings.
+            assert_eq!(m.tokens(clk) + m.tokens(fired), 1, "clock token in {m}");
+            assert_eq!(m.tokens(fired), 0, "Ptr must be vanishing: {m}");
+            // No stale activation tokens in tangible markings.
+            assert_eq!(m.tokens(ac), 0, "Pac must be vanishing: {m}");
+            // Guard g2 bounds simultaneous rejuvenation.
+            assert!(m.tokens(rj) <= params.r, "#Pmr exceeds r in {m}");
+        }
+    }
+
+    #[test]
+    fn rejuvenation_clock_is_always_armed() {
+        // Every tangible marking must enable the deterministic clock, and
+        // only the clock (solvable DSPN class).
+        let net = build_rejuvenation(&SystemParams::paper_six_version()).unwrap();
+        let g = explore(&net, 10_000).unwrap();
+        for s in g.states() {
+            assert_eq!(s.deterministic.len(), 1);
+        }
+    }
+
+    #[test]
+    fn infinite_server_semantics_scale_rates() {
+        let mut params = SystemParams::paper_four_version();
+        params.semantics = ServerSemantics::InfiniteServer;
+        let net = build_no_rejuvenation(&params).unwrap();
+        let g = explore(&net, 1000).unwrap();
+        let h = place_idx(&net, PLACE_HEALTHY);
+        let tc = net.transition_by_name("Tc").unwrap();
+        for (m, s) in g.markings().iter().zip(g.states()) {
+            if m.tokens(h) > 0 {
+                let arc = s
+                    .exponential
+                    .iter()
+                    .find(|a| a.transition == tc)
+                    .expect("Tc enabled when healthy modules exist");
+                let expected = f64::from(m.tokens(h)) / 1523.0;
+                assert!((arc.value - expected).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rejuvenation_variant_builds() {
+        let mut params = SystemParams::paper_six_version();
+        params.rejuvenation_distribution = RejuvenationDistribution::Deterministic;
+        let net = build_rejuvenation(&params).unwrap();
+        // The net explores fine; the analytic solver will reject it (two
+        // concurrently enabled deterministic transitions), which is the
+        // documented simulation-only path.
+        let g = explore(&net, 10_000).unwrap();
+        assert!(g.states().iter().any(|s| s.deterministic.len() == 2));
+    }
+
+    #[test]
+    fn repair_budget_variant_guards_tr() {
+        let mut params = SystemParams::paper_six_version();
+        params.repair_shares_budget = true;
+        let net = build_rejuvenation(&params).unwrap();
+        let tr = net.transition_by_name("Tr").unwrap();
+        assert!(net.transitions()[tr.index()].guard.is_some());
+        // With a module rejuvenating (Pmr = 1) and one failed, repair is
+        // blocked under the shared budget...
+        let blocked = Marking::new(vec![4, 0, 1, 1, 0, 1, 0]);
+        assert!(!net.is_enabled(tr, &blocked).unwrap());
+        // ...and allowed once the rejuvenation completes.
+        let free = Marking::new(vec![5, 0, 1, 0, 0, 1, 0]);
+        assert!(net.is_enabled(tr, &free).unwrap());
+        // The default model keeps Tr unguarded (Figure 2 (c)).
+        let default_net = build_rejuvenation(&SystemParams::paper_six_version()).unwrap();
+        let tr = default_net.transition_by_name("Tr").unwrap();
+        assert!(default_net.transitions()[tr.index()].guard.is_none());
+        assert!(default_net.is_enabled(tr, &blocked).unwrap());
+    }
+
+    #[test]
+    fn build_model_dispatches_on_rejuvenation_flag() {
+        let four = build_model(&SystemParams::paper_four_version()).unwrap();
+        assert_eq!(four.places().len(), 3);
+        let six = build_model(&SystemParams::paper_six_version()).unwrap();
+        assert_eq!(six.places().len(), 7);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected_before_building() {
+        let mut p = SystemParams::paper_six_version();
+        p.n = 5; // below 3f + 2r + 1
+        assert!(build_model(&p).is_err());
+    }
+
+    #[test]
+    fn general_r_maintains_invariants() {
+        // N = 9, f = 2, r = 1 and N = 11, f = 2, r = 2.
+        for (n, f, r) in [(9u32, 2u32, 1u32), (11, 2, 2)] {
+            let params = SystemParams::builder().n(n).f(f).r(r).build().unwrap();
+            let net = build_rejuvenation(&params).unwrap();
+            let g = explore(&net, 100_000).unwrap();
+            let h = place_idx(&net, PLACE_HEALTHY);
+            let c = place_idx(&net, PLACE_COMPROMISED);
+            let fl = place_idx(&net, PLACE_FAILED);
+            let rj = place_idx(&net, PLACE_REJUVENATING);
+            for m in g.markings() {
+                assert_eq!(
+                    m.tokens(h) + m.tokens(c) + m.tokens(fl) + m.tokens(rj),
+                    n,
+                    "module conservation for N={n}"
+                );
+                assert!(m.tokens(rj) <= r, "#Pmr ≤ r for r={r}");
+            }
+        }
+    }
+}

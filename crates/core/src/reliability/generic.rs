@@ -1,0 +1,258 @@
+//! First-principles reliability model for arbitrary `(N, f, r)`.
+//!
+//! # The dependent-failure model
+//!
+//! Following the structure the paper inherits from Ege et al. (dependent
+//! failures) and the BFT voting assumptions A.2/A.3, a perception request is
+//! processed as follows in a state with `i` healthy, `j` compromised and `k`
+//! unavailable modules (`i + j + k = N`, voting threshold `T`):
+//!
+//! * With probability `p` the input is *erroneous for healthy modules*: one
+//!   (reference) healthy module outputs incorrectly, and each remaining
+//!   healthy module fails **dependently** with probability `α`.
+//!   With probability `1 − p` no healthy module errs.
+//! * Each compromised module outputs incorrectly with probability `p′`,
+//!   independently (assumption A.1: compromised-state faults "become
+//!   random").
+//! * A **perception error** occurs when at least `T` modules output
+//!   incorrectly; with fewer than `T` *correct* outputs but fewer than `T`
+//!   incorrect ones, the voter safely skips (counted as reliable).
+//! * States with `k > N − T` cannot gather `T` outputs at all and are
+//!   assigned reliability 0, exactly as the `R_f4`/`R_f6` matrices do.
+//!
+//! Hence, with `W_h ~ Bin(i − 1, α)` and `W_c ~ Bin(j, p′)`:
+//!
+//! ```text
+//! P(error | i > 0) = (1 − p)·P(W_c ≥ T) + p·P(1 + W_h + W_c ≥ T)
+//! P(error | i = 0) = P(W_c ≥ T)
+//! R = 1 − P(error)
+//! ```
+//!
+//! This reproduces the printed appendix formulas for every entry whose
+//! combinatorics are consistent (e.g. `R_{1,3,0}`, `R_{2,2,0}`, all `i = 0`
+//! rows of `R_f4`, and most of `R_f6`), and deviates exactly where the
+//! printed coefficients do not match any binomial expansion (e.g.
+//! `R_{4,0,0}`'s `4pα²(1−α)`, where choosing 2 erring modules among the 3
+//! remaining gives coefficient 3). The cross-checks live in the crate's
+//! integration tests.
+
+use crate::state::SystemState;
+
+/// `R_{i,j,k}` under the first-principles dependent-failure model.
+///
+/// `threshold` is the number of correct outputs required (`2f + 1` or
+/// `2f + r + 1`). Probabilities are assumed already validated by the caller
+/// ([`super::ReliabilityModel::reliability`] checks them).
+pub fn reliability(state: SystemState, threshold: u32, p: f64, p_prime: f64, alpha: f64) -> f64 {
+    let n = state.total();
+    if state.unavailable > n.saturating_sub(threshold) {
+        return 0.0;
+    }
+    1.0 - error_probability(state, threshold, p, p_prime, alpha)
+}
+
+/// `P(at least `threshold` modules output incorrectly)` in the given state.
+pub fn error_probability(
+    state: SystemState,
+    threshold: u32,
+    p: f64,
+    p_prime: f64,
+    alpha: f64,
+) -> f64 {
+    let i = state.healthy;
+    let j = state.compromised;
+    let t = threshold;
+    if i == 0 {
+        return binomial_tail(j, p_prime, t);
+    }
+    let no_trigger = (1.0 - p) * binomial_tail(j, p_prime, t);
+    // Given the trigger, the reference module errs; each of the other i−1
+    // healthy modules errs with probability α.
+    let mut with_trigger = 0.0;
+    for h in 0..=(i - 1) {
+        let need_from_compromised = t.saturating_sub(1 + h);
+        with_trigger +=
+            binomial_pmf(i - 1, alpha, h) * binomial_tail(j, p_prime, need_from_compromised);
+    }
+    no_trigger + p * with_trigger
+}
+
+/// `P(Bin(n, q) = k)`.
+fn binomial_pmf(n: u32, q: f64, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    binomial_coefficient(n, k) * q.powi(k as i32) * (1.0 - q).powi((n - k) as i32)
+}
+
+/// `P(Bin(n, q) ≥ t)`.
+fn binomial_tail(n: u32, q: f64, t: u32) -> f64 {
+    if t == 0 {
+        return 1.0;
+    }
+    if t > n {
+        return 0.0;
+    }
+    (t..=n).map(|k| binomial_pmf(n, q, k)).sum()
+}
+
+/// `C(n, k)` as a float; exact for the small module counts used here.
+fn binomial_coefficient(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for step in 0..k {
+        acc = acc * f64::from(n - step) / f64::from(step + 1);
+    }
+    acc.round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::enumerate_states;
+
+    const P: f64 = 0.08;
+    const PP: f64 = 0.5;
+    const A: f64 = 0.5;
+
+    fn r(i: u32, j: u32, k: u32, t: u32) -> f64 {
+        reliability(SystemState::new(i, j, k), t, P, PP, A)
+    }
+
+    #[test]
+    fn binomial_helpers() {
+        assert_eq!(binomial_coefficient(5, 0), 1.0);
+        assert_eq!(binomial_coefficient(5, 2), 10.0);
+        assert_eq!(binomial_coefficient(6, 3), 20.0);
+        assert_eq!(binomial_coefficient(4, 5), 0.0);
+        assert!((binomial_pmf(3, 0.5, 2) - 0.375).abs() < 1e-15);
+        assert_eq!(binomial_tail(3, 0.5, 0), 1.0);
+        assert_eq!(binomial_tail(3, 0.5, 4), 0.0);
+        assert!((binomial_tail(3, 0.5, 2) - 0.5).abs() < 1e-15);
+        // Tail sums pmf.
+        let total: f64 = (0..=6).map(|k| binomial_pmf(6, 0.3, k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    /// Entries of the printed R_f4 that a first-principles derivation
+    /// reproduces exactly.
+    #[test]
+    fn agrees_with_consistent_four_version_entries() {
+        // R_{3,0,1} = 1 - pα².
+        assert!((r(3, 0, 1, 3) - (1.0 - P * A * A)).abs() < 1e-15);
+        // R_{2,2,0} = 1 - [pp'² + 2pαp'(1-p')].
+        let expected = 1.0 - (P * PP * PP + 2.0 * P * A * PP * (1.0 - PP));
+        assert!((r(2, 2, 0, 3) - expected).abs() < 1e-15);
+        // R_{2,1,1} = 1 - pαp'.
+        assert!((r(2, 1, 1, 3) - (1.0 - P * A * PP)).abs() < 1e-15);
+        // R_{1,3,0} = 1 - [p'³ + 3pp'²(1-p')].
+        let expected = 1.0 - (PP.powi(3) + 3.0 * P * PP * PP * (1.0 - PP));
+        assert!((r(1, 3, 0, 3) - expected).abs() < 1e-15);
+        // R_{1,2,1} = 1 - pp'².
+        assert!((r(1, 2, 1, 3) - (1.0 - P * PP * PP)).abs() < 1e-15);
+        // R_{0,3,1} = 1 - p'³.
+        assert!((r(0, 3, 1, 3) - (1.0 - PP.powi(3))).abs() < 1e-15);
+    }
+
+    /// Entries where the printed coefficients deviate from binomial
+    /// combinatorics; the generic model uses the consistent ones.
+    #[test]
+    fn documents_deviations_from_printed_formulas() {
+        // Printed R_{4,0,0} subtracts pα³ + 4pα²(1-α); binomial gives 3.
+        let generic = r(4, 0, 0, 3);
+        let consistent = 1.0 - (P * A.powi(3) + 3.0 * P * A * A * (1.0 - A));
+        let printed = 1.0 - (P * A.powi(3) + 4.0 * P * A * A * (1.0 - A));
+        assert!((generic - consistent).abs() < 1e-15);
+        assert!((generic - printed).abs() > 1e-3);
+
+        // Printed R_{0,4,0} subtracts p'⁴ + 3p'³(1-p'); binomial gives 4.
+        let generic = r(0, 4, 0, 3);
+        let consistent = 1.0 - (PP.powi(4) + 4.0 * PP.powi(3) * (1.0 - PP));
+        assert!((generic - consistent).abs() < 1e-15);
+    }
+
+    /// Six-version entries (threshold 4) the generic model reproduces.
+    #[test]
+    fn agrees_with_consistent_six_version_entries() {
+        // R_{1,5,0} = 1 - [p'⁵ + 5p'⁴(1-p') + 10pp'³(1-p')²].
+        let expected = 1.0
+            - (PP.powi(5)
+                + 5.0 * PP.powi(4) * (1.0 - PP)
+                + 10.0 * P * PP.powi(3) * (1.0 - PP) * (1.0 - PP));
+        assert!((r(1, 5, 0, 4) - expected).abs() < 1e-15);
+        // R_{0,6,0} = 1 - [p'⁶ + 6p'⁵(1-p') + 15p'⁴(1-p')²].
+        let expected = 1.0
+            - (PP.powi(6)
+                + 6.0 * PP.powi(5) * (1.0 - PP)
+                + 15.0 * PP.powi(4) * (1.0 - PP) * (1.0 - PP));
+        assert!((r(0, 6, 0, 4) - expected).abs() < 1e-15);
+        // R_{1,4,1} = 1 - [p'⁴ + 4pp'³(1-p')].
+        let expected = 1.0 - (PP.powi(4) + 4.0 * P * PP.powi(3) * (1.0 - PP));
+        assert!((r(1, 4, 1, 4) - expected).abs() < 1e-15);
+        // R_{2,2,2} = 1 - pαp'².
+        assert!((r(2, 2, 2, 4) - (1.0 - P * A * PP * PP)).abs() < 1e-15);
+        // R_{3,1,2} = 1 - pα²p'.
+        assert!((r(3, 1, 2, 4) - (1.0 - P * A * A * PP)).abs() < 1e-15);
+        // R_{4,0,2} = 1 - pα³.
+        assert!((r(4, 0, 2, 4) - (1.0 - P * A.powi(3))).abs() < 1e-15);
+        // R_{0,4,2} = 1 - p'⁴ and R_{0,5,1} = 1 - [p'⁵ + 5p'⁴(1-p')].
+        assert!((r(0, 4, 2, 4) - (1.0 - PP.powi(4))).abs() < 1e-15);
+        let expected = 1.0 - (PP.powi(5) + 5.0 * PP.powi(4) * (1.0 - PP));
+        assert!((r(0, 5, 1, 4) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uncovered_states_are_zero() {
+        assert_eq!(r(2, 0, 2, 3), 0.0); // 4-version, k = 2 > 1
+        assert_eq!(r(3, 0, 3, 4), 0.0); // 6-version, k = 3 > 2
+        assert_eq!(r(0, 0, 4, 3), 0.0);
+    }
+
+    #[test]
+    fn values_are_probabilities_across_grid() {
+        for t in [3u32, 4] {
+            for n in [4u32, 6, 9] {
+                for s in enumerate_states(n) {
+                    for (p, pp, a) in [
+                        (0.0, 0.0, 0.0),
+                        (0.08, 0.5, 0.5),
+                        (0.5, 0.9, 0.8),
+                        (1.0, 1.0, 1.0),
+                    ] {
+                        let v = reliability(s, t, p, pp, a);
+                        assert!(
+                            (0.0..=1.0).contains(&v),
+                            "R{s} = {v} for n={n}, t={t}, p={p}, p'={pp}, α={a}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_each_error_probability() {
+        let s = SystemState::new(3, 2, 1);
+        let base = reliability(s, 4, 0.1, 0.5, 0.5);
+        assert!(reliability(s, 4, 0.2, 0.5, 0.5) <= base);
+        assert!(reliability(s, 4, 0.1, 0.6, 0.5) <= base);
+        assert!(reliability(s, 4, 0.1, 0.5, 0.6) <= base);
+    }
+
+    #[test]
+    fn higher_threshold_is_harder_to_breach() {
+        // More required correct outputs means *more* wrong outputs are needed
+        // for an error, so (in covered states) reliability rises with T.
+        let s = SystemState::new(4, 2, 0);
+        assert!(error_probability(s, 4, P, PP, A) <= error_probability(s, 3, P, PP, A));
+    }
+
+    #[test]
+    fn all_compromised_with_certain_errors_always_fails() {
+        let s = SystemState::new(0, 6, 0);
+        assert_eq!(reliability(s, 4, 0.0, 1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Heterogeneous-ensemble reliability: exact threshold voting over modules
+//! with *individual* inaccuracies.
+//!
+//! The paper averages the measured inaccuracies of LeNet, AlexNet and ResNet
+//! into a single `p = 0.08` and treats every module as identical. This
+//! module computes the exact independent-errors reliability when each
+//! healthy module keeps its own inaccuracy `p_i` (a Poisson-binomial tail,
+//! evaluated by dynamic programming), so the averaging approximation can be
+//! quantified.
+//!
+//! Scope: independent module errors (the `α = 0` analogue of the dependent
+//! model). Extending per-module inaccuracies to the paper's
+//! trigger-and-dependency structure would require modeling choices the paper
+//! gives no guidance on, so that combination is intentionally not offered.
+
+use crate::{CoreError, Result};
+
+/// `P(X ≥ t)` where `X` is the number of successes of independent Bernoulli
+/// trials with the given probabilities (the Poisson-binomial tail).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] if any probability is outside `[0, 1]`.
+pub fn poisson_binomial_tail(probabilities: &[f64], t: u32) -> Result<f64> {
+    for &p in probabilities {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(CoreError::InvalidParameter {
+                what: "probability",
+                constraint: format!("must lie in [0, 1], got {p}"),
+            });
+        }
+    }
+    if t == 0 {
+        return Ok(1.0);
+    }
+    let n = probabilities.len();
+    if (t as usize) > n {
+        return Ok(0.0);
+    }
+    // DP over the exact count distribution.
+    let mut dist = vec![0.0f64; n + 1];
+    dist[0] = 1.0;
+    for (k, &p) in probabilities.iter().enumerate() {
+        for count in (0..=k).rev() {
+            let moving = dist[count] * p;
+            dist[count] -= moving;
+            dist[count + 1] += moving;
+        }
+    }
+    Ok(dist[t as usize..].iter().sum())
+}
+
+/// Output reliability of a heterogeneous ensemble under threshold voting
+/// with independent errors.
+///
+/// `healthy_inaccuracies` lists the per-module inaccuracy of each healthy
+/// module; `compromised` modules err independently with probability
+/// `p_prime`; `unavailable` modules cannot vote. A perception error occurs
+/// when at least `threshold` modules output incorrectly (safe skips count as
+/// reliable), and states that cannot field `threshold` outputs at all have
+/// reliability 0 — the same conventions as the homogeneous models.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] for out-of-range probabilities.
+///
+/// # Example
+///
+/// ```
+/// use nvp_core::reliability::heterogeneous::reliability;
+///
+/// # fn main() -> Result<(), nvp_core::CoreError> {
+/// // LeNet / AlexNet / ResNet-like individual inaccuracies averaging 0.08,
+/// // plus three more diverse modules; 4-out-of-6 voting, all healthy.
+/// let r = reliability(&[0.11, 0.09, 0.04, 0.11, 0.09, 0.04], 0, 0, 0.5, 4)?;
+/// assert!(r > 0.999);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reliability(
+    healthy_inaccuracies: &[f64],
+    compromised: u32,
+    unavailable: u32,
+    p_prime: f64,
+    threshold: u32,
+) -> Result<f64> {
+    super::check_probability("p_prime", p_prime)?;
+    let n = healthy_inaccuracies.len() as u32 + compromised + unavailable;
+    if unavailable > n.saturating_sub(threshold) {
+        return Ok(0.0);
+    }
+    let mut probabilities: Vec<f64> = healthy_inaccuracies.to_vec();
+    probabilities.extend(std::iter::repeat_n(p_prime, compromised as usize));
+    Ok(1.0 - poisson_binomial_tail(&probabilities, threshold)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::generic;
+    use crate::state::SystemState;
+
+    #[test]
+    fn tail_matches_binomial_for_equal_probabilities() {
+        // Poisson-binomial with equal p reduces to a binomial tail, which
+        // the generic model computes independently.
+        let p = 0.3;
+        for n in [1usize, 4, 6] {
+            for t in 0..=(n as u32 + 1) {
+                let hetero = poisson_binomial_tail(&vec![p; n], t).unwrap();
+                // Binomial tail via the generic error model: a state with 0
+                // healthy and n compromised modules errs iff >= t of them
+                // err with probability p'.
+                let homo = generic::error_probability(
+                    SystemState::new(0, n as u32, 0),
+                    t.max(1),
+                    0.0,
+                    p,
+                    0.0,
+                );
+                if t >= 1 {
+                    assert!(
+                        (hetero - homo).abs() < 1e-12,
+                        "n={n}, t={t}: {hetero} vs {homo}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_matches_brute_force_enumeration() {
+        let ps = [0.1, 0.5, 0.8, 0.3];
+        for t in 0..=5u32 {
+            let dp = poisson_binomial_tail(&ps, t).unwrap();
+            // Enumerate all 2^4 outcomes.
+            let mut exact = 0.0;
+            for mask in 0u32..16 {
+                let count = mask.count_ones();
+                if count >= t {
+                    let mut prob = 1.0;
+                    for (i, &p) in ps.iter().enumerate() {
+                        prob *= if mask & (1 << i) != 0 { p } else { 1.0 - p };
+                    }
+                    exact += prob;
+                }
+            }
+            assert!((dp - exact).abs() < 1e-12, "t={t}: {dp} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(poisson_binomial_tail(&[], 0).unwrap(), 1.0);
+        assert_eq!(poisson_binomial_tail(&[], 1).unwrap(), 0.0);
+        assert_eq!(poisson_binomial_tail(&[1.0, 1.0], 2).unwrap(), 1.0);
+        assert_eq!(poisson_binomial_tail(&[0.0, 0.0], 1).unwrap(), 0.0);
+        assert!(poisson_binomial_tail(&[1.5], 1).is_err());
+        assert!(poisson_binomial_tail(&[f64::NAN], 1).is_err());
+    }
+
+    #[test]
+    fn quorum_starved_states_are_zero() {
+        // 6 modules, threshold 4, 3 unavailable: no quorum possible.
+        let r = reliability(&[0.1, 0.1], 1, 3, 0.5, 4).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    /// The quantity this module exists to measure: diversity in module
+    /// accuracy changes reliability relative to the homogeneous average,
+    /// and the direction depends on the state. With all modules healthy and
+    /// a high threshold, the exact heterogeneous value differs measurably
+    /// from the averaged one.
+    #[test]
+    fn averaging_approximation_error_is_visible() {
+        let hetero = [0.14, 0.09, 0.01, 0.14, 0.09, 0.01]; // mean 0.08
+        let homo = [0.08; 6];
+        let exact = reliability(&hetero, 0, 0, 0.5, 4).unwrap();
+        let averaged = reliability(&homo, 0, 0, 0.5, 4).unwrap();
+        assert!(
+            (exact - averaged).abs() > 1e-6,
+            "diversity must change the result: exact {exact} vs averaged {averaged}"
+        );
+        // Both remain probabilities, and with independent errors and a
+        // 4-of-6 threshold both are extremely reliable.
+        assert!(exact > 0.999 && averaged > 0.999);
+    }
+
+    #[test]
+    fn compromised_modules_use_p_prime() {
+        // One healthy perfect module + five compromised coin-flippers under
+        // 4-of-6 voting: error iff >= 4 of the 5 compromised err.
+        let r = reliability(&[0.0], 5, 0, 0.5, 4).unwrap();
+        let expected_error = poisson_binomial_tail(&[0.5; 5], 4).unwrap();
+        assert!((r - (1.0 - expected_error)).abs() < 1e-12);
+    }
+}

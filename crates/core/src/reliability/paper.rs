@@ -1,0 +1,275 @@
+//! The paper's reliability functions, exactly as printed in the appendix.
+//!
+//! Each `R_{i,j,k}` below transcribes the corresponding appendix formula
+//! verbatim. A few printed terms deviate from the first-principles
+//! combinatorics implemented in [`super::generic`]; those deviations are
+//! kept faithfully and flagged with `// as printed:` comments. The unit
+//! tests of this module and the cross-checks in `tests/` document exactly
+//! which entries agree with the generic derivation and which do not.
+//!
+//! States not covered by a formula (those with more unavailable modules than
+//! the voting rule tolerates: `k > 1` for the four-version system, `k > 2`
+//! for the six-version system) have reliability 0, matching the definition
+//! of `R_f4`/`R_f6` as sparse matrices.
+
+use crate::state::SystemState;
+use crate::{CoreError, Result};
+
+/// `R_{i,j,k}` of the four-version system (`f = 1`, `n = 4`, threshold
+/// `2f + 1 = 3`), appendix A.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] if `state.total() != 4`.
+pub fn four_version(state: SystemState, p: f64, pp: f64, alpha: f64) -> Result<f64> {
+    if state.total() != 4 {
+        return Err(CoreError::InvalidParameter {
+            what: "state",
+            constraint: format!(
+                "four-version state must have 4 modules, got {}",
+                state.total()
+            ),
+        });
+    }
+    let a = alpha;
+    let (i, j, k) = (state.healthy, state.compromised, state.unavailable);
+    let value = match (i, j, k) {
+        (4, 0, 0) => {
+            // as printed: coefficient 4 (first-principles would give C(3,2) = 3).
+            1.0 - (p * a.powi(3) + 4.0 * p * a.powi(2) * (1.0 - a))
+        }
+        (3, 1, 0) => {
+            // as printed: coefficient 3 (first-principles would give C(2,1) = 2).
+            1.0 - (p * a.powi(2) + 3.0 * p * a * (1.0 - a) * pp)
+        }
+        (3, 0, 1) => 1.0 - p * a.powi(2),
+        (2, 2, 0) => 1.0 - (p * pp.powi(2) + 2.0 * p * a * pp * (1.0 - pp)),
+        (2, 1, 1) => 1.0 - p * a * pp,
+        (1, 3, 0) => 1.0 - (pp.powi(3) + 3.0 * p * pp.powi(2) * (1.0 - pp)),
+        (1, 2, 1) => 1.0 - p * pp.powi(2),
+        (0, 4, 0) => {
+            // as printed: coefficient 3 (first-principles would give C(4,3) = 4).
+            1.0 - (pp.powi(4) + 3.0 * pp.powi(3) * (1.0 - pp))
+        }
+        (0, 3, 1) => 1.0 - pp.powi(3),
+        // k > 1: fewer than 2f + 1 = 3 modules can respond.
+        _ => 0.0,
+    };
+    Ok(value)
+}
+
+/// `R_{i,j,k}` of the six-version system with rejuvenation (`f = 1`,
+/// `r = 1`, `n = 6`, threshold `2f + r + 1 = 4`), appendix B.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] if `state.total() != 6`.
+pub fn six_version(state: SystemState, p: f64, pp: f64, alpha: f64) -> Result<f64> {
+    if state.total() != 6 {
+        return Err(CoreError::InvalidParameter {
+            what: "state",
+            constraint: format!(
+                "six-version state must have 6 modules, got {}",
+                state.total()
+            ),
+        });
+    }
+    let a = alpha;
+    let q = 1.0 - a;
+    let ppb = 1.0 - pp;
+    let (i, j, k) = (state.healthy, state.compromised, state.unavailable);
+    let value = match (i, j, k) {
+        (6, 0, 0) => {
+            // as printed: coefficients 6 and 15 (first-principles: C(5,4) = 5
+            // and C(5,3) = 10).
+            1.0 - (p * a.powi(5) + 6.0 * p * a.powi(4) * q + 15.0 * p * a.powi(3) * q * q)
+        }
+        (5, 1, 0) => {
+            // as printed: coefficients 5 and 10 on a Bin(4, α) tail
+            // (first-principles: C(4,3) = 4 and C(4,2) = 6).
+            1.0 - (p * a.powi(4) + 5.0 * p * a.powi(3) * q + 10.0 * p * a.powi(2) * q * q * pp)
+        }
+        (5, 0, 1) => {
+            // as printed: coefficient 5 (first-principles: C(4,3) = 4).
+            1.0 - (p * a.powi(4) + 5.0 * p * a.powi(3) * q)
+        }
+        (4, 2, 0) => {
+            // as printed: the pα³ term is multiplied by P(W_c ≥ 1) and the
+            // mixed coefficients are 4/8/6 (first-principles: 3/6/3 with the
+            // α³ term unconditioned).
+            1.0 - (p * a.powi(3) * pp * pp
+                + 2.0 * p * a.powi(3) * pp * ppb
+                + 4.0 * p * a.powi(2) * q * pp * pp
+                + 8.0 * p * a.powi(2) * q * pp * ppb
+                + 6.0 * p * a * q * q * pp * pp)
+        }
+        (4, 1, 1) => {
+            // as printed: coefficient 4 (first-principles: C(3,2) = 3).
+            1.0 - (p * a.powi(3) + 4.0 * p * a.powi(2) * q * pp)
+        }
+        (4, 0, 2) => 1.0 - p * a.powi(3),
+        (3, 3, 0) => {
+            1.0 - (p * a * a * pp.powi(3)
+                + 3.0 * p * a * a * pp * pp * ppb
+                + 3.0 * p * a * q * pp.powi(3)
+                + 3.0 * p * a * a * pp * ppb * ppb
+                + 9.0 * p * a * q * pp * pp * ppb
+                + 3.0 * p * q * q * pp.powi(3))
+        }
+        (3, 2, 1) => {
+            1.0 - (p * a * a * pp * pp + 2.0 * p * a * a * pp * ppb + 3.0 * p * a * q * pp * pp)
+        }
+        (3, 1, 2) => 1.0 - p * a * a * pp,
+        (2, 4, 0) => {
+            // as printed: the term 2p(1-α)p'⁴ appears twice in the appendix;
+            // both occurrences are kept.
+            1.0 - (p * a * pp.powi(4)
+                + 4.0 * p * a * pp.powi(3) * ppb
+                + 2.0 * p * q * pp.powi(4)
+                + 6.0 * p * a * pp * pp * ppb * ppb
+                + 8.0 * p * q * pp.powi(3) * ppb
+                + 2.0 * p * q * pp.powi(4))
+        }
+        (2, 3, 1) => {
+            // as printed: the first term is pαp'⁴ (first-principles: pαp'³).
+            1.0 - (p * a * pp.powi(4) + 3.0 * p * a * pp * pp * ppb + 2.0 * p * q * pp.powi(3))
+        }
+        (2, 2, 2) => 1.0 - p * a * pp * pp,
+        (1, 5, 0) => {
+            1.0 - (pp.powi(5) + 5.0 * pp.powi(4) * ppb + 10.0 * p * pp.powi(3) * ppb * ppb)
+        }
+        (1, 4, 1) => 1.0 - (pp.powi(4) + 4.0 * p * pp.powi(3) * ppb),
+        (1, 3, 2) => 1.0 - p * pp.powi(3),
+        (0, 6, 0) => 1.0 - (pp.powi(6) + 6.0 * pp.powi(5) * ppb + 15.0 * pp.powi(4) * ppb * ppb),
+        (0, 5, 1) => 1.0 - (pp.powi(5) + 5.0 * pp.powi(4) * ppb),
+        (0, 4, 2) => 1.0 - pp.powi(4),
+        // k > 2: fewer than 2f + r + 1 = 4 modules can respond.
+        _ => 0.0,
+    };
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::enumerate_states;
+
+    const P: f64 = 0.08;
+    const PP: f64 = 0.5;
+    const A: f64 = 0.5;
+
+    fn r4(i: u32, j: u32, k: u32) -> f64 {
+        four_version(SystemState::new(i, j, k), P, PP, A).unwrap()
+    }
+
+    fn r6(i: u32, j: u32, k: u32) -> f64 {
+        six_version(SystemState::new(i, j, k), P, PP, A).unwrap()
+    }
+
+    /// Hand-computed values at the paper's default parameters
+    /// (p = 0.08, p' = 0.5, α = 0.5).
+    #[test]
+    fn four_version_default_values() {
+        assert!((r4(4, 0, 0) - 0.95).abs() < 1e-12);
+        assert!((r4(3, 1, 0) - 0.95).abs() < 1e-12);
+        assert!((r4(3, 0, 1) - 0.98).abs() < 1e-12);
+        assert!((r4(2, 2, 0) - 0.96).abs() < 1e-12);
+        assert!((r4(2, 1, 1) - 0.98).abs() < 1e-12);
+        assert!((r4(1, 3, 0) - 0.845).abs() < 1e-12);
+        assert!((r4(1, 2, 1) - 0.98).abs() < 1e-12);
+        assert!((r4(0, 4, 0) - 0.75).abs() < 1e-12);
+        assert!((r4(0, 3, 1) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_version_uncovered_states_are_zero() {
+        assert_eq!(r4(2, 0, 2), 0.0);
+        assert_eq!(r4(1, 1, 2), 0.0);
+        assert_eq!(r4(0, 0, 4), 0.0);
+        assert_eq!(r4(0, 1, 3), 0.0);
+    }
+
+    #[test]
+    fn six_version_default_values() {
+        assert!((r6(6, 0, 0) - 0.945).abs() < 1e-12);
+        assert!((r6(5, 1, 0) - 0.945).abs() < 1e-12);
+        assert!((r6(5, 0, 1) - 0.97).abs() < 1e-12);
+        assert!((r6(4, 2, 0) - 0.9475).abs() < 1e-12);
+        assert!((r6(4, 1, 1) - 0.97).abs() < 1e-12);
+        assert!((r6(4, 0, 2) - 0.99).abs() < 1e-12);
+        assert!((r6(3, 3, 0) - 0.945).abs() < 1e-12);
+        assert!((r6(3, 2, 1) - 0.97).abs() < 1e-12);
+        assert!((r6(3, 1, 2) - 0.99).abs() < 1e-12);
+        assert!((r6(2, 4, 0) - 0.9425).abs() < 1e-12);
+        assert!((r6(2, 3, 1) - 0.9725).abs() < 1e-12);
+        assert!((r6(2, 2, 2) - 0.99).abs() < 1e-12);
+        assert!((r6(1, 5, 0) - 0.7875).abs() < 1e-12);
+        assert!((r6(1, 4, 1) - 0.9175).abs() < 1e-12);
+        assert!((r6(1, 3, 2) - 0.99).abs() < 1e-12);
+        assert!((r6(0, 6, 0) - 0.65625).abs() < 1e-12);
+        assert!((r6(0, 5, 1) - 0.8125).abs() < 1e-12);
+        assert!((r6(0, 4, 2) - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn six_version_uncovered_states_are_zero() {
+        assert_eq!(r6(3, 0, 3), 0.0);
+        assert_eq!(r6(0, 0, 6), 0.0);
+        assert_eq!(r6(2, 1, 3), 0.0);
+        assert_eq!(r6(1, 1, 4), 0.0);
+    }
+
+    #[test]
+    fn all_values_are_probabilities() {
+        for (p, pp, a) in [
+            (0.01, 0.1, 0.1),
+            (0.08, 0.5, 0.5),
+            (0.2, 0.8, 0.9),
+            (1.0, 1.0, 1.0),
+            (0.0, 0.0, 0.0),
+        ] {
+            for s in enumerate_states(4) {
+                let v = four_version(s, p, pp, a).unwrap();
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "R4{s} = {v} at p={p}, p'={pp}, α={a}"
+                );
+            }
+            for s in enumerate_states(6) {
+                let v = six_version(s, p, pp, a).unwrap();
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "R6{s} = {v} at p={p}, p'={pp}, α={a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_modules_are_fully_reliable_in_covered_states() {
+        // p = 0 and p' = 0: no module ever errs, so every covered state has
+        // reliability exactly 1.
+        for s in enumerate_states(4) {
+            let v = four_version(s, 0.0, 0.0, 0.5).unwrap();
+            if s.unavailable <= 1 {
+                assert_eq!(v, 1.0, "state {s}");
+            } else {
+                assert_eq!(v, 0.0, "state {s}");
+            }
+        }
+        for s in enumerate_states(6) {
+            let v = six_version(s, 0.0, 0.0, 0.5).unwrap();
+            if s.unavailable <= 2 {
+                assert_eq!(v, 1.0, "state {s}");
+            } else {
+                assert_eq!(v, 0.0, "state {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_total_is_rejected() {
+        assert!(four_version(SystemState::new(3, 0, 0), P, PP, A).is_err());
+        assert!(six_version(SystemState::new(4, 0, 0), P, PP, A).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! System states `(i, j, k)` of an N-version perception system.
+
+use std::fmt;
+
+/// A system state `(i, j, k)`: the number of ML modules that are healthy,
+/// compromised, and unavailable (non-operational or rejuvenating),
+/// respectively (§IV-D of the paper).
+///
+/// # Example
+///
+/// ```
+/// use nvp_core::state::SystemState;
+///
+/// let s = SystemState::new(3, 2, 1);
+/// assert_eq!(s.total(), 6);
+/// assert_eq!(s.operational(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SystemState {
+    /// Modules in the healthy state (place `Pmh`).
+    pub healthy: u32,
+    /// Modules in the compromised state (place `Pmc`).
+    pub compromised: u32,
+    /// Modules unavailable for voting: non-operational (`Pmf`) or — under
+    /// the as-written reward interpretation — rejuvenating (`Pmr`).
+    pub unavailable: u32,
+}
+
+impl SystemState {
+    /// Creates a state with the given module counts.
+    pub fn new(healthy: u32, compromised: u32, unavailable: u32) -> Self {
+        SystemState {
+            healthy,
+            compromised,
+            unavailable,
+        }
+    }
+
+    /// Total number of modules, `i + j + k`.
+    pub fn total(&self) -> u32 {
+        self.healthy + self.compromised + self.unavailable
+    }
+
+    /// Modules able to produce an output, `i + j`.
+    pub fn operational(&self) -> u32 {
+        self.healthy + self.compromised
+    }
+}
+
+impl fmt::Display for SystemState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})",
+            self.healthy, self.compromised, self.unavailable
+        )
+    }
+}
+
+/// Iterates over all states of an `n`-module system, i.e. all `(i, j, k)`
+/// with `i + j + k = n`, in lexicographic order of `(i, j)`.
+///
+/// # Example
+///
+/// ```
+/// use nvp_core::state::enumerate_states;
+///
+/// let states: Vec<_> = enumerate_states(4).collect();
+/// assert_eq!(states.len(), 15); // C(4+2, 2)
+/// assert!(states.iter().all(|s| s.total() == 4));
+/// ```
+pub fn enumerate_states(n: u32) -> impl Iterator<Item = SystemState> {
+    (0..=n).flat_map(move |i| (0..=n - i).map(move |j| SystemState::new(i, j, n - i - j)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_add_up() {
+        let s = SystemState::new(2, 3, 1);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.operational(), 5);
+        assert_eq!(s.to_string(), "(2, 3, 1)");
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_distinct() {
+        for n in [0u32, 1, 4, 6, 9] {
+            let states: Vec<_> = enumerate_states(n).collect();
+            let expected = ((n + 1) * (n + 2) / 2) as usize;
+            assert_eq!(states.len(), expected, "n = {n}");
+            let unique: HashSet<_> = states.iter().copied().collect();
+            assert_eq!(unique.len(), expected, "duplicates for n = {n}");
+            assert!(states.iter().all(|s| s.total() == n));
+        }
+    }
+
+    #[test]
+    fn enumeration_order_is_lexicographic() {
+        let states: Vec<_> = enumerate_states(2).collect();
+        assert_eq!(states[0], SystemState::new(0, 0, 2));
+        assert_eq!(states[1], SystemState::new(0, 1, 1));
+        assert_eq!(states.last(), Some(&SystemState::new(2, 0, 0)));
+    }
+}

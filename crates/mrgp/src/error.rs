@@ -1,0 +1,108 @@
+//! Error type for the MRGP solver.
+
+use std::fmt;
+
+/// Errors produced while solving an MRGP.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MrgpError {
+    /// A tangible marking enables more than one deterministic transition —
+    /// outside the solvable DSPN class.
+    MultipleDeterministic {
+        /// Index of the offending tangible marking.
+        marking: usize,
+    },
+    /// A tangible marking enables no transition at all; the process would
+    /// stay there forever and no steady state over the full graph exists.
+    DeadMarking {
+        /// Index of the dead tangible marking.
+        marking: usize,
+    },
+    /// The deterministic transition's delay changed along the subordinated
+    /// chain while remaining enabled — enabling memory would be ambiguous.
+    InconsistentDelay {
+        /// Index of the marking where the delay changed.
+        marking: usize,
+        /// Delay at the regeneration point.
+        expected: f64,
+        /// Delay observed later in the subordinated chain.
+        actual: f64,
+    },
+    /// The tangible graph has several closed recurrent classes, so the
+    /// stationary distribution depends on the initial marking and is not
+    /// unique.
+    MultipleRecurrentClasses {
+        /// Number of closed recurrent classes found.
+        count: usize,
+    },
+    /// A numerical routine failed.
+    Numerics(nvp_numerics::NumericsError),
+}
+
+impl fmt::Display for MrgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrgpError::MultipleDeterministic { marking } => write!(
+                f,
+                "tangible marking {marking} enables more than one deterministic \
+                 transition; the stationary DSPN method requires at most one"
+            ),
+            MrgpError::DeadMarking { marking } => {
+                write!(f, "tangible marking {marking} enables no transition")
+            }
+            MrgpError::InconsistentDelay {
+                marking,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "deterministic delay changed from {expected} to {actual} at marking \
+                 {marking} while the transition stayed enabled"
+            ),
+            MrgpError::MultipleRecurrentClasses { count } => write!(
+                f,
+                "the reachability graph has {count} closed recurrent classes; \
+                 the stationary distribution is not unique"
+            ),
+            MrgpError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MrgpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrgpError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nvp_numerics::NumericsError> for MrgpError {
+    fn from(e: nvp_numerics::NumericsError) -> Self {
+        MrgpError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants = vec![
+            MrgpError::MultipleDeterministic { marking: 3 },
+            MrgpError::DeadMarking { marking: 0 },
+            MrgpError::InconsistentDelay {
+                marking: 2,
+                expected: 1.0,
+                actual: 2.0,
+            },
+            MrgpError::MultipleRecurrentClasses { count: 2 },
+            MrgpError::Numerics(nvp_numerics::NumericsError::SingularMatrix { pivot: 0 }),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

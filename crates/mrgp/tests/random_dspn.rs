@@ -1,0 +1,122 @@
+//! Property-based validation of the MRGP solver against closed forms on
+//! randomly parameterized nets.
+
+use nvp_mrgp::steady_state;
+use nvp_petri::net::{NetBuilder, PetriNet, TransitionKind};
+use nvp_petri::reach::explore;
+use proptest::prelude::*;
+
+/// Two-state race net: A leaves via Exp(lambda) *and* Det(tau), both to B;
+/// B returns via Exp(mu).
+fn race_net(lambda: f64, mu: f64, tau: f64) -> PetriNet {
+    let mut b = NetBuilder::new("race");
+    let a = b.place("A", 1);
+    let c = b.place("B", 0);
+    b.transition("exp_leave", TransitionKind::exponential_rate(lambda))
+        .unwrap()
+        .input(a, 1)
+        .output(c, 1);
+    b.transition("det_leave", TransitionKind::deterministic_delay(tau))
+        .unwrap()
+        .input(a, 1)
+        .output(c, 1);
+    b.transition("back", TransitionKind::exponential_rate(mu))
+        .unwrap()
+        .input(c, 1)
+        .output(a, 1);
+    b.build().unwrap()
+}
+
+/// Three-state maintenance net (see the solver's unit tests for the
+/// derivation of the closed form).
+fn maintenance_net(lambda: f64, mu: f64, delta: f64, tau: f64) -> PetriNet {
+    let mut b = NetBuilder::new("maintenance");
+    let up = b.place("Up", 1);
+    let down = b.place("Down", 0);
+    let maint = b.place("Maint", 0);
+    b.transition("fail", TransitionKind::exponential_rate(lambda))
+        .unwrap()
+        .input(up, 1)
+        .output(down, 1);
+    b.transition("clock", TransitionKind::deterministic_delay(tau))
+        .unwrap()
+        .input(up, 1)
+        .output(maint, 1);
+    b.transition("repair", TransitionKind::exponential_rate(mu))
+        .unwrap()
+        .input(down, 1)
+        .output(up, 1);
+    b.transition("finish", TransitionKind::exponential_rate(delta))
+        .unwrap()
+        .input(maint, 1)
+        .output(up, 1);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// pi(A) = E[min(Exp(lambda), tau)] / (E[min(Exp(lambda), tau)] + 1/mu)
+    /// for any positive parameters.
+    #[test]
+    fn race_matches_closed_form(
+        lambda in 0.01..5.0f64,
+        mu in 0.01..5.0f64,
+        tau in 0.05..20.0f64,
+    ) {
+        let net = race_net(lambda, mu, tau);
+        let graph = explore(&net, 100).unwrap();
+        let sol = steady_state(&graph).unwrap();
+        let t_a = (1.0 - (-lambda * tau).exp()) / lambda;
+        let expected = t_a / (t_a + 1.0 / mu);
+        let a_idx = graph
+            .index_of(&nvp_petri::marking::Marking::new(vec![1, 0]))
+            .unwrap();
+        prop_assert!(
+            (sol.probabilities()[a_idx] - expected).abs() < 1e-8,
+            "pi(A) = {} vs closed form {expected} at (lambda={lambda}, mu={mu}, tau={tau})",
+            sol.probabilities()[a_idx]
+        );
+    }
+
+    /// pi ∝ (q/lambda, q/mu, (1-q)/delta) with q = 1 - e^{-lambda tau}.
+    #[test]
+    fn maintenance_matches_closed_form(
+        lambda in 0.005..1.0f64,
+        mu in 0.05..5.0f64,
+        delta in 0.05..5.0f64,
+        tau in 0.2..30.0f64,
+    ) {
+        let net = maintenance_net(lambda, mu, delta, tau);
+        let graph = explore(&net, 100).unwrap();
+        let sol = steady_state(&graph).unwrap();
+        let q = 1.0 - (-lambda * tau).exp();
+        let weights = [q / lambda, q / mu, (1.0 - q) / delta];
+        let total: f64 = weights.iter().sum();
+        let m = |v: Vec<u32>| {
+            graph
+                .index_of(&nvp_petri::marking::Marking::new(v))
+                .unwrap()
+        };
+        let pi = sol.probabilities();
+        prop_assert!((pi[m(vec![1, 0, 0])] - weights[0] / total).abs() < 1e-8);
+        prop_assert!((pi[m(vec![0, 1, 0])] - weights[1] / total).abs() < 1e-8);
+        prop_assert!((pi[m(vec![0, 0, 1])] - weights[2] / total).abs() < 1e-8);
+    }
+
+    /// Solutions are always probability distributions, also on nets where
+    /// the deterministic transition competes with fast exponentials.
+    #[test]
+    fn solution_is_distribution(
+        lambda in 0.01..50.0f64,
+        mu in 0.01..50.0f64,
+        tau in 0.01..50.0f64,
+    ) {
+        let net = race_net(lambda, mu, tau);
+        let graph = explore(&net, 100).unwrap();
+        let sol = steady_state(&graph).unwrap();
+        let total: f64 = sol.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(sol.probabilities().iter().all(|&p| p >= 0.0));
+    }
+}

@@ -1,0 +1,247 @@
+//! Absorption analysis of CTMCs: hitting probabilities and expected hitting
+//! times.
+//!
+//! Used by the dependability extensions of `nvp-core`: the *mean time to
+//! voting exhaustion* (first entry into a state where the voter can no
+//! longer assemble a quorum) is the expected hitting time of that state set.
+
+use crate::ctmc::Ctmc;
+use crate::dense::DenseMatrix;
+use crate::{NumericsError, Result};
+
+/// Result of an absorption analysis against a target state set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Absorption {
+    /// `expected_time[s]` is the expected time to reach the target set from
+    /// state `s` (`0` for target states, `f64::INFINITY` when the target is
+    /// not reached almost surely from `s`).
+    pub expected_time: Vec<f64>,
+    /// `hit_probability[s]` is the probability of ever reaching the target
+    /// set from `s`.
+    pub hit_probability: Vec<f64>,
+}
+
+/// Computes expected hitting times and hitting probabilities of `targets`.
+///
+/// States that cannot reach the target at all are identified by backward
+/// graph search (hit probability 0, time ∞); on the remaining transient
+/// states the standard first-step equations are solved:
+/// `(−Q_TT) · h = 1` for times, `(−Q_TT) · w = q_target` for probabilities.
+///
+/// # Errors
+///
+/// * [`NumericsError::IndexOutOfBounds`] for a target index out of range.
+/// * [`NumericsError::InvalidValue`] if `targets` is empty.
+/// * [`NumericsError::SingularMatrix`] from the linear solver (only for
+///   numerically degenerate rates).
+///
+/// # Example
+///
+/// ```
+/// use nvp_numerics::absorb::absorption;
+/// use nvp_numerics::ctmc::Ctmc;
+///
+/// # fn main() -> Result<(), nvp_numerics::NumericsError> {
+/// // 0 -> 1 -> 2 with rates 0.5 and 2.0: hitting time 1/0.5 + 1/2.
+/// let mut chain = Ctmc::new(3);
+/// chain.add_rate(0, 1, 0.5)?;
+/// chain.add_rate(1, 2, 2.0)?;
+/// let result = absorption(&chain, &[2])?;
+/// assert!((result.expected_time[0] - 2.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn absorption(ctmc: &Ctmc, targets: &[usize]) -> Result<Absorption> {
+    let n = ctmc.n_states();
+    if targets.is_empty() {
+        return Err(NumericsError::InvalidValue {
+            what: "targets",
+            value: 0.0,
+        });
+    }
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if t >= n {
+            return Err(NumericsError::IndexOutOfBounds { index: t, len: n });
+        }
+        is_target[t] = true;
+    }
+
+    // Backward reachability: which states have a path into the target set?
+    let gen = ctmc.generator();
+    let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for s in 0..n {
+        for (c, v) in gen.row_entries(s) {
+            if c != s && v > 0.0 {
+                predecessors[c].push(s);
+            }
+        }
+    }
+    let mut can_reach = is_target.clone();
+    let mut stack: Vec<usize> = targets.to_vec();
+    while let Some(s) = stack.pop() {
+        for &p in &predecessors[s] {
+            if !can_reach[p] {
+                can_reach[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+
+    // Transient system: non-target states that can reach the target.
+    let transient: Vec<usize> = (0..n).filter(|&s| !is_target[s] && can_reach[s]).collect();
+    let m = transient.len();
+    let mut local = vec![usize::MAX; n];
+    for (i, &s) in transient.iter().enumerate() {
+        local[s] = i;
+    }
+
+    let mut expected_time = vec![f64::INFINITY; n];
+    let mut hit_probability = vec![0.0; n];
+    for s in 0..n {
+        if is_target[s] {
+            expected_time[s] = 0.0;
+            hit_probability[s] = 1.0;
+        }
+    }
+    if m == 0 {
+        return Ok(Absorption {
+            expected_time,
+            hit_probability,
+        });
+    }
+
+    // (−Q_TT) over the transient set: transitions into target states feed
+    // the probability right-hand side; transitions into never-reaching
+    // states leak probability mass (they keep the full exit rate on the
+    // diagonal but produce no coupling term).
+    let mut a = DenseMatrix::zeros(m, m);
+    let mut into_target = vec![0.0; m];
+    for (i, &s) in transient.iter().enumerate() {
+        for (c, v) in gen.row_entries(s) {
+            if c == s {
+                a.add(i, i, -v); // −diagonal = total exit rate
+            } else if is_target[c] {
+                into_target[i] += v;
+            } else if can_reach[c] {
+                a.add(i, local[c], -v);
+            }
+        }
+    }
+    let lu = a.lu()?;
+    let w = lu.solve(&into_target)?;
+    let h = lu.solve(&vec![1.0; m])?;
+    for (i, &s) in transient.iter().enumerate() {
+        hit_probability[s] = w[i].clamp(0.0, 1.0);
+        // The expected time is finite only when absorption is almost sure.
+        expected_time[s] = if w[i] > 1.0 - 1e-9 {
+            h[i]
+        } else {
+            f64::INFINITY
+        };
+    }
+    Ok(Absorption {
+        expected_time,
+        hit_probability,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pure death chain 0 -> 1 -> 2 with rates a, b: expected hitting time
+    /// of state 2 from 0 is 1/a + 1/b.
+    #[test]
+    fn death_chain_hitting_time() {
+        let (a, b) = (0.5, 2.0);
+        let mut c = Ctmc::new(3);
+        c.add_rate(0, 1, a).unwrap();
+        c.add_rate(1, 2, b).unwrap();
+        let result = absorption(&c, &[2]).unwrap();
+        assert!((result.expected_time[0] - (1.0 / a + 1.0 / b)).abs() < 1e-12);
+        assert!((result.expected_time[1] - 1.0 / b).abs() < 1e-12);
+        assert_eq!(result.expected_time[2], 0.0);
+        assert!(result
+            .hit_probability
+            .iter()
+            .all(|&p| (p - 1.0).abs() < 1e-12));
+    }
+
+    /// Up → Degraded → Failed with repair Degraded → Up. First-step
+    /// analysis: h_up = 1/λ1 + h_deg, h_deg = 1/(λ2+μ) + μ/(λ2+μ)·h_up.
+    #[test]
+    fn repairable_system_mttf() {
+        let (l1, l2, mu) = (0.1, 0.4, 2.0);
+        let mut c = Ctmc::new(3); // 0 = Up, 1 = Degraded, 2 = Failed
+        c.add_rate(0, 1, l1).unwrap();
+        c.add_rate(1, 2, l2).unwrap();
+        c.add_rate(1, 0, mu).unwrap();
+        let result = absorption(&c, &[2]).unwrap();
+        let h_up = (1.0 / l1 + 1.0 / (l2 + mu)) / (1.0 - mu / (l2 + mu));
+        assert!(
+            (result.expected_time[0] - h_up).abs() < 1e-9,
+            "{} vs {h_up}",
+            result.expected_time[0]
+        );
+        assert!(result.expected_time[1] < result.expected_time[0]);
+    }
+
+    #[test]
+    fn unreachable_target_is_infinite() {
+        // 0 <-> 1 closed; target 2 unreachable from them.
+        let mut c = Ctmc::new(3);
+        c.add_rate(0, 1, 1.0).unwrap();
+        c.add_rate(1, 0, 1.0).unwrap();
+        c.add_rate(2, 0, 1.0).unwrap();
+        let result = absorption(&c, &[2]).unwrap();
+        assert_eq!(result.expected_time[0], f64::INFINITY);
+        assert_eq!(result.expected_time[1], f64::INFINITY);
+        assert_eq!(result.hit_probability[0], 0.0);
+        assert_eq!(result.expected_time[2], 0.0);
+    }
+
+    #[test]
+    fn competing_absorbers_split_probability() {
+        // 0 -> 1 (rate 1) and 0 -> 2 (rate 3); target {1}: hit probability
+        // from 0 is 1/4 (state 2 is a trap).
+        let mut c = Ctmc::new(3);
+        c.add_rate(0, 1, 1.0).unwrap();
+        c.add_rate(0, 2, 3.0).unwrap();
+        let result = absorption(&c, &[1]).unwrap();
+        assert!((result.hit_probability[0] - 0.25).abs() < 1e-12);
+        assert_eq!(result.expected_time[0], f64::INFINITY);
+        assert_eq!(result.expected_time[2], f64::INFINITY);
+        assert_eq!(result.hit_probability[1], 1.0);
+    }
+
+    #[test]
+    fn detour_through_trap_reduces_probability() {
+        // 0 -> 1 -> target(3), but 1 also leaks to trap 2 with equal rate:
+        // w(0) = w(1) = 1/2.
+        let mut c = Ctmc::new(4);
+        c.add_rate(0, 1, 5.0).unwrap();
+        c.add_rate(1, 3, 1.0).unwrap();
+        c.add_rate(1, 2, 1.0).unwrap();
+        let result = absorption(&c, &[3]).unwrap();
+        assert!((result.hit_probability[0] - 0.5).abs() < 1e-12);
+        assert!((result.hit_probability[1] - 0.5).abs() < 1e-12);
+        assert_eq!(result.hit_probability[2], 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let c = Ctmc::new(2);
+        assert!(absorption(&c, &[]).is_err());
+        assert!(absorption(&c, &[5]).is_err());
+    }
+
+    #[test]
+    fn all_states_target_is_trivial() {
+        let mut c = Ctmc::new(2);
+        c.add_rate(0, 1, 1.0).unwrap();
+        let result = absorption(&c, &[0, 1]).unwrap();
+        assert_eq!(result.expected_time, vec![0.0, 0.0]);
+        assert_eq!(result.hit_probability, vec![1.0, 1.0]);
+    }
+}

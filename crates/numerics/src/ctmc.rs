@@ -1,0 +1,488 @@
+//! Continuous-time Markov chains: steady state, transient analysis and
+//! accumulated sojourn times.
+//!
+//! A CTMC is defined by its off-diagonal transition rates. The solver offers:
+//!
+//! * [`Ctmc::steady_state`] — the stationary distribution `π` solving
+//!   `π Q = 0`, `Σ π = 1`, via a dense LU solve for small chains and damped
+//!   power iteration on the uniformized chain for large ones;
+//! * [`Ctmc::transient`] — the state distribution at time `t` from an initial
+//!   distribution, via uniformization;
+//! * [`Ctmc::accumulated_sojourn`] — expected time spent in each state during
+//!   `[0, t]` (the integral `∫₀ᵗ π(s) ds`), the quantity the MRGP solver uses
+//!   as conversion factors for deterministic transitions.
+
+use crate::dense::DenseMatrix;
+use crate::poisson::{cumulative, poisson_weights};
+use crate::sparse::{stationary_power, CsrBuilder, CsrMatrix};
+use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE};
+
+/// Size threshold below which steady states are computed with a dense LU
+/// solve rather than iteratively.
+const DENSE_SOLVE_LIMIT: usize = 600;
+
+/// A continuous-time Markov chain over states `0..n`.
+///
+/// # Example
+///
+/// A machine that degrades (rate 1/100), then fails (rate 1/10), then is
+/// repaired (rate 1):
+///
+/// ```
+/// use nvp_numerics::ctmc::Ctmc;
+///
+/// # fn main() -> Result<(), nvp_numerics::NumericsError> {
+/// let mut chain = Ctmc::new(3);
+/// chain.add_rate(0, 1, 0.01)?; // healthy -> degraded
+/// chain.add_rate(1, 2, 0.1)?;  // degraded -> failed
+/// chain.add_rate(2, 0, 1.0)?;  // failed -> healthy
+/// let pi = chain.steady_state()?;
+/// assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(pi[0] > pi[1] && pi[1] > pi[2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    n: usize,
+    transitions: Vec<(usize, usize, f64)>,
+}
+
+impl Ctmc {
+    /// Creates an empty chain over `n` states.
+    pub fn new(n: usize) -> Self {
+        Ctmc {
+            n,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a transition `from → to` with the given `rate`.
+    ///
+    /// Multiple transitions between the same pair of states are summed.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::IndexOutOfBounds`] if either state is out of range.
+    /// * [`NumericsError::InvalidValue`] if the rate is not finite and
+    ///   positive, or `from == to` (self-loops carry no meaning in a CTMC).
+    pub fn add_rate(&mut self, from: usize, to: usize, rate: f64) -> Result<()> {
+        if from >= self.n {
+            return Err(NumericsError::IndexOutOfBounds {
+                index: from,
+                len: self.n,
+            });
+        }
+        if to >= self.n {
+            return Err(NumericsError::IndexOutOfBounds {
+                index: to,
+                len: self.n,
+            });
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(NumericsError::InvalidValue {
+                what: "rate",
+                value: rate,
+            });
+        }
+        if from == to {
+            return Err(NumericsError::InvalidValue {
+                what: "self-loop rate (from == to)",
+                value: rate,
+            });
+        }
+        self.transitions.push((from, to, rate));
+        Ok(())
+    }
+
+    /// Total exit rate of each state.
+    pub fn exit_rates(&self) -> Vec<f64> {
+        let mut rates = vec![0.0; self.n];
+        for &(from, _, rate) in &self.transitions {
+            rates[from] += rate;
+        }
+        rates
+    }
+
+    /// Builds the infinitesimal generator `Q` (with negative diagonal) in
+    /// sparse form.
+    pub fn generator(&self) -> CsrMatrix {
+        let mut b = CsrBuilder::new(self.n, self.n);
+        for &(from, to, rate) in &self.transitions {
+            b.push(from, to, rate);
+            b.push(from, from, -rate);
+        }
+        b.build()
+    }
+
+    /// Uniformizes the chain: returns the stochastic matrix
+    /// `P = I + Q / Λ` and the uniformization rate `Λ`.
+    ///
+    /// `Λ` is chosen slightly above the largest exit rate so every diagonal
+    /// entry of `P` stays strictly positive, which makes the embedded chain
+    /// aperiodic.
+    pub fn uniformize(&self) -> (CsrMatrix, f64) {
+        let exit = self.exit_rates();
+        let max_exit = exit.iter().cloned().fold(0.0f64, f64::max);
+        let lambda = if max_exit > 0.0 { max_exit * 1.02 } else { 1.0 };
+        let mut b = CsrBuilder::new(self.n, self.n);
+        for (s, &exit_rate) in exit.iter().enumerate() {
+            b.push(s, s, 1.0 - exit_rate / lambda);
+        }
+        for &(from, to, rate) in &self.transitions {
+            b.push(from, to, rate / lambda);
+        }
+        (b.build(), lambda)
+    }
+
+    /// Computes the stationary distribution `π` with `π Q = 0`, `Σ π = 1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::NoSteadyState`] if the chain is empty.
+    /// * [`NumericsError::SingularMatrix`] if the chain is reducible in a way
+    ///   that admits no unique stationary distribution (e.g. two closed
+    ///   recurrent classes).
+    /// * [`NumericsError::NoConvergence`] from the iterative fallback.
+    pub fn steady_state(&self) -> Result<Vec<f64>> {
+        if self.n == 0 {
+            return Err(NumericsError::NoSteadyState {
+                reason: "chain has no states".into(),
+            });
+        }
+        if self.n == 1 {
+            return Ok(vec![1.0]);
+        }
+        if self.n <= DENSE_SOLVE_LIMIT {
+            self.steady_state_dense()
+        } else {
+            let (p, _) = self.uniformize();
+            stationary_power(&p, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
+        }
+    }
+
+    fn steady_state_dense(&self) -> Result<Vec<f64>> {
+        // Solve Qᵀ π = 0 with the last equation replaced by Σ π = 1.
+        let n = self.n;
+        let mut a = DenseMatrix::zeros(n, n);
+        for &(from, to, rate) in &self.transitions {
+            a.add(to, from, rate);
+            a.add(from, from, -rate);
+        }
+        for j in 0..n {
+            a.set(n - 1, j, 1.0);
+        }
+        let mut b = vec![0.0; n];
+        b[n - 1] = 1.0;
+        let mut pi = a.solve(&b)?;
+        // Clamp away tiny negative round-off and renormalize.
+        let mut sum = 0.0;
+        for v in &mut pi {
+            if *v < 0.0 {
+                if *v < -1e-9 {
+                    return Err(NumericsError::NoSteadyState {
+                        reason: format!("solver produced negative probability {v}"),
+                    });
+                }
+                *v = 0.0;
+            }
+            sum += *v;
+        }
+        if sum <= 0.0 {
+            return Err(NumericsError::NoSteadyState {
+                reason: "stationary vector collapsed to zero".into(),
+            });
+        }
+        for v in &mut pi {
+            *v /= sum;
+        }
+        Ok(pi)
+    }
+
+    /// Computes the transient distribution `π(t) = π₀ · e^{Qt}` by
+    /// uniformization, truncating the Poisson series at mass `1 - epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::DimensionMismatch`] if `pi0.len() != n`.
+    /// * [`NumericsError::InvalidValue`] if `t` is negative or not finite, or
+    ///   `epsilon` is out of range.
+    pub fn transient(&self, pi0: &[f64], t: f64, epsilon: f64) -> Result<Vec<f64>> {
+        self.check_transient_args(pi0, t)?;
+        if t == 0.0 {
+            return Ok(pi0.to_vec());
+        }
+        let (p, lambda) = self.uniformize();
+        let weights = poisson_weights(lambda * t, epsilon)?;
+        let mut power = pi0.to_vec(); // π₀ Pᵏ
+        let mut result = vec![0.0; self.n];
+        for (k, &w) in weights.weights.iter().enumerate() {
+            if k > 0 {
+                power = p.vecmat(&power);
+            }
+            for (r, v) in result.iter_mut().zip(&power) {
+                *r += w * v;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Computes the expected sojourn times `L(t) = ∫₀ᵗ π(s) ds` by
+    /// uniformization. `L(t)[s]` is the expected total time spent in state
+    /// `s` during `[0, t]` when starting from `pi0`.
+    ///
+    /// The entries sum to `t` (up to the truncation error `epsilon · t`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctmc::transient`].
+    pub fn accumulated_sojourn(&self, pi0: &[f64], t: f64, epsilon: f64) -> Result<Vec<f64>> {
+        self.check_transient_args(pi0, t)?;
+        if t == 0.0 {
+            return Ok(vec![0.0; self.n]);
+        }
+        let (p, lambda) = self.uniformize();
+        let weights = poisson_weights(lambda * t, epsilon)?;
+        let cdf = cumulative(&weights.weights);
+        let mut power = pi0.to_vec();
+        let mut result = vec![0.0; self.n];
+        // ∫₀ᵗ π(s) ds = (1/Λ) Σ_k [1 - F(k)] π₀ Pᵏ.
+        // The series Σ_k [1 - F(k)] telescopes to Λt but we must keep terms
+        // one step beyond the probability truncation point to keep the
+        // integral truncation error of the same order.
+        for (k, &fk) in cdf.iter().enumerate() {
+            if k > 0 {
+                power = p.vecmat(&power);
+            }
+            let coeff = (1.0 - fk).max(0.0) / lambda;
+            if coeff == 0.0 {
+                continue;
+            }
+            for (r, v) in result.iter_mut().zip(&power) {
+                *r += coeff * v;
+            }
+        }
+        Ok(result)
+    }
+
+    fn check_transient_args(&self, pi0: &[f64], t: f64) -> Result<()> {
+        if pi0.len() != self.n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("initial distribution of length {}", self.n),
+                actual: format!("length {}", pi0.len()),
+            });
+        }
+        if !t.is_finite() || t < 0.0 {
+            return Err(NumericsError::InvalidValue {
+                what: "t",
+                value: t,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Computes the expected reward `Σ_s π[s] · reward[s]`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DimensionMismatch`] if the slices have different
+/// lengths.
+pub fn expected_reward(pi: &[f64], rewards: &[f64]) -> Result<f64> {
+    if pi.len() != rewards.len() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("reward vector of length {}", pi.len()),
+            actual: format!("length {}", rewards.len()),
+        });
+    }
+    Ok(pi.iter().zip(rewards).map(|(p, r)| p * r).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state up/down chain with failure rate `f` and repair rate `r`:
+    /// availability = r / (r + f).
+    fn updown(f: f64, r: f64) -> Ctmc {
+        let mut c = Ctmc::new(2);
+        c.add_rate(0, 1, f).unwrap();
+        c.add_rate(1, 0, r).unwrap();
+        c
+    }
+
+    #[test]
+    fn steady_state_updown_closed_form() {
+        let c = updown(0.2, 1.0);
+        let pi = c.steady_state().unwrap();
+        assert!((pi[0] - 1.0 / 1.2).abs() < 1e-13);
+        assert!((pi[1] - 0.2 / 1.2).abs() < 1e-13);
+    }
+
+    #[test]
+    fn steady_state_birth_death_matches_closed_form() {
+        // Birth-death chain with birth rate b, death rate d:
+        // pi[k] ∝ (b/d)^k.
+        let n = 6;
+        let (b, d) = (1.0, 2.0);
+        let mut c = Ctmc::new(n);
+        for k in 0..n - 1 {
+            c.add_rate(k, k + 1, b).unwrap();
+            c.add_rate(k + 1, k, d).unwrap();
+        }
+        let pi = c.steady_state().unwrap();
+        let rho: f64 = b / d;
+        let norm: f64 = (0..n).map(|k| rho.powi(k as i32)).sum();
+        for (k, p) in pi.iter().enumerate() {
+            let expected = rho.powi(k as i32) / norm;
+            assert!((p - expected).abs() < 1e-12, "state {k}: {p} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn steady_state_single_state() {
+        let c = Ctmc::new(1);
+        assert_eq!(c.steady_state().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn steady_state_empty_chain_errors() {
+        let c = Ctmc::new(0);
+        assert!(matches!(
+            c.steady_state(),
+            Err(NumericsError::NoSteadyState { .. })
+        ));
+    }
+
+    #[test]
+    fn absorbing_state_gets_all_mass() {
+        let mut c = Ctmc::new(2);
+        c.add_rate(0, 1, 1.0).unwrap();
+        let pi = c.steady_state().unwrap();
+        assert!(pi[0].abs() < 1e-12);
+        assert!((pi[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let c = updown(0.5, 1.5);
+        let pi_inf = c.steady_state().unwrap();
+        let pi_t = c.transient(&[1.0, 0.0], 100.0, 1e-13).unwrap();
+        for (a, b) in pi_t.iter().zip(&pi_inf) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transient_two_state_closed_form() {
+        // For the up/down chain starting up:
+        // p_up(t) = r/(r+f) + f/(r+f) e^{-(r+f)t}.
+        let (f, r) = (0.3, 0.7);
+        let c = updown(f, r);
+        for t in [0.1, 0.5, 1.0, 3.0] {
+            let pi = c.transient(&[1.0, 0.0], t, 1e-13).unwrap();
+            let expected = r / (r + f) + f / (r + f) * (-(r + f) * t).exp();
+            assert!(
+                (pi[0] - expected).abs() < 1e-10,
+                "t={t}: {} vs {expected}",
+                pi[0]
+            );
+        }
+    }
+
+    #[test]
+    fn transient_at_zero_is_initial() {
+        let c = updown(1.0, 1.0);
+        let pi = c.transient(&[0.25, 0.75], 0.0, 1e-12).unwrap();
+        assert_eq!(pi, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn transient_preserves_probability_mass() {
+        let c = updown(2.0, 0.5);
+        let pi = c.transient(&[0.5, 0.5], 7.0, 1e-13).unwrap();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn accumulated_sojourn_sums_to_t() {
+        let c = updown(0.4, 1.0);
+        let t = 5.0;
+        let l = c.accumulated_sojourn(&[1.0, 0.0], t, 1e-13).unwrap();
+        assert!((l.iter().sum::<f64>() - t).abs() < 1e-8, "L = {l:?}");
+    }
+
+    #[test]
+    fn accumulated_sojourn_two_state_closed_form() {
+        // ∫₀ᵗ p_up(s) ds with p_up as in the transient test.
+        let (f, r) = (0.3, 0.7);
+        let c = updown(f, r);
+        let t = 2.0;
+        let l = c.accumulated_sojourn(&[1.0, 0.0], t, 1e-13).unwrap();
+        let s = r + f;
+        let expected_up = r / s * t + f / (s * s) * (1.0 - (-s * t).exp());
+        assert!(
+            (l[0] - expected_up).abs() < 1e-9,
+            "{} vs {expected_up}",
+            l[0]
+        );
+    }
+
+    #[test]
+    fn accumulated_sojourn_with_absorbing_state() {
+        // Exponential absorption at rate a: expected time in state 0 over
+        // [0, t] is (1 - e^{-a t}) / a.
+        let a = 0.5;
+        let mut c = Ctmc::new(2);
+        c.add_rate(0, 1, a).unwrap();
+        let t = 4.0;
+        let l = c.accumulated_sojourn(&[1.0, 0.0], t, 1e-13).unwrap();
+        let expected = (1.0 - (-a * t).exp()) / a;
+        assert!((l[0] - expected).abs() < 1e-9);
+        assert!((l[1] - (t - expected)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn add_rate_validates_input() {
+        let mut c = Ctmc::new(2);
+        assert!(c.add_rate(0, 2, 1.0).is_err());
+        assert!(c.add_rate(2, 0, 1.0).is_err());
+        assert!(c.add_rate(0, 1, 0.0).is_err());
+        assert!(c.add_rate(0, 1, -1.0).is_err());
+        assert!(c.add_rate(0, 1, f64::NAN).is_err());
+        assert!(c.add_rate(0, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn parallel_rates_are_summed() {
+        let mut c = Ctmc::new(2);
+        c.add_rate(0, 1, 0.25).unwrap();
+        c.add_rate(0, 1, 0.75).unwrap();
+        c.add_rate(1, 0, 1.0).unwrap();
+        let pi = c.steady_state().unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-13);
+    }
+
+    #[test]
+    fn expected_reward_basic() {
+        let r = expected_reward(&[0.25, 0.75], &[1.0, 0.0]).unwrap();
+        assert!((r - 0.25).abs() < 1e-15);
+        assert!(expected_reward(&[0.5], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn uniformized_matrix_is_stochastic() {
+        let c = updown(0.3, 0.9);
+        let (p, lambda) = c.uniformize();
+        assert!(lambda >= 0.9);
+        for r in 0..2 {
+            let sum: f64 = p.row_entries(r).map(|(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Discrete-time Markov chains: stationary distributions of stochastic
+//! matrices.
+//!
+//! The MRGP solver reduces a DSPN to an *embedded* discrete-time chain over
+//! tangible markings; this module solves for the embedded chain's stationary
+//! vector. A direct dense solve is used for small chains (exact, handles
+//! periodicity), with damped power iteration as the large-chain fallback.
+
+use crate::dense::DenseMatrix;
+use crate::sparse::{stationary_power, CsrMatrix};
+use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE};
+
+/// Size threshold below which the stationary vector is computed densely.
+const DENSE_SOLVE_LIMIT: usize = 600;
+
+/// Validates that `p` is (approximately) row-stochastic.
+///
+/// # Errors
+///
+/// * [`NumericsError::DimensionMismatch`] if `p` is not square.
+/// * [`NumericsError::InvalidValue`] if an entry is negative or a row does
+///   not sum to 1 within `tol`.
+pub fn check_stochastic(p: &CsrMatrix, tol: f64) -> Result<()> {
+    if p.rows() != p.cols() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: "square matrix".into(),
+            actual: format!("{}x{}", p.rows(), p.cols()),
+        });
+    }
+    for r in 0..p.rows() {
+        let mut sum = 0.0;
+        for (_, v) in p.row_entries(r) {
+            if v < -tol {
+                return Err(NumericsError::InvalidValue {
+                    what: "transition probability",
+                    value: v,
+                });
+            }
+            sum += v;
+        }
+        if (sum - 1.0).abs() > tol {
+            return Err(NumericsError::InvalidValue {
+                what: "row sum of stochastic matrix",
+                value: sum,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Computes the stationary distribution `ν` of a row-stochastic matrix `P`
+/// (`ν P = ν`, `Σ ν = 1`).
+///
+/// # Errors
+///
+/// * Validation errors from [`check_stochastic`] (with a loose tolerance of
+///   `1e-9`).
+/// * [`NumericsError::SingularMatrix`] for chains without a unique
+///   stationary distribution.
+/// * [`NumericsError::NoConvergence`] from the iterative fallback.
+///
+/// # Example
+///
+/// ```
+/// use nvp_numerics::sparse::CsrBuilder;
+/// use nvp_numerics::dtmc::stationary_distribution;
+///
+/// # fn main() -> Result<(), nvp_numerics::NumericsError> {
+/// let mut b = CsrBuilder::new(2, 2);
+/// b.push(0, 0, 0.9);
+/// b.push(0, 1, 0.1);
+/// b.push(1, 0, 0.5);
+/// b.push(1, 1, 0.5);
+/// let nu = stationary_distribution(&b.build())?;
+/// assert!((nu[0] - 5.0 / 6.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn stationary_distribution(p: &CsrMatrix) -> Result<Vec<f64>> {
+    check_stochastic(p, 1e-9)?;
+    let n = p.rows();
+    if n == 0 {
+        return Err(NumericsError::NoSteadyState {
+            reason: "empty chain".into(),
+        });
+    }
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+    if n <= DENSE_SOLVE_LIMIT {
+        stationary_dense(p)
+    } else {
+        stationary_power(p, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
+    }
+}
+
+fn stationary_dense(p: &CsrMatrix) -> Result<Vec<f64>> {
+    // Solve (Pᵀ - I) ν = 0 with the last equation replaced by Σ ν = 1.
+    let n = p.rows();
+    let mut a = DenseMatrix::zeros(n, n);
+    for r in 0..n {
+        for (c, v) in p.row_entries(r) {
+            a.add(c, r, v);
+        }
+        a.add(r, r, -1.0);
+    }
+    for j in 0..n {
+        a.set(n - 1, j, 1.0);
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+    let mut nu = a.solve(&b)?;
+    let mut sum = 0.0;
+    for v in &mut nu {
+        if *v < 0.0 {
+            if *v < -1e-9 {
+                return Err(NumericsError::NoSteadyState {
+                    reason: format!("solver produced negative probability {v}"),
+                });
+            }
+            *v = 0.0;
+        }
+        sum += *v;
+    }
+    if sum <= 0.0 {
+        return Err(NumericsError::NoSteadyState {
+            reason: "stationary vector collapsed to zero".into(),
+        });
+    }
+    for v in &mut nu {
+        *v /= sum;
+    }
+    Ok(nu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrBuilder;
+
+    #[test]
+    fn stationary_of_two_state_chain() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, 0.9);
+        b.push(0, 1, 0.1);
+        b.push(1, 0, 0.5);
+        b.push(1, 1, 0.5);
+        let nu = stationary_distribution(&b.build()).unwrap();
+        assert!((nu[0] - 5.0 / 6.0).abs() < 1e-12);
+        assert!((nu[1] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_of_periodic_chain_is_uniform() {
+        // Periodic swap chain: the dense solve still finds the unique
+        // stationary vector (0.5, 0.5).
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        let nu = stationary_distribution(&b.build()).unwrap();
+        assert!((nu[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_of_three_state_cycle() {
+        let mut b = CsrBuilder::new(3, 3);
+        b.push(0, 1, 1.0);
+        b.push(1, 2, 1.0);
+        b.push(2, 0, 1.0);
+        let nu = stationary_distribution(&b.build()).unwrap();
+        for v in &nu {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_chain_is_not_uniquely_stationary() {
+        // Two absorbing states: no unique stationary distribution.
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 1.0);
+        assert!(stationary_distribution(&b.build()).is_err());
+    }
+
+    #[test]
+    fn non_stochastic_rows_are_rejected() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, 0.4); // row sums to 0.4
+        b.push(1, 1, 1.0);
+        assert!(matches!(
+            stationary_distribution(&b.build()),
+            Err(NumericsError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let mut b = CsrBuilder::new(1, 1);
+        b.push(0, 0, 1.0);
+        let nu = stationary_distribution(&b.build()).unwrap();
+        assert_eq!(nu, vec![1.0]);
+    }
+}

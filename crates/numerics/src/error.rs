@@ -1,0 +1,136 @@
+//! Error type shared by all numerics operations.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A matrix or vector had a dimension that does not match the operation.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was provided.
+        actual: String,
+    },
+    /// A linear system was singular (or numerically indistinguishable from
+    /// singular) and could not be solved.
+    SingularMatrix {
+        /// Pivot column at which factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the final iteration.
+        residual: f64,
+    },
+    /// An input value was outside its mathematically valid domain
+    /// (e.g. a negative rate or probability).
+    InvalidValue {
+        /// Name of the offending quantity.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An index was out of bounds for the structure it addressed.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The length of the indexed structure.
+        len: usize,
+    },
+    /// The chain has no valid steady state (e.g. it is empty or every state
+    /// is unreachable/absorbing in a way that prevents normalization).
+    NoSteadyState {
+        /// Explanation of why the steady state does not exist.
+        reason: String,
+    },
+    /// A bracketing method was called with endpoints that do not bracket a
+    /// root (the function has the same sign at both endpoints).
+    NoBracket {
+        /// Function value at the left endpoint.
+        f_lo: f64,
+        /// Function value at the right endpoint.
+        f_hi: f64,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumericsError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            NumericsError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration failed to converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            NumericsError::InvalidValue { what, value } => {
+                write!(f, "invalid value for {what}: {value}")
+            }
+            NumericsError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            NumericsError::NoSteadyState { reason } => {
+                write!(f, "no steady state: {reason}")
+            }
+            NumericsError::NoBracket { f_lo, f_hi } => write!(
+                f,
+                "endpoints do not bracket a root (f(lo) = {f_lo:.3e}, f(hi) = {f_hi:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants: Vec<NumericsError> = vec![
+            NumericsError::DimensionMismatch {
+                expected: "3x3".into(),
+                actual: "2x3".into(),
+            },
+            NumericsError::SingularMatrix { pivot: 2 },
+            NumericsError::NoConvergence {
+                iterations: 100,
+                residual: 1e-3,
+            },
+            NumericsError::InvalidValue {
+                what: "rate",
+                value: -1.0,
+            },
+            NumericsError::IndexOutOfBounds { index: 5, len: 3 },
+            NumericsError::NoSteadyState {
+                reason: "empty chain".into(),
+            },
+            NumericsError::NoBracket {
+                f_lo: 1.0,
+                f_hi: 2.0,
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

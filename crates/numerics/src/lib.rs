@@ -1,0 +1,64 @@
+//! Numerical foundations for the `nvp-perception` workspace.
+//!
+//! This crate provides the linear-algebra and Markov-chain machinery that the
+//! DSPN solver (`nvp-mrgp`) and the reliability analyses (`nvp-core`) are
+//! built on:
+//!
+//! * [`dense`] — small dense matrices with LU factorization and linear solves,
+//! * [`sparse`] — compressed sparse row matrices with iterative solvers,
+//! * [`ctmc`] — continuous-time Markov chains: steady-state distributions,
+//!   transient solutions and accumulated sojourn times via uniformization,
+//! * [`dtmc`] — discrete-time Markov chains: stationary distributions,
+//! * [`poisson`] — numerically stable Poisson probability weights used by
+//!   uniformization,
+//! * [`optim`] — scalar root finding (bisection, Brent) and golden-section
+//!   minimization used for the paper's "optimal rejuvenation interval" and
+//!   crossover analyses.
+//!
+//! The state spaces arising from the paper's models are small (tens to a few
+//! thousand markings), so the solvers favour robustness and exactness over
+//! asymptotic scalability: direct LU solves are used whenever the system fits
+//! comfortably in memory, with iterative fallbacks for larger chains.
+//!
+//! # Example
+//!
+//! Compute the steady-state distribution of a two-state repair chain and the
+//! expected reward:
+//!
+//! ```
+//! use nvp_numerics::ctmc::Ctmc;
+//!
+//! # fn main() -> Result<(), nvp_numerics::NumericsError> {
+//! // Up (state 0) fails at rate 0.1; down (state 1) repairs at rate 1.0.
+//! let mut ctmc = Ctmc::new(2);
+//! ctmc.add_rate(0, 1, 0.1)?;
+//! ctmc.add_rate(1, 0, 1.0)?;
+//! let pi = ctmc.steady_state()?;
+//! let availability = pi[0];
+//! assert!((availability - 1.0 / 1.1).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absorb;
+pub mod ctmc;
+pub mod dense;
+pub mod dtmc;
+pub mod error;
+pub mod optim;
+pub mod poisson;
+pub mod sparse;
+
+pub use error::NumericsError;
+
+/// Convenient result alias for fallible numerics operations.
+pub type Result<T> = std::result::Result<T, NumericsError>;
+
+/// Default convergence tolerance used by iterative methods in this crate.
+pub const DEFAULT_TOLERANCE: f64 = 1e-12;
+
+/// Default iteration cap for iterative methods in this crate.
+pub const DEFAULT_MAX_ITERATIONS: usize = 200_000;

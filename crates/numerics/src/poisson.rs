@@ -1,0 +1,178 @@
+//! Numerically stable Poisson probability weights for uniformization.
+//!
+//! Uniformization expresses the matrix exponential `e^{Qt}` as a Poisson
+//! mixture of powers of a stochastic matrix. The weights `e^{-λ} λ^k / k!`
+//! underflow quickly when computed naively for large `λ`, so this module
+//! computes them in log space (a light-weight variant of the Fox–Glynn
+//! algorithm, sufficient for the modest `λ·t` values arising from the paper's
+//! models).
+
+use crate::{NumericsError, Result};
+
+/// Poisson probability weights `P(K = k)` for `k = 0..=truncation`, together
+/// with the truncation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonWeights {
+    /// `weights[k] = e^{-lambda} lambda^k / k!`.
+    pub weights: Vec<f64>,
+    /// Total probability mass not covered by `weights` (at most `epsilon`).
+    pub tail_mass: f64,
+}
+
+/// Computes Poisson weights for rate `lambda`, truncated so the neglected
+/// right tail has mass at most `epsilon`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidValue`] if `lambda` is negative, NaN or
+/// infinite, or `epsilon` is not in `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), nvp_numerics::NumericsError> {
+/// let w = nvp_numerics::poisson::poisson_weights(2.0, 1e-12)?;
+/// let total: f64 = w.weights.iter().sum();
+/// assert!((total - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn poisson_weights(lambda: f64, epsilon: f64) -> Result<PoissonWeights> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(NumericsError::InvalidValue {
+            what: "lambda",
+            value: lambda,
+        });
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(NumericsError::InvalidValue {
+            what: "epsilon",
+            value: epsilon,
+        });
+    }
+    if lambda == 0.0 {
+        return Ok(PoissonWeights {
+            weights: vec![1.0],
+            tail_mass: 0.0,
+        });
+    }
+    // Work in log space around the mode to avoid under/overflow, then
+    // normalize. ln P(k) = -lambda + k ln(lambda) - ln(k!).
+    let mut log_weights = Vec::new();
+    let ln_lambda = lambda.ln();
+    let mut ln_fact = 0.0f64; // ln(0!) = 0
+    let mut k = 0usize;
+    let mut cumulative = 0.0f64;
+    // Upper bound on the support we may need: mean + 10 stddev + slack, and
+    // always at least a small constant so tiny lambdas still terminate by
+    // tail mass.
+    let hard_cap = (lambda + 10.0 * lambda.sqrt() + 50.0).ceil() as usize;
+    let mut weights = Vec::with_capacity(hard_cap.min(4096));
+    loop {
+        let lw = -lambda + k as f64 * ln_lambda - ln_fact;
+        log_weights.push(lw);
+        let w = lw.exp();
+        weights.push(w);
+        cumulative += w;
+        // Terminate once the right tail is provably below epsilon: past the
+        // mode, weights decay faster than geometrically with ratio
+        // lambda / (k + 1).
+        if k as f64 > lambda {
+            let ratio = lambda / (k as f64 + 1.0);
+            let tail_bound = w * ratio / (1.0 - ratio);
+            if tail_bound < epsilon {
+                break;
+            }
+        }
+        if k >= hard_cap {
+            break;
+        }
+        k += 1;
+        ln_fact += (k as f64).ln();
+    }
+    let tail_mass = (1.0 - cumulative).max(0.0);
+    Ok(PoissonWeights { weights, tail_mass })
+}
+
+/// Cumulative sums `F(k) = P(K <= k)` for precomputed weights.
+pub fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w;
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for lambda in [0.1, 1.0, 5.0, 50.0, 500.0, 5000.0] {
+            let w = poisson_weights(lambda, 1e-13).unwrap();
+            let total: f64 = w.weights.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "lambda={lambda}: total={total}");
+        }
+    }
+
+    #[test]
+    fn zero_lambda_is_point_mass() {
+        let w = poisson_weights(0.0, 1e-12).unwrap();
+        assert_eq!(w.weights, vec![1.0]);
+        assert_eq!(w.tail_mass, 0.0);
+    }
+
+    #[test]
+    fn small_lambda_matches_closed_form() {
+        let lambda = 0.5;
+        let w = poisson_weights(lambda, 1e-15).unwrap();
+        let expected0 = (-lambda).exp();
+        let expected1 = expected0 * lambda;
+        let expected2 = expected1 * lambda / 2.0;
+        assert!((w.weights[0] - expected0).abs() < 1e-14);
+        assert!((w.weights[1] - expected1).abs() < 1e-14);
+        assert!((w.weights[2] - expected2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mode_is_near_lambda() {
+        let lambda = 100.0;
+        let w = poisson_weights(lambda, 1e-12).unwrap();
+        let (mode, _) = w
+            .weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((mode as f64 - lambda).abs() <= 1.0);
+    }
+
+    #[test]
+    fn truncation_covers_requested_mass() {
+        let w = poisson_weights(30.0, 1e-10).unwrap();
+        assert!(w.tail_mass < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(poisson_weights(-1.0, 1e-12).is_err());
+        assert!(poisson_weights(f64::NAN, 1e-12).is_err());
+        assert!(poisson_weights(f64::INFINITY, 1e-12).is_err());
+        assert!(poisson_weights(1.0, 0.0).is_err());
+        assert!(poisson_weights(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_bounded() {
+        let w = poisson_weights(10.0, 1e-12).unwrap();
+        let cdf = cumulative(&w.weights);
+        for pair in cdf.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        assert!(*cdf.last().unwrap() <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,347 @@
+//! Compressed sparse row (CSR) matrices and iterative solvers.
+//!
+//! Reachability graphs of larger DSPNs (e.g. the generic N-version models
+//! with N ≥ 8 that `nvp-core` supports as an extension) produce sparse
+//! generators. This module provides a CSR representation built from triplets,
+//! matrix-vector products in both orientations, and the iterative machinery
+//! (power iteration, Jacobi/Gauss–Seidel sweeps) used when direct dense
+//! factorization would be wasteful.
+
+use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE};
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Build one incrementally through [`CsrBuilder`]:
+///
+/// ```
+/// use nvp_numerics::sparse::CsrBuilder;
+///
+/// let mut b = CsrBuilder::new(2, 2);
+/// b.push(0, 1, 3.0);
+/// b.push(1, 0, 4.0);
+/// let m = b.build();
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Incremental builder for [`CsrMatrix`].
+///
+/// Entries may be pushed in any order; duplicate `(row, col)` entries are
+/// summed when the matrix is built.
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl CsrBuilder {
+    /// Creates a builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CsrBuilder {
+            rows,
+            cols,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Records `value` at `(row, col)`. Duplicates are summed at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        if value != 0.0 {
+            self.triplets.push((row, col, value));
+        }
+    }
+
+    /// Finalizes the builder into a [`CsrMatrix`].
+    pub fn build(mut self) -> CsrMatrix {
+        self.triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &(r, c, v) in &self.triplets {
+            if last == Some((r, c)) {
+                // Sorted order guarantees duplicates are adjacent.
+                *values.last_mut().expect("non-empty on duplicate") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for r in 0..self.rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the stored entries of `row` as `(col, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows, "row out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Computes `A · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
+        let mut y = vec![0.0; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (c, v) in self.row_entries(r) {
+                acc += v * x[c];
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// Computes `xᵀ · A` (row vector times matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn vecmat(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in vecmat");
+        let mut y = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row_entries(r) {
+                y[c] += xr * v;
+            }
+        }
+        y
+    }
+
+    /// Converts to a dense matrix (for small systems or debugging).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut d = crate::dense::DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                d.add(r, c, v);
+            }
+        }
+        d
+    }
+}
+
+/// Finds the stationary row vector of a stochastic matrix `P` (i.e. `π P = π`,
+/// `Σ π = 1`) by power iteration.
+///
+/// `p` must be row-stochastic. Convergence is declared when the L1 change
+/// between successive iterates drops below `tol`.
+///
+/// # Errors
+///
+/// * [`NumericsError::DimensionMismatch`] if `p` is not square.
+/// * [`NumericsError::NoConvergence`] if the iteration budget is exhausted —
+///   this typically means the chain is periodic; callers should fall back to a
+///   direct solve.
+pub fn stationary_power(p: &CsrMatrix, tol: f64, max_iter: usize) -> Result<Vec<f64>> {
+    if p.rows() != p.cols() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: "square matrix".into(),
+            actual: format!("{}x{}", p.rows(), p.cols()),
+        });
+    }
+    let n = p.rows();
+    if n == 0 {
+        return Err(NumericsError::NoSteadyState {
+            reason: "empty chain".into(),
+        });
+    }
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut diff = f64::INFINITY;
+    for _ in 0..max_iter {
+        // Damped iteration avoids stalling on periodic chains.
+        let mut next = p.vecmat(&pi);
+        for (nx, old) in next.iter_mut().zip(&pi) {
+            *nx = 0.5 * *nx + 0.5 * old;
+        }
+        let sum: f64 = next.iter().sum();
+        if sum <= 0.0 {
+            return Err(NumericsError::NoSteadyState {
+                reason: "iterate collapsed to zero".into(),
+            });
+        }
+        for v in &mut next {
+            *v /= sum;
+        }
+        diff = next
+            .iter()
+            .zip(&pi)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>();
+        pi = next;
+        if diff < tol {
+            return Ok(pi);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: max_iter,
+        residual: diff,
+    })
+}
+
+/// Convenience wrapper around [`stationary_power`] with default tolerances.
+///
+/// # Errors
+///
+/// See [`stationary_power`].
+pub fn stationary(p: &CsrMatrix) -> Result<Vec<f64>> {
+    stationary_power(p, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state_chain() -> CsrMatrix {
+        // P = [[0.9, 0.1], [0.5, 0.5]] -> pi = (5/6, 1/6)
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, 0.9);
+        b.push(0, 1, 0.1);
+        b.push(1, 0, 0.5);
+        b.push(1, 1, 0.5);
+        b.build()
+    }
+
+    #[test]
+    fn builder_sums_duplicates() {
+        let mut b = CsrBuilder::new(1, 2);
+        b.push(0, 1, 1.0);
+        b.push(0, 1, 2.5);
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.matvec(&[0.0, 1.0]), vec![3.5]);
+    }
+
+    #[test]
+    fn builder_ignores_explicit_zeros() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, 0.0);
+        b.push(1, 1, 2.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = two_state_chain();
+        let d = m.to_dense();
+        let x = [0.3, 0.7];
+        let ys = m.matvec(&x);
+        let yd = d.matvec(&x).unwrap();
+        for (a, b) in ys.iter().zip(&yd) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn vecmat_matches_dense_transpose() {
+        let m = two_state_chain();
+        let d = m.to_dense().transpose();
+        let x = [0.3, 0.7];
+        let ys = m.vecmat(&x);
+        let yd = d.matvec(&x).unwrap();
+        for (a, b) in ys.iter().zip(&yd) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn stationary_of_two_state_chain() {
+        let m = two_state_chain();
+        let pi = stationary(&m).unwrap();
+        assert!((pi[0] - 5.0 / 6.0).abs() < 1e-9, "pi = {pi:?}");
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_of_periodic_chain_converges_with_damping() {
+        // Pure swap chain: period 2; damping makes power iteration converge
+        // to the uniform stationary distribution.
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        let m = b.build();
+        let pi = stationary(&m).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_rejects_non_square() {
+        let b = CsrBuilder::new(2, 3);
+        let m = b.build();
+        assert!(matches!(
+            stationary(&m),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn row_entries_sorted_by_column() {
+        let mut b = CsrBuilder::new(1, 4);
+        b.push(0, 3, 1.0);
+        b.push(0, 0, 2.0);
+        b.push(0, 2, 3.0);
+        let m = b.build();
+        let cols: Vec<usize> = m.row_entries(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![0, 2, 3]);
+    }
+}

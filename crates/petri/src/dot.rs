@@ -1,0 +1,196 @@
+//! Graphviz (DOT) export for nets and reachability graphs.
+//!
+//! [`net_to_dot`] renders the net structure with the conventional DSPN
+//! iconography mapped to shapes (places as circles; immediate transitions as
+//! thin bars, exponential as empty rectangles, deterministic as filled
+//! rectangles; inhibitor arcs with `odot` arrowheads).
+//! [`reach_to_dot`] renders the tangible reachability graph with firing
+//! probabilities on the edges.
+//!
+//! ```
+//! use nvp_petri::net::{NetBuilder, TransitionKind};
+//! use nvp_petri::dot::net_to_dot;
+//!
+//! # fn main() -> Result<(), nvp_petri::PetriError> {
+//! let mut b = NetBuilder::new("demo");
+//! let p = b.place("P", 1);
+//! b.transition("t", TransitionKind::exponential_rate(1.0))?
+//!     .input(p, 1)
+//!     .output(p, 1);
+//! let dot = net_to_dot(&b.build()?);
+//! assert!(dot.starts_with("digraph"));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::net::{PetriNet, TransitionKind};
+use crate::reach::TangibleReachGraph;
+use std::fmt::Write as _;
+
+/// Renders the net structure as a DOT digraph.
+pub fn net_to_dot(net: &PetriNet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", quote(net.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (i, place) in net.places().iter().enumerate() {
+        let label = if place.initial > 0 {
+            format!(
+                "{}\\n{}",
+                place.name,
+                "●".repeat(place.initial.min(5) as usize)
+            )
+        } else {
+            place.name.clone()
+        };
+        let _ = writeln!(out, "  p{i} [shape=circle, label={}];", quote(&label));
+    }
+    for (i, tr) in net.transitions().iter().enumerate() {
+        let (shape, style, extra) = match &tr.kind {
+            TransitionKind::Immediate { priority, .. } => (
+                "box",
+                "filled, rounded",
+                format!("{}\\nprio {priority}", tr.name),
+            ),
+            TransitionKind::Exponential { rate } => {
+                ("box", "", format!("{}\\nexp({rate})", tr.name))
+            }
+            TransitionKind::Deterministic { delay } => {
+                ("box", "filled", format!("{}\\ndet({delay})", tr.name))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  t{i} [shape={shape}, style={}, height=0.3, label={}];",
+            quote(style),
+            quote(&extra)
+        );
+    }
+    for (i, tr) in net.transitions().iter().enumerate() {
+        for arc in &tr.inputs {
+            let _ = writeln!(
+                out,
+                "  p{} -> t{i} [label={}];",
+                arc.place.index(),
+                quote(&arc.weight.to_string())
+            );
+        }
+        for arc in &tr.outputs {
+            let _ = writeln!(
+                out,
+                "  t{i} -> p{} [label={}];",
+                arc.place.index(),
+                quote(&arc.weight.to_string())
+            );
+        }
+        for arc in &tr.inhibitors {
+            let _ = writeln!(
+                out,
+                "  p{} -> t{i} [arrowhead=odot, label={}];",
+                arc.place.index(),
+                quote(&arc.weight.to_string())
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the tangible reachability graph as a DOT digraph; edges carry
+/// `transition-name (rate or delay × probability)` labels.
+pub fn reach_to_dot(net: &PetriNet, graph: &TangibleReachGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "digraph {} {{",
+        quote(&format!("{}-reach", net.name()))
+    );
+    for (i, m) in graph.markings().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  m{i} [shape=ellipse, label={}];",
+            quote(&m.to_string())
+        );
+    }
+    for (i, state) in graph.states().iter().enumerate() {
+        for arc in &state.exponential {
+            let name = &net.transitions()[arc.transition.index()].name;
+            for &(to, p) in arc.targets.entries() {
+                let _ = writeln!(
+                    out,
+                    "  m{i} -> m{to} [label={}];",
+                    quote(&format!("{name} λ={:.4} p={p:.3}", arc.value))
+                );
+            }
+        }
+        for arc in &state.deterministic {
+            let name = &net.transitions()[arc.transition.index()].name;
+            for &(to, p) in arc.targets.entries() {
+                let _ = writeln!(
+                    out,
+                    "  m{i} -> m{to} [style=bold, label={}];",
+                    quote(&format!("{name} τ={:.1} p={p:.3}", arc.value))
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\\\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, TransitionKind};
+    use crate::reach::explore;
+
+    fn demo_net() -> PetriNet {
+        let mut b = NetBuilder::new("demo");
+        let up = b.place("Up", 1);
+        let down = b.place("Down", 0);
+        b.transition("fail", TransitionKind::exponential_rate(0.5))
+            .unwrap()
+            .input(up, 1)
+            .output(down, 1);
+        b.transition("service", TransitionKind::deterministic_delay(4.0))
+            .unwrap()
+            .input(up, 1)
+            .output(up, 1);
+        b.transition("repair", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(down, 1)
+            .output(up, 1)
+            .inhibitor(up, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn net_dot_contains_all_elements() {
+        let dot = net_to_dot(&demo_net());
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("Up"));
+        assert!(dot.contains("exp(0.5)"));
+        assert!(dot.contains("det(4)"));
+        assert!(dot.contains("arrowhead=odot"), "inhibitor arc rendered");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn reach_dot_lists_markings_and_edges() {
+        let net = demo_net();
+        let graph = explore(&net, 100).unwrap();
+        let dot = reach_to_dot(&net, &graph);
+        assert!(dot.contains("(1, 0)"));
+        assert!(dot.contains("(0, 1)"));
+        assert!(dot.contains("fail"));
+        assert!(dot.contains("style=bold"), "deterministic edge emphasized");
+    }
+
+    #[test]
+    fn quoting_escapes_quotes() {
+        assert_eq!(quote("a\"b"), "\"a\\\"b\"");
+    }
+}

@@ -1,0 +1,148 @@
+//! Error type shared by all Petri-net operations.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or analyzing Petri nets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PetriError {
+    /// A marking expression failed to parse.
+    ExprParse {
+        /// Byte offset at which parsing failed.
+        position: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An expression referenced a place that does not exist in the net.
+    UnknownPlace {
+        /// The unresolved place name.
+        name: String,
+    },
+    /// An expression evaluated to a value outside its permitted domain
+    /// (e.g. a negative arc multiplicity or a non-finite rate).
+    ExprDomain {
+        /// What the expression computed.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two net elements were declared with the same name.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A name was empty or otherwise malformed.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// The net references a place or transition index that does not exist.
+    InvalidReference {
+        /// Description of the dangling reference.
+        what: String,
+    },
+    /// Reachability exploration exceeded its marking budget — the net may be
+    /// unbounded.
+    StateSpaceExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A cycle of immediate transitions was detected among vanishing
+    /// markings; the net has no well-defined tangible behaviour.
+    VanishingLoop {
+        /// A marking participating in the loop, rendered as text.
+        marking: String,
+    },
+    /// The initial marking itself cannot reach any tangible marking.
+    NoTangibleMarking,
+    /// A numerical operation delegated to `nvp-numerics` failed.
+    Numerics(nvp_numerics::NumericsError),
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::ExprParse { position, message } => {
+                write!(f, "expression parse error at byte {position}: {message}")
+            }
+            PetriError::UnknownPlace { name } => {
+                write!(f, "unknown place `{name}` in expression")
+            }
+            PetriError::ExprDomain { what, value } => {
+                write!(f, "expression produced invalid {what}: {value}")
+            }
+            PetriError::DuplicateName { name } => {
+                write!(f, "duplicate element name `{name}`")
+            }
+            PetriError::InvalidName { name } => write!(f, "invalid element name `{name}`"),
+            PetriError::InvalidReference { what } => write!(f, "invalid reference: {what}"),
+            PetriError::StateSpaceExceeded { limit } => write!(
+                f,
+                "state space exceeded {limit} markings (net may be unbounded)"
+            ),
+            PetriError::VanishingLoop { marking } => write!(
+                f,
+                "cycle of immediate transitions detected at marking {marking}"
+            ),
+            PetriError::NoTangibleMarking => {
+                write!(f, "no tangible marking reachable from the initial marking")
+            }
+            PetriError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PetriError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PetriError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nvp_numerics::NumericsError> for PetriError {
+    fn from(e: nvp_numerics::NumericsError) -> Self {
+        PetriError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants: Vec<PetriError> = vec![
+            PetriError::ExprParse {
+                position: 3,
+                message: "unexpected token".into(),
+            },
+            PetriError::UnknownPlace { name: "P1".into() },
+            PetriError::ExprDomain {
+                what: "rate".into(),
+                value: -1.0,
+            },
+            PetriError::DuplicateName { name: "T1".into() },
+            PetriError::InvalidName { name: "".into() },
+            PetriError::InvalidReference {
+                what: "place 7".into(),
+            },
+            PetriError::StateSpaceExceeded { limit: 10 },
+            PetriError::VanishingLoop {
+                marking: "(1, 0)".into(),
+            },
+            PetriError::NoTangibleMarking,
+            PetriError::Numerics(nvp_numerics::NumericsError::SingularMatrix { pivot: 0 }),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn numerics_error_converts() {
+        let e: PetriError = nvp_numerics::NumericsError::SingularMatrix { pivot: 1 }.into();
+        assert!(matches!(e, PetriError::Numerics(_)));
+    }
+}

@@ -1,0 +1,932 @@
+//! Marking-expression language for guards, weights, rates and delays.
+//!
+//! Expressions are written in a TimeNET-like notation:
+//!
+//! * `#Pmh` — token count of place `Pmh`;
+//! * arithmetic `+ - * /`, comparisons `< <= > >= == !=` (a single `=` is
+//!   accepted as an alias for `==`, as in the paper's Table I), boolean
+//!   `&& || !`;
+//! * `if(cond, then, else)`, `min(a, b)`, `max(a, b)`;
+//! * numeric literals (`0.00001`, `3`, `1e-5`).
+//!
+//! Comparisons and boolean operators evaluate to `1.0` (true) or `0.0`
+//! (false); any non-zero value is truthy.
+//!
+//! The guard `g2` of the paper's Table I, `(#Pmf + #Pmr) < r` with `r = 1`,
+//! is written `"(#Pmf + #Pmr) < 1"`. The weight `w1`,
+//! `IF (#Pmc = 0): (0.00001) ELSE (#Pmc/(#Pmc + #Pmh))`, becomes
+//! `"if(#Pmc == 0, 0.00001, #Pmc / (#Pmc + #Pmh))"`.
+//!
+//! # Example
+//!
+//! ```
+//! use nvp_petri::expr::Expr;
+//! use nvp_petri::marking::Marking;
+//!
+//! # fn main() -> Result<(), nvp_petri::PetriError> {
+//! let e = Expr::parse("if(#A == 0, 0.5, #A / (#A + #B))")?;
+//! let bound = e.bind(&|name| match name {
+//!     "A" => Some(0),
+//!     "B" => Some(1),
+//!     _ => None,
+//! })?;
+//! assert_eq!(bound.eval(&Marking::new(vec![1, 3]))?, 0.25);
+//! assert_eq!(bound.eval(&Marking::new(vec![0, 3]))?, 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::marking::Marking;
+use crate::{PetriError, Result};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition `+`.
+    Add,
+    /// Subtraction `-`.
+    Sub,
+    /// Multiplication `*`.
+    Mul,
+    /// Division `/`.
+    Div,
+    /// Less-than `<`.
+    Lt,
+    /// Less-or-equal `<=`.
+    Le,
+    /// Greater-than `>`.
+    Gt,
+    /// Greater-or-equal `>=`.
+    Ge,
+    /// Equality `==`.
+    Eq,
+    /// Inequality `!=`.
+    Ne,
+    /// Logical conjunction `&&`.
+    And,
+    /// Logical disjunction `||`.
+    Or,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical negation `!`.
+    Not,
+}
+
+/// A marking expression.
+///
+/// Expressions are created by [`Expr::parse`] (or the constructors below),
+/// then *bound* to a net's places with [`Expr::bind`], after which they can
+/// be evaluated against markings with [`Expr::eval`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A numeric literal.
+    Const(f64),
+    /// Token count of a place referenced by name (unbound form).
+    Tokens(String),
+    /// Token count of a place referenced by index (bound form).
+    TokensIdx(usize),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional `if(cond, then, else)`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Minimum of two expressions.
+    Min(Box<Expr>, Box<Expr>),
+    /// Maximum of two expressions.
+    Max(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Parses an expression from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::ExprParse`] with the byte position of the first
+    /// offending token.
+    pub fn parse(input: &str) -> Result<Expr> {
+        let tokens = lex(input)?;
+        let mut parser = Parser {
+            tokens: &tokens,
+            pos: 0,
+            input_len: input.len(),
+        };
+        let expr = parser.parse_or()?;
+        if parser.pos != parser.tokens.len() {
+            return Err(PetriError::ExprParse {
+                position: parser.tokens[parser.pos].position,
+                message: format!(
+                    "unexpected trailing token `{}`",
+                    parser.tokens[parser.pos].kind
+                ),
+            });
+        }
+        Ok(expr)
+    }
+
+    /// A constant expression.
+    pub fn constant(value: f64) -> Expr {
+        Expr::Const(value)
+    }
+
+    /// The token count of the named place (unbound).
+    pub fn tokens(place: impl Into<String>) -> Expr {
+        Expr::Tokens(place.into())
+    }
+
+    /// Resolves all place names to indices via `lookup`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::UnknownPlace`] for names `lookup` cannot
+    /// resolve.
+    pub fn bind(&self, lookup: &dyn Fn(&str) -> Option<usize>) -> Result<Expr> {
+        Ok(match self {
+            Expr::Const(v) => Expr::Const(*v),
+            Expr::Tokens(name) => {
+                let idx =
+                    lookup(name).ok_or_else(|| PetriError::UnknownPlace { name: name.clone() })?;
+                Expr::TokensIdx(idx)
+            }
+            Expr::TokensIdx(i) => Expr::TokensIdx(*i),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.bind(lookup)?)),
+            Expr::Binary(op, a, b) => {
+                Expr::Binary(*op, Box::new(a.bind(lookup)?), Box::new(b.bind(lookup)?))
+            }
+            Expr::If(c, t, e) => Expr::If(
+                Box::new(c.bind(lookup)?),
+                Box::new(t.bind(lookup)?),
+                Box::new(e.bind(lookup)?),
+            ),
+            Expr::Min(a, b) => Expr::Min(Box::new(a.bind(lookup)?), Box::new(b.bind(lookup)?)),
+            Expr::Max(a, b) => Expr::Max(Box::new(a.bind(lookup)?), Box::new(b.bind(lookup)?)),
+        })
+    }
+
+    /// Evaluates the (bound) expression on a marking.
+    ///
+    /// # Errors
+    ///
+    /// * [`PetriError::UnknownPlace`] if the expression still contains
+    ///   unbound place names (call [`Expr::bind`] first).
+    /// * [`PetriError::InvalidReference`] if a bound index is outside the
+    ///   marking.
+    pub fn eval(&self, marking: &Marking) -> Result<f64> {
+        Ok(match self {
+            Expr::Const(v) => *v,
+            Expr::Tokens(name) => {
+                return Err(PetriError::UnknownPlace { name: name.clone() });
+            }
+            Expr::TokensIdx(i) => {
+                if *i >= marking.len() {
+                    return Err(PetriError::InvalidReference {
+                        what: format!("place index {i} in marking of length {}", marking.len()),
+                    });
+                }
+                f64::from(marking.tokens(*i))
+            }
+            Expr::Unary(UnaryOp::Neg, e) => -e.eval(marking)?,
+            Expr::Unary(UnaryOp::Not, e) => bool_to_f64(e.eval(marking)? == 0.0),
+            Expr::Binary(op, a, b) => {
+                let x = a.eval(marking)?;
+                // Short-circuit booleans.
+                match op {
+                    BinOp::And => {
+                        return Ok(bool_to_f64(x != 0.0 && b.eval(marking)? != 0.0));
+                    }
+                    BinOp::Or => {
+                        return Ok(bool_to_f64(x != 0.0 || b.eval(marking)? != 0.0));
+                    }
+                    _ => {}
+                }
+                let y = b.eval(marking)?;
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Lt => bool_to_f64(x < y),
+                    BinOp::Le => bool_to_f64(x <= y),
+                    BinOp::Gt => bool_to_f64(x > y),
+                    BinOp::Ge => bool_to_f64(x >= y),
+                    BinOp::Eq => bool_to_f64(x == y),
+                    BinOp::Ne => bool_to_f64(x != y),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+            Expr::If(c, t, e) => {
+                if c.eval(marking)? != 0.0 {
+                    t.eval(marking)?
+                } else {
+                    e.eval(marking)?
+                }
+            }
+            Expr::Min(a, b) => a.eval(marking)?.min(b.eval(marking)?),
+            Expr::Max(a, b) => a.eval(marking)?.max(b.eval(marking)?),
+        })
+    }
+
+    /// Evaluates the expression as a boolean guard (non-zero is true).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Expr::eval`].
+    pub fn eval_bool(&self, marking: &Marking) -> Result<bool> {
+        Ok(self.eval(marking)? != 0.0)
+    }
+
+    /// Names of the places this expression references (unbound form only).
+    pub fn place_names(&self) -> Vec<&str> {
+        let mut names = Vec::new();
+        self.collect_names(&mut names);
+        names
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Const(_) | Expr::TokensIdx(_) => {}
+            Expr::Tokens(name) => out.push(name),
+            Expr::Unary(_, e) => e.collect_names(out),
+            Expr::Binary(_, a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
+                a.collect_names(out);
+                b.collect_names(out);
+            }
+            Expr::If(c, t, e) => {
+                c.collect_names(out);
+                t.collect_names(out);
+                e.collect_names(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Tokens(name) => write!(f, "#{name}"),
+            Expr::TokensIdx(i) => write!(f, "#[{i}]"),
+            Expr::Unary(UnaryOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Unary(UnaryOp::Not, e) => write!(f, "(!{e})"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::If(c, t, e) => write!(f, "if({c}, {t}, {e})"),
+            Expr::Min(a, b) => write!(f, "min({a}, {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Self {
+        Expr::Const(v)
+    }
+}
+
+fn bool_to_f64(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum TokenKind {
+    Number(f64),
+    Hash(String),
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(v) => write!(f, "{v}"),
+            TokenKind::Hash(n) => write!(f, "#{n}"),
+            TokenKind::Ident(n) => write!(f, "{n}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Bang => write!(f, "!"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    kind: TokenKind,
+    position: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let position = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position,
+                });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    position,
+                });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    position,
+                });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    position,
+                });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    position,
+                });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        position,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        position,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        position,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        position,
+                    });
+                    i += 1;
+                }
+            }
+            '=' => {
+                // `==`, or a single `=` as in the paper's Table I.
+                if bytes.get(i + 1) == Some(&'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::EqEq,
+                    position,
+                });
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        position,
+                    });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    tokens.push(Token {
+                        kind: TokenKind::AndAnd,
+                        position,
+                    });
+                    i += 2;
+                } else {
+                    return Err(PetriError::ExprParse {
+                        position,
+                        message: "expected `&&`".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    tokens.push(Token {
+                        kind: TokenKind::OrOr,
+                        position,
+                    });
+                    i += 2;
+                } else {
+                    return Err(PetriError::ExprParse {
+                        position,
+                        message: "expected `||`".into(),
+                    });
+                }
+            }
+            '#' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(PetriError::ExprParse {
+                        position,
+                        message: "expected place name after `#`".into(),
+                    });
+                }
+                let name: String = bytes[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Hash(name),
+                    position,
+                });
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                // Scientific notation: 1e-5, 2E3.
+                if i < bytes.len() && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == '+' || bytes[j] == '-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = text.parse::<f64>().map_err(|e| PetriError::ExprParse {
+                    position: start,
+                    message: format!("bad number `{text}`: {e}"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    position: start,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                let name: String = bytes[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(name),
+                    position: start,
+                });
+            }
+            other => {
+                return Err(PetriError::ExprParse {
+                    position,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next_position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |t| t.position)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        match self.peek() {
+            Some(k) if k == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(k) => Err(PetriError::ExprParse {
+                position: self.next_position(),
+                message: format!("expected `{kind}`, found `{k}`"),
+            }),
+            None => Err(PetriError::ExprParse {
+                position: self.input_len,
+                message: format!("expected `{kind}`, found end of input"),
+            }),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&TokenKind::OrOr) {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek() == Some(&TokenKind::AndAnd) {
+            self.pos += 1;
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(TokenKind::Lt) => BinOp::Lt,
+            Some(TokenKind::Le) => BinOp::Le,
+            Some(TokenKind::Gt) => BinOp::Gt,
+            Some(TokenKind::Ge) => BinOp::Ge,
+            Some(TokenKind::EqEq) => BinOp::Eq,
+            Some(TokenKind::Ne) => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.parse_add()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(TokenKind::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            Some(TokenKind::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let position = self.next_position();
+        let token = match self.advance() {
+            Some(t) => t.clone(),
+            None => {
+                return Err(PetriError::ExprParse {
+                    position,
+                    message: "unexpected end of input".into(),
+                });
+            }
+        };
+        match token.kind {
+            TokenKind::Number(v) => Ok(Expr::Const(v)),
+            TokenKind::Hash(name) => Ok(Expr::Tokens(name)),
+            TokenKind::LParen => {
+                let e = self.parse_or()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                let lower = name.to_ascii_lowercase();
+                match lower.as_str() {
+                    "if" => {
+                        self.expect(&TokenKind::LParen)?;
+                        let c = self.parse_or()?;
+                        self.expect(&TokenKind::Comma)?;
+                        let t = self.parse_or()?;
+                        self.expect(&TokenKind::Comma)?;
+                        let e = self.parse_or()?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)))
+                    }
+                    "min" | "max" => {
+                        self.expect(&TokenKind::LParen)?;
+                        let a = self.parse_or()?;
+                        self.expect(&TokenKind::Comma)?;
+                        let b = self.parse_or()?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(if lower == "min" {
+                            Expr::Min(Box::new(a), Box::new(b))
+                        } else {
+                            Expr::Max(Box::new(a), Box::new(b))
+                        })
+                    }
+                    _ => Err(PetriError::ExprParse {
+                        position: token.position,
+                        message: format!(
+                            "unknown identifier `{name}` (place counts are written `#{name}`)"
+                        ),
+                    }),
+                }
+            }
+            other => Err(PetriError::ExprParse {
+                position: token.position,
+                message: format!("unexpected token `{other}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_str(src: &str, tokens: &[u32]) -> f64 {
+        let expr = Expr::parse(src).unwrap();
+        let names = ["A", "B", "C"];
+        let bound = expr.bind(&|n| names.iter().position(|&x| x == n)).unwrap();
+        bound.eval(&Marking::new(tokens.to_vec())).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(eval_str("1 + 2 * 3", &[]), 7.0);
+        assert_eq!(eval_str("(1 + 2) * 3", &[]), 9.0);
+        assert_eq!(eval_str("8 / 2 / 2", &[]), 2.0);
+        assert_eq!(eval_str("2 - 3 - 4", &[]), -5.0);
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        assert_eq!(eval_str("-3 + 5", &[]), 2.0);
+        assert_eq!(eval_str("--3", &[]), 3.0);
+        assert_eq!(eval_str("!0", &[]), 1.0);
+        assert_eq!(eval_str("!3", &[]), 0.0);
+        assert_eq!(eval_str("!!3", &[]), 1.0);
+    }
+
+    #[test]
+    fn token_counts() {
+        assert_eq!(eval_str("#A", &[5, 2, 0]), 5.0);
+        assert_eq!(eval_str("#A + #B * 2", &[5, 2, 0]), 9.0);
+    }
+
+    #[test]
+    fn comparisons_and_booleans() {
+        assert_eq!(eval_str("#A < 3", &[2, 0, 0]), 1.0);
+        assert_eq!(eval_str("#A < 3", &[3, 0, 0]), 0.0);
+        assert_eq!(eval_str("#A <= 3 && #B >= 1", &[3, 1, 0]), 1.0);
+        assert_eq!(eval_str("#A == 0 || #B == 0", &[1, 0, 0]), 1.0);
+        assert_eq!(eval_str("#A != #B", &[1, 2, 0]), 1.0);
+    }
+
+    #[test]
+    fn single_equals_is_equality() {
+        // Table I of the paper writes `(#Pac + #Pmr) = 1`.
+        assert_eq!(eval_str("#A = 1", &[1, 0, 0]), 1.0);
+        assert_eq!(eval_str("#A = 1", &[2, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn if_min_max() {
+        assert_eq!(eval_str("if(#A == 0, 10, 20)", &[0, 0, 0]), 10.0);
+        assert_eq!(eval_str("if(#A == 0, 10, 20)", &[1, 0, 0]), 20.0);
+        assert_eq!(eval_str("min(#A, 3)", &[5, 0, 0]), 3.0);
+        assert_eq!(eval_str("max(#A, 3)", &[5, 0, 0]), 5.0);
+        assert_eq!(eval_str("MIN(2, 1)", &[]), 1.0);
+    }
+
+    #[test]
+    fn table1_weight_expression() {
+        // w1 = IF (#Pmc = 0): 0.00001 ELSE #Pmc / (#Pmc + #Pmh)
+        let src = "if(#A == 0, 0.00001, #A / (#A + #B))";
+        assert_eq!(eval_str(src, &[0, 4, 0]), 0.00001);
+        assert_eq!(eval_str(src, &[1, 3, 0]), 0.25);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(eval_str("1e-5", &[]), 1e-5);
+        assert_eq!(eval_str("2.5E2", &[]), 250.0);
+        assert_eq!(eval_str("1e3 + 1", &[]), 1001.0);
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // Division by zero on the right side is never evaluated.
+        assert_eq!(eval_str("0 && (1 / 0)", &[]), 0.0);
+        assert_eq!(eval_str("1 || (1 / 0)", &[]), 1.0);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        match Expr::parse("1 + $") {
+            Err(PetriError::ExprParse { position, .. }) => assert_eq!(position, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("1 +").is_err());
+        assert!(Expr::parse("(1").is_err());
+        assert!(Expr::parse("if(1, 2)").is_err());
+        assert!(Expr::parse("# ").is_err());
+        assert!(Expr::parse("1 & 2").is_err());
+        assert!(Expr::parse("foo").is_err());
+        assert!(Expr::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn unbound_eval_is_rejected() {
+        let e = Expr::parse("#A").unwrap();
+        assert!(matches!(
+            e.eval(&Marking::new(vec![1])),
+            Err(PetriError::UnknownPlace { .. })
+        ));
+    }
+
+    #[test]
+    fn bind_unknown_place_is_rejected() {
+        let e = Expr::parse("#Mystery").unwrap();
+        assert!(matches!(
+            e.bind(&|_| None),
+            Err(PetriError::UnknownPlace { .. })
+        ));
+    }
+
+    #[test]
+    fn bound_index_out_of_marking_is_rejected() {
+        let e = Expr::TokensIdx(5);
+        assert!(matches!(
+            e.eval(&Marking::new(vec![1])),
+            Err(PetriError::InvalidReference { .. })
+        ));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for src in [
+            "1 + 2 * 3",
+            "#A / (#A + #B)",
+            "if(#A == 0, 0.5, 1)",
+            "min(#A, 3) + max(#B, 1)",
+            "!(#A < 2) && #B >= 1",
+        ] {
+            let e1 = Expr::parse(src).unwrap();
+            let printed = e1.to_string();
+            let e2 = Expr::parse(&printed).unwrap();
+            assert_eq!(e1, e2, "round-trip failed for `{src}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn place_names_collects_all() {
+        let e = Expr::parse("if(#A == 0, #B, #C + #A)").unwrap();
+        let mut names = e.place_names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+}

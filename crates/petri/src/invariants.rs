@@ -1,0 +1,407 @@
+//! Structural analysis: place invariants (P-semiflows).
+//!
+//! A *place invariant* is a weight vector `y ≥ 0` over places with
+//! `yᵀ · C = 0`, where `C` is the token-flow (incidence) matrix: the
+//! weighted token sum `Σ y(p) · #p` is then constant across all reachable
+//! markings, independent of firing order. Invariants certify conservation
+//! structurally — e.g. that the paper's models never create or destroy ML
+//! modules — complementing the reachability-based checks.
+//!
+//! The computation is the classical Farkas / Martinez-Silva algorithm over
+//! non-negative integer vectors, returning a generating set of minimal
+//! support invariants.
+//!
+//! Marking-dependent arc multiplicities cannot be captured by a constant
+//! incidence matrix; transitions carrying them are reported in
+//! [`InvariantReport::skipped_transitions`] and the invariants returned are
+//! those of the sub-net without them (still sound: any invariant of the full
+//! net is an invariant of the sub-net, and the report lets callers check
+//! whether the skipped transitions also preserve the invariant — see
+//! [`InvariantReport::verified_on`]).
+
+use crate::expr::Expr;
+use crate::marking::Marking;
+use crate::net::{PetriNet, Transition};
+
+/// A place invariant: non-negative integer weights per place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaceInvariant {
+    /// Weight of each place (indexed like markings).
+    pub weights: Vec<u64>,
+}
+
+impl PlaceInvariant {
+    /// The invariant's weighted token sum in a marking.
+    pub fn value(&self, marking: &Marking) -> u64 {
+        self.weights
+            .iter()
+            .zip(marking.iter())
+            .map(|(&w, &t)| w * u64::from(t))
+            .sum()
+    }
+
+    /// Places with non-zero weight.
+    pub fn support(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Result of the invariant computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Generating set of minimal-support place invariants of the
+    /// constant-multiplicity sub-net.
+    pub invariants: Vec<PlaceInvariant>,
+    /// Indices of transitions excluded because an arc multiplicity is
+    /// marking-dependent.
+    pub skipped_transitions: Vec<usize>,
+}
+
+impl InvariantReport {
+    /// Verifies that every invariant holds across a set of markings (e.g.
+    /// the tangible markings of a reachability graph), which in particular
+    /// covers the effects of any skipped transitions.
+    pub fn verified_on<'a, I: IntoIterator<Item = &'a Marking>>(&self, markings: I) -> bool {
+        let mut iter = markings.into_iter();
+        let Some(first) = iter.next() else {
+            return true;
+        };
+        let reference: Vec<u64> = self.invariants.iter().map(|inv| inv.value(first)).collect();
+        iter.all(|m| {
+            self.invariants
+                .iter()
+                .zip(&reference)
+                .all(|(inv, &expected)| inv.value(m) == expected)
+        })
+    }
+}
+
+/// Computes a generating set of place invariants of `net`.
+///
+/// Transitions with marking-dependent arc multiplicities are skipped (see
+/// the module docs).
+///
+/// # Example
+///
+/// ```
+/// use nvp_petri::invariants::place_invariants;
+/// use nvp_petri::net::{NetBuilder, TransitionKind};
+///
+/// # fn main() -> Result<(), nvp_petri::PetriError> {
+/// let mut b = NetBuilder::new("cycle");
+/// let up = b.place("Up", 1);
+/// let down = b.place("Down", 0);
+/// b.transition("fail", TransitionKind::exponential_rate(0.1))?
+///     .input(up, 1)
+///     .output(down, 1);
+/// b.transition("repair", TransitionKind::exponential_rate(1.0))?
+///     .input(down, 1)
+///     .output(up, 1);
+/// let report = place_invariants(&b.build()?);
+/// assert_eq!(report.invariants.len(), 1); // Up + Down is conserved
+/// # Ok(())
+/// # }
+/// ```
+pub fn place_invariants(net: &PetriNet) -> InvariantReport {
+    let n_places = net.places().len();
+    let mut skipped = Vec::new();
+    let mut columns: Vec<Vec<i64>> = Vec::new();
+    for (idx, tr) in net.transitions().iter().enumerate() {
+        match incidence_column(tr, n_places) {
+            Some(col) => {
+                if col.iter().any(|&v| v != 0) {
+                    columns.push(col);
+                }
+            }
+            None => skipped.push(idx),
+        }
+    }
+
+    // Farkas algorithm: rows are candidate invariants [identity | yT C].
+    // Iteratively eliminate each incidence column by combining rows with
+    // opposite signs and keeping rows with zero entry.
+    let mut rows: Vec<(Vec<u64>, Vec<i64>)> = (0..n_places)
+        .map(|p| {
+            let mut y = vec![0u64; n_places];
+            y[p] = 1;
+            let c: Vec<i64> = columns.iter().map(|col| col[p]).collect();
+            (y, c)
+        })
+        .collect();
+
+    for col_idx in 0..columns.len() {
+        let mut next: Vec<(Vec<u64>, Vec<i64>)> = Vec::new();
+        // Keep rows already zero in this column.
+        for row in &rows {
+            if row.1[col_idx] == 0 {
+                next.push(row.clone());
+            }
+        }
+        // Combine each positive row with each negative row.
+        let positives: Vec<&(Vec<u64>, Vec<i64>)> =
+            rows.iter().filter(|r| r.1[col_idx] > 0).collect();
+        let negatives: Vec<&(Vec<u64>, Vec<i64>)> =
+            rows.iter().filter(|r| r.1[col_idx] < 0).collect();
+        for p in &positives {
+            for q in &negatives {
+                let a = p.1[col_idx].unsigned_abs();
+                let b = q.1[col_idx].unsigned_abs();
+                let g = gcd(a, b);
+                let (ma, mb) = (b / g, a / g);
+                let y: Vec<u64> =
+                    p.0.iter()
+                        .zip(&q.0)
+                        .map(|(&yp, &yq)| yp * ma + yq * mb)
+                        .collect();
+                let c: Vec<i64> =
+                    p.1.iter()
+                        .zip(&q.1)
+                        .map(|(&cp, &cq)| cp * ma as i64 + cq * mb as i64)
+                        .collect();
+                next.push((normalize(y), c));
+            }
+        }
+        dedup_and_minimize(&mut next);
+        rows = next;
+    }
+
+    let invariants = rows
+        .into_iter()
+        .map(|(weights, _)| PlaceInvariant { weights })
+        .filter(|inv| inv.weights.iter().any(|&w| w > 0))
+        .collect();
+    InvariantReport {
+        invariants,
+        skipped_transitions: skipped,
+    }
+}
+
+/// Incidence column of one transition, or `None` if any arc multiplicity is
+/// marking-dependent (non-constant expression).
+fn incidence_column(tr: &Transition, n_places: usize) -> Option<Vec<i64>> {
+    let mut col = vec![0i64; n_places];
+    for arc in &tr.inputs {
+        col[arc.place.index()] -= constant_weight(&arc.weight)?;
+    }
+    for arc in &tr.outputs {
+        col[arc.place.index()] += constant_weight(&arc.weight)?;
+    }
+    Some(col)
+}
+
+fn constant_weight(expr: &Expr) -> Option<i64> {
+    match expr {
+        Expr::Const(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= i64::MAX as f64 => Some(*v as i64),
+        _ => None,
+    }
+}
+
+/// Divides a weight vector by its gcd.
+fn normalize(mut y: Vec<u64>) -> Vec<u64> {
+    let g = y.iter().copied().filter(|&v| v > 0).fold(0, gcd);
+    if g > 1 {
+        for v in &mut y {
+            *v /= g;
+        }
+    }
+    y
+}
+
+/// Removes duplicate rows and rows whose support strictly contains another
+/// row's support (keeping minimal-support invariants).
+fn dedup_and_minimize(rows: &mut Vec<(Vec<u64>, Vec<i64>)>) {
+    rows.sort();
+    rows.dedup();
+    let supports: Vec<Vec<bool>> = rows
+        .iter()
+        .map(|(y, _)| y.iter().map(|&w| w > 0).collect())
+        .collect();
+    let mut keep = vec![true; rows.len()];
+    for i in 0..rows.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..rows.len() {
+            if i == j || !keep[i] {
+                continue;
+            }
+            // Drop i if j's support is a strict subset of i's support.
+            let j_subset_of_i = supports[j]
+                .iter()
+                .zip(&supports[i])
+                .all(|(&sj, &si)| !sj || si);
+            let strict = supports[j] != supports[i];
+            let j_nonempty = supports[j].iter().any(|&s| s);
+            if j_subset_of_i && strict && j_nonempty && keep[j] {
+                keep[i] = false;
+            }
+        }
+    }
+    let mut idx = 0;
+    rows.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, TransitionKind};
+
+    #[test]
+    fn updown_net_has_conservation_invariant() {
+        let mut b = NetBuilder::new("updown");
+        let up = b.place("Up", 1);
+        let down = b.place("Down", 0);
+        b.transition("fail", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(up, 1)
+            .output(down, 1);
+        b.transition("repair", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(down, 1)
+            .output(up, 1);
+        let net = b.build().unwrap();
+        let report = place_invariants(&net);
+        assert!(report.skipped_transitions.is_empty());
+        assert_eq!(report.invariants.len(), 1);
+        assert_eq!(report.invariants[0].weights, vec![1, 1]);
+        assert_eq!(
+            report.invariants[0].value(&net.initial_marking()),
+            1,
+            "Up + Down = 1"
+        );
+    }
+
+    #[test]
+    fn weighted_invariant_is_found() {
+        // t consumes 1 from A and produces 2 in B: invariant 2·A + B.
+        let mut b = NetBuilder::new("weighted");
+        let a = b.place("A", 3);
+        let c = b.place("B", 0);
+        b.transition("t", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(a, 1)
+            .output(c, 2);
+        b.transition("back", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(c, 2)
+            .output(a, 1);
+        let net = b.build().unwrap();
+        let report = place_invariants(&net);
+        assert_eq!(report.invariants.len(), 1);
+        assert_eq!(report.invariants[0].weights, vec![2, 1]);
+    }
+
+    #[test]
+    fn source_transition_kills_invariants() {
+        // A transition that creates tokens from nothing: no invariant can
+        // cover its output place.
+        let mut b = NetBuilder::new("source");
+        let a = b.place("A", 0);
+        let z = b.place("Z", 1);
+        b.transition("gen", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .output(a, 1);
+        b.transition("spin", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(z, 1)
+            .output(z, 1);
+        let net = b.build().unwrap();
+        let report = place_invariants(&net);
+        assert_eq!(report.invariants.len(), 1);
+        assert_eq!(
+            report.invariants[0].support(),
+            vec![1],
+            "only Z is conserved"
+        );
+    }
+
+    #[test]
+    fn independent_cycles_give_independent_invariants() {
+        let mut b = NetBuilder::new("two-cycles");
+        let a1 = b.place("A1", 1);
+        let a2 = b.place("A2", 0);
+        let b1 = b.place("B1", 2);
+        let b2 = b.place("B2", 0);
+        for (name, from, to) in [
+            ("ta", a1, a2),
+            ("ta2", a2, a1),
+            ("tb", b1, b2),
+            ("tb2", b2, b1),
+        ] {
+            b.transition(name, TransitionKind::exponential_rate(1.0))
+                .unwrap()
+                .input(from, 1)
+                .output(to, 1);
+        }
+        let net = b.build().unwrap();
+        let report = place_invariants(&net);
+        assert_eq!(report.invariants.len(), 2);
+        let supports: Vec<Vec<usize>> = report.invariants.iter().map(|i| i.support()).collect();
+        assert!(supports.contains(&vec![0, 1]));
+        assert!(supports.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn marking_dependent_arcs_are_skipped_but_verifiable() {
+        let mut b = NetBuilder::new("flush");
+        let a = b.place("A", 2);
+        let c = b.place("B", 0);
+        b.transition("move", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(a, 1)
+            .output(c, 1);
+        b.transition("flush", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .guard(crate::expr::Expr::parse("#B > 0").unwrap())
+            .input_expr(c, crate::expr::Expr::parse("#B").unwrap())
+            .output_expr(a, crate::expr::Expr::parse("#B").unwrap());
+        let net = b.build().unwrap();
+        let report = place_invariants(&net);
+        assert_eq!(report.skipped_transitions, vec![1]);
+        // The A + B invariant of the sub-net also holds on the full
+        // reachability graph (the flush preserves it too).
+        let graph = crate::reach::explore(&net, 100).unwrap();
+        assert!(report.verified_on(graph.markings()));
+    }
+
+    #[test]
+    fn verified_on_detects_violation() {
+        let inv = PlaceInvariant {
+            weights: vec![1, 1],
+        };
+        let report = InvariantReport {
+            invariants: vec![inv],
+            skipped_transitions: vec![],
+        };
+        let m1 = Marking::new(vec![1, 0]);
+        let m2 = Marking::new(vec![1, 1]); // sum differs
+        assert!(report.verified_on([&m1, &m1]));
+        assert!(!report.verified_on([&m1, &m2]));
+        assert!(report.verified_on(std::iter::empty::<&Marking>()));
+    }
+
+    #[test]
+    fn gcd_and_normalize() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(normalize(vec![4, 6, 0]), vec![2, 3, 0]);
+        assert_eq!(normalize(vec![3, 5]), vec![3, 5]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Deterministic and Stochastic Petri Nets (DSPNs).
+//!
+//! This crate is the modeling substrate of the `nvp-perception` workspace: a
+//! from-scratch replacement for the parts of the TimeNET tool that the paper
+//! relies on. It provides
+//!
+//! * [`expr`] — a marking-expression language (`#Place`, arithmetic,
+//!   comparisons, `if(c, a, b)`, `min`, `max`) used for guard functions,
+//!   marking-dependent firing weights, rates, delays, and arc multiplicities
+//!   — the notation of the paper's Table I;
+//! * [`net`] — the net structure: places, immediate / exponential /
+//!   deterministic transitions, input, output and inhibitor arcs, priorities;
+//! * [`marking`] — token vectors;
+//! * [`reach`] — reachability analysis that eliminates *vanishing* markings
+//!   (those enabling immediate transitions) and produces the tangible
+//!   reachability graph consumed by the `nvp-mrgp` steady-state solver and
+//!   the `nvp-sim` simulator.
+//!
+//! # DSPN semantics implemented here
+//!
+//! * **Immediate transitions** fire in zero time. When several are enabled,
+//!   the highest priority class fires; within a class the choice is
+//!   probabilistic with normalized (marking-dependent) weights.
+//! * **Exponential transitions** fire after an exponentially distributed
+//!   delay; the rate expression is evaluated on the current marking
+//!   (*single-server* semantics — encode infinite-server behaviour by making
+//!   the rate marking-dependent, e.g. `0.5 * #P`).
+//! * **Deterministic transitions** fire after a fixed delay with *enabling
+//!   memory*: the elapsed enabling time is kept across exponential firings
+//!   while the transition stays enabled, and reset when it is disabled.
+//!   The steady-state solver requires at most one deterministic transition
+//!   enabled in any tangible marking (the classic DSPN restriction).
+//!
+//! # Example
+//!
+//! A two-place failure/repair net:
+//!
+//! ```
+//! use nvp_petri::net::{NetBuilder, TransitionKind};
+//! use nvp_petri::reach::explore;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetBuilder::new("fail-repair");
+//! let up = b.place("Up", 1);
+//! let down = b.place("Down", 0);
+//! b.transition("fail", TransitionKind::exponential_rate(0.01))?
+//!     .input(up, 1)
+//!     .output(down, 1);
+//! b.transition("repair", TransitionKind::exponential_rate(1.0))?
+//!     .input(down, 1)
+//!     .output(up, 1);
+//! let net = b.build()?;
+//! let graph = explore(&net, 1_000)?;
+//! assert_eq!(graph.tangible_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod error;
+pub mod expr;
+pub mod invariants;
+pub mod marking;
+pub mod net;
+pub mod reach;
+pub mod scc;
+pub mod text;
+
+pub use error::PetriError;
+
+/// Convenient result alias for fallible Petri-net operations.
+pub type Result<T> = std::result::Result<T, PetriError>;

@@ -1,0 +1,550 @@
+//! A line-oriented textual format for DSPN models.
+//!
+//! TimeNET models live in XML files; this crate's equivalent is a minimal
+//! plain-text format that round-trips through [`parse_net`] / [`to_text`]:
+//!
+//! ```text
+//! # comments start with `#` at the beginning of a line
+//! net fail-repair
+//!
+//! place Up 1
+//! place Down 0
+//!
+//! transition fail exponential rate = 0.01
+//!   input Up
+//!   output Down
+//!
+//! transition repair exponential rate = 1.0
+//!   input Down
+//!   output Up
+//!
+//! transition service deterministic delay = 600
+//!   guard #Up > 0
+//!
+//! transition pick immediate weight = #Up / (#Up + #Down) priority = 2
+//!   input Up
+//!   output Up 2
+//! ```
+//!
+//! * `place NAME INITIAL` declares a place.
+//! * `transition NAME KIND ...` starts a transition; `KIND` is `immediate`
+//!   (optional `weight = EXPR` and `priority = N`), `exponential`
+//!   (`rate = EXPR`) or `deterministic` (`delay = EXPR`).
+//! * Subsequent `guard EXPR`, `input PLACE [EXPR]`, `output PLACE [EXPR]`
+//!   and `inhibitor PLACE [EXPR]` lines attach to the most recent
+//!   transition; arc multiplicity defaults to 1.
+//! * Indentation is optional; blank lines and `#` comments are ignored.
+
+use crate::expr::Expr;
+use crate::net::{NetBuilder, PetriNet, TransitionKind};
+use crate::{PetriError, Result};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses a net from its textual description.
+///
+/// # Errors
+///
+/// [`PetriError::ExprParse`] with a 1-based *line* number in the `position`
+/// field for malformed directives, plus the usual net-construction errors
+/// (duplicate names, unknown places in expressions).
+pub fn parse_net(input: &str) -> Result<PetriNet> {
+    let mut name: Option<String> = None;
+    let mut places: Vec<(String, u32)> = Vec::new();
+    // Transitions are collected first so arc place references can be
+    // resolved against the complete place list regardless of order.
+    struct PendingTransition {
+        name: String,
+        kind: TransitionKind,
+        guard: Option<Expr>,
+        arcs: Vec<(ArcKind, String, Option<Expr>, usize)>,
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum ArcKind {
+        Input,
+        Output,
+        Inhibitor,
+    }
+    let mut transitions: Vec<PendingTransition> = Vec::new();
+
+    for (line_no, raw) in input.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| PetriError::ExprParse {
+            position: line_no,
+            message,
+        };
+        let (keyword, rest) = split_word(line);
+        match keyword {
+            "net" => {
+                if rest.is_empty() {
+                    return Err(err("`net` requires a name".into()));
+                }
+                if name.is_some() {
+                    return Err(err("duplicate `net` directive".into()));
+                }
+                name = Some(rest.to_string());
+            }
+            "place" => {
+                let (pname, init) = split_word(rest);
+                if pname.is_empty() {
+                    return Err(err("`place` requires a name and initial count".into()));
+                }
+                let initial: u32 = init
+                    .trim()
+                    .parse()
+                    .map_err(|e| err(format!("bad initial token count `{init}`: {e}")))?;
+                places.push((pname.to_string(), initial));
+            }
+            "transition" => {
+                let (tname, spec) = split_word(rest);
+                if tname.is_empty() {
+                    return Err(err("`transition` requires a name".into()));
+                }
+                let (kind_word, params) = split_word(spec);
+                let options = parse_options(params, line_no)?;
+                let kind = match kind_word {
+                    "immediate" => {
+                        let weight = options
+                            .get("weight")
+                            .cloned()
+                            .map(|src| Expr::parse(&src))
+                            .transpose()?
+                            .unwrap_or(Expr::Const(1.0));
+                        let priority = match options.get("priority") {
+                            Some(p) => p
+                                .trim()
+                                .parse()
+                                .map_err(|e| err(format!("bad priority `{p}`: {e}")))?,
+                            None => 1,
+                        };
+                        check_options(&options, &["weight", "priority"], line_no)?;
+                        TransitionKind::Immediate { weight, priority }
+                    }
+                    "exponential" => {
+                        let rate = options.get("rate").ok_or_else(|| {
+                            err("exponential transition needs `rate = EXPR`".into())
+                        })?;
+                        check_options(&options, &["rate"], line_no)?;
+                        TransitionKind::Exponential {
+                            rate: Expr::parse(rate)?,
+                        }
+                    }
+                    "deterministic" => {
+                        let delay = options.get("delay").ok_or_else(|| {
+                            err("deterministic transition needs `delay = EXPR`".into())
+                        })?;
+                        check_options(&options, &["delay"], line_no)?;
+                        TransitionKind::Deterministic {
+                            delay: Expr::parse(delay)?,
+                        }
+                    }
+                    other => {
+                        return Err(err(format!(
+                            "unknown transition kind `{other}` \
+                             (immediate | exponential | deterministic)"
+                        )));
+                    }
+                };
+                transitions.push(PendingTransition {
+                    name: tname.to_string(),
+                    kind,
+                    guard: None,
+                    arcs: Vec::new(),
+                });
+            }
+            "guard" => {
+                let t = transitions
+                    .last_mut()
+                    .ok_or_else(|| err("`guard` before any transition".into()))?;
+                if t.guard.is_some() {
+                    return Err(err(format!("duplicate guard on `{}`", t.name)));
+                }
+                t.guard = Some(Expr::parse(rest)?);
+            }
+            "input" | "output" | "inhibitor" => {
+                let t = transitions
+                    .last_mut()
+                    .ok_or_else(|| err(format!("`{keyword}` before any transition")))?;
+                let (pname, mult) = split_word(rest);
+                if pname.is_empty() {
+                    return Err(err(format!("`{keyword}` requires a place name")));
+                }
+                let weight = if mult.trim().is_empty() {
+                    None
+                } else {
+                    Some(Expr::parse(mult)?)
+                };
+                let kind = match keyword {
+                    "input" => ArcKind::Input,
+                    "output" => ArcKind::Output,
+                    _ => ArcKind::Inhibitor,
+                };
+                t.arcs.push((kind, pname.to_string(), weight, line_no));
+            }
+            other => {
+                return Err(err(format!("unknown directive `{other}`")));
+            }
+        }
+    }
+
+    let mut builder = NetBuilder::new(name.unwrap_or_else(|| "unnamed".to_string()));
+    let mut place_ids = HashMap::new();
+    for (pname, initial) in places {
+        let id = builder.place(pname.clone(), initial);
+        place_ids.insert(pname, id);
+    }
+    for t in transitions {
+        let mut handle = builder.transition(t.name.clone(), t.kind)?;
+        if let Some(g) = t.guard {
+            handle.guard(g);
+        }
+        for (kind, pname, weight, line_no) in t.arcs {
+            let place = *place_ids.get(&pname).ok_or(PetriError::ExprParse {
+                position: line_no,
+                message: format!("arc of `{}` references unknown place `{pname}`", t.name),
+            })?;
+            let weight = weight.unwrap_or(Expr::Const(1.0));
+            match kind {
+                ArcKind::Input => handle.input_expr(place, weight),
+                ArcKind::Output => handle.output_expr(place, weight),
+                ArcKind::Inhibitor => handle.inhibitor_expr(place, weight),
+            };
+        }
+    }
+    builder.build()
+}
+
+/// Serializes a net into the textual format accepted by [`parse_net`].
+pub fn to_text(net: &PetriNet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "net {}", net.name());
+    out.push('\n');
+    for p in net.places() {
+        let _ = writeln!(out, "place {} {}", p.name, p.initial);
+    }
+    for t in net.transitions() {
+        out.push('\n');
+        match &t.kind {
+            TransitionKind::Immediate { weight, priority } => {
+                let _ = writeln!(
+                    out,
+                    "transition {} immediate weight = {} priority = {priority}",
+                    t.name,
+                    unbind(weight, net)
+                );
+            }
+            TransitionKind::Exponential { rate } => {
+                let _ = writeln!(
+                    out,
+                    "transition {} exponential rate = {}",
+                    t.name,
+                    unbind(rate, net)
+                );
+            }
+            TransitionKind::Deterministic { delay } => {
+                let _ = writeln!(
+                    out,
+                    "transition {} deterministic delay = {}",
+                    t.name,
+                    unbind(delay, net)
+                );
+            }
+        }
+        if let Some(g) = &t.guard {
+            let _ = writeln!(out, "  guard {}", unbind(g, net));
+        }
+        for (label, arcs) in [
+            ("input", &t.inputs),
+            ("output", &t.outputs),
+            ("inhibitor", &t.inhibitors),
+        ] {
+            for arc in arcs {
+                let place = &net.places()[arc.place.index()].name;
+                let _ = writeln!(out, "  {label} {place} {}", unbind(&arc.weight, net));
+            }
+        }
+    }
+    out
+}
+
+/// Replaces bound place indices with their names so the rendered expression
+/// is parseable again.
+fn unbind(expr: &Expr, net: &PetriNet) -> Expr {
+    match expr {
+        Expr::Const(v) => Expr::Const(*v),
+        Expr::Tokens(name) => Expr::Tokens(name.clone()),
+        Expr::TokensIdx(i) => Expr::Tokens(
+            net.places()
+                .get(*i)
+                .map(|p| p.name.clone())
+                .unwrap_or_else(|| format!("__place_{i}")),
+        ),
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(unbind(e, net))),
+        Expr::Binary(op, a, b) => {
+            Expr::Binary(*op, Box::new(unbind(a, net)), Box::new(unbind(b, net)))
+        }
+        Expr::If(c, t, e) => Expr::If(
+            Box::new(unbind(c, net)),
+            Box::new(unbind(t, net)),
+            Box::new(unbind(e, net)),
+        ),
+        Expr::Min(a, b) => Expr::Min(Box::new(unbind(a, net)), Box::new(unbind(b, net))),
+        Expr::Max(a, b) => Expr::Max(Box::new(unbind(a, net)), Box::new(unbind(b, net))),
+    }
+}
+
+/// Splits off the first whitespace-delimited word.
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim();
+    match s.find(char::is_whitespace) {
+        Some(idx) => (&s[..idx], s[idx..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+/// Parses `key = value key2 = value2 ...` where values run until the next
+/// known key. Since values are expressions that may contain spaces, the
+/// recognized keys are fixed: `weight`, `priority`, `rate`, `delay`.
+fn parse_options(s: &str, line_no: usize) -> Result<HashMap<String, String>> {
+    const KEYS: [&str; 4] = ["weight", "priority", "rate", "delay"];
+    let mut out = HashMap::new();
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = tokens[i];
+        if !KEYS.contains(&key) {
+            return Err(PetriError::ExprParse {
+                position: line_no,
+                message: format!("expected one of {KEYS:?}, found `{key}`"),
+            });
+        }
+        if tokens.get(i + 1) != Some(&"=") {
+            return Err(PetriError::ExprParse {
+                position: line_no,
+                message: format!("expected `=` after `{key}`"),
+            });
+        }
+        let mut j = i + 2;
+        let mut value = String::new();
+        while j < tokens.len() && !(KEYS.contains(&tokens[j]) && tokens.get(j + 1) == Some(&"=")) {
+            if !value.is_empty() {
+                value.push(' ');
+            }
+            value.push_str(tokens[j]);
+            j += 1;
+        }
+        if value.is_empty() {
+            return Err(PetriError::ExprParse {
+                position: line_no,
+                message: format!("missing value for `{key}`"),
+            });
+        }
+        out.insert(key.to_string(), value);
+        i = j;
+    }
+    Ok(out)
+}
+
+fn check_options(
+    options: &HashMap<String, String>,
+    allowed: &[&str],
+    line_no: usize,
+) -> Result<()> {
+    for key in options.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(PetriError::ExprParse {
+                position: line_no,
+                message: format!("option `{key}` not valid here (allowed: {allowed:?})"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::explore;
+
+    const FAIL_REPAIR: &str = "\
+# a small repairable system
+net fail-repair
+
+place Up 1
+place Down 0
+
+transition fail exponential rate = 0.01
+  input Up
+  output Down
+
+transition repair exponential rate = 1.0
+  input Down
+  output Up
+";
+
+    #[test]
+    fn parses_simple_net() {
+        let net = parse_net(FAIL_REPAIR).unwrap();
+        assert_eq!(net.name(), "fail-repair");
+        assert_eq!(net.places().len(), 2);
+        assert_eq!(net.transitions().len(), 2);
+        let g = explore(&net, 100).unwrap();
+        assert_eq!(g.tangible_count(), 2);
+    }
+
+    #[test]
+    fn parses_all_transition_kinds_and_arcs() {
+        let src = "\
+net kinds
+place A 2
+place B 0
+transition t1 immediate weight = #A / (#A + 1) priority = 3
+  guard #A > 0
+  input A
+  output B 2
+transition t2 deterministic delay = 12.5
+  input B #B
+  output A #B
+transition t3 exponential rate = 0.5 * #A
+  input A
+  output A
+  inhibitor B 3
+";
+        let net = parse_net(src).unwrap();
+        assert_eq!(net.transitions().len(), 3);
+        let t1 = &net.transitions()[0];
+        assert!(matches!(
+            t1.kind,
+            TransitionKind::Immediate { priority: 3, .. }
+        ));
+        assert!(t1.guard.is_some());
+        let t2 = &net.transitions()[1];
+        assert!(matches!(t2.kind, TransitionKind::Deterministic { .. }));
+        let t3 = &net.transitions()[2];
+        assert_eq!(t3.inhibitors.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let net1 = parse_net(FAIL_REPAIR).unwrap();
+        let text = to_text(&net1);
+        let net2 = parse_net(&text).unwrap();
+        assert_eq!(net1.name(), net2.name());
+        assert_eq!(net1.places(), net2.places());
+        assert_eq!(net1.transitions().len(), net2.transitions().len());
+        for (a, b) in net1.transitions().iter().zip(net2.transitions()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.inputs.len(), b.inputs.len());
+            assert_eq!(a.outputs.len(), b.outputs.len());
+        }
+    }
+
+    #[test]
+    fn roundtrips_the_paper_rejuvenation_net() {
+        // The hardest real net in the workspace: guards, marking-dependent
+        // weights and arc multiplicities, a deterministic clock.
+        let params = nvp_core_params_equivalent();
+        let text = to_text(&params);
+        let reparsed = parse_net(&text).unwrap();
+        // Behaviour equivalence: identical tangible graphs.
+        let g1 = explore(&params, 100_000).unwrap();
+        let g2 = explore(&reparsed, 100_000).unwrap();
+        assert_eq!(g1.tangible_count(), g2.tangible_count());
+        for m in g1.markings() {
+            assert!(g2.index_of(m).is_some(), "marking {m} lost in round-trip");
+        }
+    }
+
+    /// Builds a copy of the paper's six-version rejuvenation net without
+    /// depending on `nvp-core` (which would be a cyclic dev-dependency).
+    fn nvp_core_params_equivalent() -> PetriNet {
+        let src = "\
+net six-version-rejuvenation
+place Pmh 6
+place Pmc 0
+place Pmf 0
+place Pmr 0
+place Pac 0
+place Prc 1
+place Ptr 0
+transition Tc exponential rate = 0.00065659
+  input Pmh
+  output Pmc
+transition Tf exponential rate = 0.00033333
+  input Pmc
+  output Pmf
+transition Tr exponential rate = 0.33333333
+  input Pmf
+  output Pmh
+transition Trc deterministic delay = 600
+  input Prc
+  output Ptr
+transition Tac immediate weight = 1 priority = 3
+  guard #Ptr == 1 && (#Pac + #Pmr) < 1
+  output Pac
+transition Trj1 immediate weight = if(#Pmc == 0, 0.00001, #Pmc / (#Pmc + #Pmh)) priority = 2
+  guard (#Pmf + #Pmr) < 1
+  input Pmc
+  input Pac
+  output Pmr
+transition Trj2 immediate weight = if(#Pmh == 0, 0.00001, #Pmh / (#Pmc + #Pmh)) priority = 2
+  guard (#Pmf + #Pmr) < 1
+  input Pmh
+  input Pac
+  output Pmr
+transition Trt immediate weight = 1 priority = 1
+  guard (#Pmr + #Pac) > 0
+  input Ptr
+  input Pac #Pac
+  output Prc
+transition Trj exponential rate = 1 / (3 * #Pmr)
+  guard #Pmr > 0
+  input Pmr #Pmr
+  output Pmh #Pmr
+";
+        parse_net(src).unwrap()
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        for (src, expect_line) in [
+            ("place", 1),
+            ("net a\nnet b", 2),
+            ("place P x", 1),
+            ("bogus directive", 1),
+            ("transition t warp speed = 1", 1),
+            ("transition t exponential", 1),
+            ("transition t deterministic rate = 1", 1),
+            ("guard #A > 0", 1),
+            ("net x\nplace A 1\ntransition t immediate\n  input B", 4),
+            ("transition t exponential rate = ", 1),
+            ("transition t immediate weight 3", 1),
+        ] {
+            match parse_net(src) {
+                Err(PetriError::ExprParse { position, .. }) => {
+                    assert_eq!(position, expect_line, "for source: {src}");
+                }
+                other => panic!("expected line-tagged error for `{src}`, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn default_multiplicity_is_one() {
+        let net = parse_net(FAIL_REPAIR).unwrap();
+        let t = &net.transitions()[0];
+        assert_eq!(t.inputs[0].weight, Expr::Const(1.0));
+    }
+
+    #[test]
+    fn missing_net_name_defaults() {
+        let net =
+            parse_net("place A 1\ntransition t exponential rate = 1\n  input A\n  output A\n")
+                .unwrap();
+        assert_eq!(net.name(), "unnamed");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the marking-expression language.
+
+use nvp_petri::expr::{BinOp, Expr, UnaryOp};
+use nvp_petri::marking::Marking;
+use proptest::prelude::*;
+
+/// Strategy: random expression trees over places 0..3 (bounded depth).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    // Constants are kept non-negative: a negative literal prints as `-c`,
+    // which the parser (correctly) reads back as `Neg(Const(c))` — the same
+    // value but a different tree. Negative values are generated through the
+    // explicit `Neg` node instead.
+    let leaf = prop_oneof![
+        (0.0..100.0f64).prop_map(|v| Expr::Const((v * 100.0).round() / 100.0)),
+        (0usize..3).prop_map(|i| Expr::Tokens(format!("P{i}"))),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (any::<u8>(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| {
+                let op = match op % 12 {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    3 => BinOp::Div,
+                    4 => BinOp::Lt,
+                    5 => BinOp::Le,
+                    6 => BinOp::Gt,
+                    7 => BinOp::Ge,
+                    8 => BinOp::Eq,
+                    9 => BinOp::Ne,
+                    10 => BinOp::And,
+                    _ => BinOp::Or,
+                };
+                Expr::Binary(op, Box::new(a), Box::new(b))
+            }),
+            (any::<bool>(), inner.clone()).prop_map(|(neg, e)| {
+                Expr::Unary(if neg { UnaryOp::Neg } else { UnaryOp::Not }, Box::new(e))
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn bind(e: &Expr) -> Expr {
+    e.bind(&|name| name.strip_prefix('P').and_then(|d| d.parse().ok()))
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display -> parse round-trips every expression tree.
+    #[test]
+    fn display_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = Expr::parse(&printed)
+            .unwrap_or_else(|err| panic!("printed `{printed}` failed to parse: {err}"));
+        prop_assert_eq!(&reparsed, &e, "round-trip of `{}`", printed);
+    }
+
+    /// Round-tripped expressions evaluate identically.
+    #[test]
+    fn roundtrip_preserves_value(e in arb_expr(), tokens in prop::collection::vec(0u32..50, 3)) {
+        let m = Marking::new(tokens);
+        let reparsed = Expr::parse(&e.to_string()).unwrap();
+        let v1 = bind(&e).eval(&m).unwrap();
+        let v2 = bind(&reparsed).eval(&m).unwrap();
+        // NaN == NaN for our purposes (division by zero subtrees).
+        prop_assert!(v1 == v2 || (v1.is_nan() && v2.is_nan()), "{v1} vs {v2}");
+    }
+
+    /// Boolean-producing operators only ever yield 0 or 1.
+    #[test]
+    fn comparisons_are_boolean(
+        a in -100.0..100.0f64,
+        b in -100.0..100.0f64,
+    ) {
+        for op in [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne, BinOp::And, BinOp::Or] {
+            let e = Expr::Binary(op, Box::new(Expr::Const(a)), Box::new(Expr::Const(b)));
+            let v = e.eval(&Marking::new(vec![])).unwrap();
+            prop_assert!(v == 0.0 || v == 1.0);
+        }
+    }
+
+    /// `place_names` lists exactly the places that binding requires.
+    #[test]
+    fn place_names_match_binding_requirements(e in arb_expr()) {
+        let names: std::collections::HashSet<&str> = e.place_names().into_iter().collect();
+        // Binding with a resolver that only knows the collected names must
+        // succeed...
+        let ok = e.bind(&|n| {
+            names.contains(n).then(|| {
+                n.strip_prefix('P').and_then(|d| d.parse().ok()).unwrap_or(0)
+            })
+        });
+        prop_assert!(ok.is_ok());
+        // ...and if any name is withheld, binding must fail.
+        if let Some(&missing) = names.iter().next() {
+            let err = e.bind(&|n| {
+                (n != missing && names.contains(n)).then_some(0)
+            });
+            prop_assert!(err.is_err());
+        }
+    }
+}

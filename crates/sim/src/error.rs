@@ -1,0 +1,74 @@
+//! Error type for the simulation crate.
+
+use std::fmt;
+
+/// Errors produced by the simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A simulation option was outside its valid domain.
+    InvalidOption {
+        /// Name of the option.
+        what: &'static str,
+        /// Description of the violated constraint.
+        constraint: String,
+    },
+    /// A Petri-net operation failed during simulation.
+    Petri(nvp_petri::PetriError),
+    /// A model operation failed.
+    Core(nvp_core::CoreError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidOption { what, constraint } => {
+                write!(f, "invalid simulation option {what}: {constraint}")
+            }
+            SimError::Petri(e) => write!(f, "petri net error: {e}"),
+            SimError::Core(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Petri(e) => Some(e),
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nvp_petri::PetriError> for SimError {
+    fn from(e: nvp_petri::PetriError) -> Self {
+        SimError::Petri(e)
+    }
+}
+
+impl From<nvp_core::CoreError> for SimError {
+    fn from(e: nvp_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants = vec![
+            SimError::InvalidOption {
+                what: "horizon",
+                constraint: "must be positive".into(),
+            },
+            SimError::Petri(nvp_petri::PetriError::NoTangibleMarking),
+            SimError::Core(nvp_core::CoreError::UnsupportedConfiguration { what: "x".into() }),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! First-passage-time estimation by independent replications.
+//!
+//! Complements `nvp-core::dependability::mean_time_to_quorum_loss`, which is
+//! analytic but restricted to exponential-only models: the replication
+//! estimator works for *any* net the simulator can run, including the
+//! rejuvenating models with their deterministic clock.
+
+use crate::dspn::DspnSimulator;
+use crate::stats::{batch_means_estimate, Estimate};
+use crate::{Result, SimError};
+use nvp_petri::marking::Marking;
+use nvp_petri::net::PetriNet;
+
+/// Options for [`first_passage_time`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FirstPassageOptions {
+    /// Number of independent replications.
+    pub replications: usize,
+    /// Base RNG seed; replication `i` uses `seed + i`.
+    pub seed: u64,
+    /// Per-replication time cap. Replications that never satisfy the
+    /// predicate within the cap are *censored* and reported separately.
+    pub max_time: f64,
+}
+
+impl Default for FirstPassageOptions {
+    fn default() -> Self {
+        FirstPassageOptions {
+            replications: 200,
+            seed: 7,
+            max_time: 1e9,
+        }
+    }
+}
+
+/// Result of a first-passage estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstPassage {
+    /// Estimate over the *uncensored* replications.
+    pub time: Estimate,
+    /// Number of replications that hit the predicate.
+    pub hits: usize,
+    /// Number of replications censored at `max_time`.
+    pub censored: usize,
+}
+
+/// Estimates the expected time from the initial marking until `predicate`
+/// first holds in a tangible marking.
+///
+/// The predicate is evaluated on every tangible sojourn's marking; the
+/// passage time recorded is the *start* of the first satisfying sojourn.
+///
+/// # Errors
+///
+/// Option-validation and simulation errors.
+pub fn first_passage_time<F: Fn(&Marking) -> bool>(
+    net: &PetriNet,
+    predicate: F,
+    options: &FirstPassageOptions,
+) -> Result<FirstPassage> {
+    if options.replications < 2 {
+        return Err(SimError::InvalidOption {
+            what: "replications",
+            constraint: format!("need at least 2, got {}", options.replications),
+        });
+    }
+    if !options.max_time.is_finite() || options.max_time <= 0.0 {
+        return Err(SimError::InvalidOption {
+            what: "max_time",
+            constraint: format!("must be positive and finite, got {}", options.max_time),
+        });
+    }
+    let mut times = Vec::with_capacity(options.replications);
+    let mut censored = 0usize;
+    for i in 0..options.replications {
+        let mut sim = DspnSimulator::new(net, options.seed.wrapping_add(i as u64))?;
+        let mut hit: Option<f64> = None;
+        loop {
+            // The predicate may already hold before any timed firing.
+            sim.settle()?;
+            if predicate(sim.marking()) {
+                hit = Some(sim.time());
+                break;
+            }
+            if sim.time() >= options.max_time {
+                break;
+            }
+            sim.step(options.max_time)?;
+        }
+        match hit {
+            Some(t) => times.push(t),
+            None => censored += 1,
+        }
+    }
+    Ok(FirstPassage {
+        time: batch_means_estimate(&times),
+        hits: times.len(),
+        censored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_petri::net::{NetBuilder, TransitionKind};
+
+    /// Single exponential step: first passage to the Down marking is
+    /// Exp(rate) with mean 1/rate.
+    #[test]
+    fn exponential_passage_mean() {
+        let rate = 0.2;
+        let mut b = NetBuilder::new("exp");
+        let up = b.place("Up", 1);
+        let down = b.place("Down", 0);
+        b.transition("fail", TransitionKind::exponential_rate(rate))
+            .unwrap()
+            .input(up, 1)
+            .output(down, 1);
+        let net = b.build().unwrap();
+        let fp = first_passage_time(
+            &net,
+            |m| m.tokens(1) == 1,
+            &FirstPassageOptions {
+                replications: 4000,
+                seed: 3,
+                max_time: 1e6,
+            },
+        )
+        .unwrap();
+        assert_eq!(fp.censored, 0);
+        assert!(
+            fp.time.covers(1.0 / rate, 0.1),
+            "estimate {:?} should cover {}",
+            fp.time,
+            1.0 / rate
+        );
+    }
+
+    /// Deterministic net: passage time is exact.
+    #[test]
+    fn deterministic_passage_is_exact() {
+        let mut b = NetBuilder::new("det");
+        let a = b.place("A", 1);
+        let c = b.place("B", 0);
+        b.transition("tick", TransitionKind::deterministic_delay(7.5))
+            .unwrap()
+            .input(a, 1)
+            .output(c, 1);
+        let net = b.build().unwrap();
+        let fp = first_passage_time(
+            &net,
+            |m| m.tokens(1) == 1,
+            &FirstPassageOptions {
+                replications: 10,
+                seed: 1,
+                max_time: 100.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(fp.hits, 10);
+        assert!((fp.time.mean - 7.5).abs() < 1e-9);
+        assert!(fp.time.half_width < 1e-9);
+    }
+
+    #[test]
+    fn predicate_true_initially_gives_zero() {
+        let mut b = NetBuilder::new("trivial");
+        let a = b.place("A", 1);
+        b.transition("spin", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(a, 1)
+            .output(a, 1);
+        let net = b.build().unwrap();
+        let fp = first_passage_time(&net, |_| true, &FirstPassageOptions::default()).unwrap();
+        assert_eq!(fp.time.mean, 0.0);
+        assert_eq!(fp.censored, 0);
+    }
+
+    #[test]
+    fn unreachable_predicate_is_fully_censored() {
+        let mut b = NetBuilder::new("never");
+        let a = b.place("A", 1);
+        b.transition("spin", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(a, 1)
+            .output(a, 1);
+        let net = b.build().unwrap();
+        let fp = first_passage_time(
+            &net,
+            |m| m.tokens(0) == 2,
+            &FirstPassageOptions {
+                replications: 5,
+                seed: 1,
+                max_time: 100.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(fp.hits, 0);
+        assert_eq!(fp.censored, 5);
+    }
+
+    #[test]
+    fn options_validated() {
+        let mut b = NetBuilder::new("x");
+        let a = b.place("A", 1);
+        b.transition("t", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(a, 1)
+            .output(a, 1);
+        let net = b.build().unwrap();
+        assert!(first_passage_time(
+            &net,
+            |_| false,
+            &FirstPassageOptions {
+                replications: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(first_passage_time(
+            &net,
+            |_| false,
+            &FirstPassageOptions {
+                max_time: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Discrete-event simulation for the `nvp-perception` workspace.
+//!
+//! Two simulators are provided:
+//!
+//! * [`dspn`] — a generic discrete-event simulator for the DSPNs built with
+//!   `nvp-petri`. It implements the same semantics as the analytic solver
+//!   (immediate priorities and weights, exponential races, deterministic
+//!   transitions with enabling memory) and estimates steady-state rewards
+//!   with batch-means confidence intervals. Its role is *independent
+//!   cross-validation* of the `nvp-mrgp` solver, and coverage of models
+//!   outside the solvable class (e.g. deterministic rejuvenation durations).
+//! * [`perception`] — a per-request perception-pipeline simulator: an
+//!   ensemble of synthetic classifiers with dependent errors, a voter, and
+//!   request statistics. This exercises the voting machinery of `nvp-core`
+//!   operationally and substitutes for the GTSRB/neural-network experiments
+//!   the paper uses only to pick the scalar `p` (see `DESIGN.md`).
+//! * [`scenario`] — the combination: perception requests sampled along a
+//!   simulated DSPN trajectory, yielding an end-to-end empirical estimate of
+//!   the system's output reliability.
+//!
+//! # Example
+//!
+//! Cross-validate the analytic four-version reliability by simulation:
+//!
+//! ```
+//! use nvp_core::params::SystemParams;
+//! use nvp_sim::dspn::{simulate_reward, SimOptions};
+//! use nvp_sim::scenario::model_reward_fn;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = SystemParams::paper_four_version();
+//! let net = nvp_core::model::build_model(&params)?;
+//! let reward = model_reward_fn(&net, &params, Default::default())?;
+//! let estimate = simulate_reward(
+//!     &net,
+//!     &reward,
+//!     &SimOptions { horizon: 2e6, warmup: 1e4, seed: 7, batches: 20 },
+//! )?;
+//! assert!((estimate.mean - 0.8223).abs() < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dspn;
+pub mod environment;
+pub mod error;
+pub mod firstpassage;
+pub mod perception;
+pub mod scenario;
+pub mod stats;
+
+pub use error::SimError;
+
+/// Convenient result alias for fallible simulation operations.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,359 @@
+//! Per-request perception-pipeline simulation.
+//!
+//! The paper measures module inaccuracy (`p = 0.08`) by running LeNet,
+//! AlexNet and ResNet on the German Traffic Sign dataset, then works
+//! entirely with the scalar abstraction. This module provides the synthetic
+//! equivalent that exercises the voting code path end-to-end:
+//!
+//! * [`EnsembleModel`] — the abstract dependent-failure model of the
+//!   reliability functions: each request either triggers a healthy-module
+//!   error cascade (probability `p`, dependency `α`) or not, and compromised
+//!   modules err independently with probability `p′`. Its empirical verdict
+//!   frequencies converge to `R_{i,j,k}` exactly, which the tests verify.
+//! * [`LabelPipeline`] — a label-level refinement: modules output one of `C`
+//!   class labels (a synthetic traffic-sign classification task). Dependent
+//!   errors pick the *same* wrong label (a shared adversarial confusion)
+//!   while compromised modules pick uniformly random wrong labels; the voter
+//!   requires threshold-many *identical* labels. Because wrong labels may
+//!   disagree, label-level voting is strictly safer than the abstract
+//!   model — the gap is measured in the tests.
+
+use nvp_core::state::SystemState;
+use nvp_core::voting::{Verdict, VoteTally, VotingScheme};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tally of verdicts over a stream of requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestStats {
+    /// Requests decided correctly.
+    pub correct: u64,
+    /// Requests decided wrongly (perception errors).
+    pub error: u64,
+    /// Requests the voter safely skipped.
+    pub inconclusive: u64,
+}
+
+impl RequestStats {
+    /// Records one verdict.
+    pub fn record(&mut self, verdict: Verdict) {
+        match verdict {
+            Verdict::Correct => self.correct += 1,
+            Verdict::Error => self.error += 1,
+            Verdict::Inconclusive => self.inconclusive += 1,
+        }
+    }
+
+    /// Total number of requests.
+    pub fn total(&self) -> u64 {
+        self.correct + self.error + self.inconclusive
+    }
+
+    /// Empirical output reliability: the fraction of requests that were not
+    /// perception errors (the paper's definition — safe skips count).
+    pub fn reliability(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.error as f64 / total as f64
+    }
+}
+
+/// The abstract dependent-failure ensemble (matches the reliability
+/// functions' stochastic model; see `nvp-core::reliability::generic`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleModel {
+    /// Healthy-module inaccuracy `p`.
+    pub p: f64,
+    /// Compromised-module inaccuracy `p'`.
+    pub p_prime: f64,
+    /// Error dependency `α` between healthy modules.
+    pub alpha: f64,
+    /// Voting scheme applied to each request.
+    pub scheme: VotingScheme,
+}
+
+impl EnsembleModel {
+    /// Samples the outcome of one perception request in system state
+    /// `state` (unavailable modules do not vote).
+    pub fn sample_request(&self, state: SystemState, rng: &mut SmallRng) -> Verdict {
+        let mut wrong = 0u32;
+        // Healthy modules: common trigger, then dependent errors.
+        if state.healthy > 0 && rng.gen_bool(self.p) {
+            wrong += 1; // the reference module errs
+            for _ in 1..state.healthy {
+                if rng.gen_bool(self.alpha) {
+                    wrong += 1;
+                }
+            }
+        }
+        let healthy_wrong = wrong;
+        // Compromised modules err independently.
+        for _ in 0..state.compromised {
+            if rng.gen_bool(self.p_prime) {
+                wrong += 1;
+            }
+        }
+        let _ = healthy_wrong;
+        let correct = state.operational() - wrong;
+        self.scheme
+            .decide(VoteTally::new(correct, wrong, state.unavailable))
+    }
+
+    /// Runs `requests` requests in a fixed state and tallies verdicts.
+    pub fn run(&self, state: SystemState, requests: u64, seed: u64) -> RequestStats {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = RequestStats::default();
+        for _ in 0..requests {
+            stats.record(self.sample_request(state, &mut rng));
+        }
+        stats
+    }
+}
+
+/// A label-level synthetic classification pipeline (the GTSRB substitute).
+///
+/// Each request has a ground-truth label drawn from `0..classes`. Healthy
+/// modules output the truth unless the common trigger fires, in which case
+/// the reference module (and each dependent module with probability `α`)
+/// outputs the *same* wrong label — modeling a shared adversarial confusion.
+/// Compromised modules output a uniformly random label from the full label
+/// set (matching "outputs become random", which still hits the truth with
+/// probability `1/classes`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelPipeline {
+    /// Number of classes in the synthetic task (GTSRB has 43).
+    pub classes: u32,
+    /// Healthy-module trigger probability `p`.
+    pub p: f64,
+    /// Error dependency `α`.
+    pub alpha: f64,
+    /// Votes required on one identical label.
+    pub threshold: u32,
+}
+
+impl LabelPipeline {
+    /// Samples one request; returns the verdict of threshold voting on
+    /// exact labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes < 2`.
+    pub fn sample_request(&self, state: SystemState, rng: &mut SmallRng) -> Verdict {
+        assert!(self.classes >= 2, "need at least two classes");
+        let truth = rng.gen_range(0..self.classes);
+        let mut outputs: Vec<u32> = Vec::with_capacity(state.operational() as usize);
+        // Healthy modules.
+        if state.healthy > 0 {
+            if rng.gen_bool(self.p) {
+                let shared_wrong = self.random_wrong_label(truth, rng);
+                outputs.push(shared_wrong);
+                for _ in 1..state.healthy {
+                    if rng.gen_bool(self.alpha) {
+                        outputs.push(shared_wrong);
+                    } else {
+                        outputs.push(truth);
+                    }
+                }
+            } else {
+                for _ in 0..state.healthy {
+                    outputs.push(truth);
+                }
+            }
+        }
+        // Compromised modules answer uniformly at random.
+        for _ in 0..state.compromised {
+            outputs.push(rng.gen_range(0..self.classes));
+        }
+        // Threshold voting on identical labels.
+        let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for &label in &outputs {
+            *counts.entry(label).or_insert(0) += 1;
+        }
+        let correct = counts.get(&truth).copied().unwrap_or(0);
+        let top_wrong = counts
+            .iter()
+            .filter(|&(&label, _)| label != truth)
+            .map(|(_, &c)| c)
+            .max()
+            .unwrap_or(0);
+        if correct >= self.threshold {
+            Verdict::Correct
+        } else if top_wrong >= self.threshold {
+            Verdict::Error
+        } else {
+            Verdict::Inconclusive
+        }
+    }
+
+    fn random_wrong_label(&self, truth: u32, rng: &mut SmallRng) -> u32 {
+        let raw = rng.gen_range(0..self.classes - 1);
+        if raw >= truth {
+            raw + 1
+        } else {
+            raw
+        }
+    }
+
+    /// Runs `requests` requests in a fixed state and tallies verdicts.
+    pub fn run(&self, state: SystemState, requests: u64, seed: u64) -> RequestStats {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stats = RequestStats::default();
+        for _ in 0..requests {
+            stats.record(self.sample_request(state, &mut rng));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_core::reliability::generic;
+
+    const REQUESTS: u64 = 300_000;
+
+    fn abstract_model(threshold: u32) -> EnsembleModel {
+        EnsembleModel {
+            p: 0.08,
+            p_prime: 0.5,
+            alpha: 0.5,
+            scheme: VotingScheme::BftThreshold { threshold },
+        }
+    }
+
+    /// The empirical reliability of the abstract ensemble must converge to
+    /// the generic reliability function (they encode the same stochastic
+    /// model).
+    #[test]
+    fn abstract_ensemble_matches_generic_reliability_function() {
+        for (state, threshold) in [
+            (SystemState::new(4, 0, 0), 3),
+            (SystemState::new(2, 2, 0), 3),
+            (SystemState::new(1, 3, 0), 3),
+            (SystemState::new(3, 0, 1), 3),
+            (SystemState::new(6, 0, 0), 4),
+            (SystemState::new(3, 2, 1), 4),
+            (SystemState::new(0, 6, 0), 4),
+            (SystemState::new(1, 4, 1), 4),
+        ] {
+            let model = abstract_model(threshold);
+            let stats = model.run(state, REQUESTS, 42);
+            let analytic = generic::reliability(state, threshold, 0.08, 0.5, 0.5);
+            let empirical = stats.reliability();
+            // Binomial standard error at 300k samples is below 1e-3.
+            assert!(
+                (empirical - analytic).abs() < 4e-3,
+                "state {state}, T={threshold}: empirical {empirical:.4} vs analytic {analytic:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_verdicts_occur_in_mixed_states() {
+        let model = abstract_model(3);
+        let stats = model.run(SystemState::new(2, 2, 0), 50_000, 7);
+        assert!(stats.correct > 0);
+        assert!(stats.error > 0);
+        assert!(stats.inconclusive > 0);
+        assert_eq!(stats.total(), 50_000);
+    }
+
+    #[test]
+    fn unavailable_modules_never_vote() {
+        // With 3 of 4 modules unavailable and threshold 3, no vote can ever
+        // conclude.
+        let model = abstract_model(3);
+        let stats = model.run(SystemState::new(1, 0, 3), 1_000, 3);
+        assert_eq!(stats.correct, 0);
+        assert_eq!(stats.error, 0);
+        assert_eq!(stats.inconclusive, 1_000);
+    }
+
+    #[test]
+    fn empty_stats_report_full_reliability() {
+        assert_eq!(RequestStats::default().reliability(), 1.0);
+    }
+
+    #[test]
+    fn label_pipeline_is_safer_than_abstract_model() {
+        // Compromised modules that answer randomly rarely agree on the same
+        // wrong label, so label-level voting produces fewer perception
+        // errors than the abstract tally in compromised-heavy states.
+        let state = SystemState::new(1, 5, 0);
+        let threshold = 4;
+        let abstract_stats = abstract_model(threshold).run(state, REQUESTS, 11);
+        let label_stats = LabelPipeline {
+            classes: 43,
+            p: 0.08,
+            alpha: 0.5,
+            threshold,
+        }
+        .run(state, REQUESTS, 11);
+        assert!(
+            label_stats.reliability() > abstract_stats.reliability(),
+            "label-level {} vs abstract {}",
+            label_stats.reliability(),
+            abstract_stats.reliability()
+        );
+    }
+
+    #[test]
+    fn label_pipeline_error_needs_shared_confusion() {
+        // With all modules healthy, errors only arise from the shared wrong
+        // label; with alpha = 1 every trigger is a unanimous wrong label.
+        let pipeline = LabelPipeline {
+            classes: 10,
+            p: 0.2,
+            alpha: 1.0,
+            threshold: 3,
+        };
+        let stats = pipeline.run(SystemState::new(4, 0, 0), 100_000, 5);
+        let expected_error = 0.2;
+        let empirical_error = stats.error as f64 / stats.total() as f64;
+        assert!(
+            (empirical_error - expected_error).abs() < 5e-3,
+            "empirical error {empirical_error}"
+        );
+    }
+
+    #[test]
+    fn label_pipeline_with_independent_errors_rarely_errs() {
+        // alpha = 0: only the reference module errs on a trigger; a single
+        // wrong label can never reach threshold 3.
+        let pipeline = LabelPipeline {
+            classes: 10,
+            p: 0.5,
+            alpha: 0.0,
+            threshold: 3,
+        };
+        let stats = pipeline.run(SystemState::new(4, 0, 0), 50_000, 9);
+        assert_eq!(stats.error, 0);
+        assert!(stats.correct > 0);
+    }
+
+    #[test]
+    fn wrong_label_avoids_truth() {
+        let pipeline = LabelPipeline {
+            classes: 5,
+            p: 1.0,
+            alpha: 1.0,
+            threshold: 3,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for truth in 0..5 {
+            for _ in 0..100 {
+                assert_ne!(pipeline.random_wrong_label(truth, &mut rng), truth);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = abstract_model(3);
+        let a = model.run(SystemState::new(2, 2, 0), 10_000, 123);
+        let b = model.run(SystemState::new(2, 2, 0), 10_000, 123);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,157 @@
+//! Streaming statistics: Welford accumulation and batch-means confidence
+//! intervals.
+
+/// Streaming mean and variance (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use nvp_sim::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.5);
+/// assert!((w.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.sample_variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the (approximately) 95% normal confidence interval.
+    pub fn half_width_95(&self) -> f64 {
+        1.96 * self.standard_error()
+    }
+}
+
+/// A point estimate with a 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub half_width: f64,
+    /// Number of batches (or observations) behind the estimate.
+    pub samples: u64,
+}
+
+impl Estimate {
+    /// Whether `value` falls inside the confidence interval (with `slack`
+    /// widening for discretization effects).
+    pub fn covers(&self, value: f64, slack: f64) -> bool {
+        (value - self.mean).abs() <= self.half_width + slack
+    }
+}
+
+/// Builds an [`Estimate`] from per-batch means (the batch-means method for
+/// steady-state simulation output).
+pub fn batch_means_estimate(batch_values: &[f64]) -> Estimate {
+    let mut w = Welford::new();
+    for &v in batch_values {
+        w.push(v);
+    }
+    Estimate {
+        mean: w.mean(),
+        half_width: w.half_width_95(),
+        samples: w.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.sample_variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn empty_and_single_observation_edge_cases() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.half_width_95(), 0.0);
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn constant_data_has_zero_variance() {
+        let mut w = Welford::new();
+        for _ in 0..100 {
+            w.push(3.25);
+        }
+        assert!(w.sample_variance().abs() < 1e-20);
+        assert_eq!(w.mean(), 3.25);
+    }
+
+    #[test]
+    fn batch_means_estimate_and_coverage() {
+        let e = batch_means_estimate(&[0.9, 1.0, 1.1, 1.0]);
+        assert!((e.mean - 1.0).abs() < 1e-12);
+        assert_eq!(e.samples, 4);
+        assert!(e.half_width > 0.0);
+        assert!(e.covers(1.0, 0.0));
+        assert!(!e.covers(2.0, 0.0));
+        assert!(e.covers(2.0, 1.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-crate consistency of the reliability functions: where the paper's
+//! printed appendix formulas agree with the first-principles generic model,
+//! and where (documented) they deviate.
+
+use nvp_perception::core::params::SystemParams;
+use nvp_perception::core::reliability::{generic, paper, ReliabilityModel, ReliabilitySource};
+use nvp_perception::core::state::{enumerate_states, SystemState};
+
+const P: f64 = 0.08;
+const PP: f64 = 0.5;
+const A: f64 = 0.5;
+
+/// Four-version entries where printed and generic formulas must agree
+/// exactly (all-parameters grid, not just the defaults).
+#[test]
+fn four_version_agreement_set() {
+    let agreeing: &[(u32, u32, u32)] = &[
+        (3, 0, 1),
+        (2, 2, 0),
+        (2, 1, 1),
+        (1, 3, 0),
+        (1, 2, 1),
+        (0, 3, 1),
+        // All zero-reward states.
+        (2, 0, 2),
+        (1, 1, 2),
+        (0, 0, 4),
+    ];
+    for &(i, j, k) in agreeing {
+        let s = SystemState::new(i, j, k);
+        for (p, pp, a) in [(0.01, 0.3, 0.2), (0.08, 0.5, 0.5), (0.2, 0.9, 0.8)] {
+            let printed = paper::four_version(s, p, pp, a).unwrap();
+            let derived = generic::reliability(s, 3, p, pp, a);
+            assert!(
+                (printed - derived).abs() < 1e-12,
+                "state {s} at (p={p}, p'={pp}, α={a}): printed {printed} vs generic {derived}"
+            );
+        }
+    }
+}
+
+/// Four-version entries where the printed coefficients deviate from any
+/// binomial expansion; the deviation must be present (it is what calibrates
+/// the headline numbers) and must vanish when the deviating term's factor is
+/// zero.
+#[test]
+fn four_version_documented_deviations() {
+    // R_{4,0,0}: printed coefficient 4 vs C(3,2) = 3.
+    let s = SystemState::new(4, 0, 0);
+    let printed = paper::four_version(s, P, PP, A).unwrap();
+    let derived = generic::reliability(s, 3, P, PP, A);
+    assert!((printed - derived).abs() > 1e-3);
+    assert!(printed < derived, "printed subtracts a larger error term");
+    // With α = 0 both reduce to 1 - 0 (no dependent errors can reach 3).
+    assert_eq!(paper::four_version(s, P, 0.5, 0.0).unwrap(), 1.0);
+    assert_eq!(generic::reliability(s, 3, P, 0.5, 0.0), 1.0);
+
+    // R_{3,1,0}: printed 3pα(1-α)p' vs 2pα(1-α)p'.
+    let s = SystemState::new(3, 1, 0);
+    assert!(
+        (paper::four_version(s, P, PP, A).unwrap() - generic::reliability(s, 3, P, PP, A)).abs()
+            > 1e-4
+    );
+
+    // R_{0,4,0}: printed 3p'³(1-p') vs C(4,3) = 4.
+    let s = SystemState::new(0, 4, 0);
+    let printed = paper::four_version(s, P, PP, A).unwrap();
+    let derived = generic::reliability(s, 3, P, PP, A);
+    assert!(printed > derived, "printed under-counts the error tail");
+}
+
+/// Six-version agreement set.
+#[test]
+fn six_version_agreement_set() {
+    let agreeing: &[(u32, u32, u32)] = &[
+        (4, 0, 2),
+        (3, 1, 2),
+        (2, 2, 2),
+        (1, 5, 0),
+        (1, 4, 1),
+        (1, 3, 2),
+        (0, 6, 0),
+        (0, 5, 1),
+        (0, 4, 2),
+        (3, 0, 3), // zero reward
+        (0, 0, 6), // zero reward
+    ];
+    for &(i, j, k) in agreeing {
+        let s = SystemState::new(i, j, k);
+        for (p, pp, a) in [(0.01, 0.3, 0.2), (0.08, 0.5, 0.5), (0.2, 0.9, 0.8)] {
+            let printed = paper::six_version(s, p, pp, a).unwrap();
+            let derived = generic::reliability(s, 4, p, pp, a);
+            assert!(
+                (printed - derived).abs() < 1e-12,
+                "state {s} at (p={p}, p'={pp}, α={a}): printed {printed} vs generic {derived}"
+            );
+        }
+    }
+}
+
+/// Six-version documented deviations (loose combinatorics in the appendix).
+#[test]
+fn six_version_documented_deviations() {
+    for (i, j, k) in [
+        (6, 0, 0),
+        (5, 1, 0),
+        (5, 0, 1),
+        (4, 2, 0),
+        (4, 1, 1),
+        (2, 3, 1),
+    ] {
+        let s = SystemState::new(i, j, k);
+        let printed = paper::six_version(s, P, PP, A).unwrap();
+        let derived = generic::reliability(s, 4, P, PP, A);
+        assert!(
+            (printed - derived).abs() > 1e-5,
+            "expected a documented deviation at {s}: printed {printed}, generic {derived}"
+        );
+    }
+}
+
+/// The deviations are *small* at the paper's defaults — which is why the
+/// generic model still reproduces every qualitative result.
+#[test]
+fn deviations_are_bounded_at_defaults() {
+    for s in enumerate_states(6) {
+        let printed = paper::six_version(s, P, PP, A).unwrap();
+        let derived = generic::reliability(s, 4, P, PP, A);
+        assert!(
+            (printed - derived).abs() < 0.05,
+            "deviation at {s}: printed {printed}, generic {derived}"
+        );
+    }
+    for s in enumerate_states(4) {
+        let printed = paper::four_version(s, P, PP, A).unwrap();
+        let derived = generic::reliability(s, 3, P, PP, A);
+        assert!(
+            (printed - derived).abs() < 0.07,
+            "deviation at {s}: printed {printed}, generic {derived}"
+        );
+    }
+}
+
+/// The resolved model (`Auto`) must route paper configurations to the paper
+/// matrices and everything else to the generic model.
+#[test]
+fn model_resolution_routes_correctly() {
+    let p4 = SystemParams::paper_four_version();
+    let m = ReliabilityModel::for_params(&p4, ReliabilitySource::Auto).unwrap();
+    let s = SystemState::new(4, 0, 0);
+    let via_model = m.reliability(s, P, PP, A).unwrap();
+    let direct = paper::four_version(s, P, PP, A).unwrap();
+    assert_eq!(via_model, direct);
+
+    let p8 = SystemParams::builder().n(8).f(1).r(1).build().unwrap();
+    let m = ReliabilityModel::for_params(&p8, ReliabilitySource::Auto).unwrap();
+    let s = SystemState::new(8, 0, 0);
+    let via_model = m.reliability(s, P, PP, A).unwrap();
+    let direct = generic::reliability(s, p8.voting_threshold(), P, PP, A);
+    assert_eq!(via_model, direct);
+}

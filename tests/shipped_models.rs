@@ -1,0 +1,58 @@
+//! The `.dspn` model files shipped in `models/` must stay valid and — for
+//! the paper model — in sync with the programmatic builder.
+
+use nvp_perception::core::params::SystemParams;
+use nvp_perception::petri::reach::explore;
+use nvp_perception::petri::text::{parse_net, to_text};
+
+fn read_model(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("models")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn paper_model_file_matches_builder() {
+    let shipped = read_model("six_version_rejuvenation.dspn");
+    let generated = to_text(
+        &nvp_perception::core::model::build_model(&SystemParams::paper_six_version()).unwrap(),
+    );
+    assert_eq!(
+        shipped, generated,
+        "models/six_version_rejuvenation.dspn is out of sync with the \
+         builder; regenerate it with `to_text(build_model(paper_six_version()))`"
+    );
+}
+
+#[test]
+fn paper_model_file_solves_to_the_headline_number() {
+    let net = parse_net(&read_model("six_version_rejuvenation.dspn")).unwrap();
+    let graph = explore(&net, 100_000).unwrap();
+    let solution = nvp_perception::mrgp::steady_state(&graph).unwrap();
+    // Build the FailedOnly reward from the same reliability machinery.
+    let params = SystemParams::paper_six_version();
+    let reward = nvp_perception::sim::scenario::model_reward_fn(
+        &net,
+        &params,
+        nvp_perception::core::reward::RewardPolicy::FailedOnly,
+    )
+    .unwrap();
+    let rewards = graph.reward_vector(reward);
+    let value = solution.expected_reward(&rewards);
+    assert!(
+        (value - 0.9381725).abs() < 1e-6,
+        "file-driven pipeline got {value}"
+    );
+}
+
+#[test]
+fn aging_service_model_file_is_valid() {
+    let net = parse_net(&read_model("aging_web_service.dspn")).unwrap();
+    let graph = explore(&net, 1_000).unwrap();
+    assert_eq!(graph.tangible_count(), 3);
+    let solution = nvp_perception::mrgp::steady_state(&graph).unwrap();
+    let fresh = net.parse_expr("#Fresh").unwrap();
+    let availability = solution.expected_reward(&graph.reward_expr(&fresh).unwrap());
+    assert!((0.7..0.9).contains(&availability), "{availability}");
+}
