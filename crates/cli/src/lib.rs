@@ -19,8 +19,9 @@
 #![warn(missing_docs)]
 
 use nvp_core::analysis::{self, ParamAxis};
+use nvp_core::engine::AnalysisEngine;
 use nvp_core::params::SystemParams;
-use nvp_core::report::{render, ReportOptions};
+use nvp_core::report::{render_on, ReportOptions};
 use nvp_core::reward::RewardPolicy;
 use nvp_sim::dspn::{simulate_reward, SimOptions};
 use std::io::Write;
@@ -69,11 +70,13 @@ pub const USAGE: &str = "\
 nvp — N-version perception reliability toolkit
 
 USAGE:
-  nvp analyze [PARAMS] [--matrix] [--sensitivities] [--states N]
+  nvp analyze [PARAMS] [--matrix] [--sensitivities] [--states N] [--stats]
       Analyze a perception system and print a report.
-  nvp sweep --axis AXIS --from X --to Y --steps N [PARAMS]
+  nvp sweep --axis AXIS --from X --to Y --steps N [PARAMS] [--stats]
       Print a CSV sweep of E[R] over one parameter axis.
       AXIS: gamma | mttc | mttf | mttr | alpha | p | pprime
+      --stats appends solver statistics (state-space size, subordinated
+      chains, chain-cache hits, per-stage times) to either command.
   nvp solve FILE.dspn [--reward EXPR] [--max-markings N]
       Solve a DSPN model file for its stationary distribution.
   nvp simulate FILE.dspn --reward EXPR [--horizon T] [--seed S]
@@ -221,6 +224,7 @@ fn parse_params(args: &[String]) -> Result<(SystemParams, RewardPolicy, Vec<Stri
 fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<()> {
     let (params, policy, rest) = parse_params(args)?;
     let mut options = ReportOptions::default();
+    let mut stats = false;
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
         match flag {
@@ -228,6 +232,7 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<()> {
             "--no-matrix" => options.matrix = false,
             "--sensitivities" => options.sensitivities = true,
             "--states" => options.state_rows = cursor.value_usize(flag)?,
+            "--stats" => stats = true,
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for analyze"),
@@ -235,8 +240,13 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<()> {
             }
         }
     }
-    let text = render(&params, policy, &options)?;
+    let engine = AnalysisEngine::new();
+    let text = render_on(&engine, &params, policy, &options)?;
     write!(out, "{text}")?;
+    if stats {
+        writeln!(out, "\nsolver statistics:")?;
+        writeln!(out, "{}", engine.stats())?;
+    }
     Ok(())
 }
 
@@ -265,6 +275,7 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<()> {
     let mut from = None;
     let mut to = None;
     let mut steps = 10usize;
+    let mut stats = false;
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
         match flag {
@@ -272,6 +283,7 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<()> {
             "--from" => from = Some(cursor.value_f64(flag)?),
             "--to" => to = Some(cursor.value_f64(flag)?),
             "--steps" => steps = cursor.value_usize(flag)?,
+            "--stats" => stats = true,
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for sweep"),
@@ -285,10 +297,15 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<()> {
         });
     };
     let grid = analysis::linspace(from, to, steps.max(2));
-    let series = analysis::sweep(&params, axis, &grid, policy)?;
+    let engine = AnalysisEngine::new();
+    let series = engine.sweep(&params, axis, &grid, policy)?;
     writeln!(out, "{},expected_reliability", axis.label())?;
     for (x, r) in series {
         writeln!(out, "{x},{r}")?;
+    }
+    if stats {
+        writeln!(out, "\nsolver statistics:")?;
+        writeln!(out, "{}", engine.stats())?;
     }
     Ok(())
 }
@@ -543,6 +560,32 @@ mod tests {
         assert!(run_to_string(&["analyze", "--alpha", "2.0"]).is_err());
         assert!(run_to_string(&["analyze", "--bogus"]).is_err());
         assert!(run_to_string(&["analyze", "--policy", "nonsense"]).is_err());
+    }
+
+    #[test]
+    fn analyze_stats_flag_appends_solver_statistics() {
+        let text = run_to_string(&["analyze", "--stats"]).unwrap();
+        assert!(text.contains("E[R_sys] = 0.93817"), "{text}");
+        assert!(text.contains("solver statistics:"), "{text}");
+        assert!(text.contains("chain cache"), "{text}");
+        assert!(text.contains("uniformization depth"), "{text}");
+        // Without the flag the report stays stats-free.
+        let text = run_to_string(&["analyze"]).unwrap();
+        assert!(!text.contains("solver statistics:"), "{text}");
+    }
+
+    #[test]
+    fn sweep_stats_flag_reports_chain_reuse() {
+        // An alpha sweep is reward-only: 4 points, 1 chain solve.
+        let text = run_to_string(&[
+            "sweep", "--axis", "alpha", "--from", "0.1", "--to", "0.7", "--steps", "4", "--stats",
+        ])
+        .unwrap();
+        assert!(text.contains("solver statistics:"), "{text}");
+        assert!(
+            text.contains("1 solution(s) cached, 1 miss(es), 3 hit(s)"),
+            "{text}"
+        );
     }
 
     #[test]

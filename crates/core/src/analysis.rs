@@ -4,13 +4,20 @@
 //! parameters → DSPN ([`crate::model`]) → tangible reachability graph →
 //! steady-state probabilities (`nvp-mrgp`) → reward-weighted sum with the
 //! reliability functions ([`crate::reliability`]).
+//!
+//! Every function in this module is a thin wrapper over a fresh
+//! [`AnalysisEngine`]: the engine memoizes
+//! the expensive chain stage (model build + exploration + steady-state
+//! solve), so sweeps and searches that revisit the same chain parameters
+//! pay for it once. Hold an engine yourself to share the cache across
+//! calls and to read [`SolverStats`](crate::engine::SolverStats).
 
+use crate::engine::AnalysisEngine;
 use crate::params::SystemParams;
-use crate::reliability::{ReliabilityModel, ReliabilitySource};
-use crate::reward::{reward_vector, ModulePlaces, RewardPolicy};
+use crate::reliability::ReliabilitySource;
+use crate::reward::RewardPolicy;
 use crate::state::SystemState;
-use crate::{model, Result};
-use nvp_numerics::optim;
+use crate::Result;
 
 /// Default budget for tangible markings during exploration.
 const DEFAULT_MAX_MARKINGS: usize = 200_000;
@@ -29,7 +36,10 @@ pub enum SolverBackend {
 }
 
 impl SolverBackend {
-    fn max_markings(self) -> usize {
+    /// The tangible-marking exploration budget this backend allows. Part of
+    /// the engine's [`ChainKey`](crate::engine::ChainKey): two backends with
+    /// equal budgets share cached chain solutions.
+    pub fn max_markings(self) -> usize {
         match self {
             SolverBackend::Auto => DEFAULT_MAX_MARKINGS,
             SolverBackend::Budget(n) => n,
@@ -69,7 +79,7 @@ pub fn expected_reliability(
     policy: RewardPolicy,
     backend: SolverBackend,
 ) -> Result<f64> {
-    Ok(analyze(params, policy, ReliabilitySource::Auto, backend)?.expected_reliability)
+    AnalysisEngine::new().expected_reliability(params, policy, backend)
 }
 
 /// Steady-state probability and reward of one system state.
@@ -105,39 +115,7 @@ pub fn analyze(
     source: ReliabilitySource,
     backend: SolverBackend,
 ) -> Result<AnalysisReport> {
-    params.validate()?;
-    let net = model::build_model(params)?;
-    let graph = nvp_petri::reach::explore(&net, backend.max_markings())?;
-    let solution = nvp_mrgp::steady_state(&graph)?;
-    let reliability = ReliabilityModel::for_params(params, source)?;
-    let rewards = reward_vector(&graph, &net, params, &reliability, policy)?;
-    let expected = solution.expected_reward(&rewards);
-
-    let places = ModulePlaces::locate(&net)?;
-    let mut states: Vec<StateReport> = graph
-        .markings()
-        .iter()
-        .zip(solution.probabilities())
-        .zip(&rewards)
-        .map(|((m, &prob), &rel)| {
-            let rejuvenating = places.rejuvenating.map_or(0, |idx| m.tokens(idx));
-            StateReport {
-                state: SystemState::new(
-                    m.tokens(places.healthy),
-                    m.tokens(places.compromised),
-                    m.tokens(places.failed),
-                ),
-                rejuvenating,
-                probability: prob,
-                reliability: rel,
-            }
-        })
-        .collect();
-    states.sort_by(|a, b| b.probability.partial_cmp(&a.probability).expect("finite"));
-    Ok(AnalysisReport {
-        expected_reliability: expected,
-        states,
-    })
+    AnalysisEngine::new().analyze(params, policy, source, backend)
 }
 
 /// Steady-state *quorum availability*: the long-run fraction of time enough
@@ -168,20 +146,7 @@ pub fn analyze(
 /// # }
 /// ```
 pub fn quorum_availability(params: &SystemParams) -> Result<f64> {
-    params.validate()?;
-    let net = model::build_model(params)?;
-    let graph = nvp_petri::reach::explore(&net, DEFAULT_MAX_MARKINGS)?;
-    let solution = nvp_mrgp::steady_state(&graph)?;
-    let places = ModulePlaces::locate(&net)?;
-    let threshold = params.voting_threshold();
-    let rewards = graph.reward_vector(|m| {
-        if m.tokens(places.healthy) + m.tokens(places.compromised) >= threshold {
-            1.0
-        } else {
-            0.0
-        }
-    });
-    Ok(solution.expected_reward(&rewards))
+    AnalysisEngine::new().quorum_availability(params)
 }
 
 /// A parameter axis for sensitivity sweeps (the x-axes of Figures 3 and 4).
@@ -219,6 +184,28 @@ impl ParamAxis {
         p
     }
 
+    /// Reads the current value of this axis from `params`.
+    pub fn get(self, params: &SystemParams) -> f64 {
+        match self {
+            ParamAxis::MeanTimeToCompromise => params.mean_time_to_compromise,
+            ParamAxis::Alpha => params.alpha,
+            ParamAxis::HealthyInaccuracy => params.p,
+            ParamAxis::CompromisedInaccuracy => params.p_prime,
+            ParamAxis::RejuvenationInterval => params.rejuvenation_interval,
+            ParamAxis::MeanTimeToFailure => params.mean_time_to_failure,
+            ParamAxis::MeanTimeToRepair => params.mean_time_to_repair,
+        }
+    }
+
+    /// `true` when this axis only affects the reward stage: the engine
+    /// resolves a sweep along it with a single chain solve.
+    pub fn is_reward_only(self) -> bool {
+        matches!(
+            self,
+            ParamAxis::Alpha | ParamAxis::HealthyInaccuracy | ParamAxis::CompromisedInaccuracy
+        )
+    }
+
     /// Short axis label used in experiment output.
     pub fn label(self) -> &'static str {
         match self {
@@ -245,19 +232,13 @@ pub fn sweep(
     values: &[f64],
     policy: RewardPolicy,
 ) -> Result<Vec<(f64, f64)>> {
-    values
-        .iter()
-        .map(|&v| {
-            let p = axis.apply(params, v);
-            Ok((v, expected_reliability(&p, policy, SolverBackend::Auto)?))
-        })
-        .collect()
+    AnalysisEngine::new().sweep(params, axis, values, policy)
 }
 
 /// Like [`sweep`], but evaluates the points on `std::thread` workers (one
-/// per available core, capped at the number of points). Results are
-/// identical to the sequential version — the analysis is deterministic —
-/// and arrive in input order.
+/// per available core, capped at the number of points) sharing one chain
+/// cache. Results are identical to the sequential version — the analysis
+/// is deterministic — and arrive in input order.
 ///
 /// # Errors
 ///
@@ -268,49 +249,20 @@ pub fn sweep_parallel(
     values: &[f64],
     policy: RewardPolicy,
 ) -> Result<Vec<(f64, f64)>> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(values.len().max(1));
-    if workers <= 1 || values.len() <= 1 {
-        return sweep(params, axis, values, policy);
-    }
-    let results: Vec<std::sync::Mutex<Option<Result<f64>>>> =
-        values.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&value) = values.get(idx) else {
-                    break;
-                };
-                let p = axis.apply(params, value);
-                let r = expected_reliability(&p, policy, SolverBackend::Auto);
-                *results[idx].lock().expect("no panics while holding lock") = Some(r);
-            });
-        }
-    });
-    values
-        .iter()
-        .zip(results)
-        .map(|(&x, cell)| {
-            let r = cell
-                .into_inner()
-                .expect("lock not poisoned")
-                .expect("every index visited");
-            Ok((x, r?))
-        })
-        .collect()
+    AnalysisEngine::new().sweep_parallel(params, axis, values, policy)
 }
 
 /// Generates `steps` evenly spaced values covering `[lo, hi]` inclusive.
+/// `steps == 0` yields an empty grid; `steps == 1` yields just `lo`.
 pub fn linspace(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
-    if steps <= 1 {
-        return vec![lo];
+    match steps {
+        0 => Vec::new(),
+        1 => vec![lo],
+        _ => {
+            let h = (hi - lo) / (steps - 1) as f64;
+            (0..steps).map(|i| lo + h * i as f64).collect()
+        }
     }
-    let h = (hi - lo) / (steps - 1) as f64;
-    (0..steps).map(|i| lo + h * i as f64).collect()
 }
 
 /// The rejuvenation interval in `[lo, hi]` that maximizes `E[R_sys]`
@@ -325,31 +277,7 @@ pub fn optimal_rejuvenation_interval(
     hi: f64,
     policy: RewardPolicy,
 ) -> Result<(f64, f64)> {
-    // golden_section_max takes an infallible closure; stash errors.
-    let mut failure: Option<crate::CoreError> = None;
-    let result = optim::golden_section_max(
-        |interval| {
-            if failure.is_some() {
-                return f64::NEG_INFINITY;
-            }
-            let p = ParamAxis::RejuvenationInterval.apply(params, interval);
-            match expected_reliability(&p, policy, SolverBackend::Auto) {
-                Ok(v) => v,
-                Err(e) => {
-                    failure = Some(e);
-                    f64::NEG_INFINITY
-                }
-            }
-        },
-        lo,
-        hi,
-        0.5, // half-second resolution is ample for intervals of hundreds of seconds
-    );
-    if let Some(e) = failure {
-        return Err(e);
-    }
-    let max = result?;
-    Ok((max.x, max.value))
+    AnalysisEngine::new().optimal_rejuvenation_interval(params, lo, hi, policy)
 }
 
 /// Normalized parametric sensitivity (elasticity) of `E[R_sys]`:
@@ -364,25 +292,7 @@ pub fn optimal_rejuvenation_interval(
 ///
 /// Analysis errors at any probed point.
 pub fn sensitivity(params: &SystemParams, axis: ParamAxis, policy: RewardPolicy) -> Result<f64> {
-    let x = match axis {
-        ParamAxis::MeanTimeToCompromise => params.mean_time_to_compromise,
-        ParamAxis::Alpha => params.alpha,
-        ParamAxis::HealthyInaccuracy => params.p,
-        ParamAxis::CompromisedInaccuracy => params.p_prime,
-        ParamAxis::RejuvenationInterval => params.rejuvenation_interval,
-        ParamAxis::MeanTimeToFailure => params.mean_time_to_failure,
-        ParamAxis::MeanTimeToRepair => params.mean_time_to_repair,
-    };
-    let h = (x * 0.01).max(1e-9);
-    let lo = axis.apply(params, x - h);
-    let hi = axis.apply(params, x + h);
-    let r_lo = expected_reliability(&lo, policy, SolverBackend::Auto)?;
-    let r_hi = expected_reliability(&hi, policy, SolverBackend::Auto)?;
-    let r = expected_reliability(params, policy, SolverBackend::Auto)?;
-    if r == 0.0 {
-        return Ok(0.0);
-    }
-    Ok((r_hi - r_lo) / (2.0 * h) * x / r)
+    AnalysisEngine::new().sensitivity(params, axis, policy)
 }
 
 /// Elasticities for a standard set of axes, sorted by descending magnitude.
@@ -394,23 +304,7 @@ pub fn sensitivity_profile(
     params: &SystemParams,
     policy: RewardPolicy,
 ) -> Result<Vec<(ParamAxis, f64)>> {
-    let mut axes = vec![
-        ParamAxis::MeanTimeToCompromise,
-        ParamAxis::Alpha,
-        ParamAxis::HealthyInaccuracy,
-        ParamAxis::CompromisedInaccuracy,
-        ParamAxis::MeanTimeToFailure,
-        ParamAxis::MeanTimeToRepair,
-    ];
-    if params.rejuvenation {
-        axes.push(ParamAxis::RejuvenationInterval);
-    }
-    let mut profile = axes
-        .into_iter()
-        .map(|axis| Ok((axis, sensitivity(params, axis, policy)?)))
-        .collect::<Result<Vec<_>>>()?;
-    profile.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
-    Ok(profile)
+    AnalysisEngine::new().sensitivity_profile(params, policy)
 }
 
 /// Finds a crossover point: the value of `axis` in `[lo, hi]` where the
@@ -431,32 +325,7 @@ pub fn find_crossover(
     hi: f64,
     policy: RewardPolicy,
 ) -> Result<Option<f64>> {
-    let mut failure: Option<crate::CoreError> = None;
-    let mut diff = |x: f64| -> f64 {
-        if failure.is_some() {
-            return 0.0;
-        }
-        let pa = axis.apply(a, x);
-        let pb = axis.apply(b, x);
-        let ra = expected_reliability(&pa, policy, SolverBackend::Auto);
-        let rb = expected_reliability(&pb, policy, SolverBackend::Auto);
-        match (ra, rb) {
-            (Ok(ra), Ok(rb)) => ra - rb,
-            (Err(e), _) | (_, Err(e)) => {
-                failure = Some(e);
-                0.0
-            }
-        }
-    };
-    let result = optim::brent(&mut diff, lo, hi, 1e-3 * (hi - lo));
-    if let Some(e) = failure {
-        return Err(e);
-    }
-    match result {
-        Ok(x) => Ok(Some(x)),
-        Err(nvp_numerics::NumericsError::NoBracket { .. }) => Ok(None),
-        Err(e) => Err(e.into()),
-    }
+    AnalysisEngine::new().find_crossover(a, b, axis, lo, hi, policy)
 }
 
 #[cfg(test)]
@@ -608,8 +477,9 @@ mod tests {
 
     #[test]
     fn parallel_sweep_matches_sequential() {
+        // The Figure 3 gamma grid (quick fidelity): [200, 3000] in 8 steps.
         let params = SystemParams::paper_six_version();
-        let values = linspace(300.0, 1500.0, 7);
+        let values = linspace(200.0, 3000.0, 8);
         let sequential = sweep(
             &params,
             ParamAxis::RejuvenationInterval,
@@ -641,7 +511,14 @@ mod tests {
         assert_eq!(v.len(), 15);
         assert_eq!(v[0], 200.0);
         assert_eq!(*v.last().unwrap(), 3000.0);
+    }
+
+    #[test]
+    fn linspace_degenerate_step_counts() {
+        // Zero steps means zero points — not a phantom grid of [lo].
+        assert!(linspace(1.0, 2.0, 0).is_empty());
         assert_eq!(linspace(1.0, 2.0, 1), vec![1.0]);
+        assert_eq!(linspace(5.0, 5.0, 3), vec![5.0, 5.0, 5.0]);
     }
 
     #[test]

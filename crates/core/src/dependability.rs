@@ -18,11 +18,18 @@
 //! transient behaviour is estimated with the simulator instead
 //! (`nvp-sim::firstpassage`); these functions reject such configurations
 //! with [`CoreError::UnsupportedConfiguration`].
+//!
+//! Each analysis has an `*_with` variant taking a shared
+//! [`AnalysisEngine`], so the model build and exploration (served from the
+//! engine's chain cache) are not repeated across calls; the plain functions
+//! run on a throwaway engine.
 
+use crate::analysis::SolverBackend;
+use crate::engine::AnalysisEngine;
 use crate::params::SystemParams;
 use crate::reliability::{ReliabilityModel, ReliabilitySource};
 use crate::reward::{reward_vector, ModulePlaces, RewardPolicy};
-use crate::{model, CoreError, Result};
+use crate::{CoreError, Result};
 use nvp_numerics::absorb::absorption;
 use nvp_numerics::ctmc::Ctmc;
 use nvp_petri::reach::TangibleReachGraph;
@@ -96,13 +103,25 @@ pub fn transient_reliability(
     policy: RewardPolicy,
     times: &[f64],
 ) -> Result<Vec<(f64, f64)>> {
-    params.validate()?;
-    let net = model::build_model(params)?;
-    let graph = nvp_petri::reach::explore(&net, 200_000)?;
-    let ctmc = exponential_ctmc(&graph)?;
+    transient_reliability_with(&AnalysisEngine::new(), params, policy, times)
+}
+
+/// [`transient_reliability`] against a shared engine's chain cache.
+///
+/// # Errors
+///
+/// See [`transient_reliability`].
+pub fn transient_reliability_with(
+    engine: &AnalysisEngine,
+    params: &SystemParams,
+    policy: RewardPolicy,
+    times: &[f64],
+) -> Result<Vec<(f64, f64)>> {
+    let chain = engine.chain(params, SolverBackend::Auto)?;
+    let ctmc = exponential_ctmc(&chain.graph)?;
     let reliability = ReliabilityModel::for_params(params, ReliabilitySource::Auto)?;
-    let rewards = reward_vector(&graph, &net, params, &reliability, policy)?;
-    let pi0 = initial_distribution(&graph);
+    let rewards = reward_vector(&chain.graph, &chain.net, params, &reliability, policy)?;
+    let pi0 = initial_distribution(&chain.graph);
     times
         .iter()
         .map(|&t| {
@@ -125,19 +144,31 @@ pub fn transient_reliability(
 ///
 /// Same conditions as [`transient_reliability`], plus `t` must be positive.
 pub fn interval_reliability(params: &SystemParams, policy: RewardPolicy, t: f64) -> Result<f64> {
+    interval_reliability_with(&AnalysisEngine::new(), params, policy, t)
+}
+
+/// [`interval_reliability`] against a shared engine's chain cache.
+///
+/// # Errors
+///
+/// See [`interval_reliability`].
+pub fn interval_reliability_with(
+    engine: &AnalysisEngine,
+    params: &SystemParams,
+    policy: RewardPolicy,
+    t: f64,
+) -> Result<f64> {
     if !t.is_finite() || t <= 0.0 {
         return Err(CoreError::InvalidParameter {
             what: "mission time",
             constraint: format!("must be positive and finite, got {t}"),
         });
     }
-    params.validate()?;
-    let net = model::build_model(params)?;
-    let graph = nvp_petri::reach::explore(&net, 200_000)?;
-    let ctmc = exponential_ctmc(&graph)?;
+    let chain = engine.chain(params, SolverBackend::Auto)?;
+    let ctmc = exponential_ctmc(&chain.graph)?;
     let reliability = ReliabilityModel::for_params(params, ReliabilitySource::Auto)?;
-    let rewards = reward_vector(&graph, &net, params, &reliability, policy)?;
-    let pi0 = initial_distribution(&graph);
+    let rewards = reward_vector(&chain.graph, &chain.net, params, &reliability, policy)?;
+    let pi0 = initial_distribution(&chain.graph);
     let sojourn = ctmc.accumulated_sojourn(&pi0, t, TRANSIENT_EPS)?;
     Ok(nvp_numerics::ctmc::expected_reward(&sojourn, &rewards)? / t)
 }
@@ -152,13 +183,24 @@ pub fn interval_reliability(params: &SystemParams, policy: RewardPolicy, t: f64)
 /// `f64::INFINITY` cleanly inside the `Ok` value when quorum loss is
 /// unreachable.
 pub fn mean_time_to_quorum_loss(params: &SystemParams) -> Result<f64> {
-    params.validate()?;
-    let net = model::build_model(params)?;
-    let graph = nvp_petri::reach::explore(&net, 200_000)?;
-    let ctmc = exponential_ctmc(&graph)?;
-    let places = ModulePlaces::locate(&net)?;
+    mean_time_to_quorum_loss_with(&AnalysisEngine::new(), params)
+}
+
+/// [`mean_time_to_quorum_loss`] against a shared engine's chain cache.
+///
+/// # Errors
+///
+/// See [`mean_time_to_quorum_loss`].
+pub fn mean_time_to_quorum_loss_with(
+    engine: &AnalysisEngine,
+    params: &SystemParams,
+) -> Result<f64> {
+    let chain = engine.chain(params, SolverBackend::Auto)?;
+    let ctmc = exponential_ctmc(&chain.graph)?;
+    let places = ModulePlaces::locate(&chain.net)?;
     let threshold = params.voting_threshold();
-    let targets: Vec<usize> = graph
+    let targets: Vec<usize> = chain
+        .graph
         .markings()
         .iter()
         .enumerate()
@@ -172,7 +214,7 @@ pub fn mean_time_to_quorum_loss(params: &SystemParams) -> Result<f64> {
         return Ok(f64::INFINITY);
     }
     let result = absorption(&ctmc, &targets)?;
-    let pi0 = initial_distribution(&graph);
+    let pi0 = initial_distribution(&chain.graph);
     Ok(pi0
         .iter()
         .zip(&result.expected_time)
@@ -253,6 +295,17 @@ mod tests {
             mttf > 1e6,
             "mean time to quorum loss {mttf} s should be ≫ single-module times"
         );
+    }
+
+    #[test]
+    fn with_variants_share_the_chain_cache() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_four_version();
+        transient_reliability_with(&engine, &params, RewardPolicy::FailedOnly, &[10.0]).unwrap();
+        interval_reliability_with(&engine, &params, RewardPolicy::FailedOnly, 100.0).unwrap();
+        mean_time_to_quorum_loss_with(&engine, &params).unwrap();
+        assert_eq!(engine.cache_misses(), 1, "one exploration for all three");
+        assert_eq!(engine.cache_hits(), 2);
     }
 
     #[test]

@@ -1,0 +1,893 @@
+//! The memoizing analysis engine: cached chain stage, cheap reward stage.
+//!
+//! Every analysis in this crate factors through the same pipeline:
+//!
+//! ```text
+//! params ──► build DSPN ──► explore reachability ──► steady state   (chain stage)
+//!                 │                                        │
+//!                 └────────► reward vector ◄───────────────┘        (reward stage)
+//! ```
+//!
+//! The chain stage is expensive (state-space exploration plus an MRGP or
+//! CTMC solve) but depends only on the *chain-relevant* subset of
+//! [`SystemParams`] — the module counts, rates, delays and semantics that
+//! shape the Petri net. The reward parameters `α`, `p`, `p′` never enter
+//! the net: they only weight markings in the reward stage, which is a dot
+//! product. Sweeps over those axes therefore need exactly **one** chain
+//! solve, a property [`AnalysisEngine`] exploits by memoizing chain
+//! solutions under a [`ChainKey`].
+//!
+//! The engine is [`Sync`]: [`AnalysisEngine::sweep_parallel`] workers share
+//! one cache, and concurrent requests for the same key block on a per-key
+//! slot so the chain is still solved only once.
+//!
+//! [`SolverStats`] aggregates the observability counters of every layer —
+//! exploration ([`ExploreStats`]), the MRGP solver ([`MrgpStats`]) and the
+//! cache itself — plus per-stage wall times.
+
+use crate::analysis::{AnalysisReport, ParamAxis, SolverBackend, StateReport};
+use crate::params::{RejuvenationDistribution, ServerSemantics, SystemParams};
+use crate::reliability::{ReliabilityModel, ReliabilitySource};
+use crate::reward::{reward_vector, ModulePlaces, RewardPolicy};
+use crate::state::SystemState;
+use crate::{model, Result};
+use nvp_mrgp::{MrgpStats, SteadyState};
+use nvp_numerics::{optim, StationaryBackend};
+use nvp_petri::net::PetriNet;
+use nvp_petri::reach::{ExploreStats, TangibleReachGraph};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The chain-relevant subset of [`SystemParams`], in hashable form.
+///
+/// Two parameter sets with equal keys build the same DSPN, explore the same
+/// tangible reachability graph and share one steady-state distribution.
+/// The invariant behind the key: the reward parameters `alpha`, `p` and
+/// `p_prime` are **absent** — they never reach the Petri net, only the
+/// reward vector. Floats are keyed by their bit patterns, so `-0.0` and
+/// `0.0` are distinct keys (both are invalid parameters anyway) and equal
+/// values always collide as intended.
+///
+/// When `rejuvenation` is off, the clock fields (`rejuvenation_unit`,
+/// `rejuvenation_interval`, `rejuvenation_distribution`,
+/// `repair_shares_budget`) are normalized away — [`model::build_model`]
+/// ignores them in that case, and normalizing lets a no-rejuvenation sweep
+/// over those axes hit a single cache entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChainKey {
+    n: u32,
+    f: u32,
+    r: u32,
+    rejuvenation: bool,
+    mean_time_to_compromise: u64,
+    mean_time_to_failure: u64,
+    mean_time_to_repair: u64,
+    rejuvenation_unit: u64,
+    rejuvenation_interval: u64,
+    semantics: ServerSemantics,
+    rejuvenation_distribution: RejuvenationDistribution,
+    repair_shares_budget: bool,
+    max_markings: usize,
+}
+
+impl ChainKey {
+    /// Extracts the key of `params` under an exploration budget of
+    /// `max_markings` tangible markings.
+    pub fn of(params: &SystemParams, max_markings: usize) -> Self {
+        let rejuvenation = params.rejuvenation;
+        ChainKey {
+            n: params.n,
+            f: params.f,
+            r: params.r,
+            rejuvenation,
+            mean_time_to_compromise: params.mean_time_to_compromise.to_bits(),
+            mean_time_to_failure: params.mean_time_to_failure.to_bits(),
+            mean_time_to_repair: params.mean_time_to_repair.to_bits(),
+            rejuvenation_unit: if rejuvenation {
+                params.rejuvenation_unit.to_bits()
+            } else {
+                0
+            },
+            rejuvenation_interval: if rejuvenation {
+                params.rejuvenation_interval.to_bits()
+            } else {
+                0
+            },
+            semantics: params.semantics,
+            rejuvenation_distribution: if rejuvenation {
+                params.rejuvenation_distribution
+            } else {
+                RejuvenationDistribution::Exponential
+            },
+            repair_shares_budget: rejuvenation && params.repair_shares_budget,
+            max_markings,
+        }
+    }
+}
+
+/// A solved chain stage: the model, its reachability graph and steady-state
+/// distribution, plus the per-stage statistics and wall times.
+///
+/// Reusable across *any* reward-side parameters — hold the [`Arc`] returned
+/// by [`AnalysisEngine::chain`] and evaluate as many reward vectors against
+/// it as needed.
+#[derive(Debug)]
+pub struct ChainSolution {
+    /// The DSPN built from the chain parameters.
+    pub net: PetriNet,
+    /// Tangible reachability graph of `net`.
+    pub graph: TangibleReachGraph,
+    /// Steady-state probabilities over `graph`'s markings.
+    pub solution: SteadyState,
+    /// Exploration counters (tangible/vanishing markings, arcs).
+    pub explore_stats: ExploreStats,
+    /// Steady-state solver counters (method, subordinated chains,
+    /// uniformization depth, backend).
+    pub solver_stats: MrgpStats,
+    /// Wall time of the model build.
+    pub build_time: Duration,
+    /// Wall time of the reachability exploration.
+    pub explore_time: Duration,
+    /// Wall time of the steady-state solve.
+    pub solve_time: Duration,
+}
+
+/// Aggregated observability over everything an engine has computed.
+///
+/// Cache counters are lifetime totals; state-space and solver counters are
+/// summed (or maxed, where noted) over the currently cached chain
+/// solutions; stage times are summed wall-clock durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Chain requests answered from the cache.
+    pub cache_hits: u64,
+    /// Chain requests that had to run the full chain stage.
+    pub cache_misses: u64,
+    /// Distinct chain solutions currently cached.
+    pub chain_solutions: usize,
+    /// Total tangible markings across cached solutions.
+    pub tangible_markings: usize,
+    /// Total vanishing-marking visits during exploration.
+    pub vanishing_visits: usize,
+    /// Total timed arcs recorded in the reachability graphs.
+    pub timed_arcs: usize,
+    /// Timed arcs whose marking-dependent rate evaluated to zero.
+    pub zero_rate_arcs: usize,
+    /// Total subordinated CTMCs built by the MRGP solver.
+    pub subordinated_chains: usize,
+    /// Largest subordinated CTMC (state count) seen.
+    pub max_subordinated_states: usize,
+    /// Deepest uniformization (Poisson-series) truncation seen.
+    pub max_truncation_steps: usize,
+    /// Stationary solves answered by the dense LU backend.
+    pub dense_solves: usize,
+    /// Stationary solves answered by damped power iteration.
+    pub iterative_solves: usize,
+    /// Summed wall time of model builds.
+    pub build_time: Duration,
+    /// Summed wall time of reachability explorations.
+    pub explore_time: Duration,
+    /// Summed wall time of steady-state solves.
+    pub solve_time: Duration,
+    /// Summed wall time of reward-stage evaluations.
+    pub reward_time: Duration,
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.2} ms", d.as_secs_f64() * 1e3)
+}
+
+impl std::fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "chain cache      : {} solution(s) cached, {} miss(es), {} hit(s)",
+            self.chain_solutions, self.cache_misses, self.cache_hits
+        )?;
+        writeln!(
+            f,
+            "state space      : {} tangible marking(s), {} vanishing visit(s), \
+             {} timed arc(s) ({} zero-rate)",
+            self.tangible_markings, self.vanishing_visits, self.timed_arcs, self.zero_rate_arcs
+        )?;
+        writeln!(
+            f,
+            "mrgp             : {} subordinated chain(s), largest {} state(s), \
+             uniformization depth <= {}",
+            self.subordinated_chains, self.max_subordinated_states, self.max_truncation_steps
+        )?;
+        writeln!(
+            f,
+            "stationary solves: {} dense, {} iterative",
+            self.dense_solves, self.iterative_solves
+        )?;
+        write!(
+            f,
+            "stage times      : build {}, explore {}, solve {}, rewards {}",
+            fmt_ms(self.build_time),
+            fmt_ms(self.explore_time),
+            fmt_ms(self.solve_time),
+            fmt_ms(self.reward_time)
+        )
+    }
+}
+
+/// Per-key slot: concurrent requests for the same key contend here (not on
+/// the whole cache), so one thread computes while the rest wait for the
+/// result instead of recomputing it.
+#[derive(Debug, Default)]
+struct Slot(Mutex<Option<Arc<ChainSolution>>>);
+
+/// Memoizing analysis engine (see the [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use nvp_core::engine::AnalysisEngine;
+/// use nvp_core::analysis::{ParamAxis, SolverBackend};
+/// use nvp_core::params::SystemParams;
+/// use nvp_core::reward::RewardPolicy;
+///
+/// # fn main() -> Result<(), nvp_core::CoreError> {
+/// let engine = AnalysisEngine::new();
+/// let params = SystemParams::paper_six_version();
+/// // An alpha sweep only varies reward parameters: one chain solve total.
+/// let grid = [0.0, 0.25, 0.5, 0.75, 1.0];
+/// engine.sweep(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)?;
+/// let stats = engine.stats();
+/// assert_eq!(stats.cache_misses, 1);
+/// assert_eq!(stats.cache_hits, grid.len() as u64 - 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct AnalysisEngine {
+    cache: Mutex<HashMap<ChainKey, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    reward_nanos: AtomicU64,
+}
+
+impl AnalysisEngine {
+    /// Creates an engine with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the chain solution for `params`, solving it on the first
+    /// request and serving the cached [`Arc`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Parameter-validation, exploration and solver errors. Failures are
+    /// not cached; a later call with the same key retries.
+    pub fn chain(
+        &self,
+        params: &SystemParams,
+        backend: SolverBackend,
+    ) -> Result<Arc<ChainSolution>> {
+        params.validate()?;
+        let key = ChainKey::of(params, backend.max_markings());
+        let slot = {
+            let mut map = self.cache.lock().expect("cache lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut guard = slot.0.lock().expect("slot lock");
+        if let Some(solution) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(solution));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let solution = Arc::new(solve_chain(params, backend)?);
+        *guard = Some(Arc::clone(&solution));
+        Ok(solution)
+    }
+
+    /// The expected output reliability `E[R_sys]` (equation 1), with the
+    /// chain stage served from the cache when possible.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisEngine::chain`].
+    pub fn expected_reliability(
+        &self,
+        params: &SystemParams,
+        policy: RewardPolicy,
+        backend: SolverBackend,
+    ) -> Result<f64> {
+        let chain = self.chain(params, backend)?;
+        let t = Instant::now();
+        let reliability = ReliabilityModel::for_params(params, ReliabilitySource::Auto)?;
+        let rewards = reward_vector(&chain.graph, &chain.net, params, &reliability, policy)?;
+        let expected = chain.solution.expected_reward(&rewards);
+        self.note_reward_time(t);
+        Ok(expected)
+    }
+
+    /// Full analysis with per-state detail, chain stage cached.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisEngine::chain`].
+    pub fn analyze(
+        &self,
+        params: &SystemParams,
+        policy: RewardPolicy,
+        source: ReliabilitySource,
+        backend: SolverBackend,
+    ) -> Result<AnalysisReport> {
+        let chain = self.chain(params, backend)?;
+        let t = Instant::now();
+        let reliability = ReliabilityModel::for_params(params, source)?;
+        let rewards = reward_vector(&chain.graph, &chain.net, params, &reliability, policy)?;
+        let expected = chain.solution.expected_reward(&rewards);
+        let places = ModulePlaces::locate(&chain.net)?;
+        let mut states: Vec<StateReport> = chain
+            .graph
+            .markings()
+            .iter()
+            .zip(chain.solution.probabilities())
+            .zip(&rewards)
+            .map(|((m, &prob), &rel)| {
+                let rejuvenating = places.rejuvenating.map_or(0, |idx| m.tokens(idx));
+                StateReport {
+                    state: SystemState::new(
+                        m.tokens(places.healthy),
+                        m.tokens(places.compromised),
+                        m.tokens(places.failed),
+                    ),
+                    rejuvenating,
+                    probability: prob,
+                    reliability: rel,
+                }
+            })
+            .collect();
+        states.sort_by(|a, b| b.probability.partial_cmp(&a.probability).expect("finite"));
+        self.note_reward_time(t);
+        Ok(AnalysisReport {
+            expected_reliability: expected,
+            states,
+        })
+    }
+
+    /// Steady-state quorum availability (see
+    /// [`crate::analysis::quorum_availability`]), chain stage cached.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisEngine::chain`].
+    pub fn quorum_availability(&self, params: &SystemParams) -> Result<f64> {
+        let chain = self.chain(params, SolverBackend::Auto)?;
+        let t = Instant::now();
+        let places = ModulePlaces::locate(&chain.net)?;
+        let threshold = params.voting_threshold();
+        let rewards = chain.graph.reward_vector(|m| {
+            if m.tokens(places.healthy) + m.tokens(places.compromised) >= threshold {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let availability = chain.solution.expected_reward(&rewards);
+        self.note_reward_time(t);
+        Ok(availability)
+    }
+
+    /// Sequential sweep of `E[R_sys]` over `axis` (see
+    /// [`crate::analysis::sweep`]). Reward-only axes (`Alpha`,
+    /// `HealthyInaccuracy`, `CompromisedInaccuracy`) reuse a single chain
+    /// solution for the entire grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors for any point of the sweep.
+    pub fn sweep(
+        &self,
+        params: &SystemParams,
+        axis: ParamAxis,
+        values: &[f64],
+        policy: RewardPolicy,
+    ) -> Result<Vec<(f64, f64)>> {
+        values
+            .iter()
+            .map(|&v| {
+                let p = axis.apply(params, v);
+                Ok((
+                    v,
+                    self.expected_reliability(&p, policy, SolverBackend::Auto)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Parallel sweep on `std::thread` workers sharing this engine's cache
+    /// (see [`crate::analysis::sweep_parallel`]). Results are identical to
+    /// [`AnalysisEngine::sweep`] and arrive in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first analysis error by input order.
+    pub fn sweep_parallel(
+        &self,
+        params: &SystemParams,
+        axis: ParamAxis,
+        values: &[f64],
+        policy: RewardPolicy,
+    ) -> Result<Vec<(f64, f64)>> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(values.len().max(1));
+        if workers <= 1 || values.len() <= 1 {
+            return self.sweep(params, axis, values, policy);
+        }
+        let results: Vec<Mutex<Option<Result<f64>>>> =
+            values.iter().map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&value) = values.get(idx) else {
+                        break;
+                    };
+                    let p = axis.apply(params, value);
+                    let r = self.expected_reliability(&p, policy, SolverBackend::Auto);
+                    *results[idx].lock().expect("no panics while holding lock") = Some(r);
+                });
+            }
+        });
+        values
+            .iter()
+            .zip(results)
+            .map(|(&x, cell)| {
+                let r = cell
+                    .into_inner()
+                    .expect("lock not poisoned")
+                    .expect("every index visited");
+                Ok((x, r?))
+            })
+            .collect()
+    }
+
+    /// Golden-section search for the reliability-maximizing rejuvenation
+    /// interval (see [`crate::analysis::optimal_rejuvenation_interval`]).
+    /// Probes revisited by the search are served from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Analysis errors at any probed interval, or invalid bounds.
+    pub fn optimal_rejuvenation_interval(
+        &self,
+        params: &SystemParams,
+        lo: f64,
+        hi: f64,
+        policy: RewardPolicy,
+    ) -> Result<(f64, f64)> {
+        // golden_section_max takes an infallible closure; stash errors.
+        let mut failure: Option<crate::CoreError> = None;
+        let result = optim::golden_section_max(
+            |interval| {
+                if failure.is_some() {
+                    return f64::NEG_INFINITY;
+                }
+                let p = ParamAxis::RejuvenationInterval.apply(params, interval);
+                match self.expected_reliability(&p, policy, SolverBackend::Auto) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        failure = Some(e);
+                        f64::NEG_INFINITY
+                    }
+                }
+            },
+            lo,
+            hi,
+            0.5, // half-second resolution is ample for intervals of hundreds of seconds
+        );
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        let max = result?;
+        Ok((max.x, max.value))
+    }
+
+    /// Normalized parametric sensitivity (elasticity) of `E[R_sys]` (see
+    /// [`crate::analysis::sensitivity`]). For reward-only axes all three
+    /// probe points share one cached chain.
+    ///
+    /// # Errors
+    ///
+    /// Analysis errors at any probed point.
+    pub fn sensitivity(
+        &self,
+        params: &SystemParams,
+        axis: ParamAxis,
+        policy: RewardPolicy,
+    ) -> Result<f64> {
+        let x = axis.get(params);
+        let h = (x * 0.01).max(1e-9);
+        let lo = axis.apply(params, x - h);
+        let hi = axis.apply(params, x + h);
+        let r_lo = self.expected_reliability(&lo, policy, SolverBackend::Auto)?;
+        let r_hi = self.expected_reliability(&hi, policy, SolverBackend::Auto)?;
+        let r = self.expected_reliability(params, policy, SolverBackend::Auto)?;
+        if r == 0.0 {
+            return Ok(0.0);
+        }
+        Ok((r_hi - r_lo) / (2.0 * h) * x / r)
+    }
+
+    /// Elasticities for a standard set of axes, sorted by descending
+    /// magnitude (see [`crate::analysis::sensitivity_profile`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisEngine::sensitivity`].
+    pub fn sensitivity_profile(
+        &self,
+        params: &SystemParams,
+        policy: RewardPolicy,
+    ) -> Result<Vec<(ParamAxis, f64)>> {
+        let mut axes = vec![
+            ParamAxis::MeanTimeToCompromise,
+            ParamAxis::Alpha,
+            ParamAxis::HealthyInaccuracy,
+            ParamAxis::CompromisedInaccuracy,
+            ParamAxis::MeanTimeToFailure,
+            ParamAxis::MeanTimeToRepair,
+        ];
+        if params.rejuvenation {
+            axes.push(ParamAxis::RejuvenationInterval);
+        }
+        let mut profile = axes
+            .into_iter()
+            .map(|axis| Ok((axis, self.sensitivity(params, axis, policy)?)))
+            .collect::<Result<Vec<_>>>()?;
+        profile.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+        Ok(profile)
+    }
+
+    /// Finds a crossover of the expected reliabilities of systems `a` and
+    /// `b` along `axis` (see [`crate::analysis::find_crossover`]). Both
+    /// systems' chains are cached across the root search's probes.
+    ///
+    /// # Errors
+    ///
+    /// Analysis errors at any probed value, or invalid bounds.
+    pub fn find_crossover(
+        &self,
+        a: &SystemParams,
+        b: &SystemParams,
+        axis: ParamAxis,
+        lo: f64,
+        hi: f64,
+        policy: RewardPolicy,
+    ) -> Result<Option<f64>> {
+        let mut failure: Option<crate::CoreError> = None;
+        let mut diff = |x: f64| -> f64 {
+            if failure.is_some() {
+                return 0.0;
+            }
+            let pa = axis.apply(a, x);
+            let pb = axis.apply(b, x);
+            let ra = self.expected_reliability(&pa, policy, SolverBackend::Auto);
+            let rb = self.expected_reliability(&pb, policy, SolverBackend::Auto);
+            match (ra, rb) {
+                (Ok(ra), Ok(rb)) => ra - rb,
+                (Err(e), _) | (_, Err(e)) => {
+                    failure = Some(e);
+                    0.0
+                }
+            }
+        };
+        let result = optim::brent(&mut diff, lo, hi, 1e-3 * (hi - lo));
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        match result {
+            Ok(x) => Ok(Some(x)),
+            Err(nvp_numerics::NumericsError::NoBracket { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Chain requests served from the cache so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Chain requests that ran the full chain stage so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of chain solutions currently cached.
+    pub fn cache_len(&self) -> usize {
+        let map = self.cache.lock().expect("cache lock");
+        map.values()
+            .filter(|slot| slot.0.lock().expect("slot lock").is_some())
+            .count()
+    }
+
+    /// Drops all cached chain solutions. Hit/miss counters are kept.
+    pub fn clear(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// Aggregates the statistics of everything this engine has computed.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = SolverStats {
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+            reward_time: Duration::from_nanos(self.reward_nanos.load(Ordering::Relaxed)),
+            ..SolverStats::default()
+        };
+        let map = self.cache.lock().expect("cache lock");
+        for slot in map.values() {
+            let guard = slot.0.lock().expect("slot lock");
+            let Some(sol) = guard.as_ref() else {
+                continue;
+            };
+            s.chain_solutions += 1;
+            s.tangible_markings += sol.explore_stats.tangible_markings;
+            s.vanishing_visits += sol.explore_stats.vanishing_visits;
+            s.timed_arcs += sol.explore_stats.timed_arcs;
+            s.zero_rate_arcs += sol.explore_stats.zero_rate_arcs;
+            s.subordinated_chains += sol.solver_stats.subordinated_chains;
+            s.max_subordinated_states = s
+                .max_subordinated_states
+                .max(sol.solver_stats.max_subordinated_states);
+            s.max_truncation_steps = s
+                .max_truncation_steps
+                .max(sol.solver_stats.max_truncation_steps);
+            match sol.solver_stats.backend {
+                StationaryBackend::Dense => s.dense_solves += 1,
+                StationaryBackend::IterativePower => s.iterative_solves += 1,
+            }
+            s.build_time += sol.build_time;
+            s.explore_time += sol.explore_time;
+            s.solve_time += sol.solve_time;
+        }
+        s
+    }
+
+    fn note_reward_time(&self, since: Instant) {
+        let nanos = u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.reward_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// Runs the chain stage uncached: build, explore, solve, with per-stage
+/// wall times.
+fn solve_chain(params: &SystemParams, backend: SolverBackend) -> Result<ChainSolution> {
+    let t0 = Instant::now();
+    let net = model::build_model(params)?;
+    let build_time = t0.elapsed();
+    let t1 = Instant::now();
+    let (graph, explore_stats) =
+        nvp_petri::reach::explore_with_stats(&net, backend.max_markings())?;
+    let explore_time = t1.elapsed();
+    let t2 = Instant::now();
+    let (solution, solver_stats) = nvp_mrgp::steady_state_with_stats(&graph)?;
+    let solve_time = t2.elapsed();
+    Ok(ChainSolution {
+        net,
+        graph,
+        solution,
+        explore_stats,
+        solver_stats,
+        build_time,
+        explore_time,
+        solve_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    // The whole point of the engine: sweep_parallel workers share it.
+    const _ASSERT_SYNC: fn() = || {
+        fn is_sync<T: Sync + Send>() {}
+        is_sync::<AnalysisEngine>();
+        is_sync::<ChainSolution>();
+    };
+
+    #[test]
+    fn reward_only_sweep_solves_the_chain_exactly_once() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        let grid = analysis::linspace(0.0, 1.0, 9);
+        engine
+            .sweep(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap();
+        assert_eq!(engine.cache_misses(), 1, "one chain solve for 9 points");
+        assert_eq!(engine.cache_hits(), 8);
+        assert_eq!(engine.cache_len(), 1);
+        // The other two reward axes reuse the same solution too.
+        engine
+            .sweep(
+                &params,
+                ParamAxis::HealthyInaccuracy,
+                &analysis::linspace(0.0, 0.3, 5),
+                RewardPolicy::FailedOnly,
+            )
+            .unwrap();
+        engine
+            .sweep(
+                &params,
+                ParamAxis::CompromisedInaccuracy,
+                &analysis::linspace(0.3, 0.9, 5),
+                RewardPolicy::FailedOnly,
+            )
+            .unwrap();
+        assert_eq!(engine.cache_misses(), 1, "still a single chain solve");
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn chain_axes_miss_per_distinct_value() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        let grid = [300.0, 600.0, 900.0];
+        engine
+            .sweep(
+                &params,
+                ParamAxis::RejuvenationInterval,
+                &grid,
+                RewardPolicy::FailedOnly,
+            )
+            .unwrap();
+        assert_eq!(engine.cache_misses(), 3, "interval reshapes the chain");
+        // Re-running the same grid is all hits.
+        engine
+            .sweep(
+                &params,
+                ParamAxis::RejuvenationInterval,
+                &grid,
+                RewardPolicy::FailedOnly,
+            )
+            .unwrap();
+        assert_eq!(engine.cache_misses(), 3);
+        assert_eq!(engine.cache_hits(), 3);
+    }
+
+    #[test]
+    fn cached_results_are_bit_identical_to_uncached() {
+        for params in [
+            SystemParams::paper_four_version(),
+            SystemParams::paper_six_version(),
+        ] {
+            let uncached = analysis::expected_reliability(
+                &params,
+                RewardPolicy::FailedOnly,
+                SolverBackend::Auto,
+            )
+            .unwrap();
+            let engine = AnalysisEngine::new();
+            let first = engine
+                .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+                .unwrap();
+            let second = engine
+                .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+                .unwrap();
+            assert_eq!(first.to_bits(), uncached.to_bits(), "n = {}", params.n);
+            assert_eq!(second.to_bits(), uncached.to_bits(), "n = {}", params.n);
+            assert_eq!(engine.cache_misses(), 1);
+            assert_eq!(engine.cache_hits(), 1);
+        }
+    }
+
+    #[test]
+    fn chain_key_ignores_reward_parameters() {
+        let base = SystemParams::paper_six_version();
+        let mut reward_variant = base.clone();
+        reward_variant.alpha = 0.1;
+        reward_variant.p = 0.2;
+        reward_variant.p_prime = 0.9;
+        assert_eq!(ChainKey::of(&base, 100), ChainKey::of(&reward_variant, 100));
+        let mut chain_variant = base.clone();
+        chain_variant.rejuvenation_interval = 601.0;
+        assert_ne!(ChainKey::of(&base, 100), ChainKey::of(&chain_variant, 100));
+        assert_ne!(ChainKey::of(&base, 100), ChainKey::of(&base, 101));
+        // Without rejuvenation the clock fields are normalized away.
+        let mut p4a = SystemParams::paper_four_version();
+        let mut p4b = SystemParams::paper_four_version();
+        p4a.rejuvenation_interval = 100.0;
+        p4b.rejuvenation_interval = 900.0;
+        p4a.repair_shares_budget = true;
+        assert_eq!(ChainKey::of(&p4a, 100), ChainKey::of(&p4b, 100));
+    }
+
+    #[test]
+    fn parallel_sweep_shares_one_chain_for_reward_axes() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        let grid = analysis::linspace(0.05, 0.95, 8);
+        let sequential = engine
+            .sweep(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap();
+        let parallel = engine
+            .sweep_parallel(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap();
+        assert_eq!(sequential, parallel);
+        assert_eq!(engine.cache_misses(), 1, "parallel workers shared the slot");
+    }
+
+    #[test]
+    fn stats_report_the_pipeline_shape() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.chain_solutions, 1);
+        assert!(stats.tangible_markings > 0);
+        assert!(
+            stats.vanishing_visits > 0,
+            "guards create vanishing markings"
+        );
+        assert!(
+            stats.subordinated_chains > 0,
+            "the clock subordinates chains"
+        );
+        assert!(stats.max_truncation_steps > 0);
+        assert_eq!(stats.dense_solves, 1);
+        assert_eq!(stats.iterative_solves, 0);
+        let text = stats.to_string();
+        assert!(text.contains("chain cache"), "{text}");
+        assert!(text.contains("uniformization depth"), "{text}");
+        // clear() drops solutions but keeps counters.
+        engine.clear();
+        assert_eq!(engine.cache_len(), 0);
+        assert_eq!(engine.cache_misses(), 1);
+    }
+
+    #[test]
+    fn engine_methods_match_free_functions() {
+        let engine = AnalysisEngine::new();
+        let p6 = SystemParams::paper_six_version();
+        let report_engine = engine
+            .analyze(
+                &p6,
+                RewardPolicy::FailedOnly,
+                ReliabilitySource::Auto,
+                SolverBackend::Auto,
+            )
+            .unwrap();
+        let report_free = analysis::analyze(
+            &p6,
+            RewardPolicy::FailedOnly,
+            ReliabilitySource::Auto,
+            SolverBackend::Auto,
+        )
+        .unwrap();
+        assert_eq!(report_engine, report_free);
+        let qa_engine = engine.quorum_availability(&p6).unwrap();
+        let qa_free = analysis::quorum_availability(&p6).unwrap();
+        assert_eq!(qa_engine.to_bits(), qa_free.to_bits());
+        let s_engine = engine
+            .sensitivity(&p6, ParamAxis::Alpha, RewardPolicy::FailedOnly)
+            .unwrap();
+        let s_free =
+            analysis::sensitivity(&p6, ParamAxis::Alpha, RewardPolicy::FailedOnly).unwrap();
+        assert_eq!(s_engine.to_bits(), s_free.to_bits());
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let engine = AnalysisEngine::new();
+        let p = SystemParams::paper_six_version();
+        // A tiny budget fails exploration...
+        assert!(engine.chain(&p, SolverBackend::Budget(3)).is_err());
+        assert_eq!(engine.cache_misses(), 1);
+        assert_eq!(engine.cache_len(), 0, "failures leave no cached entry");
+        // ...and the same key retried still recomputes (and fails again).
+        assert!(engine.chain(&p, SolverBackend::Budget(3)).is_err());
+        assert_eq!(engine.cache_misses(), 2);
+    }
+}

@@ -22,6 +22,10 @@
 //! * [`analysis`] — expected output reliability `E[R_sys] = Σ π·R`
 //!   (equation 1), parameter sweeps, optimal-rejuvenation-interval search
 //!   and crossover analysis;
+//! * [`engine`] — the memoizing [`engine::AnalysisEngine`] behind
+//!   [`analysis`]: caches the expensive chain stage (model build,
+//!   exploration, steady-state solve) across reward-parameter variations
+//!   and exposes solver statistics ([`engine::SolverStats`]);
 //! * [`dependability`] — extensions beyond the paper's steady-state view:
 //!   transient reliability `R(t)`, interval reliability, and the mean time
 //!   to quorum loss.
@@ -46,6 +50,7 @@
 
 pub mod analysis;
 pub mod dependability;
+pub mod engine;
 pub mod error;
 pub mod model;
 pub mod params;

@@ -5,7 +5,8 @@
 //! the way TimeNET presents its stationary results. Used by the `nvp` CLI
 //! and handy in examples and logs.
 
-use crate::analysis::{self, AnalysisReport, SolverBackend};
+use crate::analysis::{AnalysisReport, SolverBackend};
+use crate::engine::AnalysisEngine;
 use crate::params::SystemParams;
 use crate::reliability::matrix::ReliabilityMatrix;
 use crate::reliability::{ReliabilityModel, ReliabilitySource};
@@ -44,8 +45,25 @@ pub fn render(
     policy: RewardPolicy,
     options: &ReportOptions,
 ) -> Result<String> {
-    let report = analysis::analyze(params, policy, ReliabilitySource::Auto, SolverBackend::Auto)?;
-    render_with(params, policy, &report, options)
+    render_on(&AnalysisEngine::new(), params, policy, options)
+}
+
+/// [`render`] against a shared engine: the analysis, quorum availability
+/// and sensitivity profile reuse one cached chain solution, and the
+/// engine's [`SolverStats`](crate::engine::SolverStats) afterwards describe
+/// exactly the work this report cost.
+///
+/// # Errors
+///
+/// Analysis errors.
+pub fn render_on(
+    engine: &AnalysisEngine,
+    params: &SystemParams,
+    policy: RewardPolicy,
+    options: &ReportOptions,
+) -> Result<String> {
+    let report = engine.analyze(params, policy, ReliabilitySource::Auto, SolverBackend::Auto)?;
+    render_with_on(engine, params, policy, &report, options)
 }
 
 /// Renders a report from an already-computed analysis.
@@ -54,6 +72,16 @@ pub fn render(
 ///
 /// Reliability-matrix evaluation and sensitivity errors.
 pub fn render_with(
+    params: &SystemParams,
+    policy: RewardPolicy,
+    report: &AnalysisReport,
+    options: &ReportOptions,
+) -> Result<String> {
+    render_with_on(&AnalysisEngine::new(), params, policy, report, options)
+}
+
+fn render_with_on(
+    engine: &AnalysisEngine,
     params: &SystemParams,
     policy: RewardPolicy,
     report: &AnalysisReport,
@@ -94,7 +122,7 @@ pub fn render_with(
         "expected output reliability E[R_sys] = {:.7}",
         report.expected_reliability
     );
-    if let Ok(availability) = analysis::quorum_availability(params) {
+    if let Ok(availability) = engine.quorum_availability(params) {
         let _ = writeln!(out, "quorum availability               = {availability:.7}");
     }
 
@@ -133,7 +161,7 @@ pub fn render_with(
     }
 
     if options.sensitivities {
-        let profile = analysis::sensitivity_profile(params, policy)?;
+        let profile = engine.sensitivity_profile(params, policy)?;
         let _ = writeln!(out);
         let _ = writeln!(out, "sensitivity elasticities (x/R * dR/dx):");
         for (axis, s) in profile {

@@ -4,12 +4,60 @@ use crate::{MrgpError, Result};
 use nvp_numerics::ctmc::Ctmc;
 use nvp_numerics::dtmc::stationary_distribution;
 use nvp_numerics::sparse::CsrBuilder;
+use nvp_numerics::{stationary_backend_for, StationaryBackend};
 use nvp_petri::reach::TangibleReachGraph;
 use std::collections::HashMap;
 
 /// Truncation accuracy of the uniformization series used for subordinated
 /// chains.
 const UNIFORMIZATION_EPS: f64 = 1e-13;
+
+/// How a steady state was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMethod {
+    /// A single tangible marking: the distribution is trivially `[1.0]`.
+    #[default]
+    SingleMarking,
+    /// No deterministic transition anywhere: plain CTMC solve.
+    Ctmc,
+    /// Full MRGP solve via the embedded Markov chain.
+    Mrgp,
+}
+
+impl std::fmt::Display for SolveMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveMethod::SingleMarking => f.write_str("single-marking"),
+            SolveMethod::Ctmc => f.write_str("ctmc"),
+            SolveMethod::Mrgp => f.write_str("mrgp"),
+        }
+    }
+}
+
+/// Observability counters collected during one steady-state solve.
+///
+/// Returned by [`steady_state_with_stats`]; the zero-cost way to answer
+/// "what did the solver actually do" without instrumenting from outside.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MrgpStats {
+    /// Which solve path was taken.
+    pub method: SolveMethod,
+    /// Tangible markings in the solved graph.
+    pub markings: usize,
+    /// Subordinated CTMCs built — one per tangible marking that enables a
+    /// deterministic transition. Zero unless `method == Mrgp`.
+    pub subordinated_chains: usize,
+    /// State count of the largest subordinated CTMC (transient + absorbing).
+    pub max_subordinated_states: usize,
+    /// Summed state count over all subordinated CTMCs.
+    pub total_subordinated_states: usize,
+    /// Deepest Poisson-series truncation used by any subordinated
+    /// uniformization (transient / accumulated-sojourn solve).
+    pub max_truncation_steps: usize,
+    /// Backend of the final stationary solve: the embedded chain for MRGP,
+    /// the CTMC itself otherwise.
+    pub backend: StationaryBackend,
+}
 
 /// The stationary solution of a DSPN.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,21 +105,38 @@ impl SteadyState {
 /// * [`MrgpError::Numerics`] for singular or non-convergent linear systems
 ///   (e.g. graphs with several closed recurrent classes).
 pub fn steady_state(graph: &TangibleReachGraph) -> Result<SteadyState> {
+    Ok(steady_state_with_stats(graph)?.0)
+}
+
+/// Like [`steady_state`], but also reports [`MrgpStats`] describing the
+/// work the solver performed.
+pub fn steady_state_with_stats(graph: &TangibleReachGraph) -> Result<(SteadyState, MrgpStats)> {
     let n = graph.tangible_count();
     let states = graph.states();
+    let mut stats = MrgpStats {
+        markings: n,
+        ..MrgpStats::default()
+    };
     let has_deterministic = states.iter().any(|s| !s.deterministic.is_empty());
     for (idx, s) in states.iter().enumerate() {
         if s.deterministic.len() > 1 {
             return Err(MrgpError::MultipleDeterministic { marking: idx });
         }
-        if n > 1 && s.deterministic.is_empty() && s.exponential.is_empty() {
+        // A marking is dead when nothing can actually fire: no deterministic
+        // transition and no exponential arc with a *positive* rate. A
+        // marking-dependent rate evaluating to 0 leaves an arc in the graph
+        // but does not make the marking live.
+        if n > 1 && s.deterministic.is_empty() && !s.exponential.iter().any(|a| a.value > 0.0) {
             return Err(MrgpError::DeadMarking { marking: idx });
         }
     }
     if n == 1 {
-        return Ok(SteadyState {
-            probabilities: vec![1.0],
-        });
+        return Ok((
+            SteadyState {
+                probabilities: vec![1.0],
+            },
+            stats,
+        ));
     }
     let scc = nvp_petri::scc::analyze(graph);
     if scc.recurrent.len() > 1 {
@@ -79,16 +144,21 @@ pub fn steady_state(graph: &TangibleReachGraph) -> Result<SteadyState> {
             count: scc.recurrent.len(),
         });
     }
-    if !has_deterministic {
-        return solve_ctmc(graph);
-    }
-    solve_mrgp(graph)
+    let solution = if has_deterministic {
+        stats.method = SolveMethod::Mrgp;
+        solve_mrgp(graph, &mut stats)?
+    } else {
+        stats.method = SolveMethod::Ctmc;
+        solve_ctmc(graph, &mut stats)?
+    };
+    Ok((solution, stats))
 }
 
 /// Pure-CTMC special case: every tangible marking only enables exponential
 /// transitions.
-fn solve_ctmc(graph: &TangibleReachGraph) -> Result<SteadyState> {
+fn solve_ctmc(graph: &TangibleReachGraph, stats: &mut MrgpStats) -> Result<SteadyState> {
     let n = graph.tangible_count();
+    stats.backend = stationary_backend_for(n);
     let mut ctmc = Ctmc::new(n);
     for (from, state) in graph.states().iter().enumerate() {
         for arc in &state.exponential {
@@ -109,9 +179,10 @@ fn solve_ctmc(graph: &TangibleReachGraph) -> Result<SteadyState> {
 }
 
 /// Full MRGP solve via the embedded Markov chain.
-fn solve_mrgp(graph: &TangibleReachGraph) -> Result<SteadyState> {
+fn solve_mrgp(graph: &TangibleReachGraph, stats: &mut MrgpStats) -> Result<SteadyState> {
     let n = graph.tangible_count();
     let states = graph.states();
+    stats.backend = stationary_backend_for(n);
     // Embedded chain P (row-stochastic) and conversion factors C:
     // C[k][m] = expected time spent in marking m during a regeneration
     // period that starts in marking k.
@@ -120,10 +191,20 @@ fn solve_mrgp(graph: &TangibleReachGraph) -> Result<SteadyState> {
     for k in 0..n {
         let state = &states[k];
         if state.deterministic.is_empty() {
-            // Exponential race: regeneration at the first firing.
-            let total: f64 = state.exponential.iter().map(|a| a.value).sum();
+            // Exponential race: regeneration at the first firing. Zero-rate
+            // arcs (marking-dependent rates evaluating to 0) cannot win the
+            // race and contribute neither to the total nor to the row.
+            let total: f64 = state
+                .exponential
+                .iter()
+                .filter(|a| a.value > 0.0)
+                .map(|a| a.value)
+                .sum();
             let mut self_mass = 0.0;
             for arc in &state.exponential {
+                if arc.value <= 0.0 {
+                    continue;
+                }
                 for &(to, p) in arc.targets.entries() {
                     let prob = arc.value / total * p;
                     if to == k {
@@ -138,7 +219,7 @@ fn solve_mrgp(graph: &TangibleReachGraph) -> Result<SteadyState> {
             }
             conversion[k].push((k, 1.0 / total));
         } else {
-            let (row, conv) = deterministic_row(graph, k)?;
+            let (row, conv) = deterministic_row(graph, k, stats)?;
             for (to, p) in row {
                 emc.push(k, to, p);
             }
@@ -181,7 +262,11 @@ fn solve_mrgp(graph: &TangibleReachGraph) -> Result<SteadyState> {
 /// `(marking index, value)` lists.
 type RowAndConversion = (Vec<(usize, f64)>, Vec<(usize, f64)>);
 
-fn deterministic_row(graph: &TangibleReachGraph, k: usize) -> Result<RowAndConversion> {
+fn deterministic_row(
+    graph: &TangibleReachGraph,
+    k: usize,
+    stats: &mut MrgpStats,
+) -> Result<RowAndConversion> {
     let states = graph.states();
     let det = &states[k].deterministic[0];
     let det_transition = det.transition;
@@ -198,7 +283,17 @@ fn deterministic_row(graph: &TangibleReachGraph, k: usize) -> Result<RowAndConve
     let mut frontier = vec![k];
     while let Some(g) = frontier.pop() {
         for arc in &states[g].exponential {
-            for &(to, _) in arc.targets.entries() {
+            for &(to, p) in arc.targets.entries() {
+                // Only targets with positive probability flux are reachable
+                // through the subordinated chain. An arc whose
+                // marking-dependent rate evaluates to 0 here (or a branch
+                // with probability 0) must not pull `to` into the chain —
+                // following it can reject perfectly consistent nets with a
+                // spurious InconsistentDelay, or absorb mass that can never
+                // flow.
+                if arc.value * p <= 0.0 {
+                    continue;
+                }
                 if local.contains_key(&to) || absorbing.contains_key(&to) {
                     continue;
                 }
@@ -233,6 +328,9 @@ fn deterministic_row(graph: &TangibleReachGraph, k: usize) -> Result<RowAndConve
     // Subordinated CTMC: transient states first, then absorbing states.
     let n_trans = members.len();
     let n_total = n_trans + absorbing_members.len();
+    stats.subordinated_chains += 1;
+    stats.max_subordinated_states = stats.max_subordinated_states.max(n_total);
+    stats.total_subordinated_states += n_total;
     let mut sub = Ctmc::new(n_total);
     for (s_local, &s_global) in members.iter().enumerate() {
         for arc in &states[s_global].exponential {
@@ -253,6 +351,9 @@ fn deterministic_row(graph: &TangibleReachGraph, k: usize) -> Result<RowAndConve
             }
         }
     }
+    stats.max_truncation_steps = stats
+        .max_truncation_steps
+        .max(sub.truncation_steps(tau, UNIFORMIZATION_EPS)?);
     let mut pi0 = vec![0.0; n_total];
     pi0[0] = 1.0; // start in marking k
     let at_tau = sub.transient(&pi0, tau, UNIFORMIZATION_EPS)?;
@@ -603,6 +704,150 @@ mod tests {
             probabilities: vec![0.5, 0.5],
         };
         let _ = s.expected_reward(&[1.0]);
+    }
+
+    /// Regression: a marking reachable only through a zero-rate exponential
+    /// arc must not join a subordinated chain. `poison` carries the
+    /// marking-dependent rate `#B` but is enabled (inhibitor on B) exactly
+    /// when B is empty — so its rate is 0 whenever it could fire, and the
+    /// marking it points at is physically unreachable. The old BFS followed
+    /// the arc regardless of rate and rejected the net with a spurious
+    /// `InconsistentDelay`, because `tick`'s delay `5 + 10·#B` differs in
+    /// the phantom marking.
+    #[test]
+    fn zero_rate_arcs_do_not_join_subordinated_chain() {
+        let mut b = NetBuilder::new("zerorate");
+        let clk = b.place("Clk", 1);
+        let pb = b.place("B", 0);
+        b.transition(
+            "tick",
+            TransitionKind::deterministic(Expr::parse("5 + 10 * #B").unwrap()),
+        )
+        .unwrap()
+        .input(clk, 1)
+        .output(clk, 1);
+        b.transition(
+            "poison",
+            TransitionKind::exponential(Expr::parse("#B").unwrap()),
+        )
+        .unwrap()
+        .input(clk, 1)
+        .output(clk, 1)
+        .output(pb, 1)
+        .inhibitor(pb, 1);
+        b.transition("cure", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(clk, 1)
+            .input(pb, 1);
+        b.transition("reset", TransitionKind::exponential_rate(2.0))
+            .unwrap()
+            .output(clk, 1)
+            .inhibitor(clk, 1);
+        let net = b.build().unwrap();
+        let graph = explore(&net, 100).unwrap();
+        let (sol, stats) = steady_state_with_stats(&graph).unwrap();
+        let m0 = graph
+            .index_of(&nvp_petri::marking::Marking::new(vec![1, 0]))
+            .unwrap();
+        // All stationary mass sits in (Clk=1, B=0), the only marking the
+        // process can actually occupy.
+        assert!(
+            (sol.probabilities()[m0] - 1.0).abs() < 1e-12,
+            "pi = {:?}",
+            sol.probabilities()
+        );
+        // The subordinated chain of m0 is {m0} alone (1 state, nothing
+        // absorbing): the zero-rate arc contributed no members.
+        assert_eq!(stats.method, SolveMethod::Mrgp);
+        assert!(stats.subordinated_chains >= 1);
+    }
+
+    /// A marking whose only exponential arcs carry rate 0 enables nothing:
+    /// the solver must diagnose it as dead rather than divide by a zero
+    /// total race rate.
+    #[test]
+    fn all_zero_rate_marking_is_dead() {
+        let mut b = NetBuilder::new("zerodead");
+        let a = b.place("A", 1);
+        let c = b.place("B", 0);
+        b.transition("go", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(a, 1)
+            .output(c, 1);
+        // Enabled in (A=0, B=1) with rate #A = 0: an arc exists, but it can
+        // never fire.
+        b.transition(
+            "stuck",
+            TransitionKind::exponential(Expr::parse("#A").unwrap()),
+        )
+        .unwrap()
+        .input(c, 1)
+        .output(a, 1);
+        let net = b.build().unwrap();
+        let graph = explore(&net, 100).unwrap();
+        assert!(matches!(
+            steady_state(&graph),
+            Err(MrgpError::DeadMarking { .. })
+        ));
+    }
+
+    /// The stats layer reports the work done: method, subordinated-chain
+    /// shapes, uniformization depth, and backend.
+    #[test]
+    fn stats_describe_the_solve() {
+        // Reuse the maintenance model: 3 markings, Up enables the clock.
+        let (lambda, mu, delta, tau) = (0.05, 0.8, 2.5, 10.0);
+        let mut b = NetBuilder::new("maintstats");
+        let up = b.place("Up", 1);
+        let down = b.place("Down", 0);
+        let maint = b.place("Maint", 0);
+        b.transition("fail", TransitionKind::exponential_rate(lambda))
+            .unwrap()
+            .input(up, 1)
+            .output(down, 1);
+        b.transition("clock", TransitionKind::deterministic_delay(tau))
+            .unwrap()
+            .input(up, 1)
+            .output(maint, 1);
+        b.transition("repair", TransitionKind::exponential_rate(mu))
+            .unwrap()
+            .input(down, 1)
+            .output(up, 1);
+        b.transition("finish", TransitionKind::exponential_rate(delta))
+            .unwrap()
+            .input(maint, 1)
+            .output(up, 1);
+        let net = b.build().unwrap();
+        let graph = explore(&net, 100).unwrap();
+        let (_, stats) = steady_state_with_stats(&graph).unwrap();
+        assert_eq!(stats.method, SolveMethod::Mrgp);
+        assert_eq!(stats.markings, 3);
+        // Only Up enables the deterministic clock; its subordinated chain is
+        // {Up} transient + {Down} absorbing = 2 states.
+        assert_eq!(stats.subordinated_chains, 1);
+        assert_eq!(stats.max_subordinated_states, 2);
+        assert_eq!(stats.total_subordinated_states, 2);
+        assert!(stats.max_truncation_steps > 0);
+        assert_eq!(stats.backend, nvp_numerics::StationaryBackend::Dense);
+
+        // A CTMC-only net reports the Ctmc method and no subordinated work.
+        let mut b = NetBuilder::new("ctmcstats");
+        let u = b.place("Up", 1);
+        let d = b.place("Down", 0);
+        b.transition("f", TransitionKind::exponential_rate(0.2))
+            .unwrap()
+            .input(u, 1)
+            .output(d, 1);
+        b.transition("r", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(d, 1)
+            .output(u, 1);
+        let net = b.build().unwrap();
+        let graph = explore(&net, 100).unwrap();
+        let (_, stats) = steady_state_with_stats(&graph).unwrap();
+        assert_eq!(stats.method, SolveMethod::Ctmc);
+        assert_eq!(stats.subordinated_chains, 0);
+        assert_eq!(stats.max_truncation_steps, 0);
     }
 
     /// An M/D/1/K queue: Poisson arrivals, deterministic service.

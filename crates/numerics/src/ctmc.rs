@@ -15,11 +15,7 @@
 use crate::dense::DenseMatrix;
 use crate::poisson::{cumulative, poisson_weights};
 use crate::sparse::{stationary_power, CsrBuilder, CsrMatrix};
-use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE};
-
-/// Size threshold below which steady states are computed with a dense LU
-/// solve rather than iteratively.
-const DENSE_SOLVE_LIMIT: usize = 600;
+use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE, DENSE_SOLVE_LIMIT};
 
 /// A continuous-time Markov chain over states `0..n`.
 ///
@@ -138,6 +134,28 @@ impl Ctmc {
             b.push(from, to, rate / lambda);
         }
         (b.build(), lambda)
+    }
+
+    /// Number of uniformization terms [`Ctmc::transient`] and
+    /// [`Ctmc::accumulated_sojourn`] sum for horizon `t` at truncation
+    /// accuracy `epsilon` — i.e. the depth of the Poisson series.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidValue`] if `t` is negative or not finite, or
+    /// `epsilon` is out of range, matching [`Ctmc::transient`].
+    pub fn truncation_steps(&self, t: f64, epsilon: f64) -> Result<usize> {
+        if !(t >= 0.0 && t.is_finite()) {
+            return Err(NumericsError::InvalidValue {
+                what: "time horizon",
+                value: t,
+            });
+        }
+        if t == 0.0 {
+            return Ok(0);
+        }
+        let (_, lambda) = self.uniformize();
+        Ok(poisson_weights(lambda * t, epsilon)?.weights.len())
     }
 
     /// Computes the stationary distribution `π` with `π Q = 0`, `Σ π = 1`.

@@ -8,10 +8,7 @@
 
 use crate::dense::DenseMatrix;
 use crate::sparse::{stationary_power, CsrMatrix};
-use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE};
-
-/// Size threshold below which the stationary vector is computed densely.
-const DENSE_SOLVE_LIMIT: usize = 600;
+use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE, DENSE_SOLVE_LIMIT};
 
 /// Validates that `p` is (approximately) row-stochastic.
 ///

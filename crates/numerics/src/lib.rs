@@ -62,3 +62,40 @@ pub const DEFAULT_TOLERANCE: f64 = 1e-12;
 
 /// Default iteration cap for iterative methods in this crate.
 pub const DEFAULT_MAX_ITERATIONS: usize = 200_000;
+
+/// Size threshold below which stationary solves use a dense LU factorization
+/// rather than power iteration. Shared by [`ctmc`] and [`dtmc`].
+pub(crate) const DENSE_SOLVE_LIMIT: usize = 600;
+
+/// The linear-algebra backend a stationary solve selects for a chain of a
+/// given size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StationaryBackend {
+    /// Direct dense LU solve of the balance equations (exact up to rounding).
+    #[default]
+    Dense,
+    /// Damped power iteration on the (uniformized) transition matrix.
+    IterativePower,
+}
+
+impl std::fmt::Display for StationaryBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StationaryBackend::Dense => f.write_str("dense"),
+            StationaryBackend::IterativePower => f.write_str("iterative"),
+        }
+    }
+}
+
+/// Which backend [`dtmc::stationary_distribution`] and
+/// [`ctmc::Ctmc::steady_state`] use for an `n`-state chain.
+///
+/// Exposed so callers (e.g. the MRGP solver's statistics layer) can report
+/// the choice without duplicating the threshold.
+pub fn stationary_backend_for(n: usize) -> StationaryBackend {
+    if n <= DENSE_SOLVE_LIMIT {
+        StationaryBackend::Dense
+    } else {
+        StationaryBackend::IterativePower
+    }
+}

@@ -129,8 +129,30 @@ impl TangibleReachGraph {
 /// this we assume a livelock among immediate transitions.
 const MAX_CASCADE_DEPTH: usize = 10_000;
 
+/// Observability counters from one reachability exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreStats {
+    /// Number of tangible markings in the graph.
+    pub tangible_markings: usize,
+    /// Number of vanishing-marking visits during immediate-cascade
+    /// resolution (a marking revisited along different paths counts each
+    /// time, so this measures elimination work, not distinct markings).
+    pub vanishing_visits: usize,
+    /// Total timed arcs (exponential + deterministic) recorded.
+    pub timed_arcs: usize,
+    /// Exponential arcs whose marking-dependent rate evaluated to zero in
+    /// their source marking (disabled-in-place; solvers skip them).
+    pub zero_rate_arcs: usize,
+}
+
 /// Explores the tangible state space of `net`, up to `max_markings` tangible
 /// markings.
+///
+/// Exponential rates may evaluate to **zero** in a marking: the transition
+/// is then unable to fire there (common with marking-dependent rates such as
+/// `#P / unit` when `#P = 0` is reachable), the arc is recorded with
+/// `value == 0.0`, and solvers ignore it. Negative or non-finite rates, and
+/// non-positive deterministic delays, are domain errors.
 ///
 /// # Errors
 ///
@@ -139,10 +161,23 @@ const MAX_CASCADE_DEPTH: usize = 10_000;
 /// * [`PetriError::VanishingLoop`] if immediate transitions can fire forever
 ///   without reaching a tangible marking.
 /// * [`PetriError::ExprDomain`] if a rate/delay/weight expression evaluates
-///   outside its domain (rates and delays must be positive and finite;
-///   immediate weights non-negative with a positive sum).
+///   outside its domain (rates must be non-negative and finite, delays
+///   positive and finite; immediate weights non-negative with a positive
+///   sum).
 /// * Expression evaluation errors.
 pub fn explore(net: &PetriNet, max_markings: usize) -> Result<TangibleReachGraph> {
+    Ok(explore_with_stats(net, max_markings)?.0)
+}
+
+/// [`explore`], also returning the exploration's [`ExploreStats`].
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn explore_with_stats(
+    net: &PetriNet,
+    max_markings: usize,
+) -> Result<(TangibleReachGraph, ExploreStats)> {
     Explorer::new(net, max_markings).run()
 }
 
@@ -153,6 +188,7 @@ struct Explorer<'a> {
     states: Vec<TangibleState>,
     index: HashMap<Marking, usize>,
     queue: VecDeque<usize>,
+    vanishing_visits: usize,
 }
 
 impl<'a> Explorer<'a> {
@@ -164,10 +200,11 @@ impl<'a> Explorer<'a> {
             states: Vec::new(),
             index: HashMap::new(),
             queue: VecDeque::new(),
+            vanishing_visits: 0,
         }
     }
 
-    fn run(mut self) -> Result<TangibleReachGraph> {
+    fn run(mut self) -> Result<(TangibleReachGraph, ExploreStats)> {
         let initial = self
             .resolve_to_tangible(self.net.initial_marking(), 1.0)?
             .into_iter()
@@ -181,12 +218,23 @@ impl<'a> Explorer<'a> {
             let state = self.expand(idx)?;
             self.states[idx] = state;
         }
-        Ok(TangibleReachGraph {
+        let mut stats = ExploreStats {
+            tangible_markings: self.markings.len(),
+            vanishing_visits: self.vanishing_visits,
+            timed_arcs: 0,
+            zero_rate_arcs: 0,
+        };
+        for s in &self.states {
+            stats.timed_arcs += s.exponential.len() + s.deterministic.len();
+            stats.zero_rate_arcs += s.exponential.iter().filter(|a| a.value == 0.0).count();
+        }
+        let graph = TangibleReachGraph {
             markings: self.markings,
             states: self.states,
             initial,
             index: self.index,
-        })
+        };
+        Ok((graph, stats))
     }
 
     /// Interns a tangible marking, scheduling it for expansion if new.
@@ -224,7 +272,10 @@ impl<'a> Explorer<'a> {
             let value = match &tr.kind {
                 TransitionKind::Exponential { rate } => {
                     let v = rate.eval(&marking)?;
-                    if !v.is_finite() || v <= 0.0 {
+                    // Zero is legal: a marking-dependent rate of 0 means
+                    // the transition cannot fire *in this marking* (e.g.
+                    // `#P / unit` with `#P = 0`); solvers skip such arcs.
+                    if !v.is_finite() || v < 0.0 {
                         return Err(PetriError::ExprDomain {
                             what: format!("rate of `{}`", tr.name),
                             value: v,
@@ -270,7 +321,7 @@ impl<'a> Explorer<'a> {
     /// Uses an explicit work stack; a cascade longer than
     /// [`MAX_CASCADE_DEPTH`] steps or revisiting a marking along one path is
     /// reported as a vanishing loop.
-    fn resolve_to_tangible(&self, m: Marking, mass: f64) -> Result<Vec<(Marking, f64)>> {
+    fn resolve_to_tangible(&mut self, m: Marking, mass: f64) -> Result<Vec<(Marking, f64)>> {
         let mut out: Vec<(Marking, f64)> = Vec::new();
         // Work items carry the path of vanishing markings that led to them
         // so cycles are detected per path.
@@ -288,6 +339,7 @@ impl<'a> Explorer<'a> {
                 out.push((marking, mass));
                 continue;
             }
+            self.vanishing_visits += 1;
             if !path.insert(marking.clone()) {
                 return Err(PetriError::VanishingLoop {
                     marking: marking.to_string(),
@@ -579,12 +631,12 @@ mod tests {
     }
 
     #[test]
-    fn nonpositive_rate_is_domain_error() {
+    fn negative_rate_is_domain_error() {
         let mut b = NetBuilder::new("badrate");
         let a = b.place("A", 1);
         b.transition(
             "t",
-            TransitionKind::exponential(Expr::parse("#A - 1").unwrap()),
+            TransitionKind::exponential(Expr::parse("#A - 2").unwrap()),
         )
         .unwrap()
         .input(a, 1)
@@ -594,6 +646,82 @@ mod tests {
             explore(&net, 100),
             Err(PetriError::ExprDomain { .. })
         ));
+    }
+
+    #[test]
+    fn zero_rate_is_recorded_not_an_error() {
+        // `drain` has rate #B = 0 in the initial marking: it is recorded as
+        // a zero-rate arc (cannot fire there), not rejected. `fill` moves a
+        // token into B, after which `drain`'s rate is positive.
+        let mut b = NetBuilder::new("zerorate");
+        let a = b.place("A", 1);
+        let bb = b.place("B", 0);
+        b.transition("fill", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(a, 1)
+            .output(bb, 1);
+        b.transition(
+            "drain",
+            TransitionKind::exponential(Expr::parse("#B").unwrap()),
+        )
+        .unwrap()
+        .input(bb, 1)
+        .output(a, 1);
+        // Keep `drain` formally enabled in the initial marking so its rate
+        // is evaluated there: no input arc from B would disable it; instead
+        // gate on A via a read (input+output) arc.
+        b.transition(
+            "drain0",
+            TransitionKind::exponential(Expr::parse("#B").unwrap()),
+        )
+        .unwrap()
+        .input(a, 1)
+        .output(a, 1);
+        let net = b.build().unwrap();
+        let (g, stats) = explore_with_stats(&net, 100).unwrap();
+        let i0 = g.index_of(&Marking::new(vec![1, 0])).unwrap();
+        let zero = g.states()[i0]
+            .exponential
+            .iter()
+            .find(|arc| arc.value == 0.0)
+            .expect("zero-rate arc recorded");
+        assert_eq!(zero.value, 0.0);
+        assert!(stats.zero_rate_arcs >= 1);
+        assert_eq!(stats.tangible_markings, g.tangible_count());
+    }
+
+    #[test]
+    fn explore_stats_count_vanishing_work() {
+        // The chain net resolves three vanishing markings before the single
+        // tangible one.
+        let mut b = NetBuilder::new("chain");
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let p2 = b.place("P2", 0);
+        let p3 = b.place("P3", 0);
+        b.transition("i1", TransitionKind::immediate())
+            .unwrap()
+            .input(p0, 1)
+            .output(p1, 1);
+        b.transition("i2", TransitionKind::immediate())
+            .unwrap()
+            .input(p1, 1)
+            .output(p2, 1);
+        b.transition("i3", TransitionKind::immediate())
+            .unwrap()
+            .input(p2, 1)
+            .output(p3, 1);
+        b.transition("t", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(p3, 1)
+            .output(p3, 1);
+        let net = b.build().unwrap();
+        let (g, stats) = explore_with_stats(&net, 100).unwrap();
+        assert_eq!(g.tangible_count(), 1);
+        assert_eq!(stats.tangible_markings, 1);
+        assert_eq!(stats.vanishing_visits, 3);
+        assert_eq!(stats.timed_arcs, 1);
+        assert_eq!(stats.zero_rate_arcs, 0);
     }
 
     #[test]

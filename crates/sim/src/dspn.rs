@@ -242,7 +242,14 @@ impl<'a> DspnSimulator<'a> {
         let dt = exp_dt.min(det_dt);
         let budget = (max_time - self.time).max(0.0);
 
-        if dt > budget {
+        // `step` treats the horizon inclusively: an event scheduled exactly
+        // at `max_time` fires. Deterministic clocks accumulate the same
+        // increments as `self.time` but at a different magnitude, so their
+        // roundings drift apart by a few ulps over long runs; without a
+        // tolerance here a boundary event computes one ulp past the budget
+        // and is silently dropped.
+        let tol = max_time.abs().max(self.time.abs()) * 1e-12;
+        if dt > budget + tol {
             // Horizon reached inside this sojourn.
             self.advance_det_clocks(&det_enabled, budget);
             self.time = max_time;

@@ -1,0 +1,485 @@
+//! Minimal offline reimplementation of the `proptest` 1.x API surface used
+//! by this workspace.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace vendors the subset it uses: random (non-shrinking) property
+//! testing with deterministic per-test seeds. Supported surface:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed`;
+//! * range strategies over integers and floats, tuple strategies,
+//!   [`strategy::Just`], [`arbitrary::any`], [`collection::vec`],
+//!   [`bool::ANY`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`], and
+//!   [`prop_oneof!`] macros;
+//! * [`test_runner::Config`] (`ProptestConfig::with_cases`).
+//!
+//! Differences from upstream: failing cases are **not shrunk** — the panic
+//! reports the case number and deterministic seed instead, which is enough
+//! to replay a failure under a debugger.
+
+pub mod strategy;
+
+/// Arbitrary values for primitive types (`any::<T>()`).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy returned by [`any`].
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-range strategy for an integer type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyInt<T>(core::marker::PhantomData<T>);
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyInt<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyInt<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyInt(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::Any;
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::Any
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u8>()`, `any::<bool>()`, …).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding a fair coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A fair boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A range of collection sizes. `usize` is an exact size; `a..b` is
+    /// half-open; `a..=b` is inclusive, matching upstream.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + (rng.next_u64() as usize) % span;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test execution: configuration, RNG, and case errors.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Run configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Deterministic RNG driving strategy generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        pub(crate) inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// A failed property case (raised by `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives the cases of one property: holds the config and the
+    /// deterministic RNG (seeded from the property name, so every run and
+    /// every machine sees the same inputs).
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// A runner for the property named `name`.
+        pub fn new(config: Config, name: &str) -> Self {
+            let mut hasher = DefaultHasher::new();
+            name.hash(&mut hasher);
+            let seed = hasher.finish() | 1;
+            TestRunner {
+                config,
+                rng: TestRng {
+                    inner: SmallRng::seed_from_u64(seed),
+                },
+                seed,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The seed this runner's RNG started from (for failure replay).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// The RNG to generate case inputs with.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespaced strategy modules (`prop::collection`, `prop::bool`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item expands to a `#[test]`-style function running `body` over random
+/// inputs drawn from the strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __runner =
+                $crate::test_runner::TestRunner::new(__config, stringify!($name));
+            let __strategy = ($($strat,)*);
+            for __case in 0..__runner.cases() {
+                let ($($arg,)*) =
+                    $crate::strategy::Strategy::generate(&__strategy, __runner.rng());
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!(
+                        "property `{}` failed at case {}/{} (seed {:#x}): {}",
+                        stringify!($name),
+                        __case + 1,
+                        __runner.cases(),
+                        __runner.seed(),
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(64), "bounds");
+        let strat = (0u32..50, 0.25..=0.75f64, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = Strategy::generate(&strat, runner.rng());
+            assert!(a < 50);
+            assert!((0.25..=0.75).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(ProptestConfig::default(), "vec_sizes");
+        let strat = crate::collection::vec(0u32..10, 0..8);
+        let mut max_len = 0;
+        for _ in 0..500 {
+            let v = Strategy::generate(&strat, runner.rng());
+            assert!(v.len() < 8);
+            max_len = max_len.max(v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert!(max_len >= 5, "length diversity: saw max {max_len}");
+    }
+
+    #[test]
+    fn union_hits_every_branch() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::default(), "union");
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, runner.rng());
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_nest() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 64, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut runner =
+            crate::test_runner::TestRunner::new(ProptestConfig::default(), "recursive");
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = Strategy::generate(&strat, runner.rng());
+            let d = depth(&t);
+            assert!(d <= 4, "depth bound violated: {d}");
+            max_depth = max_depth.max(d);
+        }
+        assert!(
+            max_depth >= 2,
+            "nesting diversity: saw max depth {max_depth}"
+        );
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let strat = crate::collection::vec(0.0..1.0f64, 5);
+        let mut r1 = crate::test_runner::TestRunner::new(ProptestConfig::default(), "same");
+        let mut r2 = crate::test_runner::TestRunner::new(ProptestConfig::default(), "same");
+        for _ in 0..20 {
+            assert_eq!(
+                Strategy::generate(&strat, r1.rng()),
+                Strategy::generate(&strat, r2.rng())
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, trailing commas, prop_assert forms.
+        #[test]
+        fn macro_end_to_end(
+            xs in prop::collection::vec(1u32..100, 1..6),
+            flag in prop::bool::ANY,
+            scale in 0.5..2.0f64,
+        ) {
+            let total: u32 = xs.iter().sum();
+            prop_assert!(total >= xs.len() as u32);
+            let scaled = total as f64 * scale;
+            prop_assert!(scaled.is_sign_positive(), "scaled = {scaled}");
+            if flag {
+                prop_assert_eq!(xs.len(), xs.iter().filter(|&&x| x >= 1).count());
+            }
+        }
+    }
+}
