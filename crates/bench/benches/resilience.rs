@@ -1,0 +1,62 @@
+//! Criterion microbenches of the resilience layer's overhead: the
+//! probability-vector guard at stage boundaries and the budget checks
+//! threaded through exploration and the MRGP solve. The point is to show
+//! the guards are cheap enough to keep on unconditionally.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvp_core::model;
+use nvp_core::params::SystemParams;
+use nvp_mrgp::SolveOptions;
+use nvp_numerics::guard::guard_probability_vector;
+use nvp_numerics::SolveBudget;
+use std::hint::black_box;
+
+fn bench_resilience(c: &mut Criterion) {
+    let six = SystemParams::paper_six_version();
+    let net = model::build_model(&six).unwrap();
+    let graph = nvp_petri::reach::explore(&net, 100_000).unwrap();
+
+    let mut group = c.benchmark_group("resilience");
+
+    // Guard on a healthy vector of the six-version model's size.
+    let n = graph.tangible_count();
+    let healthy: Vec<f64> = vec![1.0 / n as f64; n];
+    group.bench_function("guard_probability_vector", |b| {
+        b.iter(|| {
+            let mut v = healthy.clone();
+            black_box(guard_probability_vector(&mut v, "bench", 1e-6).unwrap())
+        })
+    });
+
+    // Budgeted vs unbudgeted exploration: the per-marking deadline check.
+    group.bench_function("explore_unbudgeted", |b| {
+        b.iter(|| black_box(nvp_petri::reach::explore(&net, 100_000).unwrap()))
+    });
+    let generous = SolveBudget::with_wall_clock_ms(3_600_000);
+    group.bench_function("explore_budgeted", |b| {
+        b.iter(|| {
+            black_box(
+                nvp_petri::reach::explore_with_stats_budgeted(&net, 100_000, &generous).unwrap(),
+            )
+        })
+    });
+
+    // Budgeted vs unbudgeted MRGP steady state.
+    group.bench_function("mrgp_unbudgeted", |b| {
+        b.iter(|| black_box(nvp_mrgp::steady_state(&graph).unwrap()))
+    });
+    group.bench_function("mrgp_budgeted", |b| {
+        b.iter(|| {
+            let options = SolveOptions {
+                budget: SolveBudget::with_wall_clock_ms(3_600_000),
+                ..SolveOptions::default()
+            };
+            black_box(nvp_mrgp::steady_state_with_options(&graph, &options).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_resilience);
+criterion_main!(benches);

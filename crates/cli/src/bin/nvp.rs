@@ -1,13 +1,27 @@
 //! The `nvp` command-line tool. All logic lives in `nvp_cli::run`.
+//!
+//! Exit codes: 0 = success, 1 = hard failure, 2 = answered but degraded
+//! (a fallback produced the result; a WARNING is printed alongside it).
 
+use nvp_cli::RunStatus;
 use std::process::ExitCode;
 
+/// Exit code for runs that completed via a fallback path.
+const DEGRADED: u8 = 2;
+
 fn main() -> ExitCode {
+    // With fault injection compiled in, `NVP_FAULT_INJECT=mode@site[:skip
+    // [:hits]]` arms a deterministic fault for the whole run; the guard must
+    // live until exit.
+    #[cfg(feature = "fault-inject")]
+    let _fault_guard = nvp_numerics::fault::arm_from_env();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     match nvp_cli::run(&args, &mut out) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(RunStatus::Success) => ExitCode::SUCCESS,
+        Ok(RunStatus::Degraded) => ExitCode::from(DEGRADED),
         Err(e) => {
             eprintln!("nvp: {e}");
             ExitCode::FAILURE

@@ -13,18 +13,38 @@
 //!
 //! Parameter options (for `analyze` and `sweep`): `--n`, `--f`, `--r`,
 //! `--no-rejuvenation`, `--alpha`, `--p`, `--p-prime`, `--mttc`, `--mttf`,
-//! `--mttr`, `--interval`, `--policy failed-only|as-written`.
+//! `--mttr`, `--interval`, `--policy failed-only|as-written`. Resource
+//! limits: `--budget-ms` (wall-clock per uncached solve) and
+//! `--max-markings` (state-space cap). A result answered via a fallback is
+//! flagged with a WARNING and maps to process exit code 2 (see
+//! [`RunStatus`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use nvp_core::analysis::{self, ParamAxis};
+use nvp_core::analysis::{self, ParamAxis, SolverBackend};
 use nvp_core::engine::AnalysisEngine;
 use nvp_core::params::SystemParams;
-use nvp_core::report::{render_on, ReportOptions};
+use nvp_core::reliability::ReliabilitySource;
+use nvp_core::report::{render_with_on, ReportOptions};
 use nvp_core::reward::RewardPolicy;
 use nvp_sim::dspn::{simulate_reward, SimOptions};
+use nvp_sim::fallback::monte_carlo_hook;
 use std::io::Write;
+
+/// Outcome of a successful [`run`]: whether every analysis was answered by
+/// the primary solver or some result is a degraded (fallback) estimate.
+/// The binary maps `Degraded` to its own process exit code (2) so scripts
+/// can distinguish "answered, but double-check" from success (0) and hard
+/// failure (1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// All results came from the primary analytic pipeline.
+    Success,
+    /// At least one result was produced by a fallback (alternate backend or
+    /// Monte Carlo); a warning was printed alongside it.
+    Degraded,
+}
 
 /// CLI errors: message plus the exit code to report.
 #[derive(Debug)]
@@ -71,12 +91,19 @@ nvp — N-version perception reliability toolkit
 
 USAGE:
   nvp analyze [PARAMS] [--matrix] [--sensitivities] [--states N] [--stats]
+              [--budget-ms MS] [--max-markings N]
       Analyze a perception system and print a report.
   nvp sweep --axis AXIS --from X --to Y --steps N [PARAMS] [--stats]
+            [--budget-ms MS] [--max-markings N]
       Print a CSV sweep of E[R] over one parameter axis.
       AXIS: gamma | mttc | mttf | mttr | alpha | p | pprime
       --stats appends solver statistics (state-space size, subordinated
-      chains, chain-cache hits, per-stage times) to either command.
+      chains, chain-cache hits, fallbacks, per-stage times) to either
+      command. --budget-ms caps the wall-clock time of each uncached solve;
+      --max-markings caps state-space exploration.
+      If the primary solver fails, analyze/sweep fall back to an alternate
+      backend and then to Monte Carlo; a degraded (fallback) result prints a
+      WARNING and the process exits with code 2 instead of 0.
   nvp solve FILE.dspn [--reward EXPR] [--max-markings N]
       Solve a DSPN model file for its stationary distribution.
   nvp simulate FILE.dspn --reward EXPR [--horizon T] [--seed S]
@@ -99,11 +126,16 @@ PARAMS (defaults = the paper's Table II):
 
 /// Entry point shared by the binary and the tests.
 ///
+/// Returns [`RunStatus::Degraded`] when every requested result was produced
+/// but at least one came from a fallback path (alternate linear-algebra
+/// backend or Monte Carlo); the output then carries a WARNING line next to
+/// the degraded figure.
+///
 /// # Errors
 ///
 /// Returns a [`CliError`] with a user-facing message for malformed
 /// invocations or failed analyses.
-pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let Some(command) = args.first() else {
         return Err(CliError {
             message: format!("missing command\n\n{USAGE}"),
@@ -119,7 +151,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<()> {
         "fmt" => cmd_fmt(&args[1..], out),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}")?;
-            Ok(())
+            Ok(RunStatus::Success)
         }
         other => Err(CliError {
             message: format!("unknown command `{other}`\n\n{USAGE}"),
@@ -221,10 +253,24 @@ fn parse_params(args: &[String]) -> Result<(SystemParams, RewardPolicy, Vec<Stri
     Ok((params, policy, rest))
 }
 
-fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<()> {
+/// Builds the analysis engine used by `analyze` and `sweep`: the Monte
+/// Carlo fallback hook is always installed (it only runs when the analytic
+/// pipeline fails), and an optional wall-clock budget is applied.
+fn resilient_engine(budget_ms: Option<u64>) -> AnalysisEngine {
+    let mut engine =
+        AnalysisEngine::new().with_monte_carlo(monte_carlo_hook(SimOptions::default()));
+    if let Some(ms) = budget_ms {
+        engine = engine.with_budget_ms(ms);
+    }
+    engine
+}
+
+fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let (params, policy, rest) = parse_params(args)?;
     let mut options = ReportOptions::default();
     let mut stats = false;
+    let mut budget_ms = None;
+    let mut max_markings = None;
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
         match flag {
@@ -233,6 +279,8 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<()> {
             "--sensitivities" => options.sensitivities = true,
             "--states" => options.state_rows = cursor.value_usize(flag)?,
             "--stats" => stats = true,
+            "--budget-ms" => budget_ms = Some(cursor.value_u64(flag)?),
+            "--max-markings" => max_markings = Some(cursor.value_usize(flag)?),
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for analyze"),
@@ -240,14 +288,20 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<()> {
             }
         }
     }
-    let engine = AnalysisEngine::new();
-    let text = render_on(&engine, &params, policy, &options)?;
+    let engine = resilient_engine(budget_ms);
+    let backend = max_markings.map_or(SolverBackend::Auto, SolverBackend::Budget);
+    let report = engine.analyze(&params, policy, ReliabilitySource::Auto, backend)?;
+    let text = render_with_on(&engine, &params, policy, &report, &options)?;
     write!(out, "{text}")?;
     if stats {
         writeln!(out, "\nsolver statistics:")?;
         writeln!(out, "{}", engine.stats())?;
     }
-    Ok(())
+    Ok(if report.degraded.is_some() {
+        RunStatus::Degraded
+    } else {
+        RunStatus::Success
+    })
 }
 
 fn axis_from_name(name: &str) -> Result<ParamAxis> {
@@ -269,13 +323,15 @@ fn axis_from_name(name: &str) -> Result<ParamAxis> {
     })
 }
 
-fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<()> {
+fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let (params, policy, rest) = parse_params(args)?;
     let mut axis = None;
     let mut from = None;
     let mut to = None;
     let mut steps = 10usize;
     let mut stats = false;
+    let mut budget_ms = None;
+    let mut max_markings = None;
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
         match flag {
@@ -284,6 +340,8 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<()> {
             "--to" => to = Some(cursor.value_f64(flag)?),
             "--steps" => steps = cursor.value_usize(flag)?,
             "--stats" => stats = true,
+            "--budget-ms" => budget_ms = Some(cursor.value_u64(flag)?),
+            "--max-markings" => max_markings = Some(cursor.value_usize(flag)?),
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for sweep"),
@@ -297,17 +355,23 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<()> {
         });
     };
     let grid = analysis::linspace(from, to, steps.max(2));
-    let engine = AnalysisEngine::new();
-    let series = engine.sweep(&params, axis, &grid, policy)?;
+    let engine = resilient_engine(budget_ms);
+    let backend = max_markings.map_or(SolverBackend::Auto, SolverBackend::Budget);
     writeln!(out, "{},expected_reliability", axis.label())?;
-    for (x, r) in series {
+    for &x in &grid {
+        let point = axis.apply(&params, x);
+        let r = engine.expected_reliability(&point, policy, backend)?;
         writeln!(out, "{x},{r}")?;
     }
     if stats {
         writeln!(out, "\nsolver statistics:")?;
         writeln!(out, "{}", engine.stats())?;
     }
-    Ok(())
+    Ok(if engine.stats().degraded_solutions > 0 {
+        RunStatus::Degraded
+    } else {
+        RunStatus::Success
+    })
 }
 
 fn load_net(path: &str) -> Result<nvp_petri::net::PetriNet> {
@@ -317,7 +381,7 @@ fn load_net(path: &str) -> Result<nvp_petri::net::PetriNet> {
     Ok(nvp_petri::text::parse_net(&text)?)
 }
 
-fn cmd_solve(args: &[String], out: &mut dyn Write) -> Result<()> {
+fn cmd_solve(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut cursor = Args::new(args);
     let Some(path) = cursor.next() else {
         return Err(CliError {
@@ -373,10 +437,10 @@ fn cmd_solve(args: &[String], out: &mut dyn Write) -> Result<()> {
             solution.expected_reward(&rewards)
         )?;
     }
-    Ok(())
+    Ok(RunStatus::Success)
 }
 
-fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<()> {
+fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut cursor = Args::new(args);
     let Some(path) = cursor.next() else {
         return Err(CliError {
@@ -420,10 +484,10 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<()> {
         "simulated expected reward of `{src}`: {:.6} ± {:.6} (95% CI, {} batches)",
         estimate.mean, estimate.half_width, estimate.samples
     )?;
-    Ok(())
+    Ok(RunStatus::Success)
 }
 
-fn cmd_dot(args: &[String], out: &mut dyn Write) -> Result<()> {
+fn cmd_dot(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut cursor = Args::new(args);
     let Some(path) = cursor.next() else {
         return Err(CliError {
@@ -448,10 +512,10 @@ fn cmd_dot(args: &[String], out: &mut dyn Write) -> Result<()> {
     } else {
         write!(out, "{}", nvp_petri::dot::net_to_dot(&net))?;
     }
-    Ok(())
+    Ok(RunStatus::Success)
 }
 
-fn cmd_invariants(args: &[String], out: &mut dyn Write) -> Result<()> {
+fn cmd_invariants(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let Some(path) = args.first() else {
         return Err(CliError {
             message: "invariants requires a model file".into(),
@@ -495,10 +559,10 @@ fn cmd_invariants(args: &[String], out: &mut dyn Write) -> Result<()> {
             names.join(", ")
         )?;
     }
-    Ok(())
+    Ok(RunStatus::Success)
 }
 
-fn cmd_fmt(args: &[String], out: &mut dyn Write) -> Result<()> {
+fn cmd_fmt(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let Some(path) = args.first() else {
         return Err(CliError {
             message: "fmt requires a model file".into(),
@@ -506,7 +570,7 @@ fn cmd_fmt(args: &[String], out: &mut dyn Write) -> Result<()> {
     };
     let net = load_net(path)?;
     write!(out, "{}", nvp_petri::text::to_text(&net))?;
-    Ok(())
+    Ok(RunStatus::Success)
 }
 
 #[cfg(test)]
@@ -514,10 +578,14 @@ mod tests {
     use super::*;
 
     fn run_to_string(args: &[&str]) -> Result<String> {
+        run_full(args).map(|(_, text)| text)
+    }
+
+    fn run_full(args: &[&str]) -> Result<(RunStatus, String)> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         let mut buf = Vec::new();
-        run(&args, &mut buf)?;
-        Ok(String::from_utf8(buf).expect("utf-8 output"))
+        let status = run(&args, &mut buf)?;
+        Ok((status, String::from_utf8(buf).expect("utf-8 output")))
     }
 
     #[test]
@@ -560,6 +628,82 @@ mod tests {
         assert!(run_to_string(&["analyze", "--alpha", "2.0"]).is_err());
         assert!(run_to_string(&["analyze", "--bogus"]).is_err());
         assert!(run_to_string(&["analyze", "--policy", "nonsense"]).is_err());
+    }
+
+    #[test]
+    fn healthy_commands_report_success_status() {
+        let (status, _) = run_full(&["analyze"]).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        let (status, _) = run_full(&[
+            "sweep", "--axis", "alpha", "--from", "0.1", "--to", "0.5", "--steps", "2",
+        ])
+        .unwrap();
+        assert_eq!(status, RunStatus::Success);
+    }
+
+    #[test]
+    fn budget_and_markings_flags_are_accepted() {
+        // Generous limits must not change the headline number.
+        let (status, text) = run_full(&[
+            "analyze",
+            "--budget-ms",
+            "60000",
+            "--max-markings",
+            "100000",
+        ])
+        .unwrap();
+        assert_eq!(status, RunStatus::Success);
+        assert!(text.contains("E[R_sys] = 0.93817"), "{text}");
+        // An already-expired budget is a hard error (no silent fallback).
+        assert!(run_to_string(&["analyze", "--budget-ms", "0"]).is_err());
+        // Values must parse.
+        assert!(run_to_string(&["analyze", "--budget-ms", "soon"]).is_err());
+        assert!(run_to_string(&["sweep", "--max-markings", "-3"]).is_err());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_solver_failure_degrades_instead_of_erroring() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+
+        let _guard = arm(FaultPlan::new(Site::Any, FaultMode::ConvergenceFailure));
+        let (status, text) = run_full(&["analyze", "--stats"]).unwrap();
+        assert_eq!(status, RunStatus::Degraded);
+        assert!(text.contains("WARNING: degraded result"), "{text}");
+        assert!(text.contains("monte-carlo fallback"), "{text}");
+        assert!(text.contains("resilience"), "{text}");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn no_injected_fault_mode_panics_the_cli() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+
+        for mode in [
+            FaultMode::ConvergenceFailure,
+            FaultMode::NanPoison,
+            FaultMode::IterationExhaustion,
+        ] {
+            for site in [Site::DenseStationary, Site::PowerIteration, Site::Any] {
+                let _guard = arm(FaultPlan::new(site, mode));
+                // Either a clean degraded answer or a typed error — never a
+                // panic and never a silently wrong success without warning.
+                match run_full(&["analyze"]) {
+                    Ok((RunStatus::Degraded, text)) => {
+                        assert!(text.contains("WARNING"), "{mode:?}@{site:?}: {text}");
+                    }
+                    Ok((RunStatus::Success, text)) => {
+                        // A fault at an unexercised site (e.g. power
+                        // iteration when the dense backend is chosen) leaves
+                        // the answer healthy.
+                        assert!(text.contains("E[R_sys]"), "{mode:?}@{site:?}: {text}");
+                    }
+                    Err(e) => {
+                        assert!(!e.message.is_empty(), "{mode:?}@{site:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

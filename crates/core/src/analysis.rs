@@ -95,6 +95,20 @@ pub struct StateReport {
     pub reliability: f64,
 }
 
+/// Degradation record attached to an [`AnalysisReport`] whose chain stage
+/// was answered by a fallback (see [`crate::engine::DegradedInfo`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedReport {
+    /// Fallback that produced the underlying chain solution.
+    pub method: crate::engine::DegradedMethod,
+    /// The primary failure that triggered the fallback chain.
+    pub reason: String,
+    /// Conservative 95% confidence half-width on `expected_reliability`
+    /// implied by the per-marking sampling errors (`Σ hw_i·|R_i|`; 0 for
+    /// analytic fallbacks).
+    pub reliability_half_width: f64,
+}
+
 /// Full analysis output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisReport {
@@ -102,6 +116,9 @@ pub struct AnalysisReport {
     pub expected_reliability: f64,
     /// Per-marking breakdown, ordered by decreasing probability.
     pub states: Vec<StateReport>,
+    /// Present when the chain stage fell back to a degraded method; the
+    /// probabilities (and thus `expected_reliability`) are then estimates.
+    pub degraded: Option<DegradedReport>,
 }
 
 /// Runs the full analysis pipeline and reports per-state detail.

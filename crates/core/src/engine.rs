@@ -21,24 +21,107 @@
 //! one cache, and concurrent requests for the same key block on a per-key
 //! slot so the chain is still solved only once.
 //!
+//! The chain stage is additionally wrapped in a *resilience layer*: every
+//! uncached solve runs under an optional wall-clock [`SolveBudget`]
+//! ([`AnalysisEngine::with_budget_ms`]), and a solver failure triggers a
+//! fallback chain — first the alternate stationary backend at a relaxed
+//! tolerance ([`RELAXED_TOLERANCE`]), then, if a [`MonteCarloHook`] is
+//! installed, a simulation-based occupancy estimate. A solution produced by
+//! a fallback carries a [`DegradedInfo`] record so downstream reports can
+//! surface the degradation instead of silently presenting the estimate as
+//! exact.
+//!
 //! [`SolverStats`] aggregates the observability counters of every layer —
-//! exploration ([`ExploreStats`]), the MRGP solver ([`MrgpStats`]) and the
+//! exploration ([`ExploreStats`]), the MRGP solver ([`MrgpStats`]), the
+//! resilience layer (fallbacks, guard trips, budget exhaustions) and the
 //! cache itself — plus per-stage wall times.
 
-use crate::analysis::{AnalysisReport, ParamAxis, SolverBackend, StateReport};
+use crate::analysis::{AnalysisReport, DegradedReport, ParamAxis, SolverBackend, StateReport};
 use crate::params::{RejuvenationDistribution, ServerSemantics, SystemParams};
 use crate::reliability::{ReliabilityModel, ReliabilitySource};
 use crate::reward::{reward_vector, ModulePlaces, RewardPolicy};
 use crate::state::SystemState;
 use crate::{model, Result};
-use nvp_mrgp::{MrgpStats, SteadyState};
-use nvp_numerics::{optim, StationaryBackend};
+use nvp_mrgp::{MrgpError, MrgpStats, SolveOptions, SteadyState};
+use nvp_numerics::{
+    alternate_backend, optim, stationary_backend_for, NumericsError, SolveBudget, StationaryBackend,
+};
 use nvp_petri::net::PetriNet;
 use nvp_petri::reach::{ExploreStats, TangibleReachGraph};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Convergence tolerance used when retrying a failed stationary solve on
+/// the alternate backend. Looser than the default (`1e-12`): a slightly
+/// blunter answer clearly beats no answer, and the degradation is reported.
+pub const RELAXED_TOLERANCE: f64 = 1e-8;
+
+/// Largest time fraction a Monte Carlo fallback may spend in markings
+/// outside the explored graph before its estimate is rejected. Exploration
+/// and simulation share the net, so any unmatched mass signals a bug or a
+/// truncated (budgeted) graph — an estimate over the wrong support would be
+/// silently biased.
+const MAX_UNMATCHED_MC_MASS: f64 = 1e-9;
+
+/// Which fallback produced a degraded chain solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMethod {
+    /// The alternate stationary backend (dense ⇄ iterative, at
+    /// [`RELAXED_TOLERANCE`]) answered after the preferred backend failed.
+    AlternateBackend,
+    /// A Monte Carlo occupancy estimate answered after both analytic
+    /// backends failed.
+    MonteCarlo,
+}
+
+impl std::fmt::Display for DegradedMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedMethod::AlternateBackend => f.write_str("alternate-backend"),
+            DegradedMethod::MonteCarlo => f.write_str("monte-carlo"),
+        }
+    }
+}
+
+/// Why and how a chain solution is degraded (attached to [`ChainSolution`]
+/// when a fallback answered).
+#[derive(Debug, Clone)]
+pub struct DegradedInfo {
+    /// Fallback that produced the solution.
+    pub method: DegradedMethod,
+    /// The primary failure that triggered the fallback chain.
+    pub reason: String,
+    /// Per-marking 95% confidence half-widths of the occupancy estimate
+    /// (empty for analytic fallbacks, which carry no sampling error).
+    pub half_widths: Vec<f64>,
+}
+
+/// A Monte Carlo steady-state occupancy estimate over a tangible
+/// reachability graph, as returned by a [`MonteCarloHook`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct McOccupancy {
+    /// Estimated time fraction per tangible marking (graph indexing).
+    pub occupancy: Vec<f64>,
+    /// 95% confidence half-width per marking.
+    pub half_widths: Vec<f64>,
+    /// Time fraction spent in markings absent from the graph.
+    pub unmatched: f64,
+}
+
+/// Last-resort steady-state estimator used by the fallback chain.
+///
+/// `nvp-core` cannot depend on the simulator (`nvp-sim` sits above it in
+/// the dependency graph), so the Monte Carlo estimator is injected:
+/// `nvp_sim::fallback::monte_carlo_hook` builds one from the DSPN
+/// simulator, and tests can substitute deterministic stubs. Errors are
+/// strings because the hook's failure is only ever reported, never matched.
+pub type MonteCarloHook = Arc<
+    dyn Fn(&PetriNet, &TangibleReachGraph) -> std::result::Result<McOccupancy, String>
+        + Send
+        + Sync,
+>;
 
 /// The chain-relevant subset of [`SystemParams`], in hashable form.
 ///
@@ -126,6 +209,9 @@ pub struct ChainSolution {
     /// Steady-state solver counters (method, subordinated chains,
     /// uniformization depth, backend).
     pub solver_stats: MrgpStats,
+    /// Set when a fallback produced `solution`; `None` for a clean primary
+    /// solve.
+    pub degraded: Option<DegradedInfo>,
     /// Wall time of the model build.
     pub build_time: Duration,
     /// Wall time of the reachability exploration.
@@ -165,6 +251,17 @@ pub struct SolverStats {
     pub dense_solves: usize,
     /// Stationary solves answered by damped power iteration.
     pub iterative_solves: usize,
+    /// Fallback stages taken (alternate backend, Monte Carlo) over the
+    /// engine's lifetime, including solves that still failed afterwards.
+    pub fallbacks_taken: u64,
+    /// Currently cached solutions that were answered by a fallback.
+    pub degraded_solutions: usize,
+    /// Stage-boundary probability-guard interventions (negative clamps or
+    /// renormalizations) across cached solutions.
+    pub guard_trips: usize,
+    /// Solves aborted because the wall-clock budget was exhausted
+    /// (lifetime total; budgeted failures are never cached).
+    pub budget_exhaustions: u64,
     /// Summed wall time of model builds.
     pub build_time: Duration,
     /// Summed wall time of reachability explorations.
@@ -202,6 +299,15 @@ impl std::fmt::Display for SolverStats {
             f,
             "stationary solves: {} dense, {} iterative",
             self.dense_solves, self.iterative_solves
+        )?;
+        writeln!(
+            f,
+            "resilience       : {} fallback(s) taken, {} degraded solution(s), \
+             {} guard trip(s), {} budget exhaustion(s)",
+            self.fallbacks_taken,
+            self.degraded_solutions,
+            self.guard_trips,
+            self.budget_exhaustions
         )?;
         write!(
             f,
@@ -242,18 +348,52 @@ struct Slot(Mutex<Option<Arc<ChainSolution>>>);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct AnalysisEngine {
     cache: Mutex<HashMap<ChainKey, Arc<Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     reward_nanos: AtomicU64,
+    fallbacks: AtomicU64,
+    budget_exhaustions: AtomicU64,
+    budget_ms: Option<u64>,
+    monte_carlo: Option<MonteCarloHook>,
+}
+
+impl std::fmt::Debug for AnalysisEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisEngine")
+            .field("budget_ms", &self.budget_ms)
+            .field("monte_carlo", &self.monte_carlo.is_some())
+            .field("hits", &self.cache_hits())
+            .field("misses", &self.cache_misses())
+            .finish_non_exhaustive()
+    }
 }
 
 impl AnalysisEngine {
     /// Creates an engine with an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Returns this engine with a wall-clock budget of `ms` milliseconds
+    /// applied to every *uncached* chain solve (exploration, subordinated
+    /// chains and iterative stationary solves all check it). A solve that
+    /// outruns the budget fails with
+    /// [`NumericsError::BudgetExceeded`] instead of running on; cached
+    /// answers are always served regardless of the budget.
+    pub fn with_budget_ms(mut self, ms: u64) -> Self {
+        self.budget_ms = Some(ms);
+        self
+    }
+
+    /// Installs `hook` as the last-resort Monte Carlo estimator of the
+    /// fallback chain (see the [module docs](self)). Without a hook the
+    /// chain ends at the alternate-backend retry.
+    pub fn with_monte_carlo(mut self, hook: MonteCarloHook) -> Self {
+        self.monte_carlo = Some(hook);
+        self
     }
 
     /// Returns the chain solution for `params`, solving it on the first
@@ -280,7 +420,7 @@ impl AnalysisEngine {
             return Ok(Arc::clone(solution));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let solution = Arc::new(solve_chain(params, backend)?);
+        let solution = Arc::new(self.solve_chain(params, backend)?);
         *guard = Some(Arc::clone(&solution));
         Ok(solution)
     }
@@ -345,10 +485,23 @@ impl AnalysisEngine {
             })
             .collect();
         states.sort_by(|a, b| b.probability.partial_cmp(&a.probability).expect("finite"));
+        // Per-marking sampling errors propagate to E[R] by the triangle
+        // inequality: |ΔE[R]| ≤ Σ hw_i · |R_i| (conservative union bound).
+        let degraded = chain.degraded.as_ref().map(|d| DegradedReport {
+            method: d.method,
+            reason: d.reason.clone(),
+            reliability_half_width: d
+                .half_widths
+                .iter()
+                .zip(&rewards)
+                .map(|(hw, r)| hw * r.abs())
+                .sum(),
+        });
         self.note_reward_time(t);
         Ok(AnalysisReport {
             expected_reliability: expected,
             states,
+            degraded,
         })
     }
 
@@ -621,6 +774,8 @@ impl AnalysisEngine {
         let mut s = SolverStats {
             cache_hits: self.cache_hits(),
             cache_misses: self.cache_misses(),
+            fallbacks_taken: self.fallbacks.load(Ordering::Relaxed),
+            budget_exhaustions: self.budget_exhaustions.load(Ordering::Relaxed),
             reward_time: Duration::from_nanos(self.reward_nanos.load(Ordering::Relaxed)),
             ..SolverStats::default()
         };
@@ -642,9 +797,23 @@ impl AnalysisEngine {
             s.max_truncation_steps = s
                 .max_truncation_steps
                 .max(sol.solver_stats.max_truncation_steps);
-            match sol.solver_stats.backend {
-                StationaryBackend::Dense => s.dense_solves += 1,
-                StationaryBackend::IterativePower => s.iterative_solves += 1,
+            s.guard_trips += sol.solver_stats.guard_trips;
+            if sol.degraded.is_some() {
+                s.degraded_solutions += 1;
+            }
+            // A Monte Carlo answer never ran a stationary solve; its
+            // MrgpStats backend field is just the default.
+            if !matches!(
+                sol.degraded,
+                Some(DegradedInfo {
+                    method: DegradedMethod::MonteCarlo,
+                    ..
+                })
+            ) {
+                match sol.solver_stats.backend {
+                    StationaryBackend::Dense => s.dense_solves += 1,
+                    StationaryBackend::IterativePower => s.iterative_solves += 1,
+                }
             }
             s.build_time += sol.build_time;
             s.explore_time += sol.explore_time;
@@ -657,31 +826,146 @@ impl AnalysisEngine {
         let nanos = u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.reward_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
-}
 
-/// Runs the chain stage uncached: build, explore, solve, with per-stage
-/// wall times.
-fn solve_chain(params: &SystemParams, backend: SolverBackend) -> Result<ChainSolution> {
-    let t0 = Instant::now();
-    let net = model::build_model(params)?;
-    let build_time = t0.elapsed();
-    let t1 = Instant::now();
-    let (graph, explore_stats) =
-        nvp_petri::reach::explore_with_stats(&net, backend.max_markings())?;
-    let explore_time = t1.elapsed();
-    let t2 = Instant::now();
-    let (solution, solver_stats) = nvp_mrgp::steady_state_with_stats(&graph)?;
-    let solve_time = t2.elapsed();
-    Ok(ChainSolution {
-        net,
-        graph,
-        solution,
-        explore_stats,
-        solver_stats,
-        build_time,
-        explore_time,
-        solve_time,
-    })
+    /// The fresh per-solve budget implied by [`AnalysisEngine::with_budget_ms`].
+    fn solve_budget(&self) -> SolveBudget {
+        match self.budget_ms {
+            Some(ms) => SolveBudget::with_wall_clock_ms(ms),
+            None => SolveBudget::unlimited(),
+        }
+    }
+
+    /// Runs the chain stage uncached — build, explore, solve, with per-stage
+    /// wall times — under the engine's budget and fallback chain.
+    fn solve_chain(&self, params: &SystemParams, backend: SolverBackend) -> Result<ChainSolution> {
+        let budget = self.solve_budget();
+        let t0 = Instant::now();
+        let net = model::build_model(params)?;
+        let build_time = t0.elapsed();
+        let t1 = Instant::now();
+        let (graph, explore_stats) =
+            nvp_petri::reach::explore_with_stats_budgeted(&net, backend.max_markings(), &budget)
+                .map_err(|e| {
+                    if matches!(
+                        e,
+                        nvp_petri::PetriError::Numerics(NumericsError::BudgetExceeded { .. })
+                    ) {
+                        self.budget_exhaustions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    e
+                })?;
+        let explore_time = t1.elapsed();
+        let t2 = Instant::now();
+        let primary = SolveOptions {
+            budget,
+            ..SolveOptions::default()
+        };
+        let (solution, solver_stats, degraded) =
+            match nvp_mrgp::steady_state_with_options(&graph, &primary) {
+                Ok((solution, stats)) => (solution, stats, None),
+                Err(primary_err) => self.recover(&net, &graph, &budget, primary_err)?,
+            };
+        let solve_time = t2.elapsed();
+        Ok(ChainSolution {
+            net,
+            graph,
+            solution,
+            explore_stats,
+            solver_stats,
+            degraded,
+            build_time,
+            explore_time,
+            solve_time,
+        })
+    }
+
+    /// The fallback chain behind [`AnalysisEngine::chain`]: the alternate
+    /// stationary backend at [`RELAXED_TOLERANCE`] first, the Monte Carlo
+    /// hook last. Returns the *original* error when the failure is not
+    /// recoverable — a budget stop is an intentional abort, and a dead
+    /// marking or several recurrent classes make the steady state itself
+    /// ill-defined, so no estimator can answer — or when every fallback is
+    /// exhausted or declined.
+    fn recover(
+        &self,
+        net: &PetriNet,
+        graph: &TangibleReachGraph,
+        budget: &SolveBudget,
+        primary_err: MrgpError,
+    ) -> Result<(SteadyState, MrgpStats, Option<DegradedInfo>)> {
+        if matches!(
+            primary_err,
+            MrgpError::Numerics(NumericsError::BudgetExceeded { .. })
+        ) {
+            self.budget_exhaustions.fetch_add(1, Ordering::Relaxed);
+            return Err(primary_err.into());
+        }
+        // Structural failures (MultipleDeterministic, InconsistentDelay) are
+        // outside the analytic method's class no matter the backend, but the
+        // simulator handles them; numerical failures are worth an analytic
+        // retry first.
+        let analytic_retry = matches!(primary_err, MrgpError::Numerics(_));
+        let simulable = analytic_retry
+            || matches!(
+                primary_err,
+                MrgpError::MultipleDeterministic { .. } | MrgpError::InconsistentDelay { .. }
+            );
+        if !simulable {
+            return Err(primary_err.into());
+        }
+        let reason = primary_err.to_string();
+        if analytic_retry {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            let alt = SolveOptions {
+                backend: Some(alternate_backend(stationary_backend_for(
+                    graph.tangible_count(),
+                ))),
+                tolerance: RELAXED_TOLERANCE,
+                budget: *budget,
+                ..SolveOptions::default()
+            };
+            if let Ok((solution, stats)) = nvp_mrgp::steady_state_with_options(graph, &alt) {
+                return Ok((
+                    solution,
+                    stats,
+                    Some(DegradedInfo {
+                        method: DegradedMethod::AlternateBackend,
+                        reason,
+                        half_widths: Vec::new(),
+                    }),
+                ));
+            }
+        }
+        let Some(hook) = &self.monte_carlo else {
+            return Err(primary_err.into());
+        };
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        let Ok(mc) = hook(net, graph) else {
+            return Err(primary_err.into());
+        };
+        if mc.unmatched > MAX_UNMATCHED_MC_MASS
+            || mc.occupancy.len() != graph.tangible_count()
+            || mc.half_widths.len() != mc.occupancy.len()
+        {
+            return Err(primary_err.into());
+        }
+        let Ok(solution) = SteadyState::from_occupancy(mc.occupancy) else {
+            return Err(primary_err.into());
+        };
+        let stats = MrgpStats {
+            markings: graph.tangible_count(),
+            ..MrgpStats::default()
+        };
+        Ok((
+            solution,
+            stats,
+            Some(DegradedInfo {
+                method: DegradedMethod::MonteCarlo,
+                reason,
+                half_widths: mc.half_widths,
+            }),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -889,5 +1173,165 @@ mod tests {
         // ...and the same key retried still recomputes (and fails again).
         assert!(engine.chain(&p, SolverBackend::Budget(3)).is_err());
         assert_eq!(engine.cache_misses(), 2);
+    }
+
+    #[test]
+    fn expired_wall_clock_budget_stops_the_solve_cleanly() {
+        let engine = AnalysisEngine::new().with_budget_ms(0);
+        let err = engine
+            .chain(&SystemParams::paper_six_version(), SolverBackend::Auto)
+            .unwrap_err();
+        // Exploration is the first budgeted stage; the 0 ms deadline is
+        // already expired when it starts.
+        assert!(
+            matches!(
+                err,
+                crate::CoreError::Petri(nvp_petri::PetriError::Numerics(
+                    NumericsError::BudgetExceeded { .. }
+                ))
+            ),
+            "{err:?}"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.budget_exhaustions, 1);
+        assert_eq!(stats.chain_solutions, 0, "budget stops are not cached");
+        assert_eq!(stats.fallbacks_taken, 0, "budget stops take no fallback");
+        assert!(stats.to_string().contains("resilience"), "{stats}");
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_analysis() {
+        let params = SystemParams::paper_six_version();
+        let unbudgeted = AnalysisEngine::new()
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        let budgeted = AnalysisEngine::new()
+            .with_budget_ms(60_000)
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        assert_eq!(budgeted.to_bits(), unbudgeted.to_bits());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn dense_failure_falls_back_to_the_alternate_backend() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+        let params = SystemParams::paper_six_version();
+        let healthy = AnalysisEngine::new()
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        let engine = AnalysisEngine::new();
+        // Only the first dense solve faults: the primary fails, the
+        // alternate (iterative) backend answers.
+        let guard =
+            arm(FaultPlan::new(Site::DenseStationary, FaultMode::ConvergenceFailure).times(1));
+        let report = engine
+            .analyze(
+                &params,
+                RewardPolicy::FailedOnly,
+                ReliabilitySource::Auto,
+                SolverBackend::Auto,
+            )
+            .unwrap();
+        drop(guard);
+        let d = report.degraded.as_ref().expect("degraded report");
+        assert_eq!(d.method, DegradedMethod::AlternateBackend);
+        assert_eq!(d.reliability_half_width, 0.0, "analytic: no sampling error");
+        assert!(d.reason.contains("singular"), "{}", d.reason);
+        // The relaxed-tolerance iterative answer still lands on the healthy
+        // value to well past reporting precision.
+        assert!(
+            (report.expected_reliability - healthy).abs() < 1e-6,
+            "{} vs {healthy}",
+            report.expected_reliability
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.fallbacks_taken, 1);
+        assert_eq!(stats.degraded_solutions, 1);
+        assert_eq!(stats.dense_solves, 0);
+        assert_eq!(stats.iterative_solves, 1);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn total_solver_failure_falls_back_to_monte_carlo() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+        let params = SystemParams::paper_six_version();
+        // Capture the healthy distribution first, then use it as a stub
+        // Monte Carlo answer (core cannot depend on the real simulator).
+        let healthy = AnalysisEngine::new()
+            .chain(&params, SolverBackend::Auto)
+            .unwrap();
+        let pi = healthy.solution.probabilities().to_vec();
+        let hook: MonteCarloHook = Arc::new(move |_net, graph| {
+            assert_eq!(graph.tangible_count(), pi.len());
+            Ok(McOccupancy {
+                occupancy: pi.clone(),
+                half_widths: vec![1e-4; pi.len()],
+                unmatched: 0.0,
+            })
+        });
+        let engine = AnalysisEngine::new().with_monte_carlo(hook);
+        let guard = arm(FaultPlan::new(Site::Any, FaultMode::ConvergenceFailure));
+        let report = engine
+            .analyze(
+                &params,
+                RewardPolicy::FailedOnly,
+                ReliabilitySource::Auto,
+                SolverBackend::Auto,
+            )
+            .unwrap();
+        drop(guard);
+        let d = report.degraded.as_ref().expect("degraded report");
+        assert_eq!(d.method, DegradedMethod::MonteCarlo);
+        assert!(
+            d.reliability_half_width > 0.0 && d.reliability_half_width.is_finite(),
+            "{}",
+            d.reliability_half_width
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.fallbacks_taken, 2, "alternate retry + Monte Carlo");
+        assert_eq!(stats.degraded_solutions, 1);
+        assert_eq!(stats.dense_solves, 0);
+        assert_eq!(stats.iterative_solves, 0);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn without_a_hook_total_failure_reports_the_primary_error() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+        let engine = AnalysisEngine::new();
+        let guard = arm(FaultPlan::new(Site::Any, FaultMode::IterationExhaustion));
+        let err = engine
+            .chain(&SystemParams::paper_six_version(), SolverBackend::Auto)
+            .unwrap_err();
+        drop(guard);
+        assert!(
+            matches!(
+                err,
+                crate::CoreError::Mrgp(MrgpError::Numerics(NumericsError::NoConvergence { .. }))
+            ),
+            "{err:?}"
+        );
+        assert_eq!(engine.stats().fallbacks_taken, 1, "alternate was tried");
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn nan_poisoning_is_caught_and_recovered_at_every_site() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+        let params = SystemParams::paper_six_version();
+        let healthy = AnalysisEngine::new()
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        let engine = AnalysisEngine::new();
+        let guard = arm(FaultPlan::new(Site::DenseStationary, FaultMode::NanPoison).times(1));
+        let r = engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        drop(guard);
+        assert!((r - healthy).abs() < 1e-6, "{r} vs {healthy}");
+        assert_eq!(engine.stats().degraded_solutions, 1);
     }
 }

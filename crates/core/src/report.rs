@@ -80,7 +80,13 @@ pub fn render_with(
     render_with_on(&AnalysisEngine::new(), params, policy, report, options)
 }
 
-fn render_with_on(
+/// [`render_with`] against a shared engine (the CLI uses this so it can
+/// both render and inspect the report's degradation status).
+///
+/// # Errors
+///
+/// Reliability-matrix evaluation and sensitivity errors.
+pub fn render_with_on(
     engine: &AnalysisEngine,
     params: &SystemParams,
     policy: RewardPolicy,
@@ -122,6 +128,14 @@ fn render_with_on(
         "expected output reliability E[R_sys] = {:.7}",
         report.expected_reliability
     );
+    if let Some(d) = &report.degraded {
+        let _ = writeln!(
+            out,
+            "WARNING: degraded result ({} fallback, 95% half-width ±{:.2e})",
+            d.method, d.reliability_half_width
+        );
+        let _ = writeln!(out, "         cause: {}", d.reason);
+    }
     if let Ok(availability) = engine.quorum_availability(params) {
         let _ = writeln!(out, "quorum availability               = {availability:.7}");
     }

@@ -59,7 +59,10 @@ mod error;
 mod solver;
 
 pub use error::MrgpError;
-pub use solver::{steady_state, steady_state_with_stats, MrgpStats, SolveMethod, SteadyState};
+pub use solver::{
+    steady_state, steady_state_with_options, steady_state_with_stats, MrgpStats, SolveMethod,
+    SolveOptions, SteadyState,
+};
 
 /// Convenient result alias for fallible MRGP operations.
 pub type Result<T> = std::result::Result<T, MrgpError>;

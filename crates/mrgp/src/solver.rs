@@ -1,10 +1,17 @@
 //! The embedded-Markov-chain steady-state solver.
 
 use crate::{MrgpError, Result};
+use nvp_numerics::budget::SolveBudget;
 use nvp_numerics::ctmc::Ctmc;
-use nvp_numerics::dtmc::stationary_distribution;
+use nvp_numerics::dtmc::stationary_distribution_with;
+use nvp_numerics::guard::{
+    guard_probability_vector, DENSE_RENORMALIZATION_LIMIT, ESTIMATE_RENORMALIZATION_LIMIT,
+};
 use nvp_numerics::sparse::CsrBuilder;
-use nvp_numerics::{stationary_backend_for, StationaryBackend};
+use nvp_numerics::{
+    stationary_backend_for, StationaryBackend, StationaryOptions, DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+};
 use nvp_petri::reach::TangibleReachGraph;
 use std::collections::HashMap;
 
@@ -57,6 +64,49 @@ pub struct MrgpStats {
     /// Backend of the final stationary solve: the embedded chain for MRGP,
     /// the CTMC itself otherwise.
     pub backend: StationaryBackend,
+    /// Number of stage-boundary probability guards that had to intervene
+    /// (clamp negative round-off or renormalize non-unit mass).
+    pub guard_trips: usize,
+}
+
+/// Options controlling a steady-state solve.
+///
+/// The default reproduces [`steady_state`]'s historical behaviour: backend
+/// chosen by chain size, default tolerance and iteration cap, unlimited
+/// budget.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    /// Resource budget checked before each subordinated-chain solve and
+    /// inside iterative stationary solves.
+    pub budget: SolveBudget,
+    /// Force a stationary-solve backend, or `None` to choose by chain size.
+    pub backend: Option<StationaryBackend>,
+    /// Convergence tolerance for iterative stationary solves.
+    pub tolerance: f64,
+    /// Iteration cap for iterative stationary solves.
+    pub max_iterations: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            budget: SolveBudget::unlimited(),
+            backend: None,
+            tolerance: DEFAULT_TOLERANCE,
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+        }
+    }
+}
+
+impl SolveOptions {
+    fn stationary(&self) -> StationaryOptions {
+        StationaryOptions {
+            backend: self.backend,
+            tolerance: self.tolerance,
+            max_iterations: self.max_iterations,
+            budget: self.budget,
+        }
+    }
 }
 
 /// The stationary solution of a DSPN.
@@ -77,7 +127,8 @@ impl SteadyState {
     /// # Panics
     ///
     /// Panics if `rewards` has a different length than the probability
-    /// vector.
+    /// vector. Use [`SteadyState::try_expected_reward`] for a typed error
+    /// instead.
     pub fn expected_reward(&self, rewards: &[f64]) -> f64 {
         assert_eq!(
             rewards.len(),
@@ -89,6 +140,49 @@ impl SteadyState {
             .zip(rewards)
             .map(|(p, r)| p * r)
             .sum()
+    }
+
+    /// Fallible variant of [`SteadyState::expected_reward`].
+    ///
+    /// # Errors
+    ///
+    /// [`MrgpError::Numerics`] with a dimension mismatch when `rewards` has
+    /// a different length than the probability vector.
+    pub fn try_expected_reward(&self, rewards: &[f64]) -> Result<f64> {
+        if rewards.len() != self.probabilities.len() {
+            return Err(MrgpError::Numerics(
+                nvp_numerics::NumericsError::DimensionMismatch {
+                    expected: format!("reward vector of length {}", self.probabilities.len()),
+                    actual: format!("length {}", rewards.len()),
+                },
+            ));
+        }
+        Ok(self
+            .probabilities
+            .iter()
+            .zip(rewards)
+            .map(|(p, r)| p * r)
+            .sum())
+    }
+
+    /// Builds a steady state from an externally estimated occupancy vector
+    /// (e.g. Monte Carlo time fractions from `nvp-sim`), validating and
+    /// renormalizing it with the statistical-estimate guard tolerance.
+    ///
+    /// # Errors
+    ///
+    /// [`MrgpError::Numerics`] if the vector is empty, contains non-finite
+    /// or significantly negative entries, or its mass deviates from 1 by
+    /// more than the estimate renormalization limit.
+    pub fn from_occupancy(mut occupancy: Vec<f64>) -> Result<SteadyState> {
+        guard_probability_vector(
+            &mut occupancy,
+            "estimated occupancy",
+            ESTIMATE_RENORMALIZATION_LIMIT,
+        )?;
+        Ok(SteadyState {
+            probabilities: occupancy,
+        })
     }
 }
 
@@ -111,6 +205,23 @@ pub fn steady_state(graph: &TangibleReachGraph) -> Result<SteadyState> {
 /// Like [`steady_state`], but also reports [`MrgpStats`] describing the
 /// work the solver performed.
 pub fn steady_state_with_stats(graph: &TangibleReachGraph) -> Result<(SteadyState, MrgpStats)> {
+    steady_state_with_options(graph, &SolveOptions::default())
+}
+
+/// [`steady_state_with_stats`] with explicit [`SolveOptions`]: a resource
+/// budget, a forced stationary backend, and custom iterative tolerances.
+/// This is the entry point the resilience layer in `nvp-core` uses to retry
+/// a failed solve on the alternate backend with a relaxed tolerance.
+///
+/// # Errors
+///
+/// Same as [`steady_state`], plus
+/// [`nvp_numerics::NumericsError::BudgetExceeded`] (wrapped in
+/// [`MrgpError::Numerics`]) when the budget's deadline passes.
+pub fn steady_state_with_options(
+    graph: &TangibleReachGraph,
+    options: &SolveOptions,
+) -> Result<(SteadyState, MrgpStats)> {
     let n = graph.tangible_count();
     let states = graph.states();
     let mut stats = MrgpStats {
@@ -146,19 +257,23 @@ pub fn steady_state_with_stats(graph: &TangibleReachGraph) -> Result<(SteadyStat
     }
     let solution = if has_deterministic {
         stats.method = SolveMethod::Mrgp;
-        solve_mrgp(graph, &mut stats)?
+        solve_mrgp(graph, options, &mut stats)?
     } else {
         stats.method = SolveMethod::Ctmc;
-        solve_ctmc(graph, &mut stats)?
+        solve_ctmc(graph, options, &mut stats)?
     };
     Ok((solution, stats))
 }
 
 /// Pure-CTMC special case: every tangible marking only enables exponential
 /// transitions.
-fn solve_ctmc(graph: &TangibleReachGraph, stats: &mut MrgpStats) -> Result<SteadyState> {
+fn solve_ctmc(
+    graph: &TangibleReachGraph,
+    options: &SolveOptions,
+    stats: &mut MrgpStats,
+) -> Result<SteadyState> {
     let n = graph.tangible_count();
-    stats.backend = stationary_backend_for(n);
+    stats.backend = options.backend.unwrap_or_else(|| stationary_backend_for(n));
     let mut ctmc = Ctmc::new(n);
     for (from, state) in graph.states().iter().enumerate() {
         for arc in &state.exponential {
@@ -173,16 +288,24 @@ fn solve_ctmc(graph: &TangibleReachGraph, stats: &mut MrgpStats) -> Result<Stead
             }
         }
     }
-    Ok(SteadyState {
-        probabilities: ctmc.steady_state()?,
-    })
+    let mut pi = ctmc.steady_state_with(&options.stationary())?;
+    let report =
+        guard_probability_vector(&mut pi, "ctmc steady state", DENSE_RENORMALIZATION_LIMIT)?;
+    if report.tripped() {
+        stats.guard_trips += 1;
+    }
+    Ok(SteadyState { probabilities: pi })
 }
 
 /// Full MRGP solve via the embedded Markov chain.
-fn solve_mrgp(graph: &TangibleReachGraph, stats: &mut MrgpStats) -> Result<SteadyState> {
+fn solve_mrgp(
+    graph: &TangibleReachGraph,
+    options: &SolveOptions,
+    stats: &mut MrgpStats,
+) -> Result<SteadyState> {
     let n = graph.tangible_count();
     let states = graph.states();
-    stats.backend = stationary_backend_for(n);
+    stats.backend = options.backend.unwrap_or_else(|| stationary_backend_for(n));
     // Embedded chain P (row-stochastic) and conversion factors C:
     // C[k][m] = expected time spent in marking m during a regeneration
     // period that starts in marking k.
@@ -219,6 +342,7 @@ fn solve_mrgp(graph: &TangibleReachGraph, stats: &mut MrgpStats) -> Result<Stead
             }
             conversion[k].push((k, 1.0 / total));
         } else {
+            options.budget.check("subordinated chain solve")?;
             let (row, conv) = deterministic_row(graph, k, stats)?;
             for (to, p) in row {
                 emc.push(k, to, p);
@@ -226,7 +350,7 @@ fn solve_mrgp(graph: &TangibleReachGraph, stats: &mut MrgpStats) -> Result<Stead
             conversion[k] = conv;
         }
     }
-    let nu = stationary_distribution(&emc.build())?;
+    let nu = stationary_distribution_with(&emc.build(), &options.stationary())?;
     // Convert: pi(m) ∝ Σ_k nu(k) C[k][m].
     let mut pi = vec![0.0; n];
     for (k, conv) in conversion.iter().enumerate() {
@@ -248,6 +372,13 @@ fn solve_mrgp(graph: &TangibleReachGraph, stats: &mut MrgpStats) -> Result<Stead
     }
     for v in &mut pi {
         *v /= total;
+    }
+    // The explicit normalization above makes the mass exactly 1; the guard
+    // still vets for NaN/negative entries leaking out of the conversion.
+    let report =
+        guard_probability_vector(&mut pi, "mrgp steady state", DENSE_RENORMALIZATION_LIMIT)?;
+    if report.tripped() {
+        stats.guard_trips += 1;
     }
     Ok(SteadyState { probabilities: pi })
 }
@@ -704,6 +835,110 @@ mod tests {
             probabilities: vec![0.5, 0.5],
         };
         let _ = s.expected_reward(&[1.0]);
+    }
+
+    #[test]
+    fn try_expected_reward_reports_length_mismatch_as_typed_error() {
+        let s = SteadyState {
+            probabilities: vec![0.5, 0.5],
+        };
+        match s.try_expected_reward(&[1.0]) {
+            Err(MrgpError::Numerics(nvp_numerics::NumericsError::DimensionMismatch {
+                expected,
+                actual,
+            })) => {
+                assert!(expected.contains('2'), "expected = {expected}");
+                assert!(actual.contains('1'), "actual = {actual}");
+            }
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+        // Matching lengths agree with the panicking variant.
+        let r = s.try_expected_reward(&[1.0, 3.0]).unwrap();
+        assert!((r - s.expected_reward(&[1.0, 3.0])).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_occupancy_validates_and_renormalizes() {
+        // A slightly off-mass, slightly negative Monte Carlo estimate is
+        // repaired...
+        let s = SteadyState::from_occupancy(vec![0.6, 0.3995, -1e-12]).unwrap();
+        assert!((s.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-15);
+        // ...while NaN and badly skewed mass are rejected.
+        assert!(SteadyState::from_occupancy(vec![f64::NAN, 1.0]).is_err());
+        assert!(SteadyState::from_occupancy(vec![0.3, 0.3]).is_err());
+        assert!(SteadyState::from_occupancy(vec![]).is_err());
+    }
+
+    #[test]
+    fn forced_backend_matches_auto_solution() {
+        // The maintenance model solved on the forced iterative backend must
+        // agree with the (auto) dense solution within the relaxed tolerance.
+        let (lambda, mu, delta, tau) = (0.05, 0.8, 2.5, 10.0);
+        let mut b = NetBuilder::new("maintforced");
+        let up = b.place("Up", 1);
+        let down = b.place("Down", 0);
+        let maint = b.place("Maint", 0);
+        b.transition("fail", TransitionKind::exponential_rate(lambda))
+            .unwrap()
+            .input(up, 1)
+            .output(down, 1);
+        b.transition("clock", TransitionKind::deterministic_delay(tau))
+            .unwrap()
+            .input(up, 1)
+            .output(maint, 1);
+        b.transition("repair", TransitionKind::exponential_rate(mu))
+            .unwrap()
+            .input(down, 1)
+            .output(up, 1);
+        b.transition("finish", TransitionKind::exponential_rate(delta))
+            .unwrap()
+            .input(maint, 1)
+            .output(up, 1);
+        let net = b.build().unwrap();
+        let graph = explore(&net, 100).unwrap();
+        let (auto, auto_stats) = steady_state_with_stats(&graph).unwrap();
+        let opts = SolveOptions {
+            backend: Some(StationaryBackend::IterativePower),
+            tolerance: 1e-12,
+            ..SolveOptions::default()
+        };
+        let (forced, forced_stats) = steady_state_with_options(&graph, &opts).unwrap();
+        assert_eq!(auto_stats.backend, StationaryBackend::Dense);
+        assert_eq!(forced_stats.backend, StationaryBackend::IterativePower);
+        for (a, b) in auto.probabilities().iter().zip(forced.probabilities()) {
+            assert!((a - b).abs() < 1e-8, "{auto:?} vs {forced:?}");
+        }
+    }
+
+    #[test]
+    fn expired_budget_stops_the_solve() {
+        let mut b = NetBuilder::new("budget");
+        let up = b.place("Up", 1);
+        let down = b.place("Down", 0);
+        b.transition("fail", TransitionKind::exponential_rate(0.1))
+            .unwrap()
+            .input(up, 1)
+            .output(down, 1);
+        b.transition("clock", TransitionKind::deterministic_delay(2.0))
+            .unwrap()
+            .input(up, 1)
+            .output(up, 1);
+        b.transition("repair", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(down, 1)
+            .output(up, 1);
+        let net = b.build().unwrap();
+        let graph = explore(&net, 100).unwrap();
+        let opts = SolveOptions {
+            budget: SolveBudget::with_wall_clock_ms(0),
+            ..SolveOptions::default()
+        };
+        assert!(matches!(
+            steady_state_with_options(&graph, &opts),
+            Err(MrgpError::Numerics(
+                nvp_numerics::NumericsError::BudgetExceeded { .. }
+            ))
+        ));
     }
 
     /// Regression: a marking reachable only through a zero-rate exponential

@@ -1,0 +1,145 @@
+//! Resource budgets for long-running solves.
+//!
+//! A [`SolveBudget`] bounds how much work a solve pipeline may perform:
+//! a wall-clock deadline and an optional cap on iterative-solver iterations.
+//! Budgets are threaded from `nvp-core`'s analysis engine through
+//! reachability exploration (`nvp-petri`), the MRGP solver (`nvp-mrgp`) and
+//! the iterative solvers in this crate, so every stage can stop cleanly with
+//! a typed [`NumericsError::BudgetExceeded`] instead of running away.
+//!
+//! The budget is deliberately cheap to consult: [`SolveBudget::check`] is a
+//! no-op for unlimited budgets and a single `Instant::now()` comparison
+//! otherwise, so callers can afford to check it once per marking expanded or
+//! once per block of solver iterations.
+//!
+//! # Example
+//!
+//! ```
+//! use nvp_numerics::budget::SolveBudget;
+//!
+//! let unlimited = SolveBudget::unlimited();
+//! assert!(unlimited.check("example stage").is_ok());
+//!
+//! let expired = SolveBudget::with_wall_clock_ms(0);
+//! assert!(expired.check("example stage").is_err());
+//! ```
+
+use std::time::{Duration, Instant};
+
+use crate::{NumericsError, Result};
+
+/// A bound on the resources a solve pipeline may consume.
+///
+/// The default budget is unlimited, so existing entry points that do not
+/// thread a budget behave exactly as before.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveBudget {
+    /// Wall-clock instant after which [`check`](Self::check) fails.
+    deadline: Option<Instant>,
+    /// The originally configured wall-clock budget, kept for error reporting.
+    budget_ms: u64,
+    /// Optional cap on iterations for iterative solvers. `None` leaves each
+    /// solver's own default in place.
+    max_iterations: Option<usize>,
+}
+
+impl SolveBudget {
+    /// A budget that never expires.
+    pub fn unlimited() -> Self {
+        SolveBudget::default()
+    }
+
+    /// A budget whose wall-clock deadline is `ms` milliseconds from now.
+    ///
+    /// A budget of `0` ms is already expired and makes the next
+    /// [`check`](Self::check) fail — useful for testing budget plumbing
+    /// deterministically.
+    pub fn with_wall_clock_ms(ms: u64) -> Self {
+        SolveBudget {
+            deadline: Some(Instant::now() + Duration::from_millis(ms)),
+            budget_ms: ms,
+            max_iterations: None,
+        }
+    }
+
+    /// Returns this budget with an additional cap on iterative-solver
+    /// iterations.
+    pub fn and_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = Some(iterations);
+        self
+    }
+
+    /// `true` if neither a deadline nor an iteration cap is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_iterations.is_none()
+    }
+
+    /// The iteration cap to use given a solver's own `default` cap: the
+    /// smaller of the two when this budget carries a cap.
+    pub fn max_iterations_or(&self, default: usize) -> usize {
+        match self.max_iterations {
+            Some(cap) => cap.min(default),
+            None => default,
+        }
+    }
+
+    /// Fails with [`NumericsError::BudgetExceeded`] if the wall-clock
+    /// deadline has passed. `stage` names the pipeline stage for the error
+    /// message (e.g. `"reachability exploration"`).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::BudgetExceeded`] when the deadline has passed.
+    pub fn check(&self, stage: &'static str) -> Result<()> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(NumericsError::BudgetExceeded {
+                    stage,
+                    budget_ms: self.budget_ms,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = SolveBudget::unlimited();
+        assert!(b.is_unlimited());
+        for _ in 0..1000 {
+            assert!(b.check("loop").is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_ms_budget_is_already_expired() {
+        let b = SolveBudget::with_wall_clock_ms(0);
+        match b.check("stage under test") {
+            Err(NumericsError::BudgetExceeded { stage, budget_ms }) => {
+                assert_eq!(stage, "stage under test");
+                assert_eq!(budget_ms, 0);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_does_not_trip_immediately() {
+        let b = SolveBudget::with_wall_clock_ms(60_000);
+        assert!(b.check("fast stage").is_ok());
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn iteration_cap_tightens_but_never_loosens_defaults() {
+        let b = SolveBudget::unlimited().and_max_iterations(100);
+        assert_eq!(b.max_iterations_or(200_000), 100);
+        assert_eq!(b.max_iterations_or(50), 50);
+        assert_eq!(SolveBudget::unlimited().max_iterations_or(123), 123);
+    }
+}

@@ -13,9 +13,10 @@
 //!   as conversion factors for deterministic transitions.
 
 use crate::dense::DenseMatrix;
+use crate::guard::{guard_probability_vector, DENSE_RENORMALIZATION_LIMIT};
 use crate::poisson::{cumulative, poisson_weights};
-use crate::sparse::{stationary_power, CsrBuilder, CsrMatrix};
-use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE, DENSE_SOLVE_LIMIT};
+use crate::sparse::{stationary_power_with, CsrBuilder, CsrMatrix};
+use crate::{stationary_backend_for, NumericsError, Result, StationaryBackend, StationaryOptions};
 
 /// A continuous-time Markov chain over states `0..n`.
 ///
@@ -168,6 +169,18 @@ impl Ctmc {
     ///   recurrent classes).
     /// * [`NumericsError::NoConvergence`] from the iterative fallback.
     pub fn steady_state(&self) -> Result<Vec<f64>> {
+        self.steady_state_with(&StationaryOptions::default())
+    }
+
+    /// [`Ctmc::steady_state`] with explicit [`StationaryOptions`]: a forced
+    /// backend, a custom tolerance/iteration cap, and a resource budget.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctmc::steady_state`], plus
+    /// [`NumericsError::BudgetExceeded`] if the budget's deadline passes
+    /// during an iterative solve.
+    pub fn steady_state_with(&self, options: &StationaryOptions) -> Result<Vec<f64>> {
         if self.n == 0 {
             return Err(NumericsError::NoSteadyState {
                 reason: "chain has no states".into(),
@@ -176,15 +189,38 @@ impl Ctmc {
         if self.n == 1 {
             return Ok(vec![1.0]);
         }
-        if self.n <= DENSE_SOLVE_LIMIT {
-            self.steady_state_dense()
-        } else {
-            let (p, _) = self.uniformize();
-            stationary_power(&p, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
+        let backend = options
+            .backend
+            .unwrap_or_else(|| stationary_backend_for(self.n));
+        match backend {
+            StationaryBackend::Dense => self.steady_state_dense(),
+            StationaryBackend::IterativePower => {
+                let (p, _) = self.uniformize();
+                stationary_power_with(
+                    &p,
+                    options.tolerance,
+                    options.budget.max_iterations_or(options.max_iterations),
+                    &options.budget,
+                )
+            }
         }
     }
 
     fn steady_state_dense(&self) -> Result<Vec<f64>> {
+        #[cfg(feature = "fault-inject")]
+        let poison = match crate::fault::intercept(crate::fault::Site::DenseStationary) {
+            Some(crate::fault::FaultMode::ConvergenceFailure) => {
+                return Err(NumericsError::SingularMatrix { pivot: 0 });
+            }
+            Some(crate::fault::FaultMode::IterationExhaustion) => {
+                return Err(NumericsError::NoConvergence {
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                });
+            }
+            Some(crate::fault::FaultMode::NanPoison) => true,
+            None => false,
+        };
         // Solve Qᵀ π = 0 with the last equation replaced by Σ π = 1.
         let n = self.n;
         let mut a = DenseMatrix::zeros(n, n);
@@ -198,27 +234,15 @@ impl Ctmc {
         let mut b = vec![0.0; n];
         b[n - 1] = 1.0;
         let mut pi = a.solve(&b)?;
-        // Clamp away tiny negative round-off and renormalize.
-        let mut sum = 0.0;
-        for v in &mut pi {
-            if *v < 0.0 {
-                if *v < -1e-9 {
-                    return Err(NumericsError::NoSteadyState {
-                        reason: format!("solver produced negative probability {v}"),
-                    });
-                }
-                *v = 0.0;
-            }
-            sum += *v;
+        #[cfg(feature = "fault-inject")]
+        if poison {
+            pi[0] = f64::NAN;
         }
-        if sum <= 0.0 {
-            return Err(NumericsError::NoSteadyState {
-                reason: "stationary vector collapsed to zero".into(),
-            });
-        }
-        for v in &mut pi {
-            *v /= sum;
-        }
+        guard_probability_vector(
+            &mut pi,
+            "ctmc stationary vector",
+            DENSE_RENORMALIZATION_LIMIT,
+        )?;
         Ok(pi)
     }
 
@@ -474,6 +498,81 @@ mod tests {
         assert!(c.add_rate(0, 1, -1.0).is_err());
         assert!(c.add_rate(0, 1, f64::NAN).is_err());
         assert!(c.add_rate(0, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn add_rate_rejects_infinite_rates_with_typed_error() {
+        let mut c = Ctmc::new(2);
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            match c.add_rate(0, 1, bad) {
+                Err(NumericsError::InvalidValue { what, .. }) => assert_eq!(what, "rate"),
+                other => panic!("rate {bad} should be rejected, got {other:?}"),
+            }
+        }
+        assert!(c.steady_state().is_err(), "no transitions were recorded");
+    }
+
+    #[test]
+    fn truncation_steps_rejects_nan_and_infinite_times() {
+        let c = updown(0.5, 1.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            match c.truncation_steps(bad, 1e-12) {
+                Err(NumericsError::InvalidValue { what, .. }) => {
+                    assert_eq!(what, "time horizon");
+                }
+                other => panic!("horizon {bad} should be rejected, got {other:?}"),
+            }
+        }
+        assert_eq!(c.truncation_steps(0.0, 1e-12).unwrap(), 0);
+    }
+
+    #[test]
+    fn transient_and_sojourn_reject_nan_and_infinite_times() {
+        let c = updown(0.5, 1.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+            assert!(
+                matches!(
+                    c.transient(&[1.0, 0.0], bad, 1e-12),
+                    Err(NumericsError::InvalidValue { what: "t", .. })
+                ),
+                "transient must reject t = {bad}"
+            );
+            assert!(
+                matches!(
+                    c.accumulated_sojourn(&[1.0, 0.0], bad, 1e-12),
+                    Err(NumericsError::InvalidValue { what: "t", .. })
+                ),
+                "accumulated_sojourn must reject t = {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_iterative_backend_matches_dense() {
+        let c = updown(0.2, 1.0);
+        let dense = c.steady_state().unwrap();
+        let opts = StationaryOptions {
+            backend: Some(StationaryBackend::IterativePower),
+            ..StationaryOptions::default()
+        };
+        let iterative = c.steady_state_with(&opts).unwrap();
+        for (a, b) in dense.iter().zip(&iterative) {
+            assert!((a - b).abs() < 1e-9, "{dense:?} vs {iterative:?}");
+        }
+    }
+
+    #[test]
+    fn expired_budget_stops_iterative_solve() {
+        let c = updown(0.2, 1.0);
+        let opts = StationaryOptions {
+            backend: Some(StationaryBackend::IterativePower),
+            budget: crate::SolveBudget::with_wall_clock_ms(0),
+            ..StationaryOptions::default()
+        };
+        assert!(matches!(
+            c.steady_state_with(&opts),
+            Err(NumericsError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! periodicity), with damped power iteration as the large-chain fallback.
 
 use crate::dense::DenseMatrix;
-use crate::sparse::{stationary_power, CsrMatrix};
-use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE, DENSE_SOLVE_LIMIT};
+use crate::guard::{guard_probability_vector, DENSE_RENORMALIZATION_LIMIT};
+use crate::sparse::{stationary_power_with, CsrMatrix};
+use crate::{stationary_backend_for, NumericsError, Result, StationaryBackend, StationaryOptions};
 
 /// Validates that `p` is (approximately) row-stochastic.
 ///
@@ -74,6 +75,21 @@ pub fn check_stochastic(p: &CsrMatrix, tol: f64) -> Result<()> {
 /// # }
 /// ```
 pub fn stationary_distribution(p: &CsrMatrix) -> Result<Vec<f64>> {
+    stationary_distribution_with(p, &StationaryOptions::default())
+}
+
+/// [`stationary_distribution`] with explicit [`StationaryOptions`]: a forced
+/// backend, a custom tolerance/iteration cap, and a resource budget.
+///
+/// # Errors
+///
+/// Same conditions as [`stationary_distribution`], plus
+/// [`NumericsError::BudgetExceeded`] if the budget's deadline passes during
+/// an iterative solve.
+pub fn stationary_distribution_with(
+    p: &CsrMatrix,
+    options: &StationaryOptions,
+) -> Result<Vec<f64>> {
     check_stochastic(p, 1e-9)?;
     let n = p.rows();
     if n == 0 {
@@ -84,14 +100,33 @@ pub fn stationary_distribution(p: &CsrMatrix) -> Result<Vec<f64>> {
     if n == 1 {
         return Ok(vec![1.0]);
     }
-    if n <= DENSE_SOLVE_LIMIT {
-        stationary_dense(p)
-    } else {
-        stationary_power(p, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS)
+    let backend = options.backend.unwrap_or_else(|| stationary_backend_for(n));
+    match backend {
+        StationaryBackend::Dense => stationary_dense(p),
+        StationaryBackend::IterativePower => stationary_power_with(
+            p,
+            options.tolerance,
+            options.budget.max_iterations_or(options.max_iterations),
+            &options.budget,
+        ),
     }
 }
 
 fn stationary_dense(p: &CsrMatrix) -> Result<Vec<f64>> {
+    #[cfg(feature = "fault-inject")]
+    let poison = match crate::fault::intercept(crate::fault::Site::DenseStationary) {
+        Some(crate::fault::FaultMode::ConvergenceFailure) => {
+            return Err(NumericsError::SingularMatrix { pivot: 0 });
+        }
+        Some(crate::fault::FaultMode::IterationExhaustion) => {
+            return Err(NumericsError::NoConvergence {
+                iterations: 0,
+                residual: f64::INFINITY,
+            });
+        }
+        Some(crate::fault::FaultMode::NanPoison) => true,
+        None => false,
+    };
     // Solve (Pᵀ - I) ν = 0 with the last equation replaced by Σ ν = 1.
     let n = p.rows();
     let mut a = DenseMatrix::zeros(n, n);
@@ -107,26 +142,15 @@ fn stationary_dense(p: &CsrMatrix) -> Result<Vec<f64>> {
     let mut b = vec![0.0; n];
     b[n - 1] = 1.0;
     let mut nu = a.solve(&b)?;
-    let mut sum = 0.0;
-    for v in &mut nu {
-        if *v < 0.0 {
-            if *v < -1e-9 {
-                return Err(NumericsError::NoSteadyState {
-                    reason: format!("solver produced negative probability {v}"),
-                });
-            }
-            *v = 0.0;
-        }
-        sum += *v;
+    #[cfg(feature = "fault-inject")]
+    if poison {
+        nu[0] = f64::NAN;
     }
-    if sum <= 0.0 {
-        return Err(NumericsError::NoSteadyState {
-            reason: "stationary vector collapsed to zero".into(),
-        });
-    }
-    for v in &mut nu {
-        *v /= sum;
-    }
+    guard_probability_vector(
+        &mut nu,
+        "dtmc stationary vector",
+        DENSE_RENORMALIZATION_LIMIT,
+    )?;
     Ok(nu)
 }
 
@@ -196,5 +220,60 @@ mod tests {
         b.push(0, 0, 1.0);
         let nu = stationary_distribution(&b.build()).unwrap();
         assert_eq!(nu, vec![1.0]);
+    }
+
+    #[test]
+    fn forced_iterative_backend_matches_dense() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, 0.9);
+        b.push(0, 1, 0.1);
+        b.push(1, 0, 0.5);
+        b.push(1, 1, 0.5);
+        let p = b.build();
+        let dense = stationary_distribution(&p).unwrap();
+        let opts = StationaryOptions {
+            backend: Some(StationaryBackend::IterativePower),
+            ..StationaryOptions::default()
+        };
+        let iterative = stationary_distribution_with(&p, &opts).unwrap();
+        for (a, b) in dense.iter().zip(&iterative) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_nan_is_caught_by_the_guard() {
+        use crate::fault::{arm, FaultMode, FaultPlan, Site};
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, 0.9);
+        b.push(0, 1, 0.1);
+        b.push(1, 0, 0.5);
+        b.push(1, 1, 0.5);
+        let p = b.build();
+        let _guard = arm(FaultPlan::new(Site::DenseStationary, FaultMode::NanPoison).times(1));
+        assert!(matches!(
+            stationary_distribution(&p),
+            Err(NumericsError::InvalidProbabilities { .. })
+        ));
+        // The plan's single hit is spent; the next solve succeeds.
+        assert!(stationary_distribution(&p).is_ok());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_convergence_failure_is_typed() {
+        use crate::fault::{arm, FaultMode, FaultPlan, Site};
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, 0.5);
+        b.push(0, 1, 0.5);
+        b.push(1, 0, 0.5);
+        b.push(1, 1, 0.5);
+        let p = b.build();
+        let _guard = arm(FaultPlan::new(Site::Any, FaultMode::ConvergenceFailure).times(1));
+        assert!(matches!(
+            stationary_distribution(&p),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
     }
 }

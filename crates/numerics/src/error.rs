@@ -55,6 +55,24 @@ pub enum NumericsError {
         /// Function value at the right endpoint.
         f_hi: f64,
     },
+    /// A resource budget (wall-clock deadline) was exhausted before the
+    /// computation finished. See [`crate::budget::SolveBudget`].
+    BudgetExceeded {
+        /// Pipeline stage that observed the exhausted budget.
+        stage: &'static str,
+        /// The configured wall-clock budget in milliseconds.
+        budget_ms: u64,
+    },
+    /// A probability vector failed validation at a stage boundary (NaN or
+    /// infinite entries, significantly negative entries, or a total mass too
+    /// far from one to renormalize safely). See
+    /// [`crate::guard::guard_probability_vector`].
+    InvalidProbabilities {
+        /// Name of the vector that failed validation.
+        what: &'static str,
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NumericsError {
@@ -87,6 +105,12 @@ impl fmt::Display for NumericsError {
                 f,
                 "endpoints do not bracket a root (f(lo) = {f_lo:.3e}, f(hi) = {f_hi:.3e})"
             ),
+            NumericsError::BudgetExceeded { stage, budget_ms } => {
+                write!(f, "solve budget of {budget_ms} ms exhausted during {stage}")
+            }
+            NumericsError::InvalidProbabilities { what, reason } => {
+                write!(f, "invalid probability vector ({what}): {reason}")
+            }
         }
     }
 }
@@ -120,6 +144,14 @@ mod tests {
             NumericsError::NoBracket {
                 f_lo: 1.0,
                 f_hi: 2.0,
+            },
+            NumericsError::BudgetExceeded {
+                stage: "power iteration",
+                budget_ms: 250,
+            },
+            NumericsError::InvalidProbabilities {
+                what: "stationary vector",
+                reason: "entry 3 is NaN".into(),
             },
         ];
         for v in variants {

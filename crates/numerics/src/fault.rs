@@ -1,0 +1,271 @@
+//! Deterministic fault injection for the solver pipeline (test-only).
+//!
+//! Compiled only with the `fault-inject` feature, this module lets tests
+//! force solver failures at chosen call counts so the resilience layer in
+//! `nvp-core` (backend retry, Monte Carlo fallback, degraded reporting) can
+//! be exercised deterministically:
+//!
+//! * [`FaultMode::ConvergenceFailure`] — the solver reports failure
+//!   immediately (singular matrix for dense solves, no-convergence for
+//!   power iteration),
+//! * [`FaultMode::NanPoison`] — the solver's result vector is poisoned with
+//!   a NaN *before* the probability guard runs, exercising the guard path,
+//! * [`FaultMode::IterationExhaustion`] — the solver reports that it burned
+//!   its entire iteration budget without converging.
+//!
+//! A plan is armed process-globally with [`arm`]; the returned [`FaultGuard`]
+//! disarms it on drop and also holds a process-wide lock so concurrently
+//! running `#[test]`s that inject faults serialize instead of trampling each
+//! other's plans. Standalone binaries (the `nvp` CLI) can arm a plan from
+//! the `NVP_FAULT_INJECT` environment variable via [`arm_from_env`].
+//!
+//! # Example
+//!
+//! ```
+//! use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+//!
+//! let _guard = arm(FaultPlan::new(Site::Any, FaultMode::ConvergenceFailure));
+//! // ... every stationary solve now fails until `_guard` is dropped ...
+//! ```
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// How an intercepted solver call should fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fail immediately as if the solve could not converge at all.
+    ConvergenceFailure,
+    /// Poison the result vector with a NaN so the stage-boundary guard
+    /// must catch it.
+    NanPoison,
+    /// Fail as if the full iteration budget was spent without converging.
+    IterationExhaustion,
+}
+
+/// Which solver entry point a plan targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// Dense LU stationary solves (`ctmc::steady_state_dense`,
+    /// `dtmc::stationary_dense`).
+    DenseStationary,
+    /// Damped power iteration (`sparse::stationary_power`).
+    PowerIteration,
+    /// Every interceptable site.
+    Any,
+}
+
+/// A fault-injection plan: which site to target, how to fail, and at which
+/// call counts. Calls matching `site` are counted; calls with index in
+/// `[skip, skip + hits)` fault, the rest proceed normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Solver entry point(s) to intercept.
+    pub site: Site,
+    /// Failure mode injected at matching calls.
+    pub mode: FaultMode,
+    /// Number of matching calls to let through before faulting.
+    pub skip: usize,
+    /// Number of matching calls to fault once triggering starts.
+    pub hits: usize,
+}
+
+impl FaultPlan {
+    /// A plan that faults every matching call from the first one on.
+    pub fn new(site: Site, mode: FaultMode) -> Self {
+        FaultPlan {
+            site,
+            mode,
+            skip: 0,
+            hits: usize::MAX,
+        }
+    }
+
+    /// Returns this plan letting the first `skip` matching calls through.
+    pub fn after(mut self, skip: usize) -> Self {
+        self.skip = skip;
+        self
+    }
+
+    /// Returns this plan faulting at most `hits` matching calls.
+    pub fn times(mut self, hits: usize) -> Self {
+        self.hits = hits;
+        self
+    }
+}
+
+struct Active {
+    plan: FaultPlan,
+    calls: usize,
+}
+
+static ACTIVE: Mutex<Option<Active>> = Mutex::new(None);
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn active() -> MutexGuard<'static, Option<Active>> {
+    ACTIVE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Keeps a fault plan armed; dropping it disarms the plan and releases the
+/// process-wide serialization lock taken by [`arm`].
+#[must_use = "the plan is disarmed as soon as the guard is dropped"]
+pub struct FaultGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl std::fmt::Debug for FaultGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultGuard").finish_non_exhaustive()
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        *active() = None;
+    }
+}
+
+/// Arms `plan` process-globally and returns a guard that disarms it on drop.
+///
+/// Blocks until any previously armed plan's guard has been dropped, so
+/// concurrent fault-injecting tests serialize.
+pub fn arm(plan: FaultPlan) -> FaultGuard {
+    let serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    *active() = Some(Active { plan, calls: 0 });
+    FaultGuard { _serial: serial }
+}
+
+/// Arms a plan described by the `NVP_FAULT_INJECT` environment variable, if
+/// set. Intended for the `nvp` binary so integration tests can inject faults
+/// across a process boundary.
+///
+/// Format: `mode@site[:skip[:hits]]` with modes `noconverge`, `nan`,
+/// `exhaust` and sites `dense`, `power`, `any`; `skip` and `hits` default to
+/// `0` and unlimited. Examples: `noconverge@any`, `nan@dense:1:2`.
+///
+/// Returns `None` (arming nothing) when the variable is unset or malformed.
+pub fn arm_from_env() -> Option<FaultGuard> {
+    let spec = std::env::var("NVP_FAULT_INJECT").ok()?;
+    let plan = parse_plan(&spec)?;
+    Some(arm(plan))
+}
+
+fn parse_plan(spec: &str) -> Option<FaultPlan> {
+    let (mode, rest) = spec.split_once('@')?;
+    let mode = match mode {
+        "noconverge" => FaultMode::ConvergenceFailure,
+        "nan" => FaultMode::NanPoison,
+        "exhaust" => FaultMode::IterationExhaustion,
+        _ => return None,
+    };
+    let mut parts = rest.split(':');
+    let site = match parts.next()? {
+        "dense" => Site::DenseStationary,
+        "power" => Site::PowerIteration,
+        "any" => Site::Any,
+        _ => return None,
+    };
+    let skip = match parts.next() {
+        Some(s) => s.parse().ok()?,
+        None => 0,
+    };
+    let hits = match parts.next() {
+        Some(s) => s.parse().ok()?,
+        None => usize::MAX,
+    };
+    Some(FaultPlan {
+        site,
+        mode,
+        skip,
+        hits,
+    })
+}
+
+/// Called by solver entry points: returns the failure mode to inject at this
+/// call, or `None` to proceed normally.
+pub(crate) fn intercept(site: Site) -> Option<FaultMode> {
+    let mut guard = active();
+    let active = guard.as_mut()?;
+    if active.plan.site != Site::Any && active.plan.site != site {
+        return None;
+    }
+    let index = active.calls;
+    active.calls += 1;
+    let lo = active.plan.skip;
+    let hi = lo.saturating_add(active.plan.hits);
+    if index >= lo && index < hi {
+        Some(active.plan.mode)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_by_default() {
+        let _serial = arm(FaultPlan::new(Site::Any, FaultMode::NanPoison).times(0));
+        assert_eq!(intercept(Site::DenseStationary), None);
+    }
+
+    #[test]
+    fn skip_and_hits_window_is_respected() {
+        let _guard = arm(
+            FaultPlan::new(Site::PowerIteration, FaultMode::ConvergenceFailure)
+                .after(1)
+                .times(2),
+        );
+        assert_eq!(intercept(Site::PowerIteration), None);
+        assert_eq!(
+            intercept(Site::PowerIteration),
+            Some(FaultMode::ConvergenceFailure)
+        );
+        assert_eq!(
+            intercept(Site::PowerIteration),
+            Some(FaultMode::ConvergenceFailure)
+        );
+        assert_eq!(intercept(Site::PowerIteration), None);
+    }
+
+    #[test]
+    fn site_filter_only_counts_matching_calls() {
+        let _guard = arm(FaultPlan::new(Site::DenseStationary, FaultMode::NanPoison).times(1));
+        assert_eq!(intercept(Site::PowerIteration), None);
+        assert_eq!(intercept(Site::DenseStationary), Some(FaultMode::NanPoison));
+        assert_eq!(intercept(Site::DenseStationary), None);
+    }
+
+    #[test]
+    fn dropping_the_guard_disarms() {
+        {
+            let _guard = arm(FaultPlan::new(Site::Any, FaultMode::IterationExhaustion));
+            assert!(intercept(Site::DenseStationary).is_some());
+        }
+        let _serial = arm(FaultPlan::new(Site::Any, FaultMode::NanPoison).times(0));
+        assert_eq!(intercept(Site::DenseStationary), None);
+    }
+
+    #[test]
+    fn env_spec_parses_all_fields() {
+        assert_eq!(
+            parse_plan("noconverge@any"),
+            Some(FaultPlan::new(Site::Any, FaultMode::ConvergenceFailure))
+        );
+        assert_eq!(
+            parse_plan("nan@dense:1:2"),
+            Some(
+                FaultPlan::new(Site::DenseStationary, FaultMode::NanPoison)
+                    .after(1)
+                    .times(2)
+            )
+        );
+        assert_eq!(
+            parse_plan("exhaust@power:3"),
+            Some(FaultPlan::new(Site::PowerIteration, FaultMode::IterationExhaustion).after(3))
+        );
+        assert_eq!(parse_plan("bogus@any"), None);
+        assert_eq!(parse_plan("nan@nowhere"), None);
+        assert_eq!(parse_plan("nan"), None);
+    }
+}

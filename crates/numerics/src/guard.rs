@@ -1,0 +1,206 @@
+//! Probability-vector validation at stage boundaries.
+//!
+//! Every stage of the analysis pipeline hands probability vectors to the
+//! next one: stationary solves feed reward accumulation, embedded-chain
+//! solutions feed MRGP conversion, Monte Carlo occupancy estimates feed the
+//! degraded reporting path. [`guard_probability_vector`] is the single
+//! checkpoint those handoffs go through. It rejects NaN/infinite entries and
+//! significantly negative entries, clamps tiny negative rounding noise to
+//! zero, and renormalizes the vector — but only within a caller-supplied
+//! bound, so a solve that silently lost (or invented) probability mass is
+//! reported instead of papered over.
+//!
+//! # Example
+//!
+//! ```
+//! use nvp_numerics::guard::{guard_probability_vector, DENSE_RENORMALIZATION_LIMIT};
+//!
+//! let mut pi = vec![0.25, 0.75 - 1e-14, 1e-14];
+//! let report = guard_probability_vector(&mut pi, "example", DENSE_RENORMALIZATION_LIMIT).unwrap();
+//! assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+//! assert_eq!(report.clamped_negatives, 0);
+//! ```
+
+use crate::{NumericsError, Result};
+
+/// Entries more negative than this are reported as errors; entries in
+/// `[-NEGATIVE_TOLERANCE, 0)` are treated as rounding noise and clamped to
+/// zero. Matches the tolerance historically used by the dense stationary
+/// solvers.
+pub const NEGATIVE_TOLERANCE: f64 = 1e-9;
+
+/// Renormalization bound for vectors produced by direct (dense) solves,
+/// which include the normalization constraint as an equation: the total mass
+/// should already be 1 up to rounding, so a larger deviation indicates an
+/// ill-conditioned or corrupted solve.
+pub const DENSE_RENORMALIZATION_LIMIT: f64 = 1e-6;
+
+/// Renormalization bound for statistically estimated vectors (Monte Carlo
+/// occupancy fractions), whose total mass carries sampling noise.
+pub const ESTIMATE_RENORMALIZATION_LIMIT: f64 = 1e-3;
+
+/// What [`guard_probability_vector`] had to repair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GuardReport {
+    /// Number of slightly negative entries clamped to zero.
+    pub clamped_negatives: usize,
+    /// Absolute deviation of the pre-normalization mass from one.
+    pub mass_deviation: f64,
+}
+
+impl GuardReport {
+    /// `true` if the guard had to intervene beyond floating-point dust —
+    /// i.e. it clamped at least one negative entry or renormalized away a
+    /// mass deviation larger than `1e-12`.
+    pub fn tripped(&self) -> bool {
+        self.clamped_negatives > 0 || self.mass_deviation > 1e-12
+    }
+}
+
+/// Validates and repairs a probability vector in place.
+///
+/// Checks, in order:
+///
+/// 1. the vector is non-empty,
+/// 2. every entry is finite (no NaN, no ±∞),
+/// 3. no entry is more negative than [`NEGATIVE_TOLERANCE`]; entries in
+///    `[-NEGATIVE_TOLERANCE, 0)` are clamped to zero,
+/// 4. the total mass is within `max_mass_deviation` of one; if so the vector
+///    is renormalized to sum exactly to one.
+///
+/// `what` names the vector for error messages; `max_mass_deviation` is
+/// typically [`DENSE_RENORMALIZATION_LIMIT`] or
+/// [`ESTIMATE_RENORMALIZATION_LIMIT`].
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidProbabilities`] when any check fails; the vector
+/// may have been partially modified (clamped) in that case.
+pub fn guard_probability_vector(
+    v: &mut [f64],
+    what: &'static str,
+    max_mass_deviation: f64,
+) -> Result<GuardReport> {
+    if v.is_empty() {
+        return Err(NumericsError::InvalidProbabilities {
+            what,
+            reason: "vector is empty".into(),
+        });
+    }
+    let mut report = GuardReport::default();
+    for (i, x) in v.iter_mut().enumerate() {
+        if !x.is_finite() {
+            return Err(NumericsError::InvalidProbabilities {
+                what,
+                reason: format!("entry {i} is {x}"),
+            });
+        }
+        if *x < 0.0 {
+            if *x < -NEGATIVE_TOLERANCE {
+                return Err(NumericsError::InvalidProbabilities {
+                    what,
+                    reason: format!("entry {i} is negative ({x:.3e})"),
+                });
+            }
+            *x = 0.0;
+            report.clamped_negatives += 1;
+        }
+    }
+    let sum: f64 = v.iter().sum();
+    report.mass_deviation = (sum - 1.0).abs();
+    if report.mass_deviation > max_mass_deviation {
+        return Err(NumericsError::InvalidProbabilities {
+            what,
+            reason: format!(
+                "total mass {sum:.9} deviates from 1 by {:.3e} \
+                 (renormalization limit {max_mass_deviation:.1e})",
+                report.mass_deviation
+            ),
+        });
+    }
+    if sum != 1.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_vector_passes_untouched() {
+        let mut v = vec![0.5, 0.5];
+        let report = guard_probability_vector(&mut v, "test", DENSE_RENORMALIZATION_LIMIT).unwrap();
+        assert_eq!(v, vec![0.5, 0.5]);
+        assert!(!report.tripped());
+    }
+
+    #[test]
+    fn nan_entry_is_rejected_not_passed_through() {
+        let mut v = vec![0.5, f64::NAN, 0.5];
+        let err =
+            guard_probability_vector(&mut v, "test", DENSE_RENORMALIZATION_LIMIT).unwrap_err();
+        assert!(matches!(err, NumericsError::InvalidProbabilities { .. }));
+        assert!(err.to_string().contains("entry 1"));
+    }
+
+    #[test]
+    fn infinite_entry_is_rejected() {
+        let mut v = vec![f64::INFINITY, 0.0];
+        assert!(matches!(
+            guard_probability_vector(&mut v, "test", DENSE_RENORMALIZATION_LIMIT),
+            Err(NumericsError::InvalidProbabilities { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_negative_is_clamped_and_counted() {
+        let mut v = vec![-1e-12, 1.0];
+        let report = guard_probability_vector(&mut v, "test", DENSE_RENORMALIZATION_LIMIT).unwrap();
+        assert_eq!(v[0], 0.0);
+        assert_eq!(report.clamped_negatives, 1);
+        assert!(report.tripped());
+    }
+
+    #[test]
+    fn large_negative_is_an_error() {
+        let mut v = vec![-0.1, 1.1];
+        assert!(matches!(
+            guard_probability_vector(&mut v, "test", DENSE_RENORMALIZATION_LIMIT),
+            Err(NumericsError::InvalidProbabilities { .. })
+        ));
+    }
+
+    #[test]
+    fn renormalization_is_bounded() {
+        // Mass 0.9995 is within the loose (estimate) bound; mass 0.9 is not.
+        let mut ok = vec![0.49975, 0.49975];
+        let report =
+            guard_probability_vector(&mut ok, "test", ESTIMATE_RENORMALIZATION_LIMIT).unwrap();
+        assert!((ok.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+        assert!(report.tripped());
+
+        let mut bad = vec![0.45, 0.45];
+        assert!(matches!(
+            guard_probability_vector(&mut bad, "test", ESTIMATE_RENORMALIZATION_LIMIT),
+            Err(NumericsError::InvalidProbabilities { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_vector_is_an_error() {
+        let mut v: Vec<f64> = vec![];
+        assert!(guard_probability_vector(&mut v, "test", 1e-6).is_err());
+    }
+
+    #[test]
+    fn dense_bound_rejects_what_estimate_bound_accepts() {
+        let mut v = vec![0.4999, 0.4999];
+        assert!(guard_probability_vector(&mut v, "test", DENSE_RENORMALIZATION_LIMIT).is_err());
+        let mut v = vec![0.4999, 0.4999];
+        assert!(guard_probability_vector(&mut v, "test", ESTIMATE_RENORMALIZATION_LIMIT).is_ok());
+    }
+}

@@ -44,14 +44,19 @@
 #![warn(missing_docs)]
 
 pub mod absorb;
+pub mod budget;
 pub mod ctmc;
 pub mod dense;
 pub mod dtmc;
 pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+pub mod guard;
 pub mod optim;
 pub mod poisson;
 pub mod sparse;
 
+pub use budget::SolveBudget;
 pub use error::NumericsError;
 
 /// Convenient result alias for fallible numerics operations.
@@ -97,5 +102,44 @@ pub fn stationary_backend_for(n: usize) -> StationaryBackend {
         StationaryBackend::Dense
     } else {
         StationaryBackend::IterativePower
+    }
+}
+
+/// The backend that is *not* `backend` — the retry target for the resilience
+/// layer's "flip to the alternate linear-algebra backend" fallback.
+pub fn alternate_backend(backend: StationaryBackend) -> StationaryBackend {
+    match backend {
+        StationaryBackend::Dense => StationaryBackend::IterativePower,
+        StationaryBackend::IterativePower => StationaryBackend::Dense,
+    }
+}
+
+/// Options controlling a stationary solve ([`ctmc::Ctmc::steady_state_with`]
+/// and [`dtmc::stationary_distribution_with`]).
+///
+/// The default reproduces the historical behaviour: backend chosen by
+/// [`stationary_backend_for`], default tolerance and iteration cap, and an
+/// unlimited budget.
+#[derive(Debug, Clone, Copy)]
+pub struct StationaryOptions {
+    /// Force a specific backend, or `None` to choose by chain size.
+    pub backend: Option<StationaryBackend>,
+    /// Convergence tolerance for iterative solves.
+    pub tolerance: f64,
+    /// Iteration cap for iterative solves (further tightened by the budget's
+    /// own cap, if any).
+    pub max_iterations: usize,
+    /// Resource budget checked during the solve.
+    pub budget: SolveBudget,
+}
+
+impl Default for StationaryOptions {
+    fn default() -> Self {
+        StationaryOptions {
+            backend: None,
+            tolerance: DEFAULT_TOLERANCE,
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+            budget: SolveBudget::unlimited(),
+        }
     }
 }

@@ -7,7 +7,12 @@
 //! (power iteration, Jacobi/Gauss–Seidel sweeps) used when direct dense
 //! factorization would be wasteful.
 
+use crate::budget::SolveBudget;
+use crate::guard::{guard_probability_vector, DENSE_RENORMALIZATION_LIMIT};
 use crate::{NumericsError, Result, DEFAULT_MAX_ITERATIONS, DEFAULT_TOLERANCE};
+
+/// How many power-iteration steps run between wall-clock budget checks.
+const BUDGET_CHECK_INTERVAL: usize = 256;
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -193,6 +198,26 @@ impl CsrMatrix {
 ///   this typically means the chain is periodic; callers should fall back to a
 ///   direct solve.
 pub fn stationary_power(p: &CsrMatrix, tol: f64, max_iter: usize) -> Result<Vec<f64>> {
+    stationary_power_with(p, tol, max_iter, &SolveBudget::unlimited())
+}
+
+/// [`stationary_power`] with a [`SolveBudget`]: the wall-clock deadline is
+/// checked every few hundred iterations so a runaway solve on a huge or
+/// pathological chain stops cleanly.
+///
+/// # Errors
+///
+/// As [`stationary_power`], plus:
+///
+/// * [`NumericsError::BudgetExceeded`] when the budget's deadline passes,
+/// * [`NumericsError::InvalidProbabilities`] if the iterate degenerates into
+///   non-finite values (e.g. NaN poisoning upstream).
+pub fn stationary_power_with(
+    p: &CsrMatrix,
+    tol: f64,
+    max_iter: usize,
+    budget: &SolveBudget,
+) -> Result<Vec<f64>> {
     if p.rows() != p.cols() {
         return Err(NumericsError::DimensionMismatch {
             expected: "square matrix".into(),
@@ -205,15 +230,46 @@ pub fn stationary_power(p: &CsrMatrix, tol: f64, max_iter: usize) -> Result<Vec<
             reason: "empty chain".into(),
         });
     }
+    budget.check("power iteration")?;
+    #[cfg(feature = "fault-inject")]
+    let poison = match crate::fault::intercept(crate::fault::Site::PowerIteration) {
+        Some(crate::fault::FaultMode::ConvergenceFailure) => {
+            return Err(NumericsError::NoConvergence {
+                iterations: 0,
+                residual: f64::INFINITY,
+            });
+        }
+        Some(crate::fault::FaultMode::IterationExhaustion) => {
+            return Err(NumericsError::NoConvergence {
+                iterations: max_iter,
+                residual: f64::INFINITY,
+            });
+        }
+        Some(crate::fault::FaultMode::NanPoison) => true,
+        None => false,
+    };
     let mut pi = vec![1.0 / n as f64; n];
+    #[cfg(feature = "fault-inject")]
+    if poison {
+        pi[0] = f64::NAN;
+    }
     let mut diff = f64::INFINITY;
-    for _ in 0..max_iter {
+    for iter in 0..max_iter {
+        if iter % BUDGET_CHECK_INTERVAL == 0 {
+            budget.check("power iteration")?;
+        }
         // Damped iteration avoids stalling on periodic chains.
         let mut next = p.vecmat(&pi);
         for (nx, old) in next.iter_mut().zip(&pi) {
             *nx = 0.5 * *nx + 0.5 * old;
         }
         let sum: f64 = next.iter().sum();
+        if !sum.is_finite() {
+            return Err(NumericsError::InvalidProbabilities {
+                what: "power-iteration iterate",
+                reason: format!("iterate mass is {sum} at iteration {iter}"),
+            });
+        }
         if sum <= 0.0 {
             return Err(NumericsError::NoSteadyState {
                 reason: "iterate collapsed to zero".into(),
@@ -229,6 +285,11 @@ pub fn stationary_power(p: &CsrMatrix, tol: f64, max_iter: usize) -> Result<Vec<
             .sum::<f64>();
         pi = next;
         if diff < tol {
+            guard_probability_vector(
+                &mut pi,
+                "power-iteration stationary vector",
+                DENSE_RENORMALIZATION_LIMIT,
+            )?;
             return Ok(pi);
         }
     }
@@ -331,6 +392,32 @@ mod tests {
         assert!(matches!(
             stationary(&m),
             Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stationary_power_respects_expired_budget() {
+        let m = two_state_chain();
+        let budget = SolveBudget::with_wall_clock_ms(0);
+        assert!(matches!(
+            stationary_power_with(&m, DEFAULT_TOLERANCE, DEFAULT_MAX_ITERATIONS, &budget),
+            Err(NumericsError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn stationary_power_rejects_nan_iterate() {
+        // A matrix with a NaN entry poisons the iterate; the solver must
+        // report it instead of spinning through the full iteration budget.
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, f64::NAN);
+        b.push(0, 1, 0.1);
+        b.push(1, 0, 0.5);
+        b.push(1, 1, 0.5);
+        let m = b.build();
+        assert!(matches!(
+            stationary_power(&m, DEFAULT_TOLERANCE, 1000),
+            Err(NumericsError::InvalidProbabilities { .. })
         ));
     }
 

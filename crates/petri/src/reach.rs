@@ -14,6 +14,7 @@
 use crate::marking::Marking;
 use crate::net::{PetriNet, TransitionId, TransitionKind};
 use crate::{PetriError, Result};
+use nvp_numerics::budget::SolveBudget;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -178,12 +179,30 @@ pub fn explore_with_stats(
     net: &PetriNet,
     max_markings: usize,
 ) -> Result<(TangibleReachGraph, ExploreStats)> {
-    Explorer::new(net, max_markings).run()
+    explore_with_stats_budgeted(net, max_markings, &SolveBudget::unlimited())
+}
+
+/// [`explore_with_stats`] under a [`SolveBudget`]: the wall-clock deadline is
+/// checked once per marking expanded, so exploration of a huge (or unbounded)
+/// net stops cleanly with a typed budget error instead of running away.
+///
+/// # Errors
+///
+/// Same as [`explore`], plus
+/// [`nvp_numerics::NumericsError::BudgetExceeded`] (wrapped in
+/// [`PetriError::Numerics`]) when the budget's deadline passes.
+pub fn explore_with_stats_budgeted(
+    net: &PetriNet,
+    max_markings: usize,
+    budget: &SolveBudget,
+) -> Result<(TangibleReachGraph, ExploreStats)> {
+    Explorer::new(net, max_markings, *budget).run()
 }
 
 struct Explorer<'a> {
     net: &'a PetriNet,
     max_markings: usize,
+    budget: SolveBudget,
     markings: Vec<Marking>,
     states: Vec<TangibleState>,
     index: HashMap<Marking, usize>,
@@ -192,10 +211,11 @@ struct Explorer<'a> {
 }
 
 impl<'a> Explorer<'a> {
-    fn new(net: &'a PetriNet, max_markings: usize) -> Self {
+    fn new(net: &'a PetriNet, max_markings: usize, budget: SolveBudget) -> Self {
         Explorer {
             net,
             max_markings,
+            budget,
             markings: Vec::new(),
             states: Vec::new(),
             index: HashMap::new(),
@@ -205,6 +225,7 @@ impl<'a> Explorer<'a> {
     }
 
     fn run(mut self) -> Result<(TangibleReachGraph, ExploreStats)> {
+        self.budget.check("reachability exploration")?;
         let initial = self
             .resolve_to_tangible(self.net.initial_marking(), 1.0)?
             .into_iter()
@@ -215,6 +236,7 @@ impl<'a> Explorer<'a> {
             return Err(PetriError::NoTangibleMarking);
         }
         while let Some(idx) = self.queue.pop_front() {
+            self.budget.check("reachability exploration")?;
             let state = self.expand(idx)?;
             self.states[idx] = state;
         }
@@ -581,6 +603,28 @@ mod tests {
             explore(&net, 50),
             Err(PetriError::StateSpaceExceeded { limit: 50 })
         ));
+    }
+
+    #[test]
+    fn expired_budget_stops_exploration_with_typed_error() {
+        let net = updown();
+        let budget = SolveBudget::with_wall_clock_ms(0);
+        match explore_with_stats_budgeted(&net, 100, &budget) {
+            Err(PetriError::Numerics(nvp_numerics::NumericsError::BudgetExceeded {
+                stage,
+                ..
+            })) => assert_eq!(stage, "reachability exploration"),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_exploration() {
+        let net = updown();
+        let (a, sa) = explore_with_stats(&net, 100).unwrap();
+        let (b, sb) = explore_with_stats_budgeted(&net, 100, &SolveBudget::unlimited()).unwrap();
+        assert_eq!(a.tangible_count(), b.tangible_count());
+        assert_eq!(sa, sb);
     }
 
     #[test]

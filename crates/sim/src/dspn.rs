@@ -15,7 +15,7 @@
 //! deterministic transitions is supported, which is what makes the
 //! deterministic-rejuvenation ablation runnable.
 
-use crate::stats::{batch_means_estimate, Estimate};
+use crate::stats::{batch_means_estimate, Estimate, Welford};
 use crate::{Result, SimError};
 use nvp_petri::marking::Marking;
 use nvp_petri::net::{PetriNet, TransitionId, TransitionKind};
@@ -416,6 +416,78 @@ pub fn simulate_occupancy(
     })
 }
 
+/// Result of [`simulate_occupancy_batched`]: per-marking occupancy with
+/// batch-means 95% confidence half-widths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedOccupancy {
+    /// Estimated time fraction per tangible marking (graph indexing).
+    pub occupancy: Vec<f64>,
+    /// 95% batch-means confidence half-width per marking.
+    pub half_widths: Vec<f64>,
+    /// Time fraction spent in markings absent from the graph.
+    pub unmatched: f64,
+}
+
+/// Like [`simulate_occupancy`], but splits the run into
+/// [`SimOptions::batches`] batches and reports a batch-means 95% confidence
+/// half-width for every marking's occupancy. This is the estimator behind
+/// [`crate::fallback::monte_carlo_hook`] — the analysis engine's degraded
+/// results need per-marking error bars, not just a point estimate.
+///
+/// # Errors
+///
+/// Option-validation and simulation errors.
+pub fn simulate_occupancy_batched(
+    net: &PetriNet,
+    graph: &nvp_petri::reach::TangibleReachGraph,
+    options: &SimOptions,
+) -> Result<BatchedOccupancy> {
+    options.validate()?;
+    let mut sim = DspnSimulator::new(net, options.seed)?;
+    while sim.time() < options.warmup {
+        sim.step(options.warmup)?;
+    }
+    let n = graph.tangible_count();
+    let batch_len = (options.horizon - options.warmup) / options.batches as f64;
+    let mut acc = vec![Welford::new(); n];
+    let mut unmatched_time = 0.0f64;
+    let mut grand_total = 0.0f64;
+    let mut time_in = vec![0.0f64; n];
+    for b in 0..options.batches {
+        let end = options.warmup + batch_len * (b + 1) as f64;
+        time_in.fill(0.0);
+        let mut total = 0.0f64;
+        while sim.time() < end {
+            let sojourn = sim.step(end)?;
+            if sojourn.duration <= 0.0 {
+                continue;
+            }
+            total += sojourn.duration;
+            match graph.index_of(&sojourn.marking) {
+                Some(idx) => time_in[idx] += sojourn.duration,
+                None => unmatched_time += sojourn.duration,
+            }
+        }
+        grand_total += total;
+        // Batches cover equal spans of model time, so pushing per-batch
+        // fractions gives every batch equal weight, as batch means assume.
+        for (w, &t) in acc.iter_mut().zip(&time_in) {
+            w.push(if total > 0.0 { t / total } else { 0.0 });
+        }
+    }
+    if grand_total <= 0.0 {
+        return Err(SimError::InvalidOption {
+            what: "horizon",
+            constraint: "no simulated time accumulated after warm-up".into(),
+        });
+    }
+    Ok(BatchedOccupancy {
+        occupancy: acc.iter().map(|w| w.mean()).collect(),
+        half_widths: acc.iter().map(|w| w.half_width_95()).collect(),
+        unmatched: unmatched_time / grand_total,
+    })
+}
+
 /// Estimates the transient expected reward `E[reward(X(t))]` at each time in
 /// `times` by independent replications (ensemble averaging).
 ///
@@ -764,6 +836,41 @@ mod tests {
             "occupancy {est:?} vs exact {exact}"
         );
         assert!(est.max_abs_diff(&[0.0; 2]) > 0.5);
+    }
+
+    #[test]
+    fn batched_occupancy_agrees_with_single_pass() {
+        let net = updown(0.25, 1.0);
+        let graph = nvp_petri::reach::explore(&net, 100).unwrap();
+        let opts = SimOptions {
+            horizon: 300_000.0,
+            warmup: 1_000.0,
+            seed: 17,
+            batches: 20,
+        };
+        let single = simulate_occupancy(&net, &graph, &opts).unwrap();
+        let batched = simulate_occupancy_batched(&net, &graph, &opts).unwrap();
+        assert_eq!(batched.unmatched, 0.0);
+        assert_eq!(batched.half_widths.len(), 2);
+        for ((b, hw), s) in batched
+            .occupancy
+            .iter()
+            .zip(&batched.half_widths)
+            .zip(&single.occupancy)
+        {
+            // Capping a sojourn at a batch boundary discards the sampled
+            // holding time and resamples (exact by memorylessness), so the
+            // two trajectories diverge: agreement is statistical only.
+            assert!((b - s).abs() <= hw + 0.01, "{b} vs {s} (±{hw})");
+            assert!(*hw > 0.0, "non-degenerate error bar");
+        }
+        // The exact CTMC answer lies inside every confidence interval.
+        let up_idx = graph.index_of(&Marking::new(vec![1, 0])).unwrap();
+        let exact = 1.0 / 1.25;
+        assert!(
+            (batched.occupancy[up_idx] - exact).abs() <= batched.half_widths[up_idx] + 0.005,
+            "{batched:?}"
+        );
     }
 
     #[test]

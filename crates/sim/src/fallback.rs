@@ -1,0 +1,80 @@
+//! Monte Carlo fallback hook for the `nvp-core` analysis engine.
+//!
+//! `nvp-core` sits *below* this crate in the dependency graph, so its
+//! [`AnalysisEngine`](nvp_core::engine::AnalysisEngine) cannot call the
+//! simulator directly; instead it accepts a dependency-injected
+//! [`MonteCarloHook`] as the last stage of its fallback chain. This module
+//! provides the production implementation, backed by
+//! [`simulate_occupancy_batched`].
+//!
+//! # Example
+//!
+//! ```
+//! use nvp_core::engine::AnalysisEngine;
+//! use nvp_sim::dspn::SimOptions;
+//! use nvp_sim::fallback::monte_carlo_hook;
+//!
+//! let engine = AnalysisEngine::new()
+//!     .with_monte_carlo(monte_carlo_hook(SimOptions::default()));
+//! // A solver failure now degrades to a simulation estimate instead of
+//! // erroring out.
+//! ```
+
+use crate::dspn::{simulate_occupancy_batched, SimOptions};
+use nvp_core::engine::{McOccupancy, MonteCarloHook};
+use std::sync::Arc;
+
+/// Builds a [`MonteCarloHook`] that estimates steady-state occupancy (with
+/// per-marking 95% half-widths) by simulating the net with `options`.
+///
+/// Simulation errors are rendered to strings; the engine then reports the
+/// original solver failure rather than the hook's.
+pub fn monte_carlo_hook(options: SimOptions) -> MonteCarloHook {
+    Arc::new(move |net, graph| {
+        simulate_occupancy_batched(net, graph, &options)
+            .map(|b| McOccupancy {
+                occupancy: b.occupancy,
+                half_widths: b.half_widths,
+                unmatched: b.unmatched,
+            })
+            .map_err(|e| e.to_string())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_petri::marking::Marking;
+    use nvp_petri::net::{NetBuilder, TransitionKind};
+
+    #[test]
+    fn hook_estimates_updown_occupancy_with_error_bars() {
+        let mut b = NetBuilder::new("updown");
+        let up = b.place("Up", 1);
+        let down = b.place("Down", 0);
+        b.transition("fail", TransitionKind::exponential_rate(0.25))
+            .unwrap()
+            .input(up, 1)
+            .output(down, 1);
+        b.transition("repair", TransitionKind::exponential_rate(1.0))
+            .unwrap()
+            .input(down, 1)
+            .output(up, 1);
+        let net = b.build().unwrap();
+        let graph = nvp_petri::reach::explore(&net, 10).unwrap();
+        let hook = monte_carlo_hook(SimOptions {
+            horizon: 200_000.0,
+            warmup: 1_000.0,
+            seed: 11,
+            batches: 20,
+        });
+        let mc = hook(&net, &graph).unwrap();
+        assert_eq!(mc.unmatched, 0.0);
+        assert_eq!(mc.occupancy.len(), 2);
+        let up_idx = graph.index_of(&Marking::new(vec![1, 0])).unwrap();
+        // pi(Up) = 1 / 1.25 = 0.8, and the batch half-width should cover it.
+        let (est, hw) = (mc.occupancy[up_idx], mc.half_widths[up_idx]);
+        assert!(hw > 0.0 && hw < 0.05, "half-width {hw}");
+        assert!((est - 0.8).abs() <= hw + 0.01, "estimate {est} ± {hw}");
+    }
+}

@@ -47,6 +47,7 @@
 pub mod dspn;
 pub mod environment;
 pub mod error;
+pub mod fallback;
 pub mod firstpassage;
 pub mod perception;
 pub mod scenario;

@@ -80,6 +80,63 @@ fn random_rings_agree_between_solver_and_simulator() {
     }
 }
 
+/// Fault-injected end-to-end resilience check on the paper's Fig. 2(a)
+/// model: with every analytic solver entry point forced to fail, the
+/// engine's Monte Carlo fallback must still produce the four-version
+/// reliability, degraded but within its own reported confidence bound of
+/// the healthy analytic answer.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_total_solver_failure_degrades_to_a_consistent_estimate() {
+    use nvp_perception::core::analysis::SolverBackend;
+    use nvp_perception::core::engine::{AnalysisEngine, DegradedMethod};
+    use nvp_perception::core::params::SystemParams;
+    use nvp_perception::core::reliability::ReliabilitySource;
+    use nvp_perception::core::reward::RewardPolicy;
+    use nvp_perception::numerics::fault::{arm, FaultMode, FaultPlan, Site};
+    use nvp_perception::sim::fallback::monte_carlo_hook;
+
+    let params = SystemParams::paper_four_version();
+    let healthy = AnalysisEngine::new()
+        .analyze(
+            &params,
+            RewardPolicy::FailedOnly,
+            ReliabilitySource::Auto,
+            SolverBackend::Auto,
+        )
+        .expect("healthy analysis");
+    assert!(healthy.degraded.is_none());
+
+    let engine = AnalysisEngine::new().with_monte_carlo(monte_carlo_hook(SimOptions {
+        horizon: 400_000.0,
+        warmup: 4_000.0,
+        seed: 99,
+        batches: 20,
+    }));
+    let _guard = arm(FaultPlan::new(Site::Any, FaultMode::ConvergenceFailure));
+    let report = engine
+        .analyze(
+            &params,
+            RewardPolicy::FailedOnly,
+            ReliabilitySource::Auto,
+            SolverBackend::Auto,
+        )
+        .expect("degraded analysis");
+
+    let degraded = report.degraded.as_ref().expect("degraded marker");
+    assert_eq!(degraded.method, DegradedMethod::MonteCarlo);
+    let hw = degraded.reliability_half_width;
+    assert!(hw.is_finite() && hw > 0.0, "half-width {hw}");
+    let diff = (report.expected_reliability - healthy.expected_reliability).abs();
+    // Small slack on top of the 95% bound keeps the fixed seed robust.
+    assert!(
+        diff <= hw + 1e-3,
+        "MC fallback {} vs analytic {} differs by {diff} > ±{hw}",
+        report.expected_reliability,
+        healthy.expected_reliability
+    );
+}
+
 #[test]
 fn random_rings_conserve_tokens() {
     for seed in [11u64, 12, 13] {
