@@ -28,6 +28,7 @@ use nvp_core::params::SystemParams;
 use nvp_core::reliability::ReliabilitySource;
 use nvp_core::report::{render_with_on, ReportOptions};
 use nvp_core::reward::RewardPolicy;
+use nvp_numerics::{Jobs, WorkerPool};
 use nvp_sim::dspn::{simulate_reward, SimOptions};
 use nvp_sim::fallback::monte_carlo_hook;
 use std::io::Write;
@@ -91,16 +92,18 @@ nvp — N-version perception reliability toolkit
 
 USAGE:
   nvp analyze [PARAMS] [--matrix] [--sensitivities] [--states N] [--stats]
-              [--budget-ms MS] [--max-markings N]
+              [--budget-ms MS] [--max-markings N] [--jobs N|auto]
       Analyze a perception system and print a report.
   nvp sweep --axis AXIS --from X --to Y --steps N [PARAMS] [--stats]
-            [--budget-ms MS] [--max-markings N]
-      Print a CSV sweep of E[R] over one parameter axis.
+            [--budget-ms MS] [--max-markings N] [--jobs N|auto]
+      Print a CSV sweep of E[R] over one parameter axis (N >= 2 steps).
       AXIS: gamma | mttc | mttf | mttr | alpha | p | pprime
       --stats appends solver statistics (state-space size, subordinated
       chains, chain-cache hits, fallbacks, per-stage times) to either
       command. --budget-ms caps the wall-clock time of each uncached solve;
-      --max-markings caps state-space exploration.
+      --max-markings caps state-space exploration. --jobs sets the worker
+      budget shared by the parallel sweep and the MRGP row solver (default:
+      NVP_JOBS or the number of cores; output is identical at any level).
       If the primary solver fails, analyze/sweep fall back to an alternate
       backend and then to Monte Carlo; a degraded (fallback) result prints a
       WARNING and the process exits with code 2 instead of 0.
@@ -256,13 +259,29 @@ fn parse_params(args: &[String]) -> Result<(SystemParams, RewardPolicy, Vec<Stri
 /// Builds the analysis engine used by `analyze` and `sweep`: the Monte
 /// Carlo fallback hook is always installed (it only runs when the analytic
 /// pipeline fails), and an optional wall-clock budget is applied.
-fn resilient_engine(budget_ms: Option<u64>) -> AnalysisEngine {
-    let mut engine =
-        AnalysisEngine::new().with_monte_carlo(monte_carlo_hook(SimOptions::default()));
+///
+/// An explicit `--jobs N` also raises the process-wide worker-pool capacity
+/// so the request can actually be met on machines with fewer cores (the
+/// results are identical at any worker count; `N` only trades memory for
+/// wall-clock time).
+fn resilient_engine(budget_ms: Option<u64>, jobs: Jobs) -> AnalysisEngine {
+    if let Jobs::Fixed(n) = jobs {
+        WorkerPool::global().set_capacity(n);
+    }
+    let mut engine = AnalysisEngine::new()
+        .with_monte_carlo(monte_carlo_hook(SimOptions::default()))
+        .with_jobs(jobs);
     if let Some(ms) = budget_ms {
         engine = engine.with_budget_ms(ms);
     }
     engine
+}
+
+/// Parses a `--jobs` value: a positive worker count or `auto`.
+fn parse_jobs(v: &str) -> Result<Jobs> {
+    Jobs::parse(v).ok_or_else(|| CliError {
+        message: format!("bad value `{v}` for `--jobs` (positive integer or `auto`)"),
+    })
 }
 
 fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
@@ -271,6 +290,7 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut stats = false;
     let mut budget_ms = None;
     let mut max_markings = None;
+    let mut jobs = Jobs::Auto;
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
         match flag {
@@ -281,6 +301,7 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             "--stats" => stats = true,
             "--budget-ms" => budget_ms = Some(cursor.value_u64(flag)?),
             "--max-markings" => max_markings = Some(cursor.value_usize(flag)?),
+            "--jobs" => jobs = parse_jobs(cursor.value(flag)?)?,
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for analyze"),
@@ -288,7 +309,7 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             }
         }
     }
-    let engine = resilient_engine(budget_ms);
+    let engine = resilient_engine(budget_ms, jobs);
     let backend = max_markings.map_or(SolverBackend::Auto, SolverBackend::Budget);
     let report = engine.analyze(&params, policy, ReliabilitySource::Auto, backend)?;
     let text = render_with_on(&engine, &params, policy, &report, &options)?;
@@ -332,6 +353,7 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut stats = false;
     let mut budget_ms = None;
     let mut max_markings = None;
+    let mut jobs = Jobs::Auto;
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
         match flag {
@@ -342,6 +364,7 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             "--stats" => stats = true,
             "--budget-ms" => budget_ms = Some(cursor.value_u64(flag)?),
             "--max-markings" => max_markings = Some(cursor.value_usize(flag)?),
+            "--jobs" => jobs = parse_jobs(cursor.value(flag)?)?,
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for sweep"),
@@ -354,13 +377,19 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             message: "sweep requires --axis, --from and --to".into(),
         });
     };
-    let grid = analysis::linspace(from, to, steps.max(2));
-    let engine = resilient_engine(budget_ms);
+    if steps < 2 {
+        return Err(CliError {
+            message: format!(
+                "sweep requires --steps >= 2 to cover [{from}, {to}]; got --steps {steps}"
+            ),
+        });
+    }
+    let grid = analysis::linspace(from, to, steps);
+    let engine = resilient_engine(budget_ms, jobs);
     let backend = max_markings.map_or(SolverBackend::Auto, SolverBackend::Budget);
+    let points = engine.sweep_parallel_with(&params, axis, &grid, policy, backend)?;
     writeln!(out, "{},expected_reliability", axis.label())?;
-    for &x in &grid {
-        let point = axis.apply(&params, x);
-        let r = engine.expected_reliability(&point, policy, backend)?;
+    for (x, r) in points {
         writeln!(out, "{x},{r}")?;
     }
     if stats {
@@ -745,6 +774,51 @@ mod tests {
         assert!(lines[3].starts_with("900,"));
         assert!(run_to_string(&["sweep", "--axis", "gamma"]).is_err());
         assert!(run_to_string(&["sweep", "--axis", "warp", "--from", "1", "--to", "2"]).is_err());
+    }
+
+    #[test]
+    fn sweep_rejects_degenerate_step_counts() {
+        for steps in ["0", "1"] {
+            let err = run_to_string(&[
+                "sweep", "--axis", "gamma", "--from", "300", "--to", "900", "--steps", steps,
+            ])
+            .unwrap_err();
+            assert!(
+                err.message.contains("--steps >= 2"),
+                "steps {steps}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_jobs_flag_does_not_change_the_csv() {
+        let base = &[
+            "sweep", "--axis", "gamma", "--from", "300", "--to", "1500", "--steps", "5",
+        ];
+        let serial = run_to_string(&[base, &["--jobs", "1"][..]].concat()).unwrap();
+        let parallel = run_to_string(&[base, &["--jobs", "4"][..]].concat()).unwrap();
+        assert_eq!(serial, parallel);
+        let lines: Vec<&str> = serial.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].starts_with("300,"));
+        assert!(lines[5].starts_with("1500,"));
+    }
+
+    #[test]
+    fn jobs_flag_rejects_bad_values() {
+        for bad in ["0", "fast", "-2"] {
+            let err = run_to_string(&["analyze", "--jobs", bad]).unwrap_err();
+            assert!(err.message.contains("--jobs"), "{bad}: {}", err.message);
+        }
+        // `auto` and explicit counts are accepted on both commands.
+        run_to_string(&["analyze", "--jobs", "auto"]).unwrap();
+        let (status, _) = run_full(&[
+            "sweep", "--axis", "alpha", "--from", "0.1", "--to", "0.5", "--steps", "2", "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(status, RunStatus::Success);
     }
 
     fn write_model(dir: &std::path::Path) -> std::path::PathBuf {

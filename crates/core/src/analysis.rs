@@ -269,6 +269,27 @@ pub fn sweep_parallel(
     AnalysisEngine::new().sweep_parallel(params, axis, values, policy)
 }
 
+/// [`sweep_parallel`] with an explicit solver backend and worker request.
+/// Extra workers come from the process-wide worker pool
+/// ([`nvp_numerics::WorkerPool`]); with none available the sweep runs on
+/// the calling thread alone.
+///
+/// # Errors
+///
+/// Propagates the lowest-index analysis error.
+pub fn sweep_parallel_with(
+    params: &SystemParams,
+    axis: ParamAxis,
+    values: &[f64],
+    policy: RewardPolicy,
+    backend: SolverBackend,
+    jobs: nvp_numerics::Jobs,
+) -> Result<Vec<(f64, f64)>> {
+    AnalysisEngine::new()
+        .with_jobs(jobs)
+        .sweep_parallel_with(params, axis, values, policy, backend)
+}
+
 /// Generates `steps` evenly spaced values covering `[lo, hi]` inclusive.
 /// `steps == 0` yields an empty grid; `steps == 1` yields just `lo`.
 pub fn linspace(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
@@ -295,6 +316,24 @@ pub fn optimal_rejuvenation_interval(
     policy: RewardPolicy,
 ) -> Result<(f64, f64)> {
     AnalysisEngine::new().optimal_rejuvenation_interval(params, lo, hi, policy)
+}
+
+/// [`optimal_rejuvenation_interval`] with an explicit search resolution in
+/// seconds (the bracket width at which the golden-section search stops).
+///
+/// # Errors
+///
+/// Analysis errors at any probed interval, invalid bounds, or a
+/// `resolution` that is not positive and finite.
+pub fn optimal_rejuvenation_interval_with_resolution(
+    params: &SystemParams,
+    lo: f64,
+    hi: f64,
+    policy: RewardPolicy,
+    resolution: f64,
+) -> Result<(f64, f64)> {
+    AnalysisEngine::new()
+        .optimal_rejuvenation_interval_with_resolution(params, lo, hi, policy, resolution)
 }
 
 /// Normalized parametric sensitivity (elasticity) of `E[R_sys]`:

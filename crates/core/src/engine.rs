@@ -44,12 +44,13 @@ use crate::state::SystemState;
 use crate::{model, Result};
 use nvp_mrgp::{MrgpError, MrgpStats, SolveOptions, SteadyState};
 use nvp_numerics::{
-    alternate_backend, optim, stationary_backend_for, NumericsError, SolveBudget, StationaryBackend,
+    alternate_backend, optim, stationary_backend_for, Jobs, NumericsError, SolveBudget,
+    StationaryBackend, WorkerPool,
 };
 use nvp_petri::net::PetriNet;
 use nvp_petri::reach::{ExploreStats, TangibleReachGraph};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -262,6 +263,19 @@ pub struct SolverStats {
     /// Solves aborted because the wall-clock budget was exhausted
     /// (lifetime total; budgeted failures are never cached).
     pub budget_exhaustions: u64,
+    /// Largest worker-thread count (including the calling thread) any MRGP
+    /// row stage of a cached solution ran with; 1 means every solve ran
+    /// serially.
+    pub workers_used: usize,
+    /// Subordinated-chain rows dispatched to a multi-worker row stage
+    /// across cached solutions.
+    pub parallel_rows: usize,
+    /// Times the MRGP row stage asked the worker pool for more permits than
+    /// it could grant (across cached solutions).
+    pub permit_starvations: usize,
+    /// Sweep grid points skipped because an earlier point's failure
+    /// cancelled the sweep (lifetime total).
+    pub sweep_cancellations: u64,
     /// Summed wall time of model builds.
     pub build_time: Duration,
     /// Summed wall time of reachability explorations.
@@ -308,6 +322,15 @@ impl std::fmt::Display for SolverStats {
             self.degraded_solutions,
             self.guard_trips,
             self.budget_exhaustions
+        )?;
+        writeln!(
+            f,
+            "parallelism      : <= {} worker(s), {} row(s) solved in parallel, \
+             {} permit starvation(s), {} sweep cancellation(s)",
+            self.workers_used,
+            self.parallel_rows,
+            self.permit_starvations,
+            self.sweep_cancellations
         )?;
         write!(
             f,
@@ -356,7 +379,9 @@ pub struct AnalysisEngine {
     reward_nanos: AtomicU64,
     fallbacks: AtomicU64,
     budget_exhaustions: AtomicU64,
+    sweep_cancellations: AtomicU64,
     budget_ms: Option<u64>,
+    jobs: Jobs,
     monte_carlo: Option<MonteCarloHook>,
 }
 
@@ -394,6 +419,23 @@ impl AnalysisEngine {
     pub fn with_monte_carlo(mut self, hook: MonteCarloHook) -> Self {
         self.monte_carlo = Some(hook);
         self
+    }
+
+    /// Returns this engine with `jobs` controlling both parallelism levels:
+    /// the grid-point workers of [`AnalysisEngine::sweep_parallel`] and the
+    /// subordinated-chain row workers inside each MRGP solve. Both levels
+    /// draw extra-worker permits from the process-wide
+    /// [`WorkerPool`], so nesting them degrades toward serial execution
+    /// instead of oversubscribing the machine. The default ([`Jobs::Auto`])
+    /// asks for as many workers as the pool's capacity allows.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The parallelism request this engine passes to both worker levels.
+    pub fn jobs(&self) -> Jobs {
+        self.jobs
     }
 
     /// Returns the chain solution for `params`, solving it on the first
@@ -543,14 +585,27 @@ impl AnalysisEngine {
         values: &[f64],
         policy: RewardPolicy,
     ) -> Result<Vec<(f64, f64)>> {
+        self.sweep_with(params, axis, values, policy, SolverBackend::Auto)
+    }
+
+    /// [`AnalysisEngine::sweep`] with an explicit solver backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors for any point of the sweep.
+    pub fn sweep_with(
+        &self,
+        params: &SystemParams,
+        axis: ParamAxis,
+        values: &[f64],
+        policy: RewardPolicy,
+        backend: SolverBackend,
+    ) -> Result<Vec<(f64, f64)>> {
         values
             .iter()
             .map(|&v| {
                 let p = axis.apply(params, v);
-                Ok((
-                    v,
-                    self.expected_reliability(&p, policy, SolverBackend::Auto)?,
-                ))
+                Ok((v, self.expected_reliability(&p, policy, backend)?))
             })
             .collect()
     }
@@ -561,7 +616,7 @@ impl AnalysisEngine {
     ///
     /// # Errors
     ///
-    /// Propagates the first analysis error by input order.
+    /// Propagates the lowest-index analysis error.
     pub fn sweep_parallel(
         &self,
         params: &SystemParams,
@@ -569,40 +624,87 @@ impl AnalysisEngine {
         values: &[f64],
         policy: RewardPolicy,
     ) -> Result<Vec<(f64, f64)>> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(values.len().max(1));
-        if workers <= 1 || values.len() <= 1 {
-            return self.sweep(params, axis, values, policy);
+        self.sweep_parallel_with(params, axis, values, policy, SolverBackend::Auto)
+    }
+
+    /// [`AnalysisEngine::sweep_parallel`] with an explicit solver backend.
+    ///
+    /// Extra workers are drawn from the process-wide [`WorkerPool`] (the
+    /// calling thread always works, so the sweep degrades to
+    /// [`AnalysisEngine::sweep_with`] when no permits are available). A
+    /// failing grid point raises a cancellation flag: points no worker has
+    /// started yet are skipped (counted in
+    /// [`SolverStats::sweep_cancellations`]) and the lowest-index recorded
+    /// error is returned instead of solving the rest of a doomed grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-index analysis error.
+    pub fn sweep_parallel_with(
+        &self,
+        params: &SystemParams,
+        axis: ParamAxis,
+        values: &[f64],
+        policy: RewardPolicy,
+        backend: SolverBackend,
+    ) -> Result<Vec<(f64, f64)>> {
+        let pool = WorkerPool::global();
+        let desired = self.jobs.desired_workers(values.len(), pool.capacity());
+        if desired <= 1 || values.len() <= 1 {
+            return self.sweep_with(params, axis, values, policy, backend);
+        }
+        let permits = pool.try_acquire(desired - 1);
+        if permits.count() == 0 {
+            return self.sweep_with(params, axis, values, policy, backend);
         }
         let results: Vec<Mutex<Option<Result<f64>>>> =
             values.iter().map(|_| Mutex::new(None)).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&value) = values.get(idx) else {
-                        break;
-                    };
-                    let p = axis.apply(params, value);
-                    let r = self.expected_reliability(&p, policy, SolverBackend::Auto);
-                    *results[idx].lock().expect("no panics while holding lock") = Some(r);
-                });
+        let next = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        let work = || loop {
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&value) = values.get(idx) else {
+                break;
+            };
+            if cancel.load(Ordering::Relaxed) {
+                self.sweep_cancellations.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
+            let p = axis.apply(params, value);
+            let r = self.expected_reliability(&p, policy, backend);
+            if r.is_err() {
+                cancel.store(true, Ordering::Relaxed);
+            }
+            *results[idx].lock().expect("no panics while holding lock") = Some(r);
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..permits.count() {
+                scope.spawn(work);
+            }
+            work();
         });
-        values
-            .iter()
-            .zip(results)
-            .map(|(&x, cell)| {
-                let r = cell
-                    .into_inner()
-                    .expect("lock not poisoned")
-                    .expect("every index visited");
-                Ok((x, r?))
-            })
-            .collect()
+        drop(permits);
+        let mut out = Vec::with_capacity(values.len());
+        let mut slots = values.iter().zip(results);
+        for (&x, cell) in &mut slots {
+            match cell.into_inner().expect("lock not poisoned") {
+                Some(Ok(r)) => out.push((x, r)),
+                Some(Err(e)) => return Err(e),
+                // A skipped point: some lower- or higher-index point
+                // recorded the error that raised the cancellation flag.
+                None => break,
+            }
+        }
+        for (_, cell) in slots {
+            if let Some(Err(e)) = cell.into_inner().expect("lock not poisoned") {
+                return Err(e);
+            }
+        }
+        if out.len() == values.len() {
+            Ok(out)
+        } else {
+            unreachable!("a skipped sweep point implies a recorded error")
+        }
     }
 
     /// Golden-section search for the reliability-maximizing rejuvenation
@@ -619,6 +721,33 @@ impl AnalysisEngine {
         hi: f64,
         policy: RewardPolicy,
     ) -> Result<(f64, f64)> {
+        // Half-second resolution is ample for intervals of hundreds of
+        // seconds.
+        self.optimal_rejuvenation_interval_with_resolution(params, lo, hi, policy, 0.5)
+    }
+
+    /// [`AnalysisEngine::optimal_rejuvenation_interval`] with an explicit
+    /// search resolution: the search stops once the bracket around the
+    /// maximum is narrower than `resolution` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Analysis errors at any probed interval, invalid bounds, or a
+    /// `resolution` that is not positive and finite.
+    pub fn optimal_rejuvenation_interval_with_resolution(
+        &self,
+        params: &SystemParams,
+        lo: f64,
+        hi: f64,
+        policy: RewardPolicy,
+        resolution: f64,
+    ) -> Result<(f64, f64)> {
+        if !(resolution.is_finite() && resolution > 0.0) {
+            return Err(crate::CoreError::InvalidParameter {
+                what: "resolution",
+                constraint: format!("must be positive and finite, got {resolution}"),
+            });
+        }
         // golden_section_max takes an infallible closure; stash errors.
         let mut failure: Option<crate::CoreError> = None;
         let result = optim::golden_section_max(
@@ -637,7 +766,7 @@ impl AnalysisEngine {
             },
             lo,
             hi,
-            0.5, // half-second resolution is ample for intervals of hundreds of seconds
+            resolution,
         );
         if let Some(e) = failure {
             return Err(e);
@@ -776,6 +905,7 @@ impl AnalysisEngine {
             cache_misses: self.cache_misses(),
             fallbacks_taken: self.fallbacks.load(Ordering::Relaxed),
             budget_exhaustions: self.budget_exhaustions.load(Ordering::Relaxed),
+            sweep_cancellations: self.sweep_cancellations.load(Ordering::Relaxed),
             reward_time: Duration::from_nanos(self.reward_nanos.load(Ordering::Relaxed)),
             ..SolverStats::default()
         };
@@ -798,6 +928,9 @@ impl AnalysisEngine {
                 .max_truncation_steps
                 .max(sol.solver_stats.max_truncation_steps);
             s.guard_trips += sol.solver_stats.guard_trips;
+            s.workers_used = s.workers_used.max(sol.solver_stats.workers_used);
+            s.parallel_rows += sol.solver_stats.parallel_rows;
+            s.permit_starvations += sol.solver_stats.permit_starvations;
             if sol.degraded.is_some() {
                 s.degraded_solutions += 1;
             }
@@ -858,6 +991,7 @@ impl AnalysisEngine {
         let t2 = Instant::now();
         let primary = SolveOptions {
             budget,
+            jobs: self.jobs,
             ..SolveOptions::default()
         };
         let (solution, solver_stats, degraded) =
@@ -922,6 +1056,7 @@ impl AnalysisEngine {
                 ))),
                 tolerance: RELAXED_TOLERANCE,
                 budget: *budget,
+                jobs: self.jobs,
                 ..SolveOptions::default()
             };
             if let Ok((solution, stats)) = nvp_mrgp::steady_state_with_options(graph, &alt) {
@@ -1210,6 +1345,161 @@ mod tests {
             .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
             .unwrap();
         assert_eq!(budgeted.to_bits(), unbudgeted.to_bits());
+    }
+
+    /// Serializes tests that exercise the process-global [`WorkerPool`], so
+    /// permit availability is deterministic.
+    static POOL_TESTS: Mutex<()> = Mutex::new(());
+
+    fn pool_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        POOL_TESTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn nested_parallelism_respects_the_global_worker_budget() {
+        let _lock = pool_test_lock();
+        let pool = WorkerPool::global();
+        pool.set_capacity(4);
+        pool.reset_peak();
+        // A gamma sweep is a chain axis: every grid point runs a full MRGP
+        // solve whose row stage *also* asks the pool for workers — the
+        // nesting scenario the permit budget exists for.
+        let params = SystemParams::paper_six_version();
+        let grid = analysis::linspace(200.0, 3000.0, 6);
+        let serial = AnalysisEngine::new()
+            .with_jobs(Jobs::Fixed(1))
+            .sweep_parallel(
+                &params,
+                ParamAxis::RejuvenationInterval,
+                &grid,
+                RewardPolicy::FailedOnly,
+            )
+            .unwrap();
+        let engine = AnalysisEngine::new().with_jobs(Jobs::Fixed(8));
+        let parallel = engine
+            .sweep_parallel(
+                &params,
+                ParamAxis::RejuvenationInterval,
+                &grid,
+                RewardPolicy::FailedOnly,
+            )
+            .unwrap();
+        assert_eq!(serial, parallel, "worker count must not change results");
+        assert!(
+            pool.peak() < pool.capacity(),
+            "peak permit usage {} exceeds the configured cap {}",
+            pool.peak(),
+            pool.capacity()
+        );
+        let stats = engine.stats();
+        assert!(stats.workers_used <= 4, "{stats:?}");
+        assert!(stats.to_string().contains("parallelism"), "{}", stats);
+        pool.set_capacity(pool.capacity().max(8));
+    }
+
+    #[test]
+    fn failing_point_cancels_the_parallel_sweep() {
+        let _lock = pool_test_lock();
+        let pool = WorkerPool::global();
+        pool.set_capacity(pool.capacity().max(8));
+        let engine = AnalysisEngine::new().with_jobs(Jobs::Fixed(4));
+        let params = SystemParams::paper_six_version();
+        // Every point is invalid (alpha > 1): the 4 workers record an error
+        // each at most, and the cancellation flag skips the remaining
+        // points instead of solving a doomed grid.
+        let grid = vec![2.0; 12];
+        let err = engine
+            .sweep_parallel(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::CoreError::InvalidParameter { .. }),
+            "{err:?}"
+        );
+        let stats = engine.stats();
+        assert!(
+            stats.sweep_cancellations >= grid.len() as u64 - 4,
+            "expected at least {} skipped points, saw {}",
+            grid.len() - 4,
+            stats.sweep_cancellations
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_with_serial_jobs_matches_sequential_path() {
+        let engine = AnalysisEngine::new().with_jobs(Jobs::Fixed(1));
+        let params = SystemParams::paper_six_version();
+        let grid = analysis::linspace(0.05, 0.95, 5);
+        let parallel = engine
+            .sweep_parallel(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap();
+        let sequential = engine
+            .sweep(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap();
+        assert_eq!(parallel, sequential);
+        assert_eq!(engine.stats().sweep_cancellations, 0);
+    }
+
+    #[test]
+    fn optimizer_resolution_is_validated() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = engine
+                .optimal_rejuvenation_interval_with_resolution(
+                    &params,
+                    200.0,
+                    3000.0,
+                    RewardPolicy::FailedOnly,
+                    bad,
+                )
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    crate::CoreError::InvalidParameter {
+                        what: "resolution",
+                        ..
+                    }
+                ),
+                "resolution {bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_default_resolution_matches_the_default_search() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        let default = engine
+            .optimal_rejuvenation_interval(&params, 400.0, 900.0, RewardPolicy::FailedOnly)
+            .unwrap();
+        let explicit = engine
+            .optimal_rejuvenation_interval_with_resolution(
+                &params,
+                400.0,
+                900.0,
+                RewardPolicy::FailedOnly,
+                0.5,
+            )
+            .unwrap();
+        assert_eq!(default.0.to_bits(), explicit.0.to_bits());
+        assert_eq!(default.1.to_bits(), explicit.1.to_bits());
+        // A coarser resolution needs fewer probes: strictly fewer chain
+        // solves than the cached run above already banked.
+        let coarse_engine = AnalysisEngine::new();
+        let coarse = coarse_engine
+            .optimal_rejuvenation_interval_with_resolution(
+                &params,
+                400.0,
+                900.0,
+                RewardPolicy::FailedOnly,
+                50.0,
+            )
+            .unwrap();
+        assert!(coarse_engine.cache_misses() < engine.cache_misses());
+        assert!((coarse.0 - default.0).abs() <= 50.0 + 0.5);
     }
 
     #[cfg(feature = "fault-inject")]

@@ -7,6 +7,7 @@ use nvp_numerics::dtmc::stationary_distribution_with;
 use nvp_numerics::guard::{
     guard_probability_vector, DENSE_RENORMALIZATION_LIMIT, ESTIMATE_RENORMALIZATION_LIMIT,
 };
+use nvp_numerics::pool::{Jobs, WorkerPool};
 use nvp_numerics::sparse::CsrBuilder;
 use nvp_numerics::{
     stationary_backend_for, StationaryBackend, StationaryOptions, DEFAULT_MAX_ITERATIONS,
@@ -14,6 +15,8 @@ use nvp_numerics::{
 };
 use nvp_petri::reach::TangibleReachGraph;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Truncation accuracy of the uniformization series used for subordinated
 /// chains.
@@ -67,6 +70,16 @@ pub struct MrgpStats {
     /// Number of stage-boundary probability guards that had to intervene
     /// (clamp negative round-off or renormalize non-unit mass).
     pub guard_trips: usize,
+    /// Worker threads used by the subordinated-chain row stage (including
+    /// the calling thread); 0 when no such stage ran (CTMC / single
+    /// marking), 1 for a strictly serial MRGP solve.
+    pub workers_used: usize,
+    /// Subordinated-chain rows solved on more than one worker.
+    pub parallel_rows: usize,
+    /// Times the row stage asked the worker pool for permits and was
+    /// granted fewer than requested (nested parallelism degrading towards
+    /// serial).
+    pub permit_starvations: usize,
 }
 
 /// Options controlling a steady-state solve.
@@ -85,6 +98,13 @@ pub struct SolveOptions {
     pub tolerance: f64,
     /// Iteration cap for iterative stationary solves.
     pub max_iterations: usize,
+    /// Worker budget for the subordinated-chain row stage. Every
+    /// deterministic marking's row is an independent transient solve, so
+    /// they fan out over threads drawing permits from the process-wide
+    /// [`WorkerPool`]; results are assembled in marking order and are
+    /// bit-identical to the serial path. [`Jobs::Fixed`]`(1)` forces the
+    /// historical strictly serial loop.
+    pub jobs: Jobs,
 }
 
 impl Default for SolveOptions {
@@ -94,6 +114,7 @@ impl Default for SolveOptions {
             backend: None,
             tolerance: DEFAULT_TOLERANCE,
             max_iterations: DEFAULT_MAX_ITERATIONS,
+            jobs: Jobs::Auto,
         }
     }
 }
@@ -306,9 +327,18 @@ fn solve_mrgp(
     let n = graph.tangible_count();
     let states = graph.states();
     stats.backend = options.backend.unwrap_or_else(|| stationary_backend_for(n));
+    // Each deterministic marking's row is an independent subordinated-CTMC
+    // solve — the expensive part of the method — so solve them all up front,
+    // possibly on several workers (see `solve_deterministic_rows`).
+    let det_markings: Vec<usize> = (0..n)
+        .filter(|&k| !states[k].deterministic.is_empty())
+        .collect();
+    let det_solved = solve_deterministic_rows(graph, &det_markings, options, stats)?;
+    let mut det_solved = det_solved.into_iter();
     // Embedded chain P (row-stochastic) and conversion factors C:
     // C[k][m] = expected time spent in marking m during a regeneration
-    // period that starts in marking k.
+    // period that starts in marking k. Assembled in marking order, so the
+    // result is bit-identical however the rows were computed.
     let mut emc = CsrBuilder::new(n, n);
     let mut conversion: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     for k in 0..n {
@@ -342,8 +372,9 @@ fn solve_mrgp(
             }
             conversion[k].push((k, 1.0 / total));
         } else {
-            options.budget.check("subordinated chain solve")?;
-            let (row, conv) = deterministic_row(graph, k, stats)?;
+            let (row, conv) = det_solved
+                .next()
+                .expect("one solved row per deterministic marking");
             for (to, p) in row {
                 emc.push(k, to, p);
             }
@@ -381,6 +412,119 @@ fn solve_mrgp(
         stats.guard_trips += 1;
     }
     Ok(SteadyState { probabilities: pi })
+}
+
+/// Solves the embedded-chain row of every marking in `markings` (each of
+/// which enables a deterministic transition), returning the results in the
+/// same order.
+///
+/// The rows are independent by construction — each builds and solves its own
+/// subordinated CTMC from immutable graph data — so when
+/// [`SolveOptions::jobs`] and the process-wide [`WorkerPool`] allow it they
+/// fan out over `std::thread::scope` workers claiming markings from a shared
+/// index. Each worker accumulates its own [`MrgpStats`]; the per-worker
+/// counters are merged with order-independent operations (sums and maxes),
+/// and the rows themselves are returned in marking order, so the caller sees
+/// results bit-identical to the serial loop.
+///
+/// On the first row error the workers stop claiming further markings
+/// (cancellation) and the lowest-index recorded error is returned. Budget
+/// checks run on the worker threads, one per claimed row, exactly like the
+/// serial path.
+fn solve_deterministic_rows(
+    graph: &TangibleReachGraph,
+    markings: &[usize],
+    options: &SolveOptions,
+    stats: &mut MrgpStats,
+) -> Result<Vec<RowAndConversion>> {
+    let serial = |stats: &mut MrgpStats| -> Result<Vec<RowAndConversion>> {
+        stats.workers_used = 1;
+        let mut rows = Vec::with_capacity(markings.len());
+        for &k in markings {
+            options.budget.check("subordinated chain solve")?;
+            rows.push(deterministic_row(graph, k, stats)?);
+        }
+        Ok(rows)
+    };
+    let pool = WorkerPool::global();
+    let desired = options
+        .jobs
+        .desired_workers(markings.len(), pool.capacity());
+    if desired <= 1 || markings.len() <= 1 {
+        return serial(stats);
+    }
+    let permits = pool.try_acquire(desired - 1);
+    if permits.count() < desired - 1 {
+        stats.permit_starvations += 1;
+    }
+    if permits.count() == 0 {
+        return serial(stats);
+    }
+    stats.workers_used = permits.count() + 1;
+    stats.parallel_rows = markings.len();
+    let next = AtomicUsize::new(0);
+    let cancel = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<RowAndConversion>>>> =
+        markings.iter().map(|_| Mutex::new(None)).collect();
+    let merged = Mutex::new(MrgpStats::default());
+    let work = || {
+        let mut local = MrgpStats::default();
+        loop {
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&k) = markings.get(idx) else {
+                break;
+            };
+            // A slot skipped after cancellation stays `None`; the error that
+            // triggered the cancellation is what the caller reports.
+            if cancel.load(Ordering::Relaxed) {
+                continue;
+            }
+            let row = options
+                .budget
+                .check("subordinated chain solve")
+                .map_err(MrgpError::from)
+                .and_then(|()| deterministic_row(graph, k, &mut local));
+            if row.is_err() {
+                cancel.store(true, Ordering::Relaxed);
+            }
+            *slots[idx].lock().expect("no panics while holding lock") = Some(row);
+        }
+        // Sums and maxes commute, so the merge order (worker completion
+        // order) cannot influence the final counters.
+        let mut m = merged.lock().expect("no panics while holding lock");
+        m.subordinated_chains += local.subordinated_chains;
+        m.total_subordinated_states += local.total_subordinated_states;
+        m.max_subordinated_states = m.max_subordinated_states.max(local.max_subordinated_states);
+        m.max_truncation_steps = m.max_truncation_steps.max(local.max_truncation_steps);
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..permits.count() {
+            scope.spawn(work);
+        }
+        work(); // the calling thread is worker 0 — it holds the implicit permit
+    });
+    drop(permits);
+    let local = merged.into_inner().expect("lock not poisoned");
+    stats.subordinated_chains += local.subordinated_chains;
+    stats.total_subordinated_states += local.total_subordinated_states;
+    stats.max_subordinated_states = stats
+        .max_subordinated_states
+        .max(local.max_subordinated_states);
+    stats.max_truncation_steps = stats.max_truncation_steps.max(local.max_truncation_steps);
+    let mut rows = Vec::with_capacity(markings.len());
+    for slot in slots {
+        match slot.into_inner().expect("lock not poisoned") {
+            Some(Ok(row)) => rows.push(row),
+            Some(Err(e)) => return Err(e),
+            // Cancelled before being solved: an error exists at some later
+            // slot (cancellation is only ever set by a failing row).
+            None => {}
+        }
+    }
+    if rows.len() != markings.len() {
+        unreachable!("cancelled slots imply a recorded error");
+    }
+    Ok(rows)
 }
 
 /// Computes the embedded-chain row and conversion factors for marking `k`,
@@ -693,6 +837,191 @@ mod tests {
             "pi = {:?}, expected pi[A] = {expected_a}",
             sol.probabilities()
         );
+    }
+
+    /// Serializes tests that exercise the process-global [`WorkerPool`], so
+    /// permit availability (and thus `workers_used`) is deterministic.
+    static POOL_TESTS: Mutex<()> = Mutex::new(());
+
+    fn pool_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        POOL_TESTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A net whose every tangible marking enables the always-on reset clock
+    /// (like the paper's rejuvenation clock): `tokens` drift A → B one at a
+    /// time, the clock flushes B back to A every `tau`. All `tokens + 1`
+    /// tangible markings are deterministic markings, so the row stage has
+    /// real fan-out to exercise.
+    fn drift_reset_net(tokens: u32) -> PetriNet {
+        let mut b = NetBuilder::new("driftreset");
+        let a = b.place("A", tokens);
+        let c = b.place("B", 0);
+        let clk = b.place("Clk", 1);
+        b.transition(
+            "drift",
+            TransitionKind::exponential(Expr::parse("0.7 * #A").unwrap()),
+        )
+        .unwrap()
+        .input(a, 1)
+        .output(c, 1);
+        b.transition("reset", TransitionKind::deterministic_delay(2.0))
+            .unwrap()
+            .input(clk, 1)
+            .output(clk, 1)
+            .input_expr(c, Expr::parse("#B").unwrap())
+            .output_expr(a, Expr::parse("#B").unwrap());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_rows_are_bit_identical_to_serial() {
+        let _lock = pool_test_lock();
+        let pool = WorkerPool::global();
+        pool.set_capacity(pool.capacity().max(8));
+        let net = drift_reset_net(5);
+        let graph = explore(&net, 1000).unwrap();
+        let serial_opts = SolveOptions {
+            jobs: Jobs::Fixed(1),
+            ..SolveOptions::default()
+        };
+        let (serial, serial_stats) = steady_state_with_options(&graph, &serial_opts).unwrap();
+        assert_eq!(serial_stats.method, SolveMethod::Mrgp);
+        assert_eq!(serial_stats.workers_used, 1);
+        assert_eq!(serial_stats.parallel_rows, 0);
+        assert_eq!(
+            serial_stats.subordinated_chains, 6,
+            "every marking is deterministic"
+        );
+        for jobs in [Jobs::Fixed(2), Jobs::Fixed(8), Jobs::Auto] {
+            let opts = SolveOptions {
+                jobs,
+                ..SolveOptions::default()
+            };
+            let (parallel, stats) = steady_state_with_options(&graph, &opts).unwrap();
+            let identical = serial
+                .probabilities()
+                .iter()
+                .zip(parallel.probabilities())
+                .all(|(s, p)| s.to_bits() == p.to_bits());
+            assert!(
+                identical,
+                "jobs = {jobs}: {:?} != {:?}",
+                parallel.probabilities(),
+                serial.probabilities()
+            );
+            // The lock serializes pool users and capacity >= 8, so permits
+            // were available and the row stage really ran multi-threaded.
+            assert!(stats.workers_used >= 2, "jobs = {jobs}: {stats:?}");
+            assert_eq!(stats.parallel_rows, 6, "jobs = {jobs}");
+            // Per-worker stat merges reproduce the serial counters exactly.
+            assert_eq!(stats.subordinated_chains, serial_stats.subordinated_chains);
+            assert_eq!(
+                stats.total_subordinated_states,
+                serial_stats.total_subordinated_states
+            );
+            assert_eq!(
+                stats.max_subordinated_states,
+                serial_stats.max_subordinated_states
+            );
+            assert_eq!(
+                stats.max_truncation_steps,
+                serial_stats.max_truncation_steps
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_rows_never_exceed_the_pool_budget() {
+        let _lock = pool_test_lock();
+        let pool = WorkerPool::global();
+        pool.set_capacity(4);
+        pool.reset_peak();
+        let net = drift_reset_net(5);
+        let graph = explore(&net, 1000).unwrap();
+        let opts = SolveOptions {
+            jobs: Jobs::Fixed(16), // asks for far more than the pool's budget
+            ..SolveOptions::default()
+        };
+        let (_, stats) = steady_state_with_options(&graph, &opts).unwrap();
+        assert!(stats.workers_used <= 4, "{stats:?}");
+        assert_eq!(stats.permit_starvations, 1, "the over-ask was cut short");
+        assert!(
+            pool.peak() < pool.capacity(),
+            "peak permit usage {} exceeds the cap {}",
+            pool.peak(),
+            pool.capacity()
+        );
+        pool.set_capacity(pool.capacity().max(8));
+    }
+
+    #[test]
+    fn expired_budget_aborts_parallel_rows_cleanly() {
+        let _lock = pool_test_lock();
+        let pool = WorkerPool::global();
+        pool.set_capacity(pool.capacity().max(4));
+        let net = drift_reset_net(5);
+        let graph = explore(&net, 1000).unwrap();
+        let opts = SolveOptions {
+            jobs: Jobs::Fixed(4),
+            budget: SolveBudget::with_wall_clock_ms(0),
+            ..SolveOptions::default()
+        };
+        // The per-row budget checks run on the worker threads; the expired
+        // deadline must surface as a typed error, not a panic or a hang.
+        assert!(matches!(
+            steady_state_with_options(&graph, &opts),
+            Err(MrgpError::Numerics(
+                nvp_numerics::NumericsError::BudgetExceeded { .. }
+            ))
+        ));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_faults_on_worker_threads_abort_cleanly() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+        let _lock = pool_test_lock();
+        let pool = WorkerPool::global();
+        pool.set_capacity(pool.capacity().max(4));
+        let net = drift_reset_net(5);
+        let graph = explore(&net, 1000).unwrap();
+        let opts = SolveOptions {
+            jobs: Jobs::Fixed(4),
+            ..SolveOptions::default()
+        };
+        let (healthy, _) = steady_state_with_options(&graph, &opts).unwrap();
+        // The SubordinatedTransient site fires inside the row solves, i.e.
+        // on the worker threads. A convergence fault cancels the remaining
+        // rows and surfaces as a typed error...
+        {
+            let _guard = arm(FaultPlan::new(
+                Site::SubordinatedTransient,
+                FaultMode::ConvergenceFailure,
+            ));
+            let err = steady_state_with_options(&graph, &opts).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    MrgpError::Numerics(nvp_numerics::NumericsError::NoConvergence { .. })
+                ),
+                "{err:?}"
+            );
+        }
+        // ...and a NaN-poisoned transient vector is caught downstream
+        // instead of leaking into the steady state.
+        {
+            let _guard = arm(FaultPlan::new(
+                Site::SubordinatedTransient,
+                FaultMode::NanPoison,
+            ));
+            let result = steady_state_with_options(&graph, &opts);
+            assert!(result.is_err(), "poisoned solve succeeded: {result:?}");
+        }
+        // Disarmed again, the same options answer the healthy result.
+        let (after, _) = steady_state_with_options(&graph, &opts).unwrap();
+        assert_eq!(healthy, after);
     }
 
     #[test]

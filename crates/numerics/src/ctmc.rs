@@ -256,6 +256,23 @@ impl Ctmc {
     ///   `epsilon` is out of range.
     pub fn transient(&self, pi0: &[f64], t: f64, epsilon: f64) -> Result<Vec<f64>> {
         self.check_transient_args(pi0, t)?;
+        #[cfg(feature = "fault-inject")]
+        let poison = match crate::fault::intercept(crate::fault::Site::SubordinatedTransient) {
+            Some(crate::fault::FaultMode::ConvergenceFailure) => {
+                return Err(NumericsError::NoConvergence {
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                });
+            }
+            Some(crate::fault::FaultMode::IterationExhaustion) => {
+                return Err(NumericsError::NoConvergence {
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                });
+            }
+            Some(crate::fault::FaultMode::NanPoison) => true,
+            None => false,
+        };
         if t == 0.0 {
             return Ok(pi0.to_vec());
         }
@@ -269,6 +286,12 @@ impl Ctmc {
             }
             for (r, v) in result.iter_mut().zip(&power) {
                 *r += w * v;
+            }
+        }
+        #[cfg(feature = "fault-inject")]
+        if poison {
+            if let Some(first) = result.first_mut() {
+                *first = f64::NAN;
             }
         }
         Ok(result)

@@ -50,6 +50,9 @@ pub enum Site {
     DenseStationary,
     /// Damped power iteration (`sparse::stationary_power`).
     PowerIteration,
+    /// Uniformized transient solves (`ctmc::Ctmc::transient`) — the
+    /// subordinated-chain work the MRGP row stage runs on worker threads.
+    SubordinatedTransient,
     /// Every interceptable site.
     Any,
 }
@@ -139,8 +142,9 @@ pub fn arm(plan: FaultPlan) -> FaultGuard {
 /// across a process boundary.
 ///
 /// Format: `mode@site[:skip[:hits]]` with modes `noconverge`, `nan`,
-/// `exhaust` and sites `dense`, `power`, `any`; `skip` and `hits` default to
-/// `0` and unlimited. Examples: `noconverge@any`, `nan@dense:1:2`.
+/// `exhaust` and sites `dense`, `power`, `transient`, `any`; `skip` and
+/// `hits` default to `0` and unlimited. Examples: `noconverge@any`,
+/// `nan@dense:1:2`.
 ///
 /// Returns `None` (arming nothing) when the variable is unset or malformed.
 pub fn arm_from_env() -> Option<FaultGuard> {
@@ -161,6 +165,7 @@ fn parse_plan(spec: &str) -> Option<FaultPlan> {
     let site = match parts.next()? {
         "dense" => Site::DenseStationary,
         "power" => Site::PowerIteration,
+        "transient" => Site::SubordinatedTransient,
         "any" => Site::Any,
         _ => return None,
     };
@@ -263,6 +268,13 @@ mod tests {
         assert_eq!(
             parse_plan("exhaust@power:3"),
             Some(FaultPlan::new(Site::PowerIteration, FaultMode::IterationExhaustion).after(3))
+        );
+        assert_eq!(
+            parse_plan("nan@transient"),
+            Some(FaultPlan::new(
+                Site::SubordinatedTransient,
+                FaultMode::NanPoison
+            ))
         );
         assert_eq!(parse_plan("bogus@any"), None);
         assert_eq!(parse_plan("nan@nowhere"), None);

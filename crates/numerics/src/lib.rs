@@ -13,7 +13,10 @@
 //!   uniformization,
 //! * [`optim`] — scalar root finding (bisection, Brent) and golden-section
 //!   minimization used for the paper's "optimal rejuvenation interval" and
-//!   crossover analyses.
+//!   crossover analyses,
+//! * [`pool`] — the process-wide worker budget that the parallel sweep
+//!   (`nvp-core`) and the parallel MRGP row solver (`nvp-mrgp`) both draw
+//!   permits from, so nested parallelism never oversubscribes the machine.
 //!
 //! The state spaces arising from the paper's models are small (tens to a few
 //! thousand markings), so the solvers favour robustness and exactness over
@@ -54,10 +57,12 @@ pub mod fault;
 pub mod guard;
 pub mod optim;
 pub mod poisson;
+pub mod pool;
 pub mod sparse;
 
 pub use budget::SolveBudget;
 pub use error::NumericsError;
+pub use pool::{Jobs, WorkerPool};
 
 /// Convenient result alias for fallible numerics operations.
 pub type Result<T> = std::result::Result<T, NumericsError>;

@@ -1,0 +1,347 @@
+//! A process-wide worker budget for nested parallelism.
+//!
+//! Two layers of this workspace parallelize independently: the analysis
+//! engine fans a sweep's grid points out over threads, and the MRGP solver
+//! fans the subordinated-chain rows of a single solve out over threads.
+//! Run naively, a parallel sweep of parallel solves would spawn
+//! `cores × cores` workers and thrash. Instead, both layers draw *permits*
+//! from one [`WorkerPool`] sized to the machine (or to `NVP_JOBS`): a layer
+//! that gets no permits simply runs on its calling thread, so nested
+//! parallelism degrades to serial instead of oversubscribing.
+//!
+//! The accounting convention: a permit stands for one **extra** worker
+//! thread beyond the calling thread. A pool of capacity `c` therefore hands
+//! out at most `c - 1` permits, keeping the total number of working threads
+//! at or below `c` no matter how the layers nest (the outer layer's workers
+//! each hold a permit; the innermost calling thread is the implicit
+//! `+1`).
+//!
+//! Acquisition is non-blocking by design ([`WorkerPool::try_acquire`]
+//! grants *up to* the requested count, possibly zero): a solver thread that
+//! waited for permits held by its own parent layer would deadlock.
+//!
+//! # Example
+//!
+//! ```
+//! use nvp_numerics::pool::WorkerPool;
+//!
+//! let pool = WorkerPool::new(4);
+//! let a = pool.try_acquire(2); // granted 2
+//! let b = pool.try_acquire(5); // only 1 left (capacity 4 => 3 permits)
+//! assert_eq!(a.count(), 2);
+//! assert_eq!(b.count(), 1);
+//! drop(a);
+//! assert_eq!(pool.available(), 2);
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// How many worker threads a parallel stage may use, including the calling
+/// thread.
+///
+/// `Auto` defers to the [`WorkerPool`]'s capacity; `Fixed(n)` asks for
+/// exactly `n` (still subject to permit availability, so nesting can only
+/// shrink it). `Fixed(1)` — or `Auto` on a one-permit pool — is the strict
+/// serial path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Jobs {
+    /// Use as many workers as the pool allows.
+    #[default]
+    Auto,
+    /// Use at most this many workers (≥ 1; the calling thread counts).
+    Fixed(usize),
+}
+
+impl Jobs {
+    /// Parses a `--jobs` / `NVP_JOBS` style value: a positive integer, or
+    /// `auto`. Returns `None` for anything else (including `0`, which would
+    /// mean "no workers at all" — the calling thread always works).
+    pub fn parse(s: &str) -> Option<Jobs> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Some(Jobs::Auto);
+        }
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(Jobs::Fixed(n)),
+            _ => None,
+        }
+    }
+
+    /// The number of workers this knob asks for when there are `items`
+    /// independent pieces of work and the pool's capacity is `capacity`:
+    /// never more than one worker per item, never more than the cap.
+    pub fn desired_workers(self, items: usize, capacity: usize) -> usize {
+        let want = match self {
+            Jobs::Auto => capacity,
+            Jobs::Fixed(n) => n.max(1),
+        };
+        want.min(items).max(1)
+    }
+}
+
+impl std::fmt::Display for Jobs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Jobs::Auto => f.write_str("auto"),
+            Jobs::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A shared budget of worker permits (see the [module docs](self)).
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// Total worker budget including the implicit calling thread; at most
+    /// `capacity - 1` permits are ever outstanding.
+    capacity: AtomicUsize,
+    /// Permits currently held.
+    in_use: AtomicUsize,
+    /// High-water mark of `in_use` since the last [`WorkerPool::reset_peak`].
+    peak: AtomicUsize,
+    /// Requests granted fewer permits than they asked for.
+    starvations: AtomicU64,
+}
+
+impl WorkerPool {
+    /// A pool with a total worker budget of `capacity` threads (clamped to
+    /// at least 1 — the calling thread always exists).
+    pub fn new(capacity: usize) -> Self {
+        WorkerPool {
+            capacity: AtomicUsize::new(capacity.max(1)),
+            in_use: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            starvations: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide pool both parallel layers draw from. Sized on first
+    /// use from the `NVP_JOBS` environment variable (a positive integer or
+    /// `auto`) or, when unset or malformed, from
+    /// [`std::thread::available_parallelism`].
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let capacity = std::env::var("NVP_JOBS")
+                .ok()
+                .and_then(|v| match Jobs::parse(&v) {
+                    Some(Jobs::Fixed(n)) => Some(n),
+                    _ => None,
+                })
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+            WorkerPool::new(capacity)
+        })
+    }
+
+    /// Total worker budget (including the implicit calling thread).
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Re-sizes the budget (clamped to ≥ 1). Outstanding permits are
+    /// unaffected; shrinking below the current usage only stops *further*
+    /// grants until permits are released.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity.max(1), Ordering::Relaxed);
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> usize {
+        let cap = self.capacity().saturating_sub(1);
+        cap.saturating_sub(self.in_use.load(Ordering::Relaxed))
+    }
+
+    /// Permits currently held.
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently held permits since the last
+    /// [`WorkerPool::reset_peak`]. Peak `p` means at most `p + 1` threads
+    /// were ever working at once.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current usage.
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.in_use.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Requests granted fewer permits than asked (lifetime total).
+    pub fn starvations(&self) -> u64 {
+        self.starvations.load(Ordering::Relaxed)
+    }
+
+    /// Acquires up to `want` permits without blocking; the grant may be
+    /// empty. Dropping the returned [`Permits`] releases them. A grant
+    /// smaller than `want` (with `want > 0`) counts as a starvation.
+    pub fn try_acquire(&self, want: usize) -> Permits<'_> {
+        let mut granted = 0;
+        if want > 0 {
+            let max_permits = self.capacity().saturating_sub(1);
+            let mut current = self.in_use.load(Ordering::Relaxed);
+            loop {
+                let free = max_permits.saturating_sub(current);
+                let take = want.min(free);
+                if take == 0 {
+                    break;
+                }
+                match self.in_use.compare_exchange_weak(
+                    current,
+                    current + take,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        granted = take;
+                        self.peak.fetch_max(current + take, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(actual) => current = actual,
+                }
+            }
+            if granted < want {
+                self.starvations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Permits {
+            pool: self,
+            count: granted,
+        }
+    }
+}
+
+/// A batch of worker permits held against a [`WorkerPool`]; released on
+/// drop.
+#[derive(Debug)]
+#[must_use = "permits are released as soon as this is dropped"]
+pub struct Permits<'a> {
+    pool: &'a WorkerPool,
+    count: usize,
+}
+
+impl Permits<'_> {
+    /// Number of permits actually granted (may be less than requested,
+    /// including zero).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl Drop for Permits<'_> {
+    fn drop(&mut self) {
+        if self.count > 0 {
+            self.pool.in_use.fetch_sub(self.count, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_parse_accepts_auto_and_positive_integers() {
+        assert_eq!(Jobs::parse("auto"), Some(Jobs::Auto));
+        assert_eq!(Jobs::parse("AUTO"), Some(Jobs::Auto));
+        assert_eq!(Jobs::parse("1"), Some(Jobs::Fixed(1)));
+        assert_eq!(Jobs::parse("16"), Some(Jobs::Fixed(16)));
+        assert_eq!(Jobs::parse("0"), None);
+        assert_eq!(Jobs::parse("-2"), None);
+        assert_eq!(Jobs::parse("many"), None);
+        assert_eq!(Jobs::parse(""), None);
+    }
+
+    #[test]
+    fn desired_workers_is_bounded_by_items_and_capacity() {
+        assert_eq!(Jobs::Auto.desired_workers(100, 8), 8);
+        assert_eq!(Jobs::Auto.desired_workers(3, 8), 3);
+        assert_eq!(Jobs::Fixed(4).desired_workers(100, 8), 4);
+        assert_eq!(Jobs::Fixed(12).desired_workers(100, 8), 12);
+        assert_eq!(Jobs::Fixed(1).desired_workers(100, 8), 1);
+        // Never zero: the calling thread always works.
+        assert_eq!(Jobs::Auto.desired_workers(0, 8), 1);
+        assert_eq!(Jobs::Fixed(3).desired_workers(0, 1), 1);
+    }
+
+    #[test]
+    fn permits_never_exceed_capacity_minus_one() {
+        let pool = WorkerPool::new(4);
+        let a = pool.try_acquire(10);
+        assert_eq!(a.count(), 3, "capacity 4 leaves 3 permits");
+        let b = pool.try_acquire(1);
+        assert_eq!(b.count(), 0, "pool exhausted");
+        drop(a);
+        assert_eq!(pool.available(), 3);
+        let c = pool.try_acquire(2);
+        assert_eq!(c.count(), 2);
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn capacity_one_pool_grants_nothing() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.try_acquire(8).count(), 0);
+        assert_eq!(pool.available(), 0);
+        // Capacity 0 is clamped to 1.
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.capacity(), 1);
+    }
+
+    #[test]
+    fn peak_tracks_the_high_water_mark() {
+        let pool = WorkerPool::new(5);
+        let a = pool.try_acquire(2);
+        assert_eq!(pool.peak(), 2);
+        let b = pool.try_acquire(2);
+        assert_eq!(pool.peak(), 4);
+        drop(b);
+        drop(a);
+        assert_eq!(pool.peak(), 4, "peak survives release");
+        pool.reset_peak();
+        assert_eq!(pool.peak(), 0);
+        let _c = pool.try_acquire(1);
+        assert_eq!(pool.peak(), 1);
+    }
+
+    #[test]
+    fn short_grants_count_as_starvations() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.starvations(), 0);
+        let a = pool.try_acquire(2); // exact: no starvation
+        assert_eq!(pool.starvations(), 0);
+        let b = pool.try_acquire(2); // nothing left
+        assert_eq!(b.count(), 0);
+        assert_eq!(pool.starvations(), 1);
+        drop(a);
+        let c = pool.try_acquire(5); // partial
+        assert_eq!(c.count(), 2);
+        assert_eq!(pool.starvations(), 2);
+        // Asking for nothing is not starvation.
+        let d = pool.try_acquire(0);
+        assert_eq!(d.count(), 0);
+        assert_eq!(pool.starvations(), 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_blocks_new_grants_only() {
+        let pool = WorkerPool::new(4);
+        let a = pool.try_acquire(3);
+        assert_eq!(a.count(), 3);
+        pool.set_capacity(2);
+        assert_eq!(pool.try_acquire(1).count(), 0, "over the new cap");
+        drop(a);
+        assert_eq!(pool.try_acquire(3).count(), 1, "new cap applies");
+    }
+
+    #[test]
+    fn global_pool_has_at_least_one_worker() {
+        let pool = WorkerPool::global();
+        assert!(pool.capacity() >= 1);
+    }
+}
