@@ -1,0 +1,371 @@
+//! Crash-safe sweep checkpoint journal.
+//!
+//! `nvp sweep --out FILE` records every completed grid point in a sidecar
+//! journal (`FILE.journal`) so a killed run can be resumed with `--resume`
+//! without recomputing finished work. The format is deliberately simple —
+//! versioned, line-oriented, append-only text, no dependencies:
+//!
+//! ```text
+//! nvp-sweep-journal v1 fp=<16-hex fingerprint> steps=<grid size>
+//! p <index> <x as f64 bits, 16 hex> <value as f64 bits, 16 hex> <ok|degraded>
+//! ```
+//!
+//! Crash-consistency rules:
+//!
+//! * The header is written to a temporary sibling file and renamed into
+//!   place, so a journal either exists with a valid header or not at all.
+//! * Each point line is flushed and fsync'd before the sweep moves on; a
+//!   point is journaled only *after* its value exists.
+//! * On resume, a torn tail (a partial final line from a crash mid-append)
+//!   is truncated away, not treated as corruption of the whole journal.
+//! * Grid values are stored as exact `f64` bit patterns, so a resumed run
+//!   reproduces the uninterrupted run's CSV byte for byte.
+//!
+//! The fingerprint in the header hashes every input that determines the
+//! sweep's output (parameters, policy, axis, bounds, step count, state-space
+//! cap); `--resume` against a journal from a different invocation is a hard
+//! error rather than a silently mixed result.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic token opening every journal header.
+const MAGIC: &str = "nvp-sweep-journal";
+
+/// Journal format version; bumped on any incompatible layout change.
+const VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash of a run description — the journal's fingerprint.
+/// Stable across runs and platforms; collisions are irrelevant at the "did
+/// you point `--resume` at the wrong journal" scale this guards against.
+pub fn fingerprint(description: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in description.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One completed grid point as recorded in (or replayed from) a journal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalPoint {
+    /// Position in the sweep grid.
+    pub index: usize,
+    /// Grid value (the swept parameter).
+    pub x: f64,
+    /// Computed expected reliability at `x`.
+    pub value: f64,
+    /// Whether the value came from a fallback (degraded) solve.
+    pub degraded: bool,
+}
+
+impl JournalPoint {
+    fn to_line(self) -> String {
+        format!(
+            "p {} {:016x} {:016x} {}\n",
+            self.index,
+            self.x.to_bits(),
+            self.value.to_bits(),
+            if self.degraded { "degraded" } else { "ok" }
+        )
+    }
+
+    fn parse(line: &str) -> Option<JournalPoint> {
+        let mut fields = line.split(' ');
+        if fields.next()? != "p" {
+            return None;
+        }
+        let index: usize = fields.next()?.parse().ok()?;
+        let x = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+        let value = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+        let degraded = match fields.next()? {
+            "ok" => false,
+            "degraded" => true,
+            _ => return None,
+        };
+        if fields.next().is_some() {
+            return None;
+        }
+        Some(JournalPoint {
+            index,
+            x,
+            value,
+            degraded,
+        })
+    }
+}
+
+fn header_line(fingerprint: u64, steps: usize) -> String {
+    format!("{MAGIC} v{VERSION} fp={fingerprint:016x} steps={steps}\n")
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// An open, append-mode sweep journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any previous one)
+    /// whose header is written atomically: a temporary sibling file is
+    /// populated, synced, and renamed into place.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating, writing or renaming the file.
+    pub fn create(path: &Path, fingerprint: u64, steps: usize) -> io::Result<Journal> {
+        write_atomic(path, header_line(fingerprint, steps).as_bytes())?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Journal { file })
+    }
+
+    /// Opens an existing journal for resumption: validates the header
+    /// against this run's `fingerprint` and `steps`, replays every complete
+    /// point line, truncates a torn tail (a partial or unparsable final
+    /// line left by a crash mid-append), and reopens the file for
+    /// appending.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] when the header is
+    /// missing, from an incompatible version, or fingerprinted for a
+    /// different sweep.
+    pub fn resume(
+        path: &Path,
+        fingerprint: u64,
+        steps: usize,
+    ) -> io::Result<(Journal, Vec<JournalPoint>)> {
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        let expected_header = header_line(fingerprint, steps);
+        let Some(header_end) = text.find('\n') else {
+            return Err(invalid(format!(
+                "journal `{}` has no complete header line; delete it to start over",
+                path.display()
+            )));
+        };
+        let header = &text[..=header_end];
+        if header != expected_header {
+            return Err(invalid(format!(
+                "journal `{}` does not match this sweep (its header is `{}`, this run \
+                 expects `{}`); it records a different invocation — delete it or change \
+                 --out to start over",
+                path.display(),
+                header.trim_end(),
+                expected_header.trim_end(),
+            )));
+        }
+        let mut points = Vec::new();
+        // Byte offset of the end of the last intact line; everything after
+        // it is a torn tail to truncate away.
+        let mut keep = header_end + 1;
+        for line in text[keep..].split_inclusive('\n') {
+            if !line.ends_with('\n') {
+                break; // partial final line: the append was interrupted
+            }
+            let Some(point) = JournalPoint::parse(line.trim_end_matches('\n')) else {
+                break; // unparsable line: treat it and the rest as torn
+            };
+            points.push(point);
+            keep += line.len();
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        if keep < text.len() {
+            file.set_len(keep as u64)?;
+            file.sync_data()?;
+        }
+        Ok((Journal { file }, points))
+    }
+
+    /// Appends one completed point and forces it to stable storage before
+    /// returning — after `append` succeeds, a crash cannot lose the point.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing or syncing.
+    pub fn append(&mut self, point: &JournalPoint) -> io::Result<()> {
+        self.file.write_all(point.to_line().as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// Writes `contents` to `path` atomically: a temporary sibling file is
+/// written, synced, and renamed over `path`, so readers observe either the
+/// old file or the complete new one — never a torn write. The parent
+/// directory is fsync'd best-effort so the rename itself survives a crash.
+///
+/// # Errors
+///
+/// I/O errors creating, writing, syncing or renaming the temporary file.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .ok_or_else(|| invalid(format!("`{}` has no file name to write to", path.display())))?;
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    let mut file = File::create(&tmp)?;
+    file.write_all(contents)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        // Durability of the rename, not correctness, depends on this; some
+        // filesystems refuse directory fsync, so failures are ignored.
+        if let Ok(dir) = File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nvp-journal-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn point(index: usize, x: f64, value: f64, degraded: bool) -> JournalPoint {
+        JournalPoint {
+            index,
+            x,
+            value,
+            degraded,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        assert_eq!(fingerprint(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint("a|b|c"), fingerprint("a|b|c"));
+        assert_ne!(fingerprint("a|b|c"), fingerprint("a|b|d"));
+    }
+
+    #[test]
+    fn points_round_trip_exactly_including_awkward_floats() {
+        for p in [
+            point(0, 0.1 + 0.2, 0.938_174_255, false),
+            point(17, -0.0, f64::MIN_POSITIVE, true),
+            point(usize::MAX, 1e300, 5e-324, false),
+        ] {
+            let line = p.to_line();
+            let parsed = JournalPoint::parse(line.trim_end()).unwrap();
+            assert_eq!(parsed.index, p.index);
+            assert_eq!(parsed.x.to_bits(), p.x.to_bits());
+            assert_eq!(parsed.value.to_bits(), p.value.to_bits());
+            assert_eq!(parsed.degraded, p.degraded);
+        }
+        for bad in [
+            "q 0 0 0 ok",
+            "p x 0 0 ok",
+            "p 0 0 0 maybe",
+            "p 0 0 0 ok extra",
+            "p 0 0",
+            "",
+        ] {
+            assert!(JournalPoint::parse(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn create_append_resume_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("sweep.csv.journal");
+        let fp = fingerprint("demo");
+        let mut journal = Journal::create(&path, fp, 3).unwrap();
+        journal.append(&point(0, 300.0, 0.9, false)).unwrap();
+        journal.append(&point(2, 900.0, 0.8, true)).unwrap();
+        drop(journal);
+        let (_journal, points) = Journal::resume(&path, fp, 3).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0], point(0, 300.0, 0.9, false));
+        assert_eq!(points[1], point(2, 900.0, 0.8, true));
+    }
+
+    #[test]
+    fn a_torn_tail_is_truncated_and_appending_continues_cleanly() {
+        let dir = temp_dir("torn");
+        let path = dir.join("sweep.csv.journal");
+        let fp = fingerprint("demo");
+        let mut journal = Journal::create(&path, fp, 4).unwrap();
+        journal.append(&point(0, 1.0, 0.5, false)).unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: half a point line, no newline.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"p 1 3ff0000").unwrap();
+        drop(file);
+        let (mut journal, points) = Journal::resume(&path, fp, 4).unwrap();
+        assert_eq!(points, vec![point(0, 1.0, 0.5, false)]);
+        journal.append(&point(1, 2.0, 0.25, false)).unwrap();
+        drop(journal);
+        // The torn bytes are gone; both points replay.
+        let (_journal, points) = Journal::resume(&path, fp, 4).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1], point(1, 2.0, 0.25, false));
+    }
+
+    #[test]
+    fn garbage_after_valid_points_is_dropped_like_a_torn_tail() {
+        let dir = temp_dir("garbage");
+        let path = dir.join("sweep.csv.journal");
+        let fp = fingerprint("demo");
+        let mut journal = Journal::create(&path, fp, 2).unwrap();
+        journal.append(&point(0, 1.0, 0.5, false)).unwrap();
+        drop(journal);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"not a point line\np 1 0 0 ok\n").unwrap();
+        drop(file);
+        // Everything from the first bad line on is distrusted.
+        let (_journal, points) = Journal::resume(&path, fp, 2).unwrap();
+        assert_eq!(points, vec![point(0, 1.0, 0.5, false)]);
+    }
+
+    #[test]
+    fn mismatched_runs_are_rejected_with_a_clear_error() {
+        let dir = temp_dir("mismatch");
+        let path = dir.join("sweep.csv.journal");
+        let fp = fingerprint("run A");
+        drop(Journal::create(&path, fp, 3).unwrap());
+        for (other_fp, steps) in [(fingerprint("run B"), 3), (fp, 4)] {
+            let err = Journal::resume(&path, other_fp, steps).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("does not match"), "{err}");
+        }
+        // An empty file (crash before the rename? someone touched it) is
+        // rejected, not silently treated as complete.
+        std::fs::write(&path, "").unwrap();
+        let err = Journal::resume(&path, fp, 3).unwrap_err();
+        assert!(err.to_string().contains("no complete header"), "{err}");
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents_and_leaves_no_temp_file() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("out.csv");
+        write_atomic(&path, b"first\n").unwrap();
+        write_atomic(&path, b"second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+}

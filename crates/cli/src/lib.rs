@@ -6,6 +6,7 @@
 //! ```text
 //! nvp analyze [PARAM OPTIONS] [--matrix] [--sensitivities] [--states N]
 //! nvp sweep --axis AXIS --from X --to Y --steps N [PARAM OPTIONS]
+//!           [--out FILE [--resume]] [--retries N] [--point-deadline-ms MS]
 //! nvp solve FILE.dspn [--reward EXPR] [--max-markings N]
 //! nvp simulate FILE.dspn --reward EXPR [--horizon T] [--seed S]
 //! nvp dot FILE.dspn [--reach]
@@ -22,8 +23,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
+
 use nvp_core::analysis::{self, ParamAxis, SolverBackend};
-use nvp_core::engine::AnalysisEngine;
+use nvp_core::engine::{AnalysisEngine, SweepPointRecord};
 use nvp_core::params::SystemParams;
 use nvp_core::reliability::ReliabilitySource;
 use nvp_core::report::{render_with_on, ReportOptions};
@@ -96,14 +99,25 @@ USAGE:
       Analyze a perception system and print a report.
   nvp sweep --axis AXIS --from X --to Y --steps N [PARAMS] [--stats]
             [--budget-ms MS] [--max-markings N] [--jobs N|auto]
-      Print a CSV sweep of E[R] over one parameter axis (N >= 2 steps).
+            [--out FILE [--resume]] [--retries N] [--point-deadline-ms MS]
+      Print a CSV sweep of E[R] over one parameter axis (N >= 2 steps,
+      --from < --to, both finite).
       AXIS: gamma | mttc | mttf | mttr | alpha | p | pprime
       --stats appends solver statistics (state-space size, subordinated
-      chains, chain-cache hits, fallbacks, per-stage times) to either
-      command. --budget-ms caps the wall-clock time of each uncached solve;
-      --max-markings caps state-space exploration. --jobs sets the worker
-      budget shared by the parallel sweep and the MRGP row solver (default:
-      NVP_JOBS or the number of cores; output is identical at any level).
+      chains, chain-cache hits, fallbacks, supervision counters, per-stage
+      times) to either command. --budget-ms caps the wall-clock time of
+      each uncached solve; --max-markings caps state-space exploration.
+      --jobs sets the worker budget shared by the parallel sweep and the
+      MRGP row solver (default: NVP_JOBS or the number of cores; output is
+      identical at any level).
+      --out FILE writes the CSV atomically to FILE and checkpoints every
+      completed grid point in FILE.journal (fsync'd per point); after a
+      crash or kill, rerunning with --resume replays the journal and solves
+      only the missing points — the final CSV is byte-identical to an
+      uninterrupted run. --retries N retries a grid point after a caught
+      worker panic or watchdog cancellation (default 1);
+      --point-deadline-ms arms a watchdog that cancels and retries any
+      point overstaying its deadline.
       If the primary solver fails, analyze/sweep fall back to an alternate
       backend and then to Monte Carlo; a degraded (fallback) result prints a
       WARNING and the process exits with code 2 instead of 0.
@@ -354,6 +368,10 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut budget_ms = None;
     let mut max_markings = None;
     let mut jobs = Jobs::Auto;
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut retries = None;
+    let mut point_deadline_ms = None;
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
         match flag {
@@ -365,6 +383,10 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             "--budget-ms" => budget_ms = Some(cursor.value_u64(flag)?),
             "--max-markings" => max_markings = Some(cursor.value_usize(flag)?),
             "--jobs" => jobs = parse_jobs(cursor.value(flag)?)?,
+            "--out" => out_path = Some(cursor.value(flag)?.into()),
+            "--resume" => resume = true,
+            "--retries" => retries = Some(cursor.value_u32(flag)?),
+            "--point-deadline-ms" => point_deadline_ms = Some(cursor.value_u64(flag)?),
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for sweep"),
@@ -377,6 +399,21 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             message: "sweep requires --axis, --from and --to".into(),
         });
     };
+    for (flag, bound) in [("--from", from), ("--to", to)] {
+        if !bound.is_finite() {
+            return Err(CliError {
+                message: format!("sweep bound `{flag}` must be finite, got {bound}"),
+            });
+        }
+    }
+    if from >= to {
+        return Err(CliError {
+            message: format!(
+                "sweep requires an ascending range `--from < --to`; got --from {from} \
+                 >= --to {to}"
+            ),
+        });
+    }
     if steps < 2 {
         return Err(CliError {
             message: format!(
@@ -384,23 +421,152 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             ),
         });
     }
+    if resume && out_path.is_none() {
+        return Err(CliError {
+            message: "--resume requires --out FILE (the journal lives next to the CSV)".into(),
+        });
+    }
     let grid = analysis::linspace(from, to, steps);
-    let engine = resilient_engine(budget_ms, jobs);
+    let mut engine = resilient_engine(budget_ms, jobs);
+    if let Some(n) = retries {
+        engine = engine.with_retries(n);
+    }
+    if let Some(ms) = point_deadline_ms {
+        engine = engine.with_point_deadline_ms(ms);
+    }
     let backend = max_markings.map_or(SolverBackend::Auto, SolverBackend::Budget);
-    let points = engine.sweep_parallel_with(&params, axis, &grid, policy, backend)?;
-    writeln!(out, "{},expected_reliability", axis.label())?;
-    for (x, r) in points {
-        writeln!(out, "{x},{r}")?;
+    let (points, replayed_degraded) = match &out_path {
+        Some(path) => {
+            // Everything that determines the sweep's output goes into the
+            // journal fingerprint; `--resume` against a journal recording a
+            // different invocation must fail, not mix results.
+            let fp = journal::fingerprint(&format!(
+                "{params:?}|{policy:?}|{axis:?}|{:016x}|{:016x}|{steps}|{max_markings:?}",
+                from.to_bits(),
+                to.to_bits(),
+            ));
+            sweep_journaled(
+                &engine, &params, axis, &grid, policy, backend, path, fp, resume,
+            )?
+        }
+        None => (
+            engine.sweep_parallel_with(&params, axis, &grid, policy, backend)?,
+            false,
+        ),
+    };
+    let mut csv = format!("{},expected_reliability\n", axis.label());
+    for (x, r) in &points {
+        csv.push_str(&format!("{x},{r}\n"));
+    }
+    match &out_path {
+        Some(path) => {
+            journal::write_atomic(path, csv.as_bytes()).map_err(|e| CliError {
+                message: format!("cannot write `{}`: {e}", path.display()),
+            })?;
+            writeln!(
+                out,
+                "wrote {} ({} points, {} resumed from journal)",
+                path.display(),
+                points.len(),
+                engine.stats().resume_hits,
+            )?;
+        }
+        None => write!(out, "{csv}")?,
     }
     if stats {
         writeln!(out, "\nsolver statistics:")?;
         writeln!(out, "{}", engine.stats())?;
     }
-    Ok(if engine.stats().degraded_solutions > 0 {
-        RunStatus::Degraded
+    Ok(
+        if engine.stats().degraded_solutions > 0 || replayed_degraded {
+            RunStatus::Degraded
+        } else {
+            RunStatus::Success
+        },
+    )
+}
+
+/// The checkpointed execution path behind `nvp sweep --out`: completed grid
+/// points are replayed from the sidecar journal (on `--resume`), only the
+/// missing points are solved, and every fresh point is appended — fsync'd —
+/// to the journal the moment it completes. Returns the full grid's results
+/// plus whether any *replayed* point was originally degraded (fresh degraded
+/// solves are already visible in the engine's statistics).
+#[allow(clippy::too_many_arguments)]
+fn sweep_journaled(
+    engine: &AnalysisEngine,
+    params: &SystemParams,
+    axis: ParamAxis,
+    grid: &[f64],
+    policy: RewardPolicy,
+    backend: SolverBackend,
+    out_path: &std::path::Path,
+    fingerprint: u64,
+    resume: bool,
+) -> Result<(Vec<(f64, f64)>, bool)> {
+    let journal_path = std::path::PathBuf::from(format!("{}.journal", out_path.display()));
+    let io_err = |e: std::io::Error| CliError {
+        message: format!("sweep journal `{}`: {e}", journal_path.display()),
+    };
+    // A missing journal under --resume is a fresh start, not an error: the
+    // crash may have predated the journal's creation.
+    let (journal, replayed) = if resume && journal_path.exists() {
+        journal::Journal::resume(&journal_path, fingerprint, grid.len()).map_err(io_err)?
     } else {
-        RunStatus::Success
-    })
+        (
+            journal::Journal::create(&journal_path, fingerprint, grid.len()).map_err(io_err)?,
+            Vec::new(),
+        )
+    };
+    let mut filled: Vec<Option<(f64, bool)>> = vec![None; grid.len()];
+    for point in &replayed {
+        // The fingerprint ties the journal to this grid, so a point whose
+        // stored x disagrees bit-for-bit is corrupt — recompute it.
+        if point.index < grid.len() && grid[point.index].to_bits() == point.x.to_bits() {
+            filled[point.index] = Some((point.value, point.degraded));
+        }
+    }
+    let replayed_degraded = filled.iter().flatten().any(|&(_, degraded)| degraded);
+    engine.note_resume_hits(filled.iter().flatten().count() as u64);
+    let missing: Vec<usize> = (0..grid.len()).filter(|&i| filled[i].is_none()).collect();
+    if !missing.is_empty() {
+        let missing_values: Vec<f64> = missing.iter().map(|&i| grid[i]).collect();
+        let journal = std::sync::Mutex::new(journal);
+        let append_error = std::sync::Mutex::new(None);
+        // Called per completed point from whichever worker finished it; the
+        // record's index is into `missing_values` and maps back to the grid.
+        let observer = |record: SweepPointRecord| {
+            let point = journal::JournalPoint {
+                index: missing[record.index],
+                x: record.x,
+                value: record.value,
+                degraded: record.degraded,
+            };
+            let mut guard = journal.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = guard.append(&point) {
+                append_error
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .get_or_insert(e);
+            }
+        };
+        let solved =
+            engine.sweep_supervised(params, axis, &missing_values, policy, backend, &observer)?;
+        if let Some(e) = append_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(io_err(e));
+        }
+        for (&index, &(_, value)) in missing.iter().zip(&solved) {
+            // Degraded-ness of fresh solves is tracked by the engine stats;
+            // only the value is needed to assemble the CSV.
+            filled[index] = Some((value, false));
+        }
+    }
+    let points = grid
+        .iter()
+        .zip(&filled)
+        .map(|(&x, slot)| (x, slot.expect("every grid point replayed or solved").0))
+        .collect();
+    Ok((points, replayed_degraded))
 }
 
 fn load_net(path: &str) -> Result<nvp_petri::net::PetriNet> {
@@ -774,6 +940,128 @@ mod tests {
         assert!(lines[3].starts_with("900,"));
         assert!(run_to_string(&["sweep", "--axis", "gamma"]).is_err());
         assert!(run_to_string(&["sweep", "--axis", "warp", "--from", "1", "--to", "2"]).is_err());
+    }
+
+    #[test]
+    fn sweep_rejects_degenerate_bounds() {
+        for (from, to, needle) in [
+            ("nan", "900", "must be finite"),
+            ("300", "inf", "must be finite"),
+            ("-inf", "900", "must be finite"),
+            ("900", "300", "--from < --to"),
+            ("300", "300", "--from < --to"),
+        ] {
+            let err = run_to_string(&[
+                "sweep", "--axis", "gamma", "--from", from, "--to", to, "--steps", "3",
+            ])
+            .unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{from}..{to}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_out_writes_csv_and_journal_and_resume_replays_them() {
+        let dir = std::env::temp_dir().join("nvp-cli-test-sweep-out");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("sweep.csv");
+        let csv = csv_path.to_str().unwrap();
+        let base = [
+            "sweep", "--axis", "alpha", "--from", "0.1", "--to", "0.7", "--steps", "3",
+        ];
+        let stdout_csv = run_to_string(&base).unwrap();
+        let (status, text) = run_full(&[&base, &["--out", csv][..]].concat()).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        assert!(text.contains("3 points, 0 resumed"), "{text}");
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), stdout_csv);
+        assert!(dir.join("sweep.csv.journal").exists());
+        // Resuming against the complete journal recomputes nothing and
+        // reproduces the CSV byte for byte.
+        let (status, text) =
+            run_full(&[&base, &["--out", csv, "--resume", "--stats"][..]].concat()).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        assert!(text.contains("3 resumed"), "{text}");
+        assert!(text.contains("3 resume hit(s)"), "{text}");
+        assert!(
+            text.contains("0 miss(es)"),
+            "a full resume must not solve anything: {text}"
+        );
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), stdout_csv);
+    }
+
+    #[test]
+    fn sweep_resume_rejects_a_journal_from_a_different_invocation() {
+        let dir = std::env::temp_dir().join("nvp-cli-test-sweep-mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("sweep.csv");
+        let csv = csv.to_str().unwrap();
+        run_to_string(&[
+            "sweep", "--axis", "alpha", "--from", "0.1", "--to", "0.7", "--steps", "3", "--out",
+            csv,
+        ])
+        .unwrap();
+        // Same output file, different grid: the journal must be refused.
+        let err = run_to_string(&[
+            "sweep", "--axis", "alpha", "--from", "0.1", "--to", "0.7", "--steps", "4", "--out",
+            csv, "--resume",
+        ])
+        .unwrap_err();
+        assert!(err.message.contains("does not match"), "{}", err.message);
+        // Without --resume the stale journal is simply overwritten.
+        let (status, _) = run_full(&[
+            "sweep", "--axis", "alpha", "--from", "0.1", "--to", "0.7", "--steps", "4", "--out",
+            csv,
+        ])
+        .unwrap();
+        assert_eq!(status, RunStatus::Success);
+    }
+
+    #[test]
+    fn sweep_resume_and_supervision_flags_are_validated() {
+        let err = run_to_string(&[
+            "sweep", "--axis", "alpha", "--from", "0.1", "--to", "0.7", "--resume",
+        ])
+        .unwrap_err();
+        assert!(
+            err.message.contains("--resume requires --out"),
+            "{}",
+            err.message
+        );
+        assert!(run_to_string(&[
+            "sweep",
+            "--axis",
+            "alpha",
+            "--from",
+            "0.1",
+            "--to",
+            "0.7",
+            "--retries",
+            "soon",
+        ])
+        .is_err());
+        // --retries and --point-deadline-ms are accepted on a healthy sweep.
+        let (status, _) = run_full(&[
+            "sweep",
+            "--axis",
+            "alpha",
+            "--from",
+            "0.1",
+            "--to",
+            "0.5",
+            "--steps",
+            "2",
+            "--retries",
+            "2",
+            "--point-deadline-ms",
+            "60000",
+        ])
+        .unwrap();
+        assert_eq!(status, RunStatus::Success);
     }
 
     #[test]

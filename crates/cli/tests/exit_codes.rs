@@ -48,11 +48,16 @@ fn degraded_analysis_exits_two_with_warning() {
 #[cfg(feature = "fault-inject")]
 #[test]
 fn no_env_armed_fault_mode_crashes_the_binary() {
-    for mode in ["noconverge", "nan", "exhaust"] {
-        for site in ["dense", "power", "any"] {
+    // `panic` exercises the catch_unwind supervision layer end to end:
+    // even a panic armed at every site must surface as a typed error or a
+    // degraded answer, never as an abort. `stall` is bounded to one armed
+    // hit so the un-deadlined analyze finishes promptly.
+    for mode in ["noconverge", "nan", "exhaust", "panic", "stall"] {
+        for site in ["dense", "power", "transient", "any"] {
+            let window = if mode == "stall" { ":0:1" } else { "" };
             let output = nvp()
                 .arg("analyze")
-                .env("NVP_FAULT_INJECT", format!("{mode}@{site}"))
+                .env("NVP_FAULT_INJECT", format!("{mode}@{site}{window}"))
                 .output()
                 .expect("spawn nvp");
             // 0 (fault site not exercised), 1 (typed error), or 2

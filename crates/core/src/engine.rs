@@ -50,14 +50,36 @@ use nvp_numerics::{
 use nvp_petri::net::PetriNet;
 use nvp_petri::reach::{ExploreStats, TangibleReachGraph};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Renders a `catch_unwind` payload as text (`&str`/`String` payloads
+/// verbatim, anything else as an opaque marker).
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Convergence tolerance used when retrying a failed stationary solve on
 /// the alternate backend. Looser than the default (`1e-12`): a slightly
 /// blunter answer clearly beats no answer, and the degradation is reported.
 pub const RELAXED_TOLERANCE: f64 = 1e-8;
+
+/// Default number of times a supervised grid-point solve is retried after a
+/// retryable failure (worker panic or watchdog cancellation) before the
+/// failure is reported. See [`AnalysisEngine::with_retries`].
+pub const DEFAULT_RETRIES: u32 = 1;
+
+/// Base of the exponential backoff between supervised retries: attempt `k`
+/// sleeps `RETRY_BACKOFF_BASE_MS << (k - 1)` milliseconds first.
+const RETRY_BACKOFF_BASE_MS: u64 = 25;
 
 /// Largest time fraction a Monte Carlo fallback may spend in markings
 /// outside the explored graph before its estimate is rejected. Exploration
@@ -97,6 +119,22 @@ pub struct DegradedInfo {
     /// Per-marking 95% confidence half-widths of the occupancy estimate
     /// (empty for analytic fallbacks, which carry no sampling error).
     pub half_widths: Vec<f64>,
+}
+
+/// A completed grid point, as reported to the observer of
+/// [`AnalysisEngine::sweep_supervised`]. Carries everything a checkpoint
+/// journal needs to replay the point without re-solving it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPointRecord {
+    /// Index of the point in the sweep's input grid.
+    pub index: usize,
+    /// The swept parameter value.
+    pub x: f64,
+    /// The computed expected reliability.
+    pub value: f64,
+    /// Whether the chain solution behind the value is degraded (answered by
+    /// a fallback).
+    pub degraded: bool,
 }
 
 /// A Monte Carlo steady-state occupancy estimate over a tangible
@@ -276,6 +314,21 @@ pub struct SolverStats {
     /// Sweep grid points skipped because an earlier point's failure
     /// cancelled the sweep (lifetime total).
     pub sweep_cancellations: u64,
+    /// Worker panics caught by the supervision layer (solver-level and
+    /// engine-level) instead of unwinding the process (lifetime total).
+    pub worker_panics: u64,
+    /// Supervised solves cancelled by the worker-pool watchdog for
+    /// overstaying their point deadline (lifetime total).
+    pub rejuvenations: u64,
+    /// Supervised retry attempts taken after retryable failures (lifetime
+    /// total).
+    pub retries: u64,
+    /// Sweep grid points served from a resume journal instead of being
+    /// solved (lifetime total; see [`AnalysisEngine::note_resume_hits`]).
+    pub resume_hits: u64,
+    /// Poisoned engine-cache locks recovered instead of propagated
+    /// (lifetime total).
+    pub poisoned_locks_recovered: u64,
     /// Summed wall time of model builds.
     pub build_time: Duration,
     /// Summed wall time of reachability explorations.
@@ -332,6 +385,16 @@ impl std::fmt::Display for SolverStats {
             self.permit_starvations,
             self.sweep_cancellations
         )?;
+        writeln!(
+            f,
+            "supervision      : {} worker panic(s), {} rejuvenation(s), {} retry(ies), \
+             {} resume hit(s), {} poisoned lock(s) recovered",
+            self.worker_panics,
+            self.rejuvenations,
+            self.retries,
+            self.resume_hits,
+            self.poisoned_locks_recovered
+        )?;
         write!(
             f,
             "stage times      : build {}, explore {}, solve {}, rewards {}",
@@ -371,7 +434,6 @@ struct Slot(Mutex<Option<Arc<ChainSolution>>>);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Default)]
 pub struct AnalysisEngine {
     cache: Mutex<HashMap<ChainKey, Arc<Slot>>>,
     hits: AtomicU64,
@@ -380,9 +442,40 @@ pub struct AnalysisEngine {
     fallbacks: AtomicU64,
     budget_exhaustions: AtomicU64,
     sweep_cancellations: AtomicU64,
+    worker_panics: AtomicU64,
+    rejuvenations: AtomicU64,
+    retries_taken: AtomicU64,
+    resume_hits: AtomicU64,
+    poisoned_locks: AtomicU64,
     budget_ms: Option<u64>,
+    point_deadline_ms: Option<u64>,
+    retries: u32,
     jobs: Jobs,
     monte_carlo: Option<MonteCarloHook>,
+}
+
+impl Default for AnalysisEngine {
+    fn default() -> Self {
+        AnalysisEngine {
+            cache: Mutex::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            reward_nanos: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            budget_exhaustions: AtomicU64::new(0),
+            sweep_cancellations: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            rejuvenations: AtomicU64::new(0),
+            retries_taken: AtomicU64::new(0),
+            resume_hits: AtomicU64::new(0),
+            poisoned_locks: AtomicU64::new(0),
+            budget_ms: None,
+            point_deadline_ms: None,
+            retries: DEFAULT_RETRIES,
+            jobs: Jobs::default(),
+            monte_carlo: None,
+        }
+    }
 }
 
 impl std::fmt::Debug for AnalysisEngine {
@@ -438,6 +531,66 @@ impl AnalysisEngine {
         self.jobs
     }
 
+    /// Returns this engine retrying each supervised grid-point solve up to
+    /// `retries` times after a *retryable* failure — a caught worker panic
+    /// or a watchdog cancellation — with exponential backoff between
+    /// attempts. Deterministic failures (invalid parameters, structural
+    /// solver errors, budget exhaustion) are never retried. The default is
+    /// [`DEFAULT_RETRIES`].
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Returns this engine giving each supervised grid-point solve a
+    /// watchdog deadline of `ms` milliseconds: during
+    /// [`AnalysisEngine::sweep_supervised`] a background watchdog cancels
+    /// (via the budget's cancellation flag) any point that overstays its
+    /// lease, the lease's permit is reclaimed, and the point is retried per
+    /// [`AnalysisEngine::with_retries`]. Unlike
+    /// [`AnalysisEngine::with_budget_ms`] — where the solve polices its own
+    /// deadline — this is an *external* supervisor, so it also catches
+    /// solves stuck inside a stage that cannot check a budget.
+    pub fn with_point_deadline_ms(mut self, ms: u64) -> Self {
+        self.point_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Records `n` sweep grid points served from a resume journal instead of
+    /// being solved; surfaces as [`SolverStats::resume_hits`].
+    pub fn note_resume_hits(&self, n: u64) {
+        self.resume_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Locks the chain cache, recovering from poisoning (a panic on another
+    /// thread while it held the lock) instead of propagating the panic. The
+    /// map's entries are `Arc<Slot>` inserts — never left half-written — so
+    /// a poisoned guard's contents are still consistent.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<ChainKey, Arc<Slot>>> {
+        self.cache.lock().unwrap_or_else(|poisoned| {
+            self.poisoned_locks.fetch_add(1, Ordering::Relaxed);
+            self.cache.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Locks a cache slot, recovering from poisoning. A slot is only
+    /// written *after* a solve completes, so on poison its value — solved
+    /// before the poisoning panic, or `None` — would actually be sound; it
+    /// is invalidated anyway out of caution, costing one recomputation.
+    fn lock_slot<'a>(
+        &self,
+        slot: &'a Slot,
+    ) -> std::sync::MutexGuard<'a, Option<Arc<ChainSolution>>> {
+        slot.0.lock().unwrap_or_else(|poisoned| {
+            self.poisoned_locks.fetch_add(1, Ordering::Relaxed);
+            slot.0.clear_poison();
+            let mut guard = poisoned.into_inner();
+            *guard = None;
+            guard
+        })
+    }
+
     /// Returns the chain solution for `params`, solving it on the first
     /// request and serving the cached [`Arc`] afterwards.
     ///
@@ -450,19 +603,31 @@ impl AnalysisEngine {
         params: &SystemParams,
         backend: SolverBackend,
     ) -> Result<Arc<ChainSolution>> {
+        self.chain_with_budget(params, backend, &self.solve_budget())
+    }
+
+    /// [`AnalysisEngine::chain`] under an explicit budget — the supervised
+    /// sweep path threads a per-point budget carrying a lease's cancellation
+    /// flag. Cached answers are served regardless of the budget.
+    fn chain_with_budget(
+        &self,
+        params: &SystemParams,
+        backend: SolverBackend,
+        budget: &SolveBudget,
+    ) -> Result<Arc<ChainSolution>> {
         params.validate()?;
         let key = ChainKey::of(params, backend.max_markings());
         let slot = {
-            let mut map = self.cache.lock().expect("cache lock");
+            let mut map = self.lock_cache();
             Arc::clone(map.entry(key).or_default())
         };
-        let mut guard = slot.0.lock().expect("slot lock");
+        let mut guard = self.lock_slot(&slot);
         if let Some(solution) = guard.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(solution));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let solution = Arc::new(self.solve_chain(params, backend)?);
+        let solution = Arc::new(self.solve_chain(params, backend, budget)?);
         *guard = Some(Arc::clone(&solution));
         Ok(solution)
     }
@@ -479,13 +644,26 @@ impl AnalysisEngine {
         policy: RewardPolicy,
         backend: SolverBackend,
     ) -> Result<f64> {
-        let chain = self.chain(params, backend)?;
+        self.reliability_point(params, policy, backend, &self.solve_budget())
+            .map(|(expected, _)| expected)
+    }
+
+    /// [`AnalysisEngine::expected_reliability`] under an explicit budget,
+    /// also reporting whether the chain behind the answer is degraded.
+    fn reliability_point(
+        &self,
+        params: &SystemParams,
+        policy: RewardPolicy,
+        backend: SolverBackend,
+        budget: &SolveBudget,
+    ) -> Result<(f64, bool)> {
+        let chain = self.chain_with_budget(params, backend, budget)?;
         let t = Instant::now();
         let reliability = ReliabilityModel::for_params(params, ReliabilitySource::Auto)?;
         let rewards = reward_vector(&chain.graph, &chain.net, params, &reliability, policy)?;
         let expected = chain.solution.expected_reward(&rewards);
         self.note_reward_time(t);
-        Ok(expected)
+        Ok((expected, chain.degraded.is_some()))
     }
 
     /// Full analysis with per-state detail, chain stage cached.
@@ -648,15 +826,70 @@ impl AnalysisEngine {
         policy: RewardPolicy,
         backend: SolverBackend,
     ) -> Result<Vec<(f64, f64)>> {
+        self.sweep_supervised(params, axis, values, policy, backend, &|_| {})
+    }
+
+    /// [`AnalysisEngine::sweep_parallel_with`] under full supervision, with
+    /// a per-point completion observer.
+    ///
+    /// Each grid point runs as a *supervised* solve: wrapped in
+    /// `catch_unwind` (a worker panic costs that point, never the process),
+    /// registered as a [`WorkerPool`] lease so the watchdog started for the
+    /// sweep's duration — when [`AnalysisEngine::with_point_deadline_ms`] is
+    /// configured — can cancel an overdue solve, and retried per
+    /// [`AnalysisEngine::with_retries`] after retryable failures.
+    ///
+    /// `observer` is invoked once per *completed* point, from whichever
+    /// worker thread finished it (hence `Sync`), in completion order — not
+    /// input order. The `nvp sweep` journal appends from here, which is what
+    /// makes checkpoints crash-consistent: a point is journaled only after
+    /// its value exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-index analysis error.
+    pub fn sweep_supervised(
+        &self,
+        params: &SystemParams,
+        axis: ParamAxis,
+        values: &[f64],
+        policy: RewardPolicy,
+        backend: SolverBackend,
+        observer: &(dyn Fn(SweepPointRecord) + Sync),
+    ) -> Result<Vec<(f64, f64)>> {
         let pool = WorkerPool::global();
+        // One watchdog covers the whole sweep; sweeping a few times per
+        // deadline keeps cancellation latency well under one deadline.
+        let _watchdog = self
+            .point_deadline_ms
+            .map(|ms| pool.start_watchdog(Duration::from_millis((ms / 4).clamp(2, 100))));
+        let solve_point = |idx: usize, value: f64| -> Result<f64> {
+            let p = axis.apply(params, value);
+            let (expected, degraded) = self.solve_point_supervised(&p, policy, backend)?;
+            observer(SweepPointRecord {
+                index: idx,
+                x: value,
+                value: expected,
+                degraded,
+            });
+            Ok(expected)
+        };
         let desired = self.jobs.desired_workers(values.len(), pool.capacity());
-        if desired <= 1 || values.len() <= 1 {
-            return self.sweep_with(params, axis, values, policy, backend);
+        let permits = if desired <= 1 || values.len() <= 1 {
+            None
+        } else {
+            Some(pool.try_acquire(desired - 1))
+        };
+        if permits.as_ref().map_or(0, |p| p.count()) == 0 {
+            // Serial path: same supervision, no worker threads.
+            drop(permits);
+            return values
+                .iter()
+                .enumerate()
+                .map(|(idx, &v)| Ok((v, solve_point(idx, v)?)))
+                .collect();
         }
-        let permits = pool.try_acquire(desired - 1);
-        if permits.count() == 0 {
-            return self.sweep_with(params, axis, values, policy, backend);
-        }
+        let permits = permits.expect("checked non-zero above");
         let results: Vec<Mutex<Option<Result<f64>>>> =
             values.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
@@ -670,8 +903,7 @@ impl AnalysisEngine {
                 self.sweep_cancellations.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let p = axis.apply(params, value);
-            let r = self.expected_reliability(&p, policy, backend);
+            let r = solve_point(idx, value);
             if r.is_err() {
                 cancel.store(true, Ordering::Relaxed);
             }
@@ -705,6 +937,73 @@ impl AnalysisEngine {
         } else {
             unreachable!("a skipped sweep point implies a recorded error")
         }
+    }
+
+    /// One grid point under the supervision policy: panic isolation, a
+    /// watchdog lease, and bounded retries with exponential backoff.
+    fn solve_point_supervised(
+        &self,
+        params: &SystemParams,
+        policy: RewardPolicy,
+        backend: SolverBackend,
+    ) -> Result<(f64, bool)> {
+        let pool = WorkerPool::global();
+        let mut attempt: u32 = 0;
+        loop {
+            let lease = pool.lease(self.point_deadline_ms.map(Duration::from_millis));
+            let budget = self.solve_budget().with_cancel(lease.cancel_token());
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.reliability_point(params, policy, backend, &budget)
+            }))
+            .unwrap_or_else(|payload| {
+                // A panic that escaped the solver-level isolation (model
+                // build, reward stage, hook code).
+                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                Err(crate::CoreError::WorkerPanicked {
+                    site: "grid-point solve",
+                    payload: panic_payload(payload),
+                })
+            });
+            let rejuvenated = lease.is_cancelled();
+            drop(lease);
+            if rejuvenated {
+                self.rejuvenations.fetch_add(1, Ordering::Relaxed);
+            }
+            match outcome {
+                Ok(point) => return Ok(point),
+                Err(e) => {
+                    if attempt < self.retries && Self::retryable(&e) {
+                        attempt += 1;
+                        self.retries_taken.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(
+                            RETRY_BACKOFF_BASE_MS << (attempt - 1).min(10),
+                        ));
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Whether a failed supervised solve is worth a fresh attempt: caught
+    /// panics and watchdog cancellations are transient by nature, while
+    /// parameter, structural and budget failures are deterministic — the
+    /// retry would fail identically.
+    fn retryable(e: &crate::CoreError) -> bool {
+        use crate::CoreError;
+        matches!(
+            e,
+            CoreError::WorkerPanicked { .. }
+                | CoreError::Mrgp(MrgpError::WorkerPanicked { .. })
+                | CoreError::Mrgp(MrgpError::Numerics(NumericsError::Cancelled { .. }))
+                | CoreError::Numerics(NumericsError::Cancelled { .. })
+        ) || matches!(
+            e,
+            CoreError::Petri(nvp_petri::PetriError::Numerics(
+                NumericsError::Cancelled { .. }
+            ))
+        )
     }
 
     /// Golden-section search for the reliability-maximizing rejuvenation
@@ -887,15 +1186,15 @@ impl AnalysisEngine {
 
     /// Number of chain solutions currently cached.
     pub fn cache_len(&self) -> usize {
-        let map = self.cache.lock().expect("cache lock");
+        let map = self.lock_cache();
         map.values()
-            .filter(|slot| slot.0.lock().expect("slot lock").is_some())
+            .filter(|slot| self.lock_slot(slot).is_some())
             .count()
     }
 
     /// Drops all cached chain solutions. Hit/miss counters are kept.
     pub fn clear(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        self.lock_cache().clear();
     }
 
     /// Aggregates the statistics of everything this engine has computed.
@@ -906,12 +1205,17 @@ impl AnalysisEngine {
             fallbacks_taken: self.fallbacks.load(Ordering::Relaxed),
             budget_exhaustions: self.budget_exhaustions.load(Ordering::Relaxed),
             sweep_cancellations: self.sweep_cancellations.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            rejuvenations: self.rejuvenations.load(Ordering::Relaxed),
+            retries: self.retries_taken.load(Ordering::Relaxed),
+            resume_hits: self.resume_hits.load(Ordering::Relaxed),
+            poisoned_locks_recovered: self.poisoned_locks.load(Ordering::Relaxed),
             reward_time: Duration::from_nanos(self.reward_nanos.load(Ordering::Relaxed)),
             ..SolverStats::default()
         };
-        let map = self.cache.lock().expect("cache lock");
+        let map = self.lock_cache();
         for slot in map.values() {
-            let guard = slot.0.lock().expect("slot lock");
+            let guard = self.lock_slot(slot);
             let Some(sol) = guard.as_ref() else {
                 continue;
             };
@@ -969,15 +1273,19 @@ impl AnalysisEngine {
     }
 
     /// Runs the chain stage uncached — build, explore, solve, with per-stage
-    /// wall times — under the engine's budget and fallback chain.
-    fn solve_chain(&self, params: &SystemParams, backend: SolverBackend) -> Result<ChainSolution> {
-        let budget = self.solve_budget();
+    /// wall times — under `budget` and the engine's fallback chain.
+    fn solve_chain(
+        &self,
+        params: &SystemParams,
+        backend: SolverBackend,
+        budget: &SolveBudget,
+    ) -> Result<ChainSolution> {
         let t0 = Instant::now();
         let net = model::build_model(params)?;
         let build_time = t0.elapsed();
         let t1 = Instant::now();
         let (graph, explore_stats) =
-            nvp_petri::reach::explore_with_stats_budgeted(&net, backend.max_markings(), &budget)
+            nvp_petri::reach::explore_with_stats_budgeted(&net, backend.max_markings(), budget)
                 .map_err(|e| {
                     if matches!(
                         e,
@@ -990,15 +1298,32 @@ impl AnalysisEngine {
         let explore_time = t1.elapsed();
         let t2 = Instant::now();
         let primary = SolveOptions {
-            budget,
+            budget: budget.clone(),
             jobs: self.jobs,
             ..SolveOptions::default()
         };
-        let (solution, solver_stats, degraded) =
-            match nvp_mrgp::steady_state_with_options(&graph, &primary) {
-                Ok((solution, stats)) => (solution, stats, None),
-                Err(primary_err) => self.recover(&net, &graph, &budget, primary_err)?,
-            };
+        // Panic isolation around the whole solver call: the MRGP row stage
+        // already isolates per-row panics, but panics in validation, the
+        // embedded-chain assembly or the final stationary solve would still
+        // unwind through here (and, in a parallel sweep, abort the process).
+        let solve_result = catch_unwind(AssertUnwindSafe(|| {
+            nvp_mrgp::steady_state_with_options(&graph, &primary)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(MrgpError::WorkerPanicked {
+                site: "steady-state solve",
+                payload: panic_payload(payload),
+            })
+        });
+        let (solution, solver_stats, degraded) = match solve_result {
+            Ok((solution, stats)) => (solution, stats, None),
+            Err(primary_err) => {
+                if matches!(primary_err, MrgpError::WorkerPanicked { .. }) {
+                    self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
+                self.recover(&net, &graph, budget, primary_err)?
+            }
+        };
         let solve_time = t2.elapsed();
         Ok(ChainSolution {
             net,
@@ -1034,11 +1359,24 @@ impl AnalysisEngine {
             self.budget_exhaustions.fetch_add(1, Ordering::Relaxed);
             return Err(primary_err.into());
         }
+        // A supervisor-initiated cancellation is, like a budget stop, an
+        // intentional abort: the point's lease expired, and the supervised
+        // retry policy (not the fallback chain) decides what happens next.
+        if matches!(
+            primary_err,
+            MrgpError::Numerics(NumericsError::Cancelled { .. })
+        ) {
+            return Err(primary_err.into());
+        }
         // Structural failures (MultipleDeterministic, InconsistentDelay) are
         // outside the analytic method's class no matter the backend, but the
-        // simulator handles them; numerical failures are worth an analytic
-        // retry first.
-        let analytic_retry = matches!(primary_err, MrgpError::Numerics(_));
+        // simulator handles them; numerical failures — including a caught
+        // worker panic, which may be confined to one backend's code path —
+        // are worth an analytic retry first.
+        let analytic_retry = matches!(
+            primary_err,
+            MrgpError::Numerics(_) | MrgpError::WorkerPanicked { .. }
+        );
         let simulable = analytic_retry
             || matches!(
                 primary_err,
@@ -1055,11 +1393,23 @@ impl AnalysisEngine {
                     graph.tangible_count(),
                 ))),
                 tolerance: RELAXED_TOLERANCE,
-                budget: *budget,
+                budget: budget.clone(),
                 jobs: self.jobs,
                 ..SolveOptions::default()
             };
-            if let Ok((solution, stats)) = nvp_mrgp::steady_state_with_options(graph, &alt) {
+            // The alternate attempt gets the same panic isolation as the
+            // primary; a panic here just means the fallback chain moves on.
+            let alt_result = catch_unwind(AssertUnwindSafe(|| {
+                nvp_mrgp::steady_state_with_options(graph, &alt)
+            }))
+            .unwrap_or_else(|payload| {
+                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                Err(MrgpError::WorkerPanicked {
+                    site: "alternate-backend solve",
+                    payload: panic_payload(payload),
+                })
+            });
+            if let Ok((solution, stats)) = alt_result {
                 return Ok((
                     solution,
                     stats,
@@ -1075,7 +1425,14 @@ impl AnalysisEngine {
             return Err(primary_err.into());
         };
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
-        let Ok(mc) = hook(net, graph) else {
+        // The hook is arbitrary injected code; a panic inside it must not
+        // take down the sweep either.
+        let hook_result =
+            catch_unwind(AssertUnwindSafe(|| hook(net, graph))).unwrap_or_else(|payload| {
+                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                Err(panic_payload(payload))
+            });
+        let Ok(mc) = hook_result else {
             return Err(primary_err.into());
         };
         if mc.unmatched > MAX_UNMATCHED_MC_MASS
@@ -1623,5 +1980,156 @@ mod tests {
         drop(guard);
         assert!((r - healthy).abs() < 1e-6, "{r} vs {healthy}");
         assert_eq!(engine.stats().degraded_solutions, 1);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn an_injected_panic_degrades_one_grid_point_not_the_sweep() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+        let params = SystemParams::paper_six_version();
+        let grid = [0.0, 0.3, 0.6];
+        let healthy = AnalysisEngine::new()
+            .with_jobs(Jobs::Fixed(1))
+            .sweep_parallel(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap();
+        // The first dense stationary solve panics; only that grid point
+        // falls back to the alternate backend, the sweep itself completes.
+        let engine = AnalysisEngine::new().with_jobs(Jobs::Fixed(1));
+        let guard = arm(FaultPlan::new(Site::DenseStationary, FaultMode::Panic).times(1));
+        let swept = engine
+            .sweep_parallel(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap();
+        drop(guard);
+        assert_eq!(swept.len(), grid.len());
+        for ((x, y), (hx, hy)) in swept.iter().zip(&healthy) {
+            assert_eq!(x.to_bits(), hx.to_bits());
+            assert!((y - hy).abs() < 1e-6, "{y} vs {hy}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.degraded_solutions, 1);
+        assert_eq!(stats.fallbacks_taken, 1);
+        assert_eq!(stats.retries, 0, "recovered inside the fallback chain");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn a_persistent_panic_is_retried_at_the_point_level() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+        let params = SystemParams::paper_six_version();
+        let healthy = AnalysisEngine::new()
+            .with_jobs(Jobs::Fixed(1))
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        // Two armed panics: the primary solve eats one, the alternate-backend
+        // fallback eats the other, so the first *attempt* fails outright and
+        // only the supervised point-level retry (fresh lease, fresh budget)
+        // sees a healthy solver.
+        let engine = AnalysisEngine::new()
+            .with_jobs(Jobs::Fixed(1))
+            .with_retries(1);
+        let guard = arm(FaultPlan::new(Site::SubordinatedTransient, FaultMode::Panic).times(2));
+        let swept = engine
+            .sweep_parallel(
+                &params,
+                ParamAxis::Alpha,
+                &[params.alpha],
+                RewardPolicy::FailedOnly,
+            )
+            .unwrap();
+        drop(guard);
+        assert_eq!(swept.len(), 1);
+        assert!(
+            (swept[0].1 - healthy).abs() < 1e-9,
+            "{} vs {healthy}",
+            swept[0].1
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.retries, 1);
+        assert!(stats.worker_panics >= 1, "{}", stats.worker_panics);
+        assert_eq!(stats.degraded_solutions, 0, "the retry solved cleanly");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn the_watchdog_rejuvenates_a_stalled_point() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+        let params = SystemParams::paper_six_version();
+        // Every subordinated transient stalls 50 ms against a 10 ms point
+        // deadline: the watchdog cancels the lease, the budget check after
+        // the stall reports the cancellation, and the one permitted retry
+        // stalls out identically, so the point fails with a typed error.
+        let engine = AnalysisEngine::new()
+            .with_jobs(Jobs::Fixed(1))
+            .with_point_deadline_ms(10)
+            .with_retries(1);
+        let guard = arm(FaultPlan::new(
+            Site::SubordinatedTransient,
+            FaultMode::Stall,
+        ));
+        let err = engine
+            .sweep_parallel(
+                &params,
+                ParamAxis::Alpha,
+                &[params.alpha],
+                RewardPolicy::FailedOnly,
+            )
+            .unwrap_err();
+        drop(guard);
+        assert!(
+            matches!(
+                err,
+                crate::CoreError::Mrgp(MrgpError::Numerics(NumericsError::Cancelled { .. }))
+            ),
+            "{err:?}"
+        );
+        let stats = engine.stats();
+        assert!(stats.rejuvenations >= 1, "{}", stats.rejuvenations);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn a_poisoned_cache_lock_is_recovered_not_propagated() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        let healthy = engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        // Poison the cache map's mutex the only way possible: panic while
+        // holding the guard.
+        let poisoner = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = engine.cache.lock().unwrap();
+            panic!("poisoning the cache lock");
+        }));
+        assert!(poisoner.is_err());
+        assert!(engine.cache.is_poisoned());
+        // Every cache entry point recovers instead of unwinding.
+        assert_eq!(engine.cache_len(), 1);
+        let again = engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        assert_eq!(again.to_bits(), healthy.to_bits(), "served from the cache");
+        assert!(engine.stats().poisoned_locks_recovered >= 1);
+        // Slot-level poisoning invalidates the slot: the next request
+        // recomputes rather than trusting a guard a panic unwound through.
+        let slot = {
+            let map = engine.lock_cache();
+            Arc::clone(map.values().next().expect("one cached chain"))
+        };
+        let slot_poisoner = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = slot.0.lock().unwrap();
+            panic!("poisoning the slot lock");
+        }));
+        assert!(slot_poisoner.is_err());
+        let misses_before = engine.cache_misses();
+        let recomputed = engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        assert!((recomputed - healthy).abs() < 1e-12);
+        assert_eq!(
+            engine.cache_misses(),
+            misses_before + 1,
+            "slot was invalidated"
+        );
     }
 }

@@ -25,6 +25,17 @@ pub enum CoreError {
     Mrgp(nvp_mrgp::MrgpError),
     /// A numerical routine failed.
     Numerics(nvp_numerics::NumericsError),
+    /// A worker panicked outside the solver proper (model build, reward
+    /// stage, hook code) and the panic was caught by the engine's
+    /// supervision layer instead of unwinding the process. Panics *inside*
+    /// the solver surface as [`CoreError::Mrgp`] wrapping
+    /// [`nvp_mrgp::MrgpError::WorkerPanicked`].
+    WorkerPanicked {
+        /// Which stage of the pipeline the panic was caught at.
+        site: &'static str,
+        /// The panic payload rendered as text.
+        payload: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +50,9 @@ impl fmt::Display for CoreError {
             CoreError::Petri(e) => write!(f, "petri net error: {e}"),
             CoreError::Mrgp(e) => write!(f, "solver error: {e}"),
             CoreError::Numerics(e) => write!(f, "numerics error: {e}"),
+            CoreError::WorkerPanicked { site, payload } => {
+                write!(f, "worker panicked during {site}: {payload}")
+            }
         }
     }
 }
@@ -89,6 +103,10 @@ mod tests {
             CoreError::Petri(nvp_petri::PetriError::NoTangibleMarking),
             CoreError::Mrgp(nvp_mrgp::MrgpError::DeadMarking { marking: 0 }),
             CoreError::Numerics(nvp_numerics::NumericsError::SingularMatrix { pivot: 0 }),
+            CoreError::WorkerPanicked {
+                site: "grid-point solve",
+                payload: "attempt to divide by zero".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

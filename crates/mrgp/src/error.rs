@@ -37,6 +37,15 @@ pub enum MrgpError {
     },
     /// A numerical routine failed.
     Numerics(nvp_numerics::NumericsError),
+    /// A worker panicked during the solve and the panic was caught by the
+    /// supervision layer (`catch_unwind`) instead of unwinding the process.
+    WorkerPanicked {
+        /// Which stage of the solve the panic was caught at.
+        site: &'static str,
+        /// The panic payload rendered as text (`&str`/`String` payloads;
+        /// anything else is reported as opaque).
+        payload: String,
+    },
 }
 
 impl fmt::Display for MrgpError {
@@ -65,6 +74,9 @@ impl fmt::Display for MrgpError {
                  the stationary distribution is not unique"
             ),
             MrgpError::Numerics(e) => write!(f, "numerics error: {e}"),
+            MrgpError::WorkerPanicked { site, payload } => {
+                write!(f, "worker panicked during {site}: {payload}")
+            }
         }
     }
 }
@@ -100,6 +112,10 @@ mod tests {
             },
             MrgpError::MultipleRecurrentClasses { count: 2 },
             MrgpError::Numerics(nvp_numerics::NumericsError::SingularMatrix { pivot: 0 }),
+            MrgpError::WorkerPanicked {
+                site: "subordinated row solve",
+                payload: "index out of bounds".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -80,6 +80,11 @@ pub struct MrgpStats {
     /// granted fewer than requested (nested parallelism degrading towards
     /// serial).
     pub permit_starvations: usize,
+    /// Row-stage panics caught by the supervision wrapper and converted to
+    /// [`MrgpError::WorkerPanicked`]. A successful solve always reports 0 —
+    /// any caught panic fails the solve — but the counter survives into the
+    /// stats a caller collects from a failed attempt's partial state.
+    pub worker_panics: usize,
 }
 
 /// Options controlling a steady-state solve.
@@ -87,7 +92,7 @@ pub struct MrgpStats {
 /// The default reproduces [`steady_state`]'s historical behaviour: backend
 /// chosen by chain size, default tolerance and iteration cap, unlimited
 /// budget.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Resource budget checked before each subordinated-chain solve and
     /// inside iterative stationary solves.
@@ -125,7 +130,7 @@ impl SolveOptions {
             backend: self.backend,
             tolerance: self.tolerance,
             max_iterations: self.max_iterations,
-            budget: self.budget,
+            budget: self.budget.clone(),
         }
     }
 }
@@ -442,7 +447,7 @@ fn solve_deterministic_rows(
         let mut rows = Vec::with_capacity(markings.len());
         for &k in markings {
             options.budget.check("subordinated chain solve")?;
-            rows.push(deterministic_row(graph, k, stats)?);
+            rows.push(deterministic_row_isolated(graph, k, stats)?);
         }
         Ok(rows)
     };
@@ -483,7 +488,7 @@ fn solve_deterministic_rows(
                 .budget
                 .check("subordinated chain solve")
                 .map_err(MrgpError::from)
-                .and_then(|()| deterministic_row(graph, k, &mut local));
+                .and_then(|()| deterministic_row_isolated(graph, k, &mut local));
             if row.is_err() {
                 cancel.store(true, Ordering::Relaxed);
             }
@@ -496,6 +501,7 @@ fn solve_deterministic_rows(
         m.total_subordinated_states += local.total_subordinated_states;
         m.max_subordinated_states = m.max_subordinated_states.max(local.max_subordinated_states);
         m.max_truncation_steps = m.max_truncation_steps.max(local.max_truncation_steps);
+        m.worker_panics += local.worker_panics;
     };
     std::thread::scope(|scope| {
         for _ in 0..permits.count() {
@@ -511,6 +517,7 @@ fn solve_deterministic_rows(
         .max_subordinated_states
         .max(local.max_subordinated_states);
     stats.max_truncation_steps = stats.max_truncation_steps.max(local.max_truncation_steps);
+    stats.worker_panics += local.worker_panics;
     let mut rows = Vec::with_capacity(markings.len());
     for slot in slots {
         match slot.into_inner().expect("lock not poisoned") {
@@ -525,6 +532,44 @@ fn solve_deterministic_rows(
         unreachable!("cancelled slots imply a recorded error");
     }
     Ok(rows)
+}
+
+/// Renders a `catch_unwind` payload as text: `&str`/`String` payloads (the
+/// overwhelmingly common case — `panic!`, `assert!`, slice indexing) verbatim,
+/// anything else as an opaque marker.
+pub(crate) fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`deterministic_row`] wrapped in `catch_unwind`: a panic anywhere in one
+/// row's subordinated-chain solve becomes [`MrgpError::WorkerPanicked`] for
+/// that row instead of unwinding through `std::thread::scope` and aborting
+/// the whole solve (and, under a parallel sweep, the whole process).
+///
+/// `AssertUnwindSafe` is justified: on unwind the partially updated `stats`
+/// counters are still consulted (they may undercount the aborted row, which
+/// is fine for observability), and the row result itself is discarded.
+fn deterministic_row_isolated(
+    graph: &TangibleReachGraph,
+    k: usize,
+    stats: &mut MrgpStats,
+) -> Result<RowAndConversion> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        deterministic_row(graph, k, stats)
+    }))
+    .unwrap_or_else(|payload| {
+        stats.worker_panics += 1;
+        Err(MrgpError::WorkerPanicked {
+            site: "subordinated row solve",
+            payload: panic_payload(payload),
+        })
+    })
 }
 
 /// Computes the embedded-chain row and conversion factors for marking `k`,
@@ -1448,5 +1493,59 @@ mod tests {
             .index_of(&nvp_petri::marking::Marking::new(vec![k, 0]))
             .unwrap();
         assert!(pi[empty] > pi[full]);
+    }
+
+    /// A panic injected into a subordinated transient solve must surface as
+    /// a typed `WorkerPanicked` error — not unwind through the row stage.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_row_panic_becomes_a_typed_error() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+
+        let mut b = NetBuilder::new("race");
+        let a = b.place("A", 1);
+        let c = b.place("B", 0);
+        b.transition("exp_leave", TransitionKind::exponential_rate(0.3))
+            .unwrap()
+            .input(a, 1)
+            .output(c, 1);
+        b.transition("det_leave", TransitionKind::deterministic_delay(1.5))
+            .unwrap()
+            .input(a, 1)
+            .output(c, 1);
+        b.transition("back", TransitionKind::exponential_rate(2.0))
+            .unwrap()
+            .input(c, 1)
+            .output(a, 1);
+        let net = b.build().unwrap();
+        let graph = explore(&net, 100).unwrap();
+
+        for jobs in [Jobs::Fixed(1), Jobs::Auto] {
+            let _guard = arm(FaultPlan::new(
+                Site::SubordinatedTransient,
+                FaultMode::Panic,
+            ));
+            let options = SolveOptions {
+                jobs,
+                ..SolveOptions::default()
+            };
+            match steady_state_with_options(&graph, &options) {
+                Err(MrgpError::WorkerPanicked { site, payload }) => {
+                    assert_eq!(site, "subordinated row solve");
+                    assert!(payload.contains("injected panic"), "payload: {payload}");
+                }
+                other => panic!("expected WorkerPanicked under {jobs:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panic_payload_renders_str_and_string_and_opaque() {
+        assert_eq!(panic_payload(Box::new("boom")), "boom");
+        assert_eq!(panic_payload(Box::new(String::from("kaboom"))), "kaboom");
+        assert_eq!(
+            panic_payload(Box::new(42_u32)),
+            "<non-string panic payload>"
+        );
     }
 }

@@ -24,6 +24,8 @@
 //! assert!(expired.check("example stage").is_err());
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::{NumericsError, Result};
@@ -32,7 +34,13 @@ use crate::{NumericsError, Result};
 ///
 /// The default budget is unlimited, so existing entry points that do not
 /// thread a budget behave exactly as before.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Besides the deadline and iteration cap, a budget can carry an external
+/// *cancellation flag* ([`with_cancel`](Self::with_cancel)): a supervisor —
+/// e.g. the worker-pool watchdog in [`crate::pool`] — sets the flag and the
+/// next [`check`](Self::check) anywhere in the pipeline fails with
+/// [`NumericsError::Cancelled`]. Cloning the budget shares the same flag.
+#[derive(Debug, Clone, Default)]
 pub struct SolveBudget {
     /// Wall-clock instant after which [`check`](Self::check) fails.
     deadline: Option<Instant>,
@@ -41,6 +49,8 @@ pub struct SolveBudget {
     /// Optional cap on iterations for iterative solvers. `None` leaves each
     /// solver's own default in place.
     max_iterations: Option<usize>,
+    /// Cooperative cancellation flag set by a supervisor.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl SolveBudget {
@@ -59,6 +69,7 @@ impl SolveBudget {
             deadline: Some(Instant::now() + Duration::from_millis(ms)),
             budget_ms: ms,
             max_iterations: None,
+            cancel: None,
         }
     }
 
@@ -69,9 +80,24 @@ impl SolveBudget {
         self
     }
 
-    /// `true` if neither a deadline nor an iteration cap is set.
+    /// Returns this budget carrying `flag` as a cooperative cancellation
+    /// flag; once a supervisor stores `true` in it, the next
+    /// [`check`](Self::check) fails with [`NumericsError::Cancelled`].
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// `true` if no deadline, iteration cap, or cancellation flag is set.
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_iterations.is_none()
+        self.deadline.is_none() && self.max_iterations.is_none() && self.cancel.is_none()
+    }
+
+    /// `true` if a supervisor has set this budget's cancellation flag.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_deref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// The iteration cap to use given a solver's own `default` cap: the
@@ -89,8 +115,12 @@ impl SolveBudget {
     ///
     /// # Errors
     ///
-    /// [`NumericsError::BudgetExceeded`] when the deadline has passed.
+    /// [`NumericsError::BudgetExceeded`] when the deadline has passed;
+    /// [`NumericsError::Cancelled`] when the cancellation flag is set.
     pub fn check(&self, stage: &'static str) -> Result<()> {
+        if self.is_cancelled() {
+            return Err(NumericsError::Cancelled { stage });
+        }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
                 return Err(NumericsError::BudgetExceeded {
@@ -133,6 +163,31 @@ mod tests {
         let b = SolveBudget::with_wall_clock_ms(60_000);
         assert!(b.check("fast stage").is_ok());
         assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn cancellation_flag_trips_check_with_a_typed_error() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = SolveBudget::unlimited().with_cancel(flag.clone());
+        assert!(!b.is_unlimited());
+        assert!(!b.is_cancelled());
+        assert!(b.check("row stage").is_ok());
+        flag.store(true, Ordering::Relaxed);
+        assert!(b.is_cancelled());
+        match b.check("row stage") {
+            Err(NumericsError::Cancelled { stage }) => assert_eq!(stage, "row stage"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cloned_budgets_share_the_cancellation_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let a = SolveBudget::with_wall_clock_ms(60_000).with_cancel(flag.clone());
+        let b = a.clone();
+        flag.store(true, Ordering::Relaxed);
+        assert!(a.check("a").is_err());
+        assert!(b.check("b").is_err());
     }
 
     #[test]

@@ -219,7 +219,8 @@ impl Ctmc {
                 });
             }
             Some(crate::fault::FaultMode::NanPoison) => true,
-            None => false,
+            // Panic and Stall are handled inside `intercept` and never returned.
+            _ => false,
         };
         // Solve Qᵀ π = 0 with the last equation replaced by Σ π = 1.
         let n = self.n;
@@ -271,7 +272,8 @@ impl Ctmc {
                 });
             }
             Some(crate::fault::FaultMode::NanPoison) => true,
-            None => false,
+            // Panic and Stall are handled inside `intercept` and never returned.
+            _ => false,
         };
         if t == 0.0 {
             return Ok(pi0.to_vec());

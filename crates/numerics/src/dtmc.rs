@@ -125,7 +125,8 @@ fn stationary_dense(p: &CsrMatrix) -> Result<Vec<f64>> {
             });
         }
         Some(crate::fault::FaultMode::NanPoison) => true,
-        None => false,
+        // Panic and Stall are handled inside `intercept` and never returned.
+        _ => false,
     };
     // Solve (Pᵀ - I) ν = 0 with the last equation replaced by Σ ν = 1.
     let n = p.rows();

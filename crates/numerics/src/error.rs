@@ -63,6 +63,14 @@ pub enum NumericsError {
         /// The configured wall-clock budget in milliseconds.
         budget_ms: u64,
     },
+    /// The solve was cancelled from outside — typically by the worker-pool
+    /// watchdog reclaiming an overdue lease. Unlike
+    /// [`BudgetExceeded`](Self::BudgetExceeded), cancellation is initiated by
+    /// a supervisor rather than by the solve noticing its own deadline.
+    Cancelled {
+        /// Pipeline stage that observed the cancellation flag.
+        stage: &'static str,
+    },
     /// A probability vector failed validation at a stage boundary (NaN or
     /// infinite entries, significantly negative entries, or a total mass too
     /// far from one to renormalize safely). See
@@ -108,6 +116,9 @@ impl fmt::Display for NumericsError {
             NumericsError::BudgetExceeded { stage, budget_ms } => {
                 write!(f, "solve budget of {budget_ms} ms exhausted during {stage}")
             }
+            NumericsError::Cancelled { stage } => {
+                write!(f, "solve cancelled by supervisor during {stage}")
+            }
             NumericsError::InvalidProbabilities { what, reason } => {
                 write!(f, "invalid probability vector ({what}): {reason}")
             }
@@ -148,6 +159,9 @@ mod tests {
             NumericsError::BudgetExceeded {
                 stage: "power iteration",
                 budget_ms: 250,
+            },
+            NumericsError::Cancelled {
+                stage: "subordinated chain solve",
             },
             NumericsError::InvalidProbabilities {
                 what: "stationary vector",

@@ -11,7 +11,11 @@
 //! * [`FaultMode::NanPoison`] — the solver's result vector is poisoned with
 //!   a NaN *before* the probability guard runs, exercising the guard path,
 //! * [`FaultMode::IterationExhaustion`] — the solver reports that it burned
-//!   its entire iteration budget without converging.
+//!   its entire iteration budget without converging,
+//! * [`FaultMode::Panic`] — the worker thread panics at the site, exercising
+//!   the `catch_unwind` supervision layer in `nvp-mrgp`/`nvp-core`,
+//! * [`FaultMode::Stall`] — the site sleeps for [`STALL_MS`] milliseconds and
+//!   then proceeds normally, exercising the worker-rejuvenation watchdog.
 //!
 //! A plan is armed process-globally with [`arm`]; the returned [`FaultGuard`]
 //! disarms it on drop and also holds a process-wide lock so concurrently
@@ -40,7 +44,19 @@ pub enum FaultMode {
     NanPoison,
     /// Fail as if the full iteration budget was spent without converging.
     IterationExhaustion,
+    /// Panic on the calling (worker) thread. [`intercept`] itself raises the
+    /// panic, so sites never observe this variant; the supervision layer
+    /// upstream must catch it.
+    Panic,
+    /// Sleep for [`STALL_MS`] milliseconds, then proceed normally. Handled
+    /// inside [`intercept`] (sites never observe this variant); used to make
+    /// a solve overstay a watchdog deadline deterministically.
+    Stall,
 }
+
+/// How long a [`FaultMode::Stall`] injection sleeps before letting the call
+/// proceed.
+pub const STALL_MS: u64 = 50;
 
 /// Which solver entry point a plan targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,9 +158,9 @@ pub fn arm(plan: FaultPlan) -> FaultGuard {
 /// across a process boundary.
 ///
 /// Format: `mode@site[:skip[:hits]]` with modes `noconverge`, `nan`,
-/// `exhaust` and sites `dense`, `power`, `transient`, `any`; `skip` and
-/// `hits` default to `0` and unlimited. Examples: `noconverge@any`,
-/// `nan@dense:1:2`.
+/// `exhaust`, `panic`, `stall` and sites `dense`, `power`, `transient`,
+/// `any`; `skip` and `hits` default to `0` and unlimited. Examples:
+/// `noconverge@any`, `nan@dense:1:2`, `panic@transient:0:1`.
 ///
 /// Returns `None` (arming nothing) when the variable is unset or malformed.
 pub fn arm_from_env() -> Option<FaultGuard> {
@@ -159,6 +175,8 @@ fn parse_plan(spec: &str) -> Option<FaultPlan> {
         "noconverge" => FaultMode::ConvergenceFailure,
         "nan" => FaultMode::NanPoison,
         "exhaust" => FaultMode::IterationExhaustion,
+        "panic" => FaultMode::Panic,
+        "stall" => FaultMode::Stall,
         _ => return None,
     };
     let mut parts = rest.split(':');
@@ -187,20 +205,35 @@ fn parse_plan(spec: &str) -> Option<FaultPlan> {
 
 /// Called by solver entry points: returns the failure mode to inject at this
 /// call, or `None` to proceed normally.
+///
+/// [`FaultMode::Panic`] and [`FaultMode::Stall`] are handled here — a panic
+/// is raised (after releasing the plan lock) and a stall sleeps for
+/// [`STALL_MS`] before proceeding — so sites only ever observe the three
+/// error-shaped modes.
 pub(crate) fn intercept(site: Site) -> Option<FaultMode> {
-    let mut guard = active();
-    let active = guard.as_mut()?;
-    if active.plan.site != Site::Any && active.plan.site != site {
-        return None;
-    }
-    let index = active.calls;
-    active.calls += 1;
-    let lo = active.plan.skip;
-    let hi = lo.saturating_add(active.plan.hits);
-    if index >= lo && index < hi {
-        Some(active.plan.mode)
-    } else {
-        None
+    let mode = {
+        let mut guard = active();
+        let active = guard.as_mut()?;
+        if active.plan.site != Site::Any && active.plan.site != site {
+            return None;
+        }
+        let index = active.calls;
+        active.calls += 1;
+        let lo = active.plan.skip;
+        let hi = lo.saturating_add(active.plan.hits);
+        if index >= lo && index < hi {
+            active.plan.mode
+        } else {
+            return None;
+        }
+    };
+    match mode {
+        FaultMode::Panic => panic!("fault-inject: injected panic at {site:?}"),
+        FaultMode::Stall => {
+            std::thread::sleep(std::time::Duration::from_millis(STALL_MS));
+            None
+        }
+        other => Some(other),
     }
 }
 
@@ -279,5 +312,42 @@ mod tests {
         assert_eq!(parse_plan("bogus@any"), None);
         assert_eq!(parse_plan("nan@nowhere"), None);
         assert_eq!(parse_plan("nan"), None);
+    }
+
+    #[test]
+    fn env_spec_parses_panic_and_stall_modes() {
+        assert_eq!(
+            parse_plan("panic@transient:0:1"),
+            Some(
+                FaultPlan::new(Site::SubordinatedTransient, FaultMode::Panic)
+                    .after(0)
+                    .times(1)
+            )
+        );
+        assert_eq!(
+            parse_plan("stall@any"),
+            Some(FaultPlan::new(Site::Any, FaultMode::Stall))
+        );
+    }
+
+    #[test]
+    fn panic_mode_panics_inside_intercept_without_poisoning_the_plan() {
+        let _guard = arm(FaultPlan::new(Site::DenseStationary, FaultMode::Panic).times(1));
+        let unwound = std::panic::catch_unwind(|| intercept(Site::DenseStationary));
+        assert!(unwound.is_err());
+        // The plan lock was released before panicking and the single hit was
+        // consumed, so subsequent calls proceed normally.
+        assert_eq!(intercept(Site::DenseStationary), None);
+    }
+
+    #[test]
+    fn stall_mode_sleeps_then_proceeds() {
+        let _guard = arm(FaultPlan::new(Site::PowerIteration, FaultMode::Stall).times(1));
+        let start = std::time::Instant::now();
+        assert_eq!(intercept(Site::PowerIteration), None);
+        assert!(start.elapsed() >= std::time::Duration::from_millis(STALL_MS));
+        let start = std::time::Instant::now();
+        assert_eq!(intercept(Site::PowerIteration), None);
+        assert!(start.elapsed() < std::time::Duration::from_millis(STALL_MS));
     }
 }

@@ -125,7 +125,7 @@ pub fn alternate_backend(backend: StationaryBackend) -> StationaryBackend {
 /// The default reproduces the historical behaviour: backend chosen by
 /// [`stationary_backend_for`], default tolerance and iteration cap, and an
 /// unlimited budget.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StationaryOptions {
     /// Force a specific backend, or `None` to choose by chain size.
     pub backend: Option<StationaryBackend>,

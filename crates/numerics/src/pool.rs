@@ -34,8 +34,10 @@
 //! assert_eq!(pool.available(), 2);
 //! ```
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
 
 /// How many worker threads a parallel stage may use, including the calling
 /// thread.
@@ -100,6 +102,27 @@ pub struct WorkerPool {
     peak: AtomicUsize,
     /// Requests granted fewer permits than they asked for.
     starvations: AtomicU64,
+    /// Outstanding solve leases, keyed by lease id (see [`WorkerPool::lease`]).
+    leases: Mutex<HashMap<u64, LeaseEntry>>,
+    /// Next lease id to hand out.
+    next_lease: AtomicU64,
+    /// Leases cancelled by [`WorkerPool::watchdog_sweep`] (lifetime total).
+    rejuvenations: AtomicU64,
+    /// Poisoned lease-table locks recovered instead of propagated (lifetime
+    /// total).
+    lock_recoveries: AtomicU64,
+}
+
+/// Bookkeeping for one outstanding solve lease.
+#[derive(Debug)]
+struct LeaseEntry {
+    /// Instant past which the watchdog cancels the lease, if any.
+    deadline: Option<Instant>,
+    /// Cancellation flag shared with the leaseholder's [`SolveBudget`]
+    /// (via [`Lease::cancel_token`]).
+    ///
+    /// [`SolveBudget`]: crate::budget::SolveBudget
+    cancel: Arc<AtomicBool>,
 }
 
 impl WorkerPool {
@@ -111,6 +134,10 @@ impl WorkerPool {
             in_use: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
             starvations: AtomicU64::new(0),
+            leases: Mutex::new(HashMap::new()),
+            next_lease: AtomicU64::new(0),
+            rejuvenations: AtomicU64::new(0),
+            lock_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -212,6 +239,161 @@ impl WorkerPool {
         Permits {
             pool: self,
             count: granted,
+        }
+    }
+
+    /// Locks the lease table, recovering from poisoning (a panicking
+    /// leaseholder) instead of propagating the panic process-wide. Every
+    /// entry in the table is a plain insert/remove, so a poisoned guard's
+    /// contents are still consistent.
+    fn lease_table(&self) -> MutexGuard<'_, HashMap<u64, LeaseEntry>> {
+        self.leases.lock().unwrap_or_else(|poisoned| {
+            self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            self.leases.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Registers a solve with the pool's watchdog and returns its [`Lease`].
+    ///
+    /// A lease with a `deadline` is cancelled — its shared flag set, so the
+    /// leaseholder's next budget check fails with
+    /// [`NumericsError::Cancelled`](crate::NumericsError::Cancelled) — by the
+    /// next [`watchdog_sweep`](Self::watchdog_sweep) after the deadline
+    /// elapses. A lease without a deadline is tracked but never cancelled.
+    /// Dropping the lease unregisters it.
+    pub fn lease(&self, deadline: Option<Duration>) -> Lease<'_> {
+        let id = self.next_lease.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.lease_table().insert(
+            id,
+            LeaseEntry {
+                deadline: deadline.map(|d| started + d),
+                cancel: Arc::clone(&cancel),
+            },
+        );
+        Lease {
+            pool: self,
+            id,
+            started,
+            cancel,
+        }
+    }
+
+    /// Number of currently outstanding leases.
+    pub fn active_leases(&self) -> usize {
+        self.lease_table().len()
+    }
+
+    /// Cancels every outstanding lease whose deadline has passed and returns
+    /// how many were newly cancelled. Callers normally run this from a
+    /// [`start_watchdog`](Self::start_watchdog) thread rather than directly.
+    pub fn watchdog_sweep(&self) -> usize {
+        let now = Instant::now();
+        let mut cancelled = 0;
+        for entry in self.lease_table().values() {
+            if let Some(deadline) = entry.deadline {
+                if now >= deadline && !entry.cancel.swap(true, Ordering::Relaxed) {
+                    cancelled += 1;
+                }
+            }
+        }
+        if cancelled > 0 {
+            self.rejuvenations
+                .fetch_add(cancelled as u64, Ordering::Relaxed);
+        }
+        cancelled
+    }
+
+    /// Leases cancelled by the watchdog (lifetime total).
+    pub fn rejuvenations(&self) -> u64 {
+        self.rejuvenations.load(Ordering::Relaxed)
+    }
+
+    /// Poisoned lease-table locks recovered instead of propagated (lifetime
+    /// total).
+    pub fn lock_recoveries(&self) -> u64 {
+        self.lock_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Spawns a background watchdog thread that runs
+    /// [`watchdog_sweep`](Self::watchdog_sweep) every `period` until the
+    /// returned [`Watchdog`] handle is dropped (which stops and joins the
+    /// thread). Only available on the `'static` pool —
+    /// [`global`](Self::global) — so the thread can never outlive its pool.
+    pub fn start_watchdog(&'static self, period: Duration) -> Watchdog {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("nvp-watchdog".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    self.watchdog_sweep();
+                    std::thread::park_timeout(period);
+                }
+            })
+            .expect("failed to spawn watchdog thread");
+        Watchdog {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// A registered solve being tracked by the pool's watchdog; unregisters on
+/// drop. See [`WorkerPool::lease`].
+#[derive(Debug)]
+#[must_use = "the lease is unregistered as soon as this is dropped"]
+pub struct Lease<'a> {
+    pool: &'a WorkerPool,
+    id: u64,
+    started: Instant,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Lease<'_> {
+    /// How long this lease has been outstanding.
+    pub fn age(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The cancellation flag shared between this lease and the watchdog;
+    /// pass it to [`SolveBudget::with_cancel`] so the leaseholder's solve
+    /// observes watchdog cancellation at its next budget check.
+    ///
+    /// [`SolveBudget::with_cancel`]: crate::budget::SolveBudget::with_cancel
+    pub fn cancel_token(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// `true` once the watchdog has cancelled this lease.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        self.pool.lease_table().remove(&self.id);
+    }
+}
+
+/// Handle to a running watchdog thread; dropping it stops and joins the
+/// thread. See [`WorkerPool::start_watchdog`].
+#[derive(Debug)]
+#[must_use = "the watchdog thread stops as soon as this is dropped"]
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
         }
     }
 }
@@ -343,5 +525,83 @@ mod tests {
     fn global_pool_has_at_least_one_worker() {
         let pool = WorkerPool::global();
         assert!(pool.capacity() >= 1);
+    }
+
+    #[test]
+    fn leases_register_and_unregister() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.active_leases(), 0);
+        let a = pool.lease(None);
+        let b = pool.lease(Some(Duration::from_secs(3600)));
+        assert_eq!(pool.active_leases(), 2);
+        assert!(!a.is_cancelled());
+        drop(a);
+        drop(b);
+        assert_eq!(pool.active_leases(), 0);
+    }
+
+    #[test]
+    fn watchdog_sweep_cancels_only_overdue_leases() {
+        let pool = WorkerPool::new(2);
+        let overdue = pool.lease(Some(Duration::from_millis(0)));
+        let fresh = pool.lease(Some(Duration::from_secs(3600)));
+        let untimed = pool.lease(None);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(pool.watchdog_sweep(), 1);
+        assert!(overdue.is_cancelled());
+        assert!(overdue.cancel_token().load(Ordering::Relaxed));
+        assert!(!fresh.is_cancelled());
+        assert!(!untimed.is_cancelled());
+        assert_eq!(pool.rejuvenations(), 1);
+        // A second sweep does not double-count the already-cancelled lease.
+        assert_eq!(pool.watchdog_sweep(), 0);
+        assert_eq!(pool.rejuvenations(), 1);
+    }
+
+    #[test]
+    fn cancelled_lease_trips_a_budget_carrying_its_token() {
+        let pool = WorkerPool::new(2);
+        let lease = pool.lease(Some(Duration::from_millis(0)));
+        let budget = crate::budget::SolveBudget::unlimited().with_cancel(lease.cancel_token());
+        assert!(budget.check("before cancellation").is_ok());
+        std::thread::sleep(Duration::from_millis(2));
+        pool.watchdog_sweep();
+        match budget.check("after cancellation") {
+            Err(crate::NumericsError::Cancelled { stage }) => {
+                assert_eq!(stage, "after cancellation");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn background_watchdog_cancels_an_overdue_lease() {
+        // Watchdog requires a 'static pool; leak a dedicated one so the test
+        // does not interfere with the global pool's counters.
+        let pool: &'static WorkerPool = Box::leak(Box::new(WorkerPool::new(2)));
+        let lease = pool.lease(Some(Duration::from_millis(5)));
+        let watchdog = pool.start_watchdog(Duration::from_millis(2));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !lease.is_cancelled() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(lease.is_cancelled(), "watchdog never fired");
+        drop(watchdog); // stops and joins the thread
+        assert!(pool.rejuvenations() >= 1);
+    }
+
+    #[test]
+    fn poisoned_lease_table_is_recovered_not_propagated() {
+        let pool: &'static WorkerPool = Box::leak(Box::new(WorkerPool::new(2)));
+        // Poison the lease-table mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = pool.leases.lock().unwrap();
+            panic!("poison the lease table");
+        });
+        let lease = pool.lease(Some(Duration::from_secs(3600)));
+        assert_eq!(pool.active_leases(), 1);
+        assert!(pool.lock_recoveries() >= 1);
+        drop(lease);
+        assert_eq!(pool.active_leases(), 0);
     }
 }

@@ -246,7 +246,8 @@ pub fn stationary_power_with(
             });
         }
         Some(crate::fault::FaultMode::NanPoison) => true,
-        None => false,
+        // Panic and Stall are handled inside `intercept` and never returned.
+        _ => false,
     };
     let mut pi = vec![1.0 / n as f64; n];
     #[cfg(feature = "fault-inject")]

@@ -196,7 +196,7 @@ pub fn explore_with_stats_budgeted(
     max_markings: usize,
     budget: &SolveBudget,
 ) -> Result<(TangibleReachGraph, ExploreStats)> {
-    Explorer::new(net, max_markings, *budget).run()
+    Explorer::new(net, max_markings, budget.clone()).run()
 }
 
 struct Explorer<'a> {
