@@ -1,0 +1,123 @@
+//! Criterion bench guarding the observability overhead budget: with tracing
+//! compiled in but *disabled* (no `--trace-out`), the instrumentation must
+//! cost less than 5% of an uncached analyze solve.
+//!
+//! The budget is checked by measurement, not by faith: one recorded pass
+//! counts exactly how many span/event call sites the analyze pipeline hits,
+//! a tight loop prices the disabled fast path per call, and the product —
+//! the total instrumentation cost folded into one solve — is asserted to
+//! stay under 5% of the measured solve time. The enabled-path time is
+//! printed alongside for reference but carries no assertion: recording
+//! allocates, and `--trace-out` users have opted into that.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvp_core::analysis::SolverBackend;
+use nvp_core::engine::AnalysisEngine;
+use nvp_core::params::SystemParams;
+use nvp_core::reliability::ReliabilitySource;
+use nvp_core::reward::RewardPolicy;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One uncached headline analyze: a fresh engine per call so the chain cache
+/// never hides the instrumented build/explore/solve/reward stages.
+fn analyze_once() -> f64 {
+    let engine = AnalysisEngine::new();
+    let report = engine
+        .analyze(
+            &SystemParams::paper_six_version(),
+            RewardPolicy::FailedOnly,
+            ReliabilitySource::Auto,
+            SolverBackend::Auto,
+        )
+        .unwrap();
+    report.expected_reliability
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    assert!(
+        !nvp_obs::trace::enabled(),
+        "bench must start with tracing disabled"
+    );
+
+    // How long does one solve take with the instrumentation dormant?
+    let reps = 5;
+    let expected = analyze_once();
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(analyze_once());
+    }
+    let disabled_per_solve = start.elapsed() / reps;
+
+    // How many instrumented call sites does that solve actually pass
+    // through? Record one pass and count the records: every span and event
+    // in the trace paid the (cheap) disabled check in the timing runs above.
+    nvp_obs::trace::start_recording();
+    let traced = analyze_once();
+    let records = nvp_obs::trace::stop_recording();
+    assert_eq!(
+        traced.to_bits(),
+        expected.to_bits(),
+        "tracing must not perturb the result"
+    );
+    let call_sites = records.len().max(1);
+
+    // Price the disabled fast path per call: a span guard plus an attribute
+    // event, the two shapes the pipeline uses.
+    let probes = 1_000_000u32;
+    let start = Instant::now();
+    for i in 0..probes {
+        let mut span = nvp_obs::span("bench.disabled");
+        span.record("i", u64::from(i));
+        nvp_obs::event_with("bench.event", || vec![("i", u64::from(i).into())]);
+        black_box(&span);
+    }
+    let per_call = start.elapsed() / probes;
+
+    let overhead = per_call.as_secs_f64() * call_sites as f64;
+    let fraction = overhead / disabled_per_solve.as_secs_f64();
+    println!(
+        "obs_overhead: {call_sites} instrumented call(s) per solve, \
+         {per_call:?} per disabled call, solve {disabled_per_solve:?}, \
+         modeled overhead {:.3}%",
+        fraction * 100.0
+    );
+    assert!(
+        fraction < 0.05,
+        "disabled tracing must cost < 5% of an analyze solve; \
+         modeled {:.3}% ({call_sites} calls x {per_call:?} over {disabled_per_solve:?})",
+        fraction * 100.0
+    );
+
+    // Reference numbers only: what a recorded run costs.
+    nvp_obs::trace::start_recording();
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(analyze_once());
+    }
+    let enabled_per_solve = start.elapsed() / reps;
+    drop(nvp_obs::trace::stop_recording());
+    println!(
+        "obs_overhead: recorded solve {enabled_per_solve:?} \
+         (disabled {disabled_per_solve:?})"
+    );
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("analyze/tracing-disabled", |b| {
+        b.iter(|| black_box(analyze_once()))
+    });
+    group.bench_function("analyze/tracing-enabled", |b| {
+        nvp_obs::trace::start_recording();
+        b.iter(|| black_box(analyze_once()));
+        drop(nvp_obs::trace::stop_recording());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_obs_overhead
+);
+criterion_main!(benches);

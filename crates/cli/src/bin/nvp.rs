@@ -23,7 +23,9 @@ fn main() -> ExitCode {
         Ok(RunStatus::Success) => ExitCode::SUCCESS,
         Ok(RunStatus::Degraded) => ExitCode::from(DEGRADED),
         Err(e) => {
-            eprintln!("nvp: {e}");
+            // Through the shared sink so the message lands on its own line
+            // even if a progress line is mid-paint.
+            nvp_obs::sink::error(&format!("nvp: {e}"));
             ExitCode::FAILURE
         }
     }

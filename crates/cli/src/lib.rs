@@ -32,6 +32,7 @@ use nvp_core::reliability::ReliabilitySource;
 use nvp_core::report::{render_with_on, ReportOptions};
 use nvp_core::reward::RewardPolicy;
 use nvp_numerics::{Jobs, WorkerPool};
+use nvp_obs::progress::SweepProgress;
 use nvp_sim::dspn::{simulate_reward, SimOptions};
 use nvp_sim::fallback::monte_carlo_hook;
 use std::io::Write;
@@ -96,10 +97,14 @@ nvp — N-version perception reliability toolkit
 USAGE:
   nvp analyze [PARAMS] [--matrix] [--sensitivities] [--states N] [--stats]
               [--budget-ms MS] [--max-markings N] [--jobs N|auto]
+              [--metrics] [--quiet]
+              [--trace-out FILE [--trace-format jsonl|chrome]]
       Analyze a perception system and print a report.
   nvp sweep --axis AXIS --from X --to Y --steps N [PARAMS] [--stats]
             [--budget-ms MS] [--max-markings N] [--jobs N|auto]
             [--out FILE [--resume]] [--retries N] [--point-deadline-ms MS]
+            [--metrics] [--quiet]
+            [--trace-out FILE [--trace-format jsonl|chrome]]
       Print a CSV sweep of E[R] over one parameter axis (N >= 2 steps,
       --from < --to, both finite).
       AXIS: gamma | mttc | mttf | mttr | alpha | p | pprime
@@ -121,6 +126,17 @@ USAGE:
       If the primary solver fails, analyze/sweep fall back to an alternate
       backend and then to Monte Carlo; a degraded (fallback) result prints a
       WARNING and the process exits with code 2 instead of 0.
+      --trace-out FILE records a structured execution trace — spans around
+      model builds, state-space exploration, MRGP row solves, reward
+      evaluation, and every sweep point, plus events for fallbacks, caught
+      panics, retries, and rejuvenations — and writes it on exit as JSON
+      Lines (one record per line, nanosecond timestamps), or as a
+      chrome://tracing-compatible JSON array with --trace-format chrome.
+      --metrics appends a Prometheus text-format dump of the engine's
+      metrics registry (counters, gauges, latency histograms) to stdout.
+      A sweep on an interactive terminal shows a live progress line on
+      stderr (completed/total, pts/s, ETA, degraded and retried counts);
+      --quiet suppresses it along with WARNING/note diagnostics.
   nvp solve FILE.dspn [--reward EXPR] [--max-markings N]
       Solve a DSPN model file for its stationary distribution.
   nvp simulate FILE.dspn --reward EXPR [--horizon T] [--seed S]
@@ -298,6 +314,97 @@ fn parse_jobs(v: &str) -> Result<Jobs> {
     })
 }
 
+/// On-disk layout for a recorded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum TraceFormat {
+    /// One JSON record per line, nanosecond timestamps (the native format;
+    /// validated by the `nvp-trace-check` binary).
+    #[default]
+    Jsonl,
+    /// A chrome://tracing / Perfetto-compatible JSON array.
+    Chrome,
+}
+
+/// Observability flags shared by `analyze` and `sweep`.
+#[derive(Debug, Clone, Default)]
+struct ObsOptions {
+    trace_out: Option<std::path::PathBuf>,
+    trace_format: TraceFormat,
+    metrics: bool,
+    quiet: bool,
+}
+
+impl ObsOptions {
+    /// Consumes the flag (plus its value) if it is one of ours; `Ok(false)`
+    /// hands it back to the caller's flag loop.
+    fn try_parse(&mut self, flag: &str, cursor: &mut Args<'_>) -> Result<bool> {
+        match flag {
+            "--trace-out" => self.trace_out = Some(cursor.value(flag)?.into()),
+            "--trace-format" => {
+                self.trace_format = match cursor.value(flag)? {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        return Err(CliError {
+                            message: format!("bad trace format `{other}` (jsonl | chrome)"),
+                        });
+                    }
+                }
+            }
+            "--metrics" => self.metrics = true,
+            "--quiet" => self.quiet = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Scoped trace recording: arms the process-wide recorder on construction
+/// and guarantees it is disarmed again — with the collected records written
+/// out on the success path ([`TraceSession::finish`]), or simply drained and
+/// dropped if the command errors out first (via `Drop`). The quiet flag is
+/// process-global too and is reset the same way.
+struct TraceSession {
+    out: Option<(std::path::PathBuf, TraceFormat)>,
+}
+
+impl TraceSession {
+    fn start(obs: &ObsOptions) -> TraceSession {
+        nvp_obs::sink::set_quiet(obs.quiet);
+        if obs.trace_out.is_some() {
+            nvp_obs::trace::start_recording();
+        }
+        TraceSession {
+            out: obs.trace_out.clone().map(|p| (p, obs.trace_format)),
+        }
+    }
+
+    fn finish(mut self) -> Result<()> {
+        let Some((path, format)) = self.out.take() else {
+            return Ok(());
+        };
+        let records = nvp_obs::trace::stop_recording();
+        let mut buf = Vec::new();
+        match format {
+            TraceFormat::Jsonl => nvp_obs::trace::write_jsonl(&records, &mut buf),
+            TraceFormat::Chrome => nvp_obs::trace::write_chrome(&records, &mut buf),
+        }
+        .and_then(|()| std::fs::write(&path, &buf))
+        .map_err(|e| CliError {
+            message: format!("cannot write trace `{}`: {e}", path.display()),
+        })
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if self.out.take().is_some() {
+            drop(nvp_obs::trace::stop_recording());
+        }
+        nvp_obs::sink::set_quiet(false);
+    }
+}
+
 fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let (params, policy, rest) = parse_params(args)?;
     let mut options = ReportOptions::default();
@@ -305,8 +412,12 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut budget_ms = None;
     let mut max_markings = None;
     let mut jobs = Jobs::Auto;
+    let mut obs = ObsOptions::default();
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
+        if obs.try_parse(flag, &mut cursor)? {
+            continue;
+        }
         match flag {
             "--matrix" => options.matrix = true,
             "--no-matrix" => options.matrix = false,
@@ -323,6 +434,7 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             }
         }
     }
+    let session = TraceSession::start(&obs);
     let engine = resilient_engine(budget_ms, jobs);
     let backend = max_markings.map_or(SolverBackend::Auto, SolverBackend::Budget);
     let report = engine.analyze(&params, policy, ReliabilitySource::Auto, backend)?;
@@ -332,6 +444,11 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
         writeln!(out, "\nsolver statistics:")?;
         writeln!(out, "{}", engine.stats())?;
     }
+    if obs.metrics {
+        writeln!(out, "\nmetrics:")?;
+        write!(out, "{}", engine.metrics().render_prometheus())?;
+    }
+    session.finish()?;
     Ok(if report.degraded.is_some() {
         RunStatus::Degraded
     } else {
@@ -372,8 +489,12 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut resume = false;
     let mut retries = None;
     let mut point_deadline_ms = None;
+    let mut obs = ObsOptions::default();
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
+        if obs.try_parse(flag, &mut cursor)? {
+            continue;
+        }
         match flag {
             "--axis" => axis = Some(axis_from_name(cursor.value(flag)?)?),
             "--from" => from = Some(cursor.value_f64(flag)?),
@@ -427,6 +548,7 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
         });
     }
     let grid = analysis::linspace(from, to, steps);
+    let session = TraceSession::start(&obs);
     let mut engine = resilient_engine(budget_ms, jobs);
     if let Some(n) = retries {
         engine = engine.with_retries(n);
@@ -434,6 +556,12 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     if let Some(ms) = point_deadline_ms {
         engine = engine.with_point_deadline_ms(ms);
     }
+    // Everything below is charged against this baseline, so `--stats` on a
+    // resumed sweep reports only this run's work (replayed points show up as
+    // resume hits, not as recomputed solves).
+    let baseline = engine.stats().snapshot();
+    let progress = SweepProgress::new(grid.len());
+    let retries_counter = engine.metrics().counter("nvp_retries_total");
     let backend = max_markings.map_or(SolverBackend::Auto, SolverBackend::Budget);
     let (points, replayed_degraded) = match &out_path {
         Some(path) => {
@@ -446,14 +574,30 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
                 to.to_bits(),
             ));
             sweep_journaled(
-                &engine, &params, axis, &grid, policy, backend, path, fp, resume,
+                &engine, &params, axis, &grid, policy, backend, path, fp, resume, &progress,
             )?
         }
-        None => (
-            engine.sweep_parallel_with(&params, axis, &grid, policy, backend)?,
-            false,
-        ),
+        None => {
+            // Completion callbacks arrive on whichever worker finished the
+            // point; the sink serializes the warning lines against the
+            // progress repaints, and the CSV on stdout stays untouched.
+            let observer = |record: SweepPointRecord| {
+                if record.degraded {
+                    nvp_obs::sink::warn(&format!(
+                        "degraded result at {} = {}",
+                        axis.label(),
+                        record.x
+                    ));
+                }
+                progress.point_done(record.degraded, retries_counter.get());
+            };
+            (
+                engine.sweep_supervised(&params, axis, &grid, policy, backend, &observer)?,
+                false,
+            )
+        }
     };
+    progress.finish();
     let mut csv = format!("{},expected_reliability\n", axis.label());
     for (x, r) in &points {
         csv.push_str(&format!("{x},{r}\n"));
@@ -475,8 +619,13 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     }
     if stats {
         writeln!(out, "\nsolver statistics:")?;
-        writeln!(out, "{}", engine.stats())?;
+        writeln!(out, "{}", engine.stats().delta(&baseline))?;
     }
+    if obs.metrics {
+        writeln!(out, "\nmetrics:")?;
+        write!(out, "{}", engine.metrics().render_prometheus())?;
+    }
+    session.finish()?;
     Ok(
         if engine.stats().degraded_solutions > 0 || replayed_degraded {
             RunStatus::Degraded
@@ -503,6 +652,7 @@ fn sweep_journaled(
     out_path: &std::path::Path,
     fingerprint: u64,
     resume: bool,
+    progress: &SweepProgress,
 ) -> Result<(Vec<(f64, f64)>, bool)> {
     let journal_path = std::path::PathBuf::from(format!("{}.journal", out_path.display()));
     let io_err = |e: std::io::Error| CliError {
@@ -528,6 +678,8 @@ fn sweep_journaled(
     }
     let replayed_degraded = filled.iter().flatten().any(|&(_, degraded)| degraded);
     engine.note_resume_hits(filled.iter().flatten().count() as u64);
+    progress.points_replayed(filled.iter().flatten().count());
+    let retries_counter = engine.metrics().counter("nvp_retries_total");
     let missing: Vec<usize> = (0..grid.len()).filter(|&i| filled[i].is_none()).collect();
     if !missing.is_empty() {
         let missing_values: Vec<f64> = missing.iter().map(|&i| grid[i]).collect();
@@ -542,6 +694,14 @@ fn sweep_journaled(
                 value: record.value,
                 degraded: record.degraded,
             };
+            if record.degraded {
+                nvp_obs::sink::warn(&format!(
+                    "degraded result at {} = {}",
+                    axis.label(),
+                    record.x
+                ));
+            }
+            progress.point_done(record.degraded, retries_counter.get());
             let mut guard = journal.lock().unwrap_or_else(|e| e.into_inner());
             if let Err(e) = guard.append(&point) {
                 append_error
@@ -924,6 +1084,70 @@ mod tests {
         assert!(
             text.contains("1 solution(s) cached, 1 miss(es), 3 hit(s)"),
             "{text}"
+        );
+    }
+
+    #[test]
+    fn metrics_flag_appends_a_prometheus_dump() {
+        let text = run_to_string(&["analyze", "--metrics"]).unwrap();
+        assert!(text.contains("E[R_sys]"), "{text}");
+        assert!(text.contains("metrics:"), "{text}");
+        assert!(text.contains("nvp_cache_misses_total 1"), "{text}");
+        assert!(text.contains("nvp_stage_solve_ns_count 1"), "{text}");
+        let (status, text) = run_full(&[
+            "sweep",
+            "--axis",
+            "alpha",
+            "--from",
+            "0.1",
+            "--to",
+            "0.7",
+            "--steps",
+            "4",
+            "--metrics",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(status, RunStatus::Success);
+        assert!(text.contains("nvp_cache_hits_total 3"), "{text}");
+        assert!(text.contains("nvp_point_solve_ns_count 4"), "{text}");
+        // Without the flag the output stays metrics-free.
+        let text = run_to_string(&["analyze"]).unwrap();
+        assert!(!text.contains("metrics:"), "{text}");
+    }
+
+    #[test]
+    fn trace_flags_are_validated() {
+        assert!(run_to_string(&["analyze", "--trace-out"]).is_err());
+        let err = run_to_string(&["analyze", "--trace-format", "svg"]).unwrap_err();
+        assert!(err.message.contains("jsonl | chrome"), "{}", err.message);
+        let err = run_to_string(&[
+            "sweep",
+            "--axis",
+            "alpha",
+            "--from",
+            "0.1",
+            "--to",
+            "0.5",
+            "--steps",
+            "2",
+            "--trace-format",
+            "svg",
+        ])
+        .unwrap_err();
+        assert!(err.message.contains("jsonl | chrome"), "{}", err.message);
+        // An unwritable trace path is a hard error, not a silent drop.
+        let err = run_to_string(&[
+            "analyze",
+            "--trace-out",
+            "/nonexistent-dir/trace.jsonl",
+            "--quiet",
+        ])
+        .unwrap_err();
+        assert!(
+            err.message.contains("cannot write trace"),
+            "{}",
+            err.message
         );
     }
 

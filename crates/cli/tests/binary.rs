@@ -65,3 +65,108 @@ fn solve_pipeline_from_file() {
         "{stdout}"
     );
 }
+
+#[test]
+fn sweep_trace_out_emits_spans_for_every_stage() {
+    let dir = std::env::temp_dir().join("nvp-binary-test-trace-jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("sweep.jsonl");
+    // A gamma sweep reshapes the chain per point: every pipeline stage runs
+    // for each of the three grid points, on pool worker threads.
+    let output = nvp()
+        .args([
+            "sweep",
+            "--axis",
+            "gamma",
+            "--from",
+            "300",
+            "--to",
+            "900",
+            "--steps",
+            "3",
+            "--jobs",
+            "4",
+            "--trace-out",
+        ])
+        .arg(&trace)
+        .env("NVP_JOBS", "4")
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let summary = nvp_obs::schema::check_jsonl(&text).expect("schema-valid trace");
+    for stage in [
+        "model.build",
+        "chain.solve",
+        "explore",
+        "mrgp.solve",
+        "mrgp.emc",
+        "mrgp.row",
+        "reward",
+        "sweep.point",
+    ] {
+        assert!(
+            summary.span_names.get(stage).copied().unwrap_or(0) >= 1,
+            "missing span `{stage}`: {:?}",
+            summary.span_names
+        );
+    }
+    assert!(
+        summary.span_names["sweep.point"] >= 3,
+        "{:?}",
+        summary.span_names
+    );
+    assert!(
+        summary.threads >= 2,
+        "worker thread ids must appear in the trace: {} thread(s)",
+        summary.threads
+    );
+}
+
+#[test]
+fn analyze_trace_chrome_is_a_valid_json_array() {
+    let dir = std::env::temp_dir().join("nvp-binary-test-trace-chrome");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("analyze.json");
+    let output = nvp()
+        .args(["analyze", "--trace-out"])
+        .arg(&trace)
+        .args(["--trace-format", "chrome"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let entries = nvp_obs::schema::check_chrome(&text).expect("valid chrome trace");
+    assert!(
+        entries >= 3,
+        "expected at least build/solve/reward, got {entries}"
+    );
+}
+
+#[test]
+fn sweep_keeps_stderr_clean_off_terminal() {
+    // stdout is the CSV; with stderr not a terminal the progress meter stays
+    // silent, so a healthy sweep writes nothing there at all.
+    let output = nvp()
+        .args([
+            "sweep", "--axis", "alpha", "--from", "0.1", "--to", "0.7", "--steps", "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.starts_with("alpha,expected_reliability"), "{stdout}");
+    assert!(
+        output.stderr.is_empty(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

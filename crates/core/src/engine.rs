@@ -47,11 +47,12 @@ use nvp_numerics::{
     alternate_backend, optim, stationary_backend_for, Jobs, NumericsError, SolveBudget,
     StationaryBackend, WorkerPool,
 };
+use nvp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use nvp_petri::net::PetriNet;
 use nvp_petri::reach::{ExploreStats, TangibleReachGraph};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -406,6 +407,77 @@ impl std::fmt::Display for SolverStats {
     }
 }
 
+impl SolverStats {
+    /// Freezes the current stats as a baseline for a later [`delta`].
+    ///
+    /// [`delta`]: SolverStats::delta
+    #[must_use]
+    pub fn snapshot(&self) -> SolverStats {
+        *self
+    }
+
+    /// Activity since `baseline`, a snapshot taken from the same engine.
+    ///
+    /// Monotone counters and stage times subtract saturating, so a stale or
+    /// mismatched baseline degrades to the raw totals instead of wrapping.
+    /// High-water marks (`max_subordinated_states`, `max_truncation_steps`,
+    /// `workers_used`) and cache-shape gauges (`chain_solutions`,
+    /// `degraded_solutions`) keep their current values: they describe state,
+    /// not flow, so subtraction would be meaningless.
+    #[must_use]
+    pub fn delta(&self, baseline: &SolverStats) -> SolverStats {
+        SolverStats {
+            cache_hits: self.cache_hits.saturating_sub(baseline.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(baseline.cache_misses),
+            chain_solutions: self.chain_solutions,
+            tangible_markings: self
+                .tangible_markings
+                .saturating_sub(baseline.tangible_markings),
+            vanishing_visits: self
+                .vanishing_visits
+                .saturating_sub(baseline.vanishing_visits),
+            timed_arcs: self.timed_arcs.saturating_sub(baseline.timed_arcs),
+            zero_rate_arcs: self.zero_rate_arcs.saturating_sub(baseline.zero_rate_arcs),
+            subordinated_chains: self
+                .subordinated_chains
+                .saturating_sub(baseline.subordinated_chains),
+            max_subordinated_states: self.max_subordinated_states,
+            max_truncation_steps: self.max_truncation_steps,
+            dense_solves: self.dense_solves.saturating_sub(baseline.dense_solves),
+            iterative_solves: self
+                .iterative_solves
+                .saturating_sub(baseline.iterative_solves),
+            fallbacks_taken: self
+                .fallbacks_taken
+                .saturating_sub(baseline.fallbacks_taken),
+            degraded_solutions: self.degraded_solutions,
+            guard_trips: self.guard_trips.saturating_sub(baseline.guard_trips),
+            budget_exhaustions: self
+                .budget_exhaustions
+                .saturating_sub(baseline.budget_exhaustions),
+            workers_used: self.workers_used,
+            parallel_rows: self.parallel_rows.saturating_sub(baseline.parallel_rows),
+            permit_starvations: self
+                .permit_starvations
+                .saturating_sub(baseline.permit_starvations),
+            sweep_cancellations: self
+                .sweep_cancellations
+                .saturating_sub(baseline.sweep_cancellations),
+            worker_panics: self.worker_panics.saturating_sub(baseline.worker_panics),
+            rejuvenations: self.rejuvenations.saturating_sub(baseline.rejuvenations),
+            retries: self.retries.saturating_sub(baseline.retries),
+            resume_hits: self.resume_hits.saturating_sub(baseline.resume_hits),
+            poisoned_locks_recovered: self
+                .poisoned_locks_recovered
+                .saturating_sub(baseline.poisoned_locks_recovered),
+            build_time: self.build_time.saturating_sub(baseline.build_time),
+            explore_time: self.explore_time.saturating_sub(baseline.explore_time),
+            solve_time: self.solve_time.saturating_sub(baseline.solve_time),
+            reward_time: self.reward_time.saturating_sub(baseline.reward_time),
+        }
+    }
+}
+
 /// Per-key slot: concurrent requests for the same key contend here (not on
 /// the whole cache), so one thread computes while the rest wait for the
 /// result instead of recomputing it.
@@ -436,17 +508,28 @@ struct Slot(Mutex<Option<Arc<ChainSolution>>>);
 /// ```
 pub struct AnalysisEngine {
     cache: Mutex<HashMap<ChainKey, Arc<Slot>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    reward_nanos: AtomicU64,
-    fallbacks: AtomicU64,
-    budget_exhaustions: AtomicU64,
-    sweep_cancellations: AtomicU64,
-    worker_panics: AtomicU64,
-    rejuvenations: AtomicU64,
-    retries_taken: AtomicU64,
-    resume_hits: AtomicU64,
-    poisoned_locks: AtomicU64,
+    /// Registry behind every lifetime counter below. [`SolverStats`] reads
+    /// the same cells the Prometheus exposition renders, so the two can
+    /// never drift. Per-engine (not process-global) so concurrently running
+    /// engines — tests, embedded uses — don't cross-contaminate.
+    metrics: MetricsRegistry,
+    hits: Counter,
+    misses: Counter,
+    reward_nanos: Counter,
+    fallbacks: Counter,
+    budget_exhaustions: Counter,
+    sweep_cancellations: Counter,
+    worker_panics: Counter,
+    rejuvenations: Counter,
+    retries_taken: Counter,
+    resume_hits: Counter,
+    poisoned_locks: Counter,
+    build_hist: Histogram,
+    explore_hist: Histogram,
+    solve_hist: Histogram,
+    reward_hist: Histogram,
+    point_hist: Histogram,
+    workers_gauge: Gauge,
     budget_ms: Option<u64>,
     point_deadline_ms: Option<u64>,
     retries: u32,
@@ -456,19 +539,27 @@ pub struct AnalysisEngine {
 
 impl Default for AnalysisEngine {
     fn default() -> Self {
+        let metrics = MetricsRegistry::new();
         AnalysisEngine {
             cache: Mutex::default(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            reward_nanos: AtomicU64::new(0),
-            fallbacks: AtomicU64::new(0),
-            budget_exhaustions: AtomicU64::new(0),
-            sweep_cancellations: AtomicU64::new(0),
-            worker_panics: AtomicU64::new(0),
-            rejuvenations: AtomicU64::new(0),
-            retries_taken: AtomicU64::new(0),
-            resume_hits: AtomicU64::new(0),
-            poisoned_locks: AtomicU64::new(0),
+            hits: metrics.counter("nvp_cache_hits_total"),
+            misses: metrics.counter("nvp_cache_misses_total"),
+            reward_nanos: metrics.counter("nvp_reward_nanoseconds_total"),
+            fallbacks: metrics.counter("nvp_fallbacks_total"),
+            budget_exhaustions: metrics.counter("nvp_budget_exhaustions_total"),
+            sweep_cancellations: metrics.counter("nvp_sweep_cancellations_total"),
+            worker_panics: metrics.counter("nvp_worker_panics_total"),
+            rejuvenations: metrics.counter("nvp_rejuvenations_total"),
+            retries_taken: metrics.counter("nvp_retries_total"),
+            resume_hits: metrics.counter("nvp_resume_hits_total"),
+            poisoned_locks: metrics.counter("nvp_poisoned_locks_recovered_total"),
+            build_hist: metrics.histogram("nvp_stage_build_ns"),
+            explore_hist: metrics.histogram("nvp_stage_explore_ns"),
+            solve_hist: metrics.histogram("nvp_stage_solve_ns"),
+            reward_hist: metrics.histogram("nvp_stage_reward_ns"),
+            point_hist: metrics.histogram("nvp_point_solve_ns"),
+            workers_gauge: metrics.gauge("nvp_workers_used"),
+            metrics,
             budget_ms: None,
             point_deadline_ms: None,
             retries: DEFAULT_RETRIES,
@@ -559,7 +650,17 @@ impl AnalysisEngine {
     /// Records `n` sweep grid points served from a resume journal instead of
     /// being solved; surfaces as [`SolverStats::resume_hits`].
     pub fn note_resume_hits(&self, n: u64) {
-        self.resume_hits.fetch_add(n, Ordering::Relaxed);
+        self.resume_hits.add(n);
+        if n > 0 {
+            nvp_obs::event_with("resume_replay", || vec![("points", n.into())]);
+        }
+    }
+
+    /// The metrics registry behind this engine's counters, stage-latency
+    /// histograms and gauges (for Prometheus-style text exposition via
+    /// [`MetricsRegistry::render_prometheus`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Locks the chain cache, recovering from poisoning (a panic on another
@@ -568,7 +669,7 @@ impl AnalysisEngine {
     /// a poisoned guard's contents are still consistent.
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<ChainKey, Arc<Slot>>> {
         self.cache.lock().unwrap_or_else(|poisoned| {
-            self.poisoned_locks.fetch_add(1, Ordering::Relaxed);
+            self.poisoned_locks.inc();
             self.cache.clear_poison();
             poisoned.into_inner()
         })
@@ -583,7 +684,7 @@ impl AnalysisEngine {
         slot: &'a Slot,
     ) -> std::sync::MutexGuard<'a, Option<Arc<ChainSolution>>> {
         slot.0.lock().unwrap_or_else(|poisoned| {
-            self.poisoned_locks.fetch_add(1, Ordering::Relaxed);
+            self.poisoned_locks.inc();
             slot.0.clear_poison();
             let mut guard = poisoned.into_inner();
             *guard = None;
@@ -623,10 +724,10 @@ impl AnalysisEngine {
         };
         let mut guard = self.lock_slot(&slot);
         if let Some(solution) = guard.as_ref() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(Arc::clone(solution));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let solution = Arc::new(self.solve_chain(params, backend, budget)?);
         *guard = Some(Arc::clone(&solution));
         Ok(solution)
@@ -658,6 +759,7 @@ impl AnalysisEngine {
         budget: &SolveBudget,
     ) -> Result<(f64, bool)> {
         let chain = self.chain_with_budget(params, backend, budget)?;
+        let _reward_span = nvp_obs::span("reward");
         let t = Instant::now();
         let reliability = ReliabilityModel::for_params(params, ReliabilitySource::Auto)?;
         let rewards = reward_vector(&chain.graph, &chain.net, params, &reliability, policy)?;
@@ -679,6 +781,7 @@ impl AnalysisEngine {
         backend: SolverBackend,
     ) -> Result<AnalysisReport> {
         let chain = self.chain(params, backend)?;
+        let _reward_span = nvp_obs::span("reward");
         let t = Instant::now();
         let reliability = ReliabilityModel::for_params(params, source)?;
         let rewards = reward_vector(&chain.graph, &chain.net, params, &reliability, policy)?;
@@ -733,6 +836,7 @@ impl AnalysisEngine {
     /// See [`AnalysisEngine::chain`].
     pub fn quorum_availability(&self, params: &SystemParams) -> Result<f64> {
         let chain = self.chain(params, SolverBackend::Auto)?;
+        let _reward_span = nvp_obs::span("reward");
         let t = Instant::now();
         let places = ModulePlaces::locate(&chain.net)?;
         let threshold = params.voting_threshold();
@@ -900,7 +1004,7 @@ impl AnalysisEngine {
                 break;
             };
             if cancel.load(Ordering::Relaxed) {
-                self.sweep_cancellations.fetch_add(1, Ordering::Relaxed);
+                self.sweep_cancellations.inc();
                 continue;
             }
             let r = solve_point(idx, value);
@@ -950,6 +1054,11 @@ impl AnalysisEngine {
         let pool = WorkerPool::global();
         let mut attempt: u32 = 0;
         loop {
+            // One span per attempt, opened on the worker thread running the
+            // point, so traces show sweep scheduling across workers.
+            let mut span = nvp_obs::span("sweep.point");
+            span.record("attempt", attempt);
+            let t = Instant::now();
             let lease = pool.lease(self.point_deadline_ms.map(Duration::from_millis));
             let budget = self.solve_budget().with_cancel(lease.cancel_token());
             let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -958,7 +1067,8 @@ impl AnalysisEngine {
             .unwrap_or_else(|payload| {
                 // A panic that escaped the solver-level isolation (model
                 // build, reward stage, hook code).
-                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                self.worker_panics.inc();
+                nvp_obs::event_with("panic_caught", || vec![("site", "grid-point solve".into())]);
                 Err(crate::CoreError::WorkerPanicked {
                     site: "grid-point solve",
                     payload: panic_payload(payload),
@@ -967,14 +1077,21 @@ impl AnalysisEngine {
             let rejuvenated = lease.is_cancelled();
             drop(lease);
             if rejuvenated {
-                self.rejuvenations.fetch_add(1, Ordering::Relaxed);
+                self.rejuvenations.inc();
+                nvp_obs::event_with("rejuvenation", || vec![("site", "sweep.point".into())]);
             }
+            self.point_hist.record_duration(t.elapsed());
             match outcome {
-                Ok(point) => return Ok(point),
+                Ok(point) => {
+                    span.record("degraded", point.1);
+                    return Ok(point);
+                }
                 Err(e) => {
+                    span.record("failed", true);
                     if attempt < self.retries && Self::retryable(&e) {
                         attempt += 1;
-                        self.retries_taken.fetch_add(1, Ordering::Relaxed);
+                        self.retries_taken.inc();
+                        nvp_obs::event_with("retry", || vec![("attempt", attempt.into())]);
                         std::thread::sleep(Duration::from_millis(
                             RETRY_BACKOFF_BASE_MS << (attempt - 1).min(10),
                         ));
@@ -1176,12 +1293,12 @@ impl AnalysisEngine {
 
     /// Chain requests served from the cache so far.
     pub fn cache_hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Chain requests that ran the full chain stage so far.
     pub fn cache_misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Number of chain solutions currently cached.
@@ -1202,15 +1319,15 @@ impl AnalysisEngine {
         let mut s = SolverStats {
             cache_hits: self.cache_hits(),
             cache_misses: self.cache_misses(),
-            fallbacks_taken: self.fallbacks.load(Ordering::Relaxed),
-            budget_exhaustions: self.budget_exhaustions.load(Ordering::Relaxed),
-            sweep_cancellations: self.sweep_cancellations.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
-            rejuvenations: self.rejuvenations.load(Ordering::Relaxed),
-            retries: self.retries_taken.load(Ordering::Relaxed),
-            resume_hits: self.resume_hits.load(Ordering::Relaxed),
-            poisoned_locks_recovered: self.poisoned_locks.load(Ordering::Relaxed),
-            reward_time: Duration::from_nanos(self.reward_nanos.load(Ordering::Relaxed)),
+            fallbacks_taken: self.fallbacks.get(),
+            budget_exhaustions: self.budget_exhaustions.get(),
+            sweep_cancellations: self.sweep_cancellations.get(),
+            worker_panics: self.worker_panics.get(),
+            rejuvenations: self.rejuvenations.get(),
+            retries: self.retries_taken.get(),
+            resume_hits: self.resume_hits.get(),
+            poisoned_locks_recovered: self.poisoned_locks.get(),
+            reward_time: Duration::from_nanos(self.reward_nanos.get()),
             ..SolverStats::default()
         };
         let map = self.lock_cache();
@@ -1261,7 +1378,8 @@ impl AnalysisEngine {
 
     fn note_reward_time(&self, since: Instant) {
         let nanos = u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.reward_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.reward_nanos.add(nanos);
+        self.reward_hist.record(nanos);
     }
 
     /// The fresh per-solve budget implied by [`AnalysisEngine::with_budget_ms`].
@@ -1280,9 +1398,14 @@ impl AnalysisEngine {
         backend: SolverBackend,
         budget: &SolveBudget,
     ) -> Result<ChainSolution> {
+        let mut chain_span = nvp_obs::span("chain.solve");
         let t0 = Instant::now();
-        let net = model::build_model(params)?;
+        let net = {
+            let _build_span = nvp_obs::span("model.build");
+            model::build_model(params)?
+        };
         let build_time = t0.elapsed();
+        self.build_hist.record_duration(build_time);
         let t1 = Instant::now();
         let (graph, explore_stats) =
             nvp_petri::reach::explore_with_stats_budgeted(&net, backend.max_markings(), budget)
@@ -1291,11 +1414,12 @@ impl AnalysisEngine {
                         e,
                         nvp_petri::PetriError::Numerics(NumericsError::BudgetExceeded { .. })
                     ) {
-                        self.budget_exhaustions.fetch_add(1, Ordering::Relaxed);
+                        self.budget_exhaustions.inc();
                     }
                     e
                 })?;
         let explore_time = t1.elapsed();
+        self.explore_hist.record_duration(explore_time);
         let t2 = Instant::now();
         let primary = SolveOptions {
             budget: budget.clone(),
@@ -1319,12 +1443,21 @@ impl AnalysisEngine {
             Ok((solution, stats)) => (solution, stats, None),
             Err(primary_err) => {
                 if matches!(primary_err, MrgpError::WorkerPanicked { .. }) {
-                    self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    self.worker_panics.inc();
+                    nvp_obs::event_with("panic_caught", || {
+                        vec![("site", "steady-state solve".into())]
+                    });
                 }
                 self.recover(&net, &graph, budget, primary_err)?
             }
         };
         let solve_time = t2.elapsed();
+        self.solve_hist.record_duration(solve_time);
+        self.workers_gauge.set_max(solver_stats.workers_used as u64);
+        if !chain_span.is_inert() {
+            chain_span.record("tangible_markings", explore_stats.tangible_markings);
+            chain_span.record("degraded", degraded.is_some());
+        }
         Ok(ChainSolution {
             net,
             graph,
@@ -1356,7 +1489,7 @@ impl AnalysisEngine {
             primary_err,
             MrgpError::Numerics(NumericsError::BudgetExceeded { .. })
         ) {
-            self.budget_exhaustions.fetch_add(1, Ordering::Relaxed);
+            self.budget_exhaustions.inc();
             return Err(primary_err.into());
         }
         // A supervisor-initiated cancellation is, like a budget stop, an
@@ -1387,7 +1520,8 @@ impl AnalysisEngine {
         }
         let reason = primary_err.to_string();
         if analytic_retry {
-            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.fallbacks.inc();
+            nvp_obs::event_with("fallback", || vec![("method", "alternate-backend".into())]);
             let alt = SolveOptions {
                 backend: Some(alternate_backend(stationary_backend_for(
                     graph.tangible_count(),
@@ -1403,7 +1537,10 @@ impl AnalysisEngine {
                 nvp_mrgp::steady_state_with_options(graph, &alt)
             }))
             .unwrap_or_else(|payload| {
-                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                self.worker_panics.inc();
+                nvp_obs::event_with("panic_caught", || {
+                    vec![("site", "alternate-backend solve".into())]
+                });
                 Err(MrgpError::WorkerPanicked {
                     site: "alternate-backend solve",
                     payload: panic_payload(payload),
@@ -1424,12 +1561,14 @@ impl AnalysisEngine {
         let Some(hook) = &self.monte_carlo else {
             return Err(primary_err.into());
         };
-        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.fallbacks.inc();
+        nvp_obs::event_with("fallback", || vec![("method", "monte-carlo".into())]);
         // The hook is arbitrary injected code; a panic inside it must not
         // take down the sweep either.
         let hook_result =
             catch_unwind(AssertUnwindSafe(|| hook(net, graph))).unwrap_or_else(|payload| {
-                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                self.worker_panics.inc();
+                nvp_obs::event_with("panic_caught", || vec![("site", "monte-carlo hook".into())]);
                 Err(panic_payload(payload))
             });
         let Ok(mc) = hook_result else {
@@ -2131,5 +2270,61 @@ mod tests {
             misses_before + 1,
             "slot was invalidated"
         );
+    }
+
+    #[test]
+    fn stats_delta_isolates_activity_since_the_snapshot() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        let grid = analysis::linspace(0.0, 1.0, 4);
+        engine
+            .sweep(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap();
+        let baseline = engine.stats().snapshot();
+        assert_eq!(baseline.cache_misses, 1);
+        assert_eq!(baseline.cache_hits, 3);
+        // Re-running the same grid is pure cache traffic; the delta must
+        // show only the new hits, not the replayed history.
+        engine
+            .sweep(&params, ParamAxis::Alpha, &grid, RewardPolicy::FailedOnly)
+            .unwrap();
+        let delta = engine.stats().delta(&baseline);
+        assert_eq!(delta.cache_misses, 0, "no new chain solves");
+        assert_eq!(delta.cache_hits, 4);
+        assert_eq!(delta.tangible_markings, 0, "no new exploration");
+        assert_eq!(delta.build_time, Duration::ZERO);
+        assert_eq!(delta.explore_time, Duration::ZERO);
+        assert_eq!(delta.solve_time, Duration::ZERO);
+        assert!(delta.reward_time > Duration::ZERO, "rewards did run");
+        // High-water marks and cache-shape gauges stay absolute.
+        assert_eq!(delta.workers_used, baseline.workers_used);
+        assert_eq!(delta.chain_solutions, 1);
+        // A stale baseline (from after more work) saturates instead of
+        // wrapping.
+        let later = engine.stats().snapshot();
+        let inverted = baseline.delta(&later);
+        assert_eq!(inverted.cache_hits, 0);
+    }
+
+    #[test]
+    fn metrics_registry_backs_the_stats_counters() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        let stats = engine.stats();
+        let text = engine.metrics().render_prometheus();
+        assert!(
+            text.contains(&format!("nvp_cache_hits_total {}", stats.cache_hits)),
+            "stats and exposition read the same cells:\n{text}"
+        );
+        assert!(text.contains(&format!("nvp_cache_misses_total {}", stats.cache_misses)));
+        assert!(text.contains("nvp_stage_solve_ns_count 1"));
+        assert!(text.contains("nvp_point_solve_ns"));
+        assert!(text.contains(&format!("nvp_workers_used {}", stats.workers_used)));
     }
 }

@@ -249,6 +249,8 @@ pub fn steady_state_with_options(
     options: &SolveOptions,
 ) -> Result<(SteadyState, MrgpStats)> {
     let n = graph.tangible_count();
+    let mut span = nvp_obs::span("mrgp.solve");
+    span.record("markings", n);
     let states = graph.states();
     let mut stats = MrgpStats {
         markings: n,
@@ -288,6 +290,11 @@ pub fn steady_state_with_options(
         stats.method = SolveMethod::Ctmc;
         solve_ctmc(graph, options, &mut stats)?
     };
+    if !span.is_inert() {
+        span.record("method", format!("{:?}", stats.method));
+        span.record("workers_used", stats.workers_used);
+        span.record("subordinated_chains", stats.subordinated_chains);
+    }
     Ok((solution, stats))
 }
 
@@ -386,7 +393,11 @@ fn solve_mrgp(
             conversion[k] = conv;
         }
     }
-    let nu = stationary_distribution_with(&emc.build(), &options.stationary())?;
+    let nu = {
+        let mut emc_span = nvp_obs::span("mrgp.emc");
+        emc_span.record("markings", n);
+        stationary_distribution_with(&emc.build(), &options.stationary())?
+    };
     // Convert: pi(m) ∝ Σ_k nu(k) C[k][m].
     let mut pi = vec![0.0; n];
     for (k, conv) in conversion.iter().enumerate() {
@@ -560,11 +571,21 @@ fn deterministic_row_isolated(
     k: usize,
     stats: &mut MrgpStats,
 ) -> Result<RowAndConversion> {
+    // One span per row, opened on the thread that solves it, so a trace
+    // shows which worker handled which deterministic marking.
+    let mut span = nvp_obs::span("mrgp.row");
+    span.record("marking", k);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         deterministic_row(graph, k, stats)
     }))
     .unwrap_or_else(|payload| {
         stats.worker_panics += 1;
+        nvp_obs::event_with("panic_caught", || {
+            vec![
+                ("site", "subordinated row solve".into()),
+                ("marking", k.into()),
+            ]
+        });
         Err(MrgpError::WorkerPanicked {
             site: "subordinated row solve",
             payload: panic_payload(payload),

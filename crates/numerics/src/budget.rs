@@ -119,10 +119,19 @@ impl SolveBudget {
     /// [`NumericsError::Cancelled`] when the cancellation flag is set.
     pub fn check(&self, stage: &'static str) -> Result<()> {
         if self.is_cancelled() {
+            // Event emission stays off the happy path: `check` sits inside
+            // solver inner loops.
+            nvp_obs::trace::event_with("cancelled", || vec![("stage", stage.into())]);
             return Err(NumericsError::Cancelled { stage });
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
+                nvp_obs::trace::event_with("budget_exceeded", || {
+                    vec![
+                        ("stage", stage.into()),
+                        ("budget_ms", self.budget_ms.into()),
+                    ]
+                });
                 return Err(NumericsError::BudgetExceeded {
                     stage,
                     budget_ms: self.budget_ms,

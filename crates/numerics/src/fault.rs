@@ -227,6 +227,12 @@ pub(crate) fn intercept(site: Site) -> Option<FaultMode> {
             return None;
         }
     };
+    nvp_obs::trace::event_with("fault_injected", || {
+        vec![
+            ("site", format!("{site:?}").into()),
+            ("mode", format!("{mode:?}").into()),
+        ]
+    });
     match mode {
         FaultMode::Panic => panic!("fault-inject: injected panic at {site:?}"),
         FaultMode::Stall => {

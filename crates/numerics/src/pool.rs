@@ -234,6 +234,9 @@ impl WorkerPool {
             }
             if granted < want {
                 self.starvations.fetch_add(1, Ordering::Relaxed);
+                nvp_obs::trace::event_with("permit_starvation", || {
+                    vec![("wanted", want.into()), ("granted", granted.into())]
+                });
             }
         }
         Permits {
@@ -302,6 +305,9 @@ impl WorkerPool {
         if cancelled > 0 {
             self.rejuvenations
                 .fetch_add(cancelled as u64, Ordering::Relaxed);
+            nvp_obs::trace::event_with("rejuvenation", || {
+                vec![("cancelled_leases", cancelled.into())]
+            });
         }
         cancelled
     }

@@ -1,0 +1,117 @@
+//! `nvp-trace-check`: validate a trace file produced by `nvp ... --trace-out`.
+//!
+//! ```text
+//! nvp-trace-check FILE [--format jsonl|chrome] [--require SPAN]...
+//!                      [--min-spans N] [--min-threads N]
+//! ```
+//!
+//! Exits 0 when the file passes the schema check (and, for JSONL, contains
+//! every `--require`d span name); prints the failure and exits 1 otherwise.
+//! CI runs this against real `nvp sweep --trace-out` output.
+
+use std::process::ExitCode;
+
+use nvp_obs::schema;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("nvp-trace-check: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut format = "jsonl".to_owned();
+    let mut required: Vec<String> = Vec::new();
+    let mut min_spans: usize = 1;
+    let mut min_threads: usize = 1;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(f) if f == "jsonl" || f == "chrome" => format = f,
+                Some(f) => return fail(&format!("unknown format {f:?}")),
+                None => return fail("--format needs a value"),
+            },
+            "--require" => match it.next() {
+                Some(name) => required.push(name),
+                None => return fail("--require needs a span name"),
+            },
+            "--min-spans" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => min_spans = n,
+                None => return fail("--min-spans needs an integer"),
+            },
+            "--min-threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => min_threads = n,
+                None => return fail("--min-threads needs an integer"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: nvp-trace-check FILE [--format jsonl|chrome] \
+                     [--require SPAN]... [--min-spans N] [--min-threads N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(arg),
+            other => return fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+
+    let Some(path) = file else {
+        return fail("missing trace file argument (see --help)");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+
+    if format == "chrome" {
+        match schema::check_chrome(&text) {
+            Ok(entries) => {
+                println!("{path}: valid chrome trace, {entries} entries");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    } else {
+        let summary = match schema::check_jsonl(&text) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("{path}: {e}")),
+        };
+        if summary.spans < min_spans {
+            return fail(&format!(
+                "{path}: {} span(s), expected at least {min_spans}",
+                summary.spans
+            ));
+        }
+        if summary.threads < min_threads {
+            return fail(&format!(
+                "{path}: {} thread(s), expected at least {min_threads}",
+                summary.threads
+            ));
+        }
+        for name in &required {
+            if !summary.span_names.contains_key(name) {
+                let have: Vec<&str> = summary.span_names.keys().map(String::as_str).collect();
+                return fail(&format!(
+                    "{path}: required span {name:?} absent (present: {})",
+                    have.join(", ")
+                ));
+            }
+        }
+        let names: Vec<String> = summary
+            .span_names
+            .iter()
+            .map(|(name, count)| format!("{name}×{count}"))
+            .collect();
+        println!(
+            "{path}: valid trace, {} span(s) / {} event(s) on {} thread(s): {}",
+            summary.spans,
+            summary.events,
+            summary.threads,
+            names.join(", ")
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,213 @@
+//! Live sweep progress: completed/total points, throughput, ETA, and
+//! degraded/retried counts, rendered in place on stderr.
+//!
+//! Updates are rate-limited (at most one repaint per 100 ms, except the
+//! final point) and the reporter disables itself entirely when stderr is
+//! not a terminal or the sink is quiet, so batch runs and CI logs see no
+//! control characters.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::sink;
+
+const MIN_REPAINT_INTERVAL: Duration = Duration::from_millis(100);
+
+struct ProgressState {
+    completed: usize,
+    degraded: u64,
+    retried: u64,
+    last_repaint: Option<Instant>,
+}
+
+/// Progress reporter for one sweep. Thread-safe: the per-point observer may
+/// fire from any worker.
+pub struct SweepProgress {
+    total: usize,
+    started: Instant,
+    enabled: bool,
+    state: Mutex<ProgressState>,
+}
+
+impl SweepProgress {
+    /// Reporter gated on stderr being a TTY and the sink not being quiet.
+    pub fn new(total: usize) -> Self {
+        Self::with_enabled(total, sink::stderr_is_terminal() && !sink::quiet())
+    }
+
+    /// Explicitly enabled/disabled reporter (tests and benchmarks).
+    pub fn with_enabled(total: usize, enabled: bool) -> Self {
+        Self {
+            total,
+            started: Instant::now(),
+            enabled,
+            state: Mutex::new(ProgressState {
+                completed: 0,
+                degraded: 0,
+                retried: 0,
+                last_repaint: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProgressState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Record a finished point. `degraded` marks a fallback/replayed-degraded
+    /// result; `retried_total` is the cumulative retry count for this sweep
+    /// (a monotone counter, not a per-point delta).
+    pub fn point_done(&self, degraded: bool, retried_total: u64) {
+        let mut state = self.lock();
+        state.completed += 1;
+        if degraded {
+            state.degraded += 1;
+        }
+        state.retried = retried_total;
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let due = state
+            .last_repaint
+            .is_none_or(|last| now.duration_since(last) >= MIN_REPAINT_INTERVAL)
+            || state.completed >= self.total;
+        if !due {
+            return;
+        }
+        state.last_repaint = Some(now);
+        let line = render_line(
+            state.completed,
+            self.total,
+            self.started.elapsed(),
+            state.degraded,
+            state.retried,
+        );
+        drop(state);
+        sink::progress_line(&line);
+    }
+
+    /// Record `n` points replayed from a resume journal (counted as
+    /// completed without affecting throughput-derived ETA much: the elapsed
+    /// clock started with this run).
+    pub fn points_replayed(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut state = self.lock();
+        state.completed += n;
+        if !self.enabled {
+            return;
+        }
+        state.last_repaint = Some(Instant::now());
+        let line = render_line(
+            state.completed,
+            self.total,
+            self.started.elapsed(),
+            state.degraded,
+            state.retried,
+        );
+        drop(state);
+        sink::progress_line(&line);
+    }
+
+    /// Finish the progress display (prints the terminating newline if an
+    /// in-place line is active).
+    pub fn finish(&self) {
+        if self.enabled {
+            sink::progress_done();
+        }
+    }
+}
+
+/// Pure formatting for one progress line; separated out so tests can assert
+/// on it without a terminal.
+pub fn render_line(
+    completed: usize,
+    total: usize,
+    elapsed: Duration,
+    degraded: u64,
+    retried: u64,
+) -> String {
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 {
+        completed as f64 / secs
+    } else {
+        0.0
+    };
+    let eta = if rate > 0.0 && completed < total {
+        let remaining = (total - completed) as f64 / rate;
+        format_eta(remaining)
+    } else if completed >= total {
+        "done".to_owned()
+    } else {
+        "--".to_owned()
+    };
+    let mut line = format!("sweep {completed}/{total} points ({rate:.1} pts/s, ETA {eta})");
+    if degraded > 0 {
+        line.push_str(&format!(", {degraded} degraded"));
+    }
+    if retried > 0 {
+        line.push_str(&format!(", {retried} retried"));
+    }
+    line
+}
+
+fn format_eta(seconds: f64) -> String {
+    let s = seconds.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_line_includes_counts_rate_and_eta() {
+        let line = render_line(5, 20, Duration::from_secs(10), 0, 0);
+        assert_eq!(line, "sweep 5/20 points (0.5 pts/s, ETA 30s)");
+    }
+
+    #[test]
+    fn render_line_appends_degraded_and_retried() {
+        let line = render_line(20, 20, Duration::from_secs(4), 2, 7);
+        assert!(line.starts_with("sweep 20/20 points ("));
+        assert!(line.contains("ETA done"));
+        assert!(line.ends_with(", 2 degraded, 7 retried"), "{line}");
+    }
+
+    #[test]
+    fn render_line_handles_zero_elapsed() {
+        let line = render_line(0, 10, Duration::ZERO, 0, 0);
+        assert!(line.contains("ETA --"), "{line}");
+    }
+
+    #[test]
+    fn eta_formats_scale() {
+        assert_eq!(format_eta(42.4), "42s");
+        assert_eq!(format_eta(90.0), "1m30s");
+        assert_eq!(format_eta(3721.0), "1h02m");
+    }
+
+    #[test]
+    fn disabled_reporter_counts_without_rendering() {
+        let p = SweepProgress::with_enabled(3, false);
+        p.point_done(true, 1);
+        p.point_done(false, 1);
+        p.points_replayed(1);
+        p.finish();
+        let state = p.lock();
+        assert_eq!(state.completed, 3);
+        assert_eq!(state.degraded, 1);
+        assert_eq!(state.retried, 1);
+    }
+}

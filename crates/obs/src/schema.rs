@@ -1,0 +1,276 @@
+//! Schema validation for trace exports.
+//!
+//! [`check_jsonl`] parses every line of a JSONL trace with the hand-rolled
+//! [`crate::json`] parser and enforces the structural invariants the
+//! exporter guarantees: a leading meta line, required fields with the right
+//! types, unique span ids, parent links that resolve to an enclosing span
+//! on the same thread, and proper nesting (two spans on one thread are
+//! either disjoint or one contains the other). [`check_chrome`] validates
+//! that a chrome export is one well-formed JSON array of trace-event
+//! objects. Both are used by the crate's tests and the `nvp-trace-check`
+//! binary CI runs against real sweep traces.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::trace::JSONL_VERSION;
+
+/// Summary of a validated JSONL trace.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    pub spans: usize,
+    pub events: usize,
+    pub threads: usize,
+    pub span_names: BTreeMap<String, usize>,
+    pub event_names: BTreeMap<String, usize>,
+}
+
+struct SpanRow {
+    id: u64,
+    parent: Option<u64>,
+    tid: u64,
+    start_ns: u64,
+    end_ns: u64,
+    line: usize,
+}
+
+fn field<'a>(obj: &'a Json, key: &str, line: usize) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("line {line}: missing field {key:?}"))
+}
+
+fn u64_field(obj: &Json, key: &str, line: usize) -> Result<u64, String> {
+    field(obj, key, line)?
+        .as_u64()
+        .ok_or_else(|| format!("line {line}: field {key:?} is not a non-negative integer"))
+}
+
+fn opt_u64_field(obj: &Json, key: &str, line: usize) -> Result<Option<u64>, String> {
+    let v = field(obj, key, line)?;
+    if v.is_null() {
+        return Ok(None);
+    }
+    v.as_u64()
+        .map(Some)
+        .ok_or_else(|| format!("line {line}: field {key:?} is neither null nor an integer"))
+}
+
+fn name_field(obj: &Json, line: usize) -> Result<String, String> {
+    let name = field(obj, "name", line)?
+        .as_str()
+        .ok_or_else(|| format!("line {line}: field \"name\" is not a string"))?;
+    if name.is_empty() {
+        return Err(format!("line {line}: empty span/event name"));
+    }
+    Ok(name.to_owned())
+}
+
+fn attrs_field(obj: &Json, line: usize) -> Result<(), String> {
+    match field(obj, "attrs", line)? {
+        Json::Obj(_) => Ok(()),
+        _ => Err(format!("line {line}: field \"attrs\" is not an object")),
+    }
+}
+
+/// Validate a JSONL trace document; returns a summary on success.
+pub fn check_jsonl(text: &str) -> Result<TraceSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, meta_line) = lines
+        .next()
+        .ok_or_else(|| "empty trace: missing meta line".to_owned())?;
+    let meta = Json::parse(meta_line).map_err(|e| format!("line 1: {e}"))?;
+    if meta.get("type").and_then(Json::as_str) != Some("meta") {
+        return Err("line 1: first line must be the meta record".to_owned());
+    }
+    let version = u64_field(&meta, "version", 1)?;
+    if version != JSONL_VERSION {
+        return Err(format!(
+            "unsupported trace version {version} (expected {JSONL_VERSION})"
+        ));
+    }
+
+    let mut summary = TraceSummary::default();
+    let mut spans: Vec<SpanRow> = Vec::new();
+    let mut events: Vec<(Option<u64>, u64, u64, usize)> = Vec::new(); // (parent, tid, ts, line)
+    let mut ids: BTreeMap<u64, usize> = BTreeMap::new(); // span id -> index in `spans`
+    let mut tids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+
+    for (idx, line_text) in lines {
+        let line = idx + 1;
+        if line_text.trim().is_empty() {
+            return Err(format!("line {line}: blank line inside trace"));
+        }
+        let obj = Json::parse(line_text).map_err(|e| format!("line {line}: {e}"))?;
+        let kind = field(&obj, "type", line)?
+            .as_str()
+            .ok_or_else(|| format!("line {line}: field \"type\" is not a string"))?
+            .to_owned();
+        match kind.as_str() {
+            "span" => {
+                let name = name_field(&obj, line)?;
+                let id = u64_field(&obj, "id", line)?;
+                if id == 0 {
+                    return Err(format!("line {line}: span id 0 is reserved"));
+                }
+                let parent = opt_u64_field(&obj, "parent", line)?;
+                let tid = u64_field(&obj, "tid", line)?;
+                let start_ns = u64_field(&obj, "start_ns", line)?;
+                let end_ns = u64_field(&obj, "end_ns", line)?;
+                attrs_field(&obj, line)?;
+                if end_ns < start_ns {
+                    return Err(format!("line {line}: span ends before it starts"));
+                }
+                if ids.insert(id, spans.len()).is_some() {
+                    return Err(format!("line {line}: duplicate span id {id}"));
+                }
+                tids.insert(tid);
+                *summary.span_names.entry(name).or_insert(0) += 1;
+                spans.push(SpanRow {
+                    id,
+                    parent,
+                    tid,
+                    start_ns,
+                    end_ns,
+                    line,
+                });
+            }
+            "event" => {
+                let name = name_field(&obj, line)?;
+                let parent = opt_u64_field(&obj, "parent", line)?;
+                let tid = u64_field(&obj, "tid", line)?;
+                let ts_ns = u64_field(&obj, "ts_ns", line)?;
+                attrs_field(&obj, line)?;
+                tids.insert(tid);
+                *summary.event_names.entry(name).or_insert(0) += 1;
+                events.push((parent, tid, ts_ns, line));
+            }
+            "meta" => return Err(format!("line {line}: duplicate meta record")),
+            other => return Err(format!("line {line}: unknown record type {other:?}")),
+        }
+    }
+
+    // Parent links resolve to a span on the same thread whose interval
+    // contains the child.
+    for span in &spans {
+        if let Some(pid) = span.parent {
+            let Some(&pidx) = ids.get(&pid) else {
+                return Err(format!(
+                    "line {}: parent span {pid} not found in trace",
+                    span.line
+                ));
+            };
+            let parent = &spans[pidx];
+            if parent.tid != span.tid {
+                return Err(format!(
+                    "line {}: parent span {pid} is on thread {} but child is on {}",
+                    span.line, parent.tid, span.tid
+                ));
+            }
+            if span.start_ns < parent.start_ns || span.end_ns > parent.end_ns {
+                return Err(format!(
+                    "line {}: span {} [{}, {}] escapes parent {pid} [{}, {}]",
+                    span.line, span.id, span.start_ns, span.end_ns, parent.start_ns, parent.end_ns
+                ));
+            }
+        }
+    }
+    for (parent, tid, ts_ns, line) in &events {
+        if let Some(pid) = parent {
+            let Some(&pidx) = ids.get(pid) else {
+                return Err(format!("line {line}: parent span {pid} not found in trace"));
+            };
+            let parent_span = &spans[pidx];
+            if parent_span.tid != *tid {
+                return Err(format!(
+                    "line {line}: event thread {tid} does not match parent span thread {}",
+                    parent_span.tid
+                ));
+            }
+            if *ts_ns < parent_span.start_ns || *ts_ns > parent_span.end_ns {
+                return Err(format!(
+                    "line {line}: event at {ts_ns} outside parent span [{}, {}]",
+                    parent_span.start_ns, parent_span.end_ns
+                ));
+            }
+        }
+    }
+
+    // Spans on one thread must be properly nested: any two either do not
+    // intersect or one contains the other.
+    let mut by_tid: BTreeMap<u64, Vec<&SpanRow>> = BTreeMap::new();
+    for span in &spans {
+        by_tid.entry(span.tid).or_default().push(span);
+    }
+    for rows in by_tid.values_mut() {
+        rows.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.end_ns)));
+        // With spans sorted by (start asc, end desc), a stack walk detects
+        // partial overlap: each span must fit inside the innermost open one.
+        let mut open: Vec<&SpanRow> = Vec::new();
+        for span in rows.iter() {
+            while let Some(top) = open.last() {
+                // A span that ended at or before this one's start is a
+                // closed sibling (a shared boundary instant is not overlap).
+                if top.end_ns <= span.start_ns {
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = open.last() {
+                if span.end_ns > top.end_ns {
+                    return Err(format!(
+                        "line {}: span {} [{}, {}] partially overlaps span {} [{}, {}] on thread {}",
+                        span.line,
+                        span.id,
+                        span.start_ns,
+                        span.end_ns,
+                        top.id,
+                        top.start_ns,
+                        top.end_ns,
+                        span.tid
+                    ));
+                }
+            }
+            open.push(span);
+        }
+    }
+
+    summary.spans = spans.len();
+    summary.events = events.len();
+    summary.threads = tids.len();
+    Ok(summary)
+}
+
+/// Validate a chrome://tracing export: a single JSON array whose entries
+/// are objects with the fields the trace-event format requires. Returns the
+/// number of entries.
+pub fn check_chrome(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text)?;
+    let Json::Arr(entries) = doc else {
+        return Err("chrome trace is not a JSON array".to_owned());
+    };
+    for (i, entry) in entries.iter().enumerate() {
+        let Json::Obj(_) = entry else {
+            return Err(format!("entry {i}: not an object"));
+        };
+        let ph = entry
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("entry {i}: missing phase \"ph\""))?;
+        if !matches!(ph, "X" | "i") {
+            return Err(format!("entry {i}: unexpected phase {ph:?}"));
+        }
+        for key in ["name", "pid", "tid", "ts"] {
+            if entry.get(key).is_none() {
+                return Err(format!("entry {i}: missing field {key:?}"));
+            }
+        }
+        if entry.get("ts").and_then(Json::as_f64).is_none() {
+            return Err(format!("entry {i}: field \"ts\" is not a number"));
+        }
+        if ph == "X" && entry.get("dur").and_then(Json::as_f64).is_none() {
+            return Err(format!("entry {i}: duration event missing \"dur\""));
+        }
+    }
+    Ok(entries.len())
+}

@@ -1,0 +1,103 @@
+//! Process-wide stderr diagnostics sink.
+//!
+//! All diagnostic output (degraded-result warnings, progress lines, fatal
+//! errors) funnels through one lock so lines never interleave with each
+//! other, and every line is assembled in full before a single `write_all`,
+//! so it cannot shear against stdout CSV when a CI system merges the two
+//! streams. `--quiet` flips a global flag that suppresses warnings and
+//! progress but never errors.
+
+use std::io::{self, IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Suppress warnings and progress output (errors still print).
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+struct StderrState {
+    /// Whether an unterminated progress line is currently displayed, and
+    /// must be erased before the next full diagnostic line.
+    progress_line_active: bool,
+}
+
+fn state() -> MutexGuard<'static, StderrState> {
+    static STATE: OnceLock<Mutex<StderrState>> = OnceLock::new();
+    let lock = STATE.get_or_init(|| {
+        Mutex::new(StderrState {
+            progress_line_active: false,
+        })
+    });
+    match lock.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// True when stderr is a terminal (progress rendering is gated on this).
+pub fn stderr_is_terminal() -> bool {
+    io::stderr().is_terminal()
+}
+
+fn write_line(prefix: &str, message: &str) {
+    let mut guard = state();
+    let mut line = String::with_capacity(prefix.len() + message.len() + 8);
+    if guard.progress_line_active {
+        // Erase the in-place progress line so the diagnostic starts at
+        // column zero on a clean row.
+        line.push_str("\r\x1b[K");
+        guard.progress_line_active = false;
+    }
+    line.push_str(prefix);
+    line.push_str(message);
+    line.push('\n');
+    let _ = io::stderr().write_all(line.as_bytes());
+}
+
+/// Emit a `WARNING:`-prefixed diagnostic line (suppressed under quiet).
+pub fn warn(message: &str) {
+    if quiet() {
+        return;
+    }
+    write_line("WARNING: ", message);
+}
+
+/// Emit a plain diagnostic line (suppressed under quiet).
+pub fn note(message: &str) {
+    if quiet() {
+        return;
+    }
+    write_line("", message);
+}
+
+/// Emit an error line. Never suppressed.
+pub fn error(message: &str) {
+    write_line("", message);
+}
+
+/// Replace the current in-place progress line (no trailing newline). The
+/// caller is responsible for rate limiting and TTY gating.
+pub(crate) fn progress_line(message: &str) {
+    let mut guard = state();
+    // \r returns to column zero, \x1b[K clears any longer previous line.
+    let line = format!("\r{message}\x1b[K");
+    guard.progress_line_active = true;
+    let _ = io::stderr().write_all(line.as_bytes());
+    let _ = io::stderr().flush();
+}
+
+/// Terminate an active progress line with a newline, if one is displayed.
+pub(crate) fn progress_done() {
+    let mut guard = state();
+    if guard.progress_line_active {
+        guard.progress_line_active = false;
+        let _ = io::stderr().write_all(b"\n");
+    }
+}

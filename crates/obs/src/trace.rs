@@ -1,0 +1,418 @@
+//! Span-based tracing with parent links, worker-thread ids, and typed events.
+//!
+//! Recording is process-global and off by default. Every instrumentation
+//! point first checks one relaxed atomic ([`enabled`]); when recording is
+//! off, [`span`] returns an inert guard and [`event`] returns immediately,
+//! so the compiled-in cost is a load and a branch. When recording is on,
+//! spans capture monotonic enter/exit timestamps (nanoseconds since a
+//! process-wide epoch), the dense id of the thread they ran on, the
+//! innermost open span on that thread as their parent, and any key/value
+//! attributes recorded before the guard drops. Finished records accumulate
+//! in a global collector drained by [`stop_recording`].
+//!
+//! Thread ids are dense `u32`s handed out on first use per OS thread — the
+//! same numbering is reused by worker pools, so a trace shows which worker
+//! executed each MRGP row or sweep point.
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch (monotonic).
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+thread_local! {
+    static THREAD_ID: std::cell::Cell<u32> = const { std::cell::Cell::new(u32::MAX) };
+    // Ids of the open spans on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Dense id of the calling thread (assigned on first use).
+pub fn thread_id() -> u32 {
+    THREAD_ID.with(|c| {
+        let mut id = c.get();
+        if id == u32::MAX {
+            id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            c.set(id);
+        }
+        id
+    })
+}
+
+/// An attribute value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) if f.is_finite() => out.push_str(&format!("{f}")),
+        // JSON has no NaN/Inf; stringify the exceptional values.
+        Value::Float(f) => json::escape_into(&format!("{f}"), out),
+        Value::Str(s) => json::escape_into(s, out),
+    }
+}
+
+/// A completed span: a named interval on one thread.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub tid: u32,
+    pub name: &'static str,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub attrs: Vec<(&'static str, Value)>,
+}
+
+/// An instantaneous typed event (fallback taken, panic caught, ...).
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    pub parent: Option<u64>,
+    pub tid: u32,
+    pub name: &'static str,
+    pub ts_ns: u64,
+    pub attrs: Vec<(&'static str, Value)>,
+}
+
+/// One entry in a drained trace.
+#[derive(Debug, Clone)]
+pub enum TraceRecord {
+    Span(SpanRecord),
+    Event(EventRecord),
+}
+
+fn collector() -> &'static Mutex<Vec<TraceRecord>> {
+    static COLLECTOR: OnceLock<Mutex<Vec<TraceRecord>>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn push_record(record: TraceRecord) {
+    let mut guard = match collector().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard.push(record);
+}
+
+/// Whether trace recording is currently on. One relaxed load; this is the
+/// only cost instrumentation pays when tracing is disabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear the collector and start recording spans and events.
+pub fn start_recording() {
+    {
+        let mut guard = match collector().lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.clear();
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stop recording and drain all records collected since [`start_recording`].
+pub fn stop_recording() -> Vec<TraceRecord> {
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut guard = match collector().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    std::mem::take(&mut *guard)
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    tid: u32,
+    name: &'static str,
+    start_ns: u64,
+    attrs: Vec<(&'static str, Value)>,
+}
+
+/// RAII guard for an open span; the span closes when the guard drops.
+/// Inert (all methods no-ops) when recording was off at creation time.
+pub struct SpanGuard {
+    active: Option<Box<ActiveSpan>>,
+}
+
+/// Open a span. The innermost span already open on this thread becomes the
+/// parent. Returns an inert guard when recording is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let tid = thread_id();
+    let parent = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    SpanGuard {
+        active: Some(Box::new(ActiveSpan {
+            id,
+            parent,
+            tid,
+            name,
+            start_ns: now_ns(),
+            attrs: Vec::new(),
+        })),
+    }
+}
+
+impl SpanGuard {
+    /// Attach a key/value attribute to the span (no-op when inert).
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(active) = &mut self.active {
+            active.attrs.push((key, value.into()));
+        }
+    }
+
+    /// The span id, if the guard is live (recording was enabled).
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
+    /// True when the guard is a disabled-recording no-op; lets callers skip
+    /// attribute computation that is only worth doing for a live span.
+    pub fn is_inert(&self) -> bool {
+        self.active.is_none()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop in LIFO order within a thread, so the top of the
+            // stack is this span. Be defensive anyway: remove by id.
+            if stack.last() == Some(&active.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        push_record(TraceRecord::Span(SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            tid: active.tid,
+            name: active.name,
+            start_ns: active.start_ns,
+            end_ns,
+            attrs: active.attrs,
+        }));
+    }
+}
+
+/// Record an instantaneous event with no attributes.
+#[inline]
+pub fn event(name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    emit_event(name, Vec::new());
+}
+
+/// Record an instantaneous event; `attrs` is only invoked when recording is
+/// enabled, so attribute construction costs nothing on the disabled path.
+#[inline]
+pub fn event_with(name: &'static str, attrs: impl FnOnce() -> Vec<(&'static str, Value)>) {
+    if !enabled() {
+        return;
+    }
+    emit_event(name, attrs());
+}
+
+fn emit_event(name: &'static str, attrs: Vec<(&'static str, Value)>) {
+    let tid = thread_id();
+    let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+    push_record(TraceRecord::Event(EventRecord {
+        parent,
+        tid,
+        name,
+        ts_ns: now_ns(),
+        attrs,
+    }));
+}
+
+fn write_attrs(out: &mut String, attrs: &[(&'static str, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(k, out);
+        out.push(':');
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+/// Serialize one record as a single JSON line (no trailing newline).
+pub fn record_to_jsonl(record: &TraceRecord) -> String {
+    let mut out = String::with_capacity(128);
+    match record {
+        TraceRecord::Span(s) => {
+            out.push_str("{\"type\":\"span\",\"name\":");
+            json::escape_into(s.name, &mut out);
+            out.push_str(&format!(
+                ",\"id\":{},\"parent\":{},\"tid\":{},\"start_ns\":{},\"end_ns\":{},\"attrs\":",
+                s.id,
+                s.parent.map_or("null".to_owned(), |p| p.to_string()),
+                s.tid,
+                s.start_ns,
+                s.end_ns
+            ));
+            write_attrs(&mut out, &s.attrs);
+            out.push('}');
+        }
+        TraceRecord::Event(e) => {
+            out.push_str("{\"type\":\"event\",\"name\":");
+            json::escape_into(e.name, &mut out);
+            out.push_str(&format!(
+                ",\"parent\":{},\"tid\":{},\"ts_ns\":{},\"attrs\":",
+                e.parent.map_or("null".to_owned(), |p| p.to_string()),
+                e.tid,
+                e.ts_ns
+            ));
+            write_attrs(&mut out, &e.attrs);
+            out.push('}');
+        }
+    }
+    out
+}
+
+/// Current JSONL trace schema version (bumped on breaking changes).
+pub const JSONL_VERSION: u64 = 1;
+
+/// Write a drained trace as JSONL: one meta line, then one line per record.
+pub fn write_jsonl(records: &[TraceRecord], out: &mut dyn Write) -> io::Result<()> {
+    writeln!(
+        out,
+        "{{\"type\":\"meta\",\"version\":{JSONL_VERSION},\"unit\":\"ns\"}}"
+    )?;
+    for record in records {
+        writeln!(out, "{}", record_to_jsonl(record))?;
+    }
+    Ok(())
+}
+
+/// Write a drained trace in the `chrome://tracing` JSON array format.
+///
+/// Spans become complete (`"ph":"X"`) duration events and events become
+/// thread-scoped instants (`"ph":"i"`); timestamps are microseconds as
+/// required by the trace-event spec.
+pub fn write_chrome(records: &[TraceRecord], out: &mut dyn Write) -> io::Result<()> {
+    out.write_all(b"[")?;
+    let mut first = true;
+    let mut entry = String::with_capacity(160);
+    for record in records {
+        if !first {
+            out.write_all(b",\n")?;
+        }
+        first = false;
+        entry.clear();
+        match record {
+            TraceRecord::Span(s) => {
+                entry.push_str("{\"name\":");
+                json::escape_into(s.name, &mut entry);
+                entry.push_str(&format!(
+                    ",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":",
+                    s.tid,
+                    s.start_ns as f64 / 1000.0,
+                    (s.end_ns - s.start_ns) as f64 / 1000.0
+                ));
+                write_attrs(&mut entry, &s.attrs);
+                entry.push('}');
+            }
+            TraceRecord::Event(e) => {
+                entry.push_str("{\"name\":");
+                json::escape_into(e.name, &mut entry);
+                entry.push_str(&format!(
+                    ",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":",
+                    e.tid,
+                    e.ts_ns as f64 / 1000.0
+                ));
+                write_attrs(&mut entry, &e.attrs);
+                entry.push('}');
+            }
+        }
+        out.write_all(entry.as_bytes())?;
+    }
+    out.write_all(b"]\n")?;
+    Ok(())
+}

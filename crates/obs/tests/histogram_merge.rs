@@ -1,0 +1,75 @@
+//! Property tests: histogram merge is associative, commutative, and
+//! independent of both sample order and how samples are partitioned across
+//! histograms — the invariants that make per-worker histograms safe to
+//! combine in any reduction order.
+
+use nvp_obs::metrics::{bucket_of, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_associative(a in arb_samples(), b in arb_samples(), c in arb_samples()) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_samples(), b in arb_samples()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn merge_identity_is_empty(a in arb_samples()) {
+        let sa = snapshot_of(&a);
+        prop_assert_eq!(sa.merge(&HistogramSnapshot::empty()), sa.clone());
+        prop_assert_eq!(HistogramSnapshot::empty().merge(&sa), sa);
+    }
+
+    /// Recording order never matters: a shuffled copy of the samples lands
+    /// in an identical snapshot.
+    #[test]
+    fn snapshot_is_order_independent(a in arb_samples(), seed in any::<u64>()) {
+        let mut shuffled = a.clone();
+        // Deterministic Fisher–Yates from the seed (no rand dependency).
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(snapshot_of(&a), snapshot_of(&shuffled));
+    }
+
+    /// Splitting the samples at any point and merging the two halves equals
+    /// recording everything into one histogram.
+    #[test]
+    fn merge_equals_single_histogram(a in arb_samples(), split in any::<usize>()) {
+        let cut = if a.is_empty() { 0 } else { split % (a.len() + 1) };
+        let merged = snapshot_of(&a[..cut]).merge(&snapshot_of(&a[cut..]));
+        prop_assert_eq!(merged, snapshot_of(&a));
+    }
+
+    /// Buckets are deterministic in the value alone.
+    #[test]
+    fn bucketing_is_deterministic_and_monotone(v in any::<u64>()) {
+        prop_assert_eq!(bucket_of(v), bucket_of(v));
+        if v > 0 {
+            prop_assert!(bucket_of(v - 1) <= bucket_of(v));
+        }
+    }
+}

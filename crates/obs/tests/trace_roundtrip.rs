@@ -1,0 +1,200 @@
+//! End-to-end trace recording: spans across threads round-trip through the
+//! JSONL exporter, the hand parser, and the schema checker; the chrome
+//! export is a valid trace-event JSON array.
+//!
+//! Recording is process-global, so everything that toggles it lives in this
+//! one integration binary behind a shared mutex.
+
+use std::sync::Mutex;
+
+use nvp_obs::schema::{check_chrome, check_jsonl};
+use nvp_obs::trace::{
+    self, event, event_with, span, write_chrome, write_jsonl, TraceRecord, Value,
+};
+
+static RECORDING: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match RECORDING.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn record_sample_trace() -> Vec<TraceRecord> {
+    trace::start_recording();
+    {
+        let mut root = span("sweep.point");
+        root.record("index", 0usize);
+        root.record("x", 0.25f64);
+        {
+            let mut explore = span("explore");
+            explore.record("tangible_markings", 12u64);
+            event_with("fallback", || vec![("method", Value::from("monte-carlo"))]);
+        }
+        let workers: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut row = span("mrgp.row");
+                    row.record("marking", i as u64);
+                    event("retry");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _reward = span("reward");
+    }
+    trace::stop_recording()
+}
+
+#[test]
+fn jsonl_round_trips_and_chrome_is_valid_json() {
+    let _guard = lock();
+    let records = record_sample_trace();
+    assert!(
+        records.len() >= 7,
+        "expected >=7 records, got {}",
+        records.len()
+    );
+
+    let mut jsonl = Vec::new();
+    write_jsonl(&records, &mut jsonl).unwrap();
+    let text = String::from_utf8(jsonl).unwrap();
+    let summary = check_jsonl(&text).expect("trace passes its own schema");
+    assert_eq!(summary.spans, 6); // sweep.point, explore, 3×mrgp.row, reward
+    assert_eq!(summary.events, 4); // fallback + 3×retry
+    assert_eq!(summary.span_names["mrgp.row"], 3);
+    assert_eq!(summary.event_names["retry"], 3);
+    // Three spawned threads plus the main thread.
+    assert!(summary.threads >= 4, "threads = {}", summary.threads);
+
+    let mut chrome = Vec::new();
+    write_chrome(&records, &mut chrome).unwrap();
+    let entries = check_chrome(&String::from_utf8(chrome).unwrap()).unwrap();
+    assert_eq!(entries, records.len());
+}
+
+#[test]
+fn parent_links_follow_the_per_thread_stack() {
+    let _guard = lock();
+    trace::start_recording();
+    {
+        let outer = span("outer");
+        let outer_id = outer.id().unwrap();
+        {
+            let inner = span("inner");
+            assert_ne!(inner.id(), Some(outer_id));
+        }
+        // A sibling thread must not inherit this thread's open span.
+        std::thread::spawn(|| {
+            let _isolated = span("isolated");
+        })
+        .join()
+        .unwrap();
+    }
+    let records = trace::stop_recording();
+    let span_of = |name: &str| {
+        records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::Span(s) if s.name == name => Some(s),
+                _ => None,
+            })
+            .unwrap()
+    };
+    let outer = span_of("outer");
+    let inner = span_of("inner");
+    let isolated = span_of("isolated");
+    assert_eq!(outer.parent, None);
+    assert_eq!(inner.parent, Some(outer.id));
+    assert_eq!(inner.tid, outer.tid);
+    assert_eq!(isolated.parent, None);
+    assert_ne!(isolated.tid, outer.tid);
+    assert!(inner.start_ns >= outer.start_ns && inner.end_ns <= outer.end_ns);
+}
+
+#[test]
+fn events_carry_attributes_and_enclosing_span() {
+    let _guard = lock();
+    trace::start_recording();
+    {
+        let sp = span("chain.solve");
+        assert!(sp.id().is_some());
+        event_with("panic_caught", || {
+            vec![
+                ("site", Value::from("mrgp-row")),
+                ("attempt", Value::from(2u64)),
+            ]
+        });
+    }
+    let records = trace::stop_recording();
+    let ev = records
+        .iter()
+        .find_map(|r| match r {
+            TraceRecord::Event(e) if e.name == "panic_caught" => Some(e),
+            _ => None,
+        })
+        .unwrap();
+    assert!(ev.parent.is_some());
+    assert_eq!(ev.attrs[0], ("site", Value::Str("mrgp-row".to_owned())));
+    assert_eq!(ev.attrs[1], ("attempt", Value::UInt(2)));
+}
+
+#[test]
+fn disabled_tracing_records_nothing_and_guards_are_inert() {
+    let _guard = lock();
+    // Not recording: spans are inert and nothing accumulates.
+    let mut sp = span("ignored");
+    assert_eq!(sp.id(), None);
+    sp.record("key", 1u64);
+    event("ignored");
+    drop(sp);
+    trace::start_recording();
+    let records = trace::stop_recording();
+    assert!(records.is_empty(), "stray records: {records:?}");
+}
+
+#[test]
+fn schema_checker_rejects_tampered_traces() {
+    let _guard = lock();
+    trace::start_recording();
+    {
+        let _a = span("stage.a");
+    }
+    let records = trace::stop_recording();
+    let mut buf = Vec::new();
+    write_jsonl(&records, &mut buf).unwrap();
+    let good = String::from_utf8(buf).unwrap();
+    assert!(check_jsonl(&good).is_ok());
+
+    // Missing meta line.
+    let body_only: String = good.lines().skip(1).collect::<Vec<_>>().join("\n");
+    assert!(check_jsonl(&body_only).is_err());
+    // Truncated record (torn line).
+    let torn = &good[..good.len() - 5];
+    assert!(check_jsonl(torn).is_err());
+    // Dangling parent link.
+    let dangling = good.replace("\"parent\":null", "\"parent\":999999");
+    assert!(check_jsonl(&dangling).is_err());
+    // Span ending before it starts.
+    let inverted = good.replace("\"start_ns\":", "\"start_ns\":99999999999999,\"ignored\":");
+    assert!(check_jsonl(&inverted).is_err());
+
+    // Hand-built partial overlap on one thread must be rejected.
+    let overlap = "{\"type\":\"meta\",\"version\":1,\"unit\":\"ns\"}\n\
+        {\"type\":\"span\",\"name\":\"a\",\"id\":1,\"parent\":null,\"tid\":0,\
+         \"start_ns\":0,\"end_ns\":10,\"attrs\":{}}\n\
+        {\"type\":\"span\",\"name\":\"b\",\"id\":2,\"parent\":null,\"tid\":0,\
+         \"start_ns\":5,\"end_ns\":15,\"attrs\":{}}\n";
+    let err = check_jsonl(overlap).unwrap_err();
+    assert!(err.contains("partially overlaps"), "{err}");
+
+    // Same intervals on different threads are fine.
+    let two_threads = overlap.replace(
+        "{\"type\":\"span\",\"name\":\"b\",\"id\":2,\"parent\":null,\"tid\":0,",
+        "{\"type\":\"span\",\"name\":\"b\",\"id\":2,\"parent\":null,\"tid\":1,",
+    );
+    assert!(check_jsonl(&two_threads).is_ok());
+}

@@ -196,7 +196,17 @@ pub fn explore_with_stats_budgeted(
     max_markings: usize,
     budget: &SolveBudget,
 ) -> Result<(TangibleReachGraph, ExploreStats)> {
-    Explorer::new(net, max_markings, budget.clone()).run()
+    let mut span = nvp_obs::span("explore");
+    let result = Explorer::new(net, max_markings, budget.clone()).run();
+    if let Ok((_, stats)) = &result {
+        // Vanishing elimination happens inline during the cascade walk, so
+        // its work shows up as attributes of the exploration span.
+        span.record("tangible_markings", stats.tangible_markings);
+        span.record("vanishing_visits", stats.vanishing_visits);
+        span.record("timed_arcs", stats.timed_arcs);
+        span.record("zero_rate_arcs", stats.zero_rate_arcs);
+    }
+    result
 }
 
 struct Explorer<'a> {
