@@ -1,0 +1,370 @@
+//! Single-solve hot-path benchmark.
+//!
+//! ```text
+//! single_solve [--out FILE] [--check]
+//! ```
+//!
+//! Times one steady-state solve with the subordinated-chain dedup path on
+//! and off, on two models:
+//!
+//! * the paper's six-version system (fig. 3 baseline) — every subordinated
+//!   chain is structurally distinct there, so dedup must cost nothing;
+//! * a synthetic equal-rate ring DSPN whose chains all share one structural
+//!   class — the repeated-structure case the dedup path exists for.
+//!
+//! It also microbenchmarks the sparse kernels the hot path runs on
+//! (`vecmat_into` / `matvec_into`) and writes everything as a JSON report
+//! (default `BENCH_single_solve.json`). The report is re-parsed with
+//! [`nvp_obs::json`] before it is written, so a malformed emit fails the
+//! run rather than polluting CI artifacts. `--check` additionally asserts
+//! the dedup counters and bit-identity invariants and exits non-zero on
+//! violation.
+
+use nvp_core::model::build_model;
+use nvp_core::params::SystemParams;
+use nvp_mrgp::{steady_state_with_options, MrgpStats, SolveOptions, SteadyState};
+use nvp_numerics::pool::Jobs;
+use nvp_numerics::sparse::CsrBuilder;
+use nvp_obs::json::Json;
+use nvp_petri::net::{NetBuilder, PetriNet, TransitionKind};
+use nvp_petri::reach::{explore, TangibleReachGraph};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Wall-time repetitions per measurement; the minimum is reported.
+const REPS: usize = 5;
+
+/// Ring size for the repeated-structure model. Every one of the
+/// `RING_POSITIONS` markings owns a structurally identical subordinated
+/// chain, so the dedup path solves one class instead of
+/// `RING_POSITIONS` chains.
+const RING_POSITIONS: usize = 48;
+
+fn main() -> ExitCode {
+    let mut out = String::from("BENCH_single_solve.json");
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("--out requires a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: single_solve [--out FILE] [--check]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; see --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let fig3_net = match build_model(&SystemParams::paper_six_version()) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("cannot build the six-version model: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fig3 = match bench_model("fig3_six_version", &fig3_net) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig3 benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ring = match bench_model("repeated_ring", &ring_net(RING_POSITIONS, 1.0, 40.0)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ring benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kernel = bench_kernels(1000);
+
+    let report = render_report(&fig3, &ring, &kernel);
+    // Self-validate: the report must round-trip through the same parser
+    // the trace-schema checks use.
+    let parsed = match Json::parse(&report) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("emitted report is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, &report) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fig3: {} chains / {} classes, solve {:.2} ms (dedup) vs {:.2} ms (per-row)",
+        fig3.stats_on.subordinated_chains,
+        fig3.stats_on.dedup_classes,
+        fig3.best_on_ms,
+        fig3.best_off_ms,
+    );
+    println!(
+        "ring: {} chains / {} classes, solve {:.2} ms (dedup) vs {:.2} ms (per-row), speedup {:.2}x",
+        ring.stats_on.subordinated_chains,
+        ring.stats_on.dedup_classes,
+        ring.best_on_ms,
+        ring.best_off_ms,
+        ring.speedup(),
+    );
+    println!(
+        "kernels (n=1000): vecmat {:.0} MFLOP/s, matvec {:.0} MFLOP/s",
+        kernel.vecmat_mflops, kernel.matvec_mflops
+    );
+    println!("wrote {out}");
+
+    if check && !run_checks(&fig3, &ring, &parsed) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// One model's measurements: solve wall time with dedup on/off plus the
+/// solver counters from each run.
+struct ModelBench {
+    id: &'static str,
+    markings: usize,
+    best_on_ms: f64,
+    best_off_ms: f64,
+    stats_on: MrgpStats,
+    stats_off: MrgpStats,
+    bit_identical: bool,
+}
+
+impl ModelBench {
+    fn speedup(&self) -> f64 {
+        self.best_off_ms / self.best_on_ms
+    }
+}
+
+fn bench_model(id: &'static str, net: &PetriNet) -> Result<ModelBench, String> {
+    let graph = explore(net, 100_000).map_err(|e| format!("explore: {e}"))?;
+    let (off, stats_off, best_off_ms) = timed_solve(&graph, false)?;
+    let (on, stats_on, best_on_ms) = timed_solve(&graph, true)?;
+    let bit_identical = on.probabilities().len() == off.probabilities().len()
+        && on
+            .probabilities()
+            .iter()
+            .zip(off.probabilities())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    Ok(ModelBench {
+        id,
+        markings: graph.tangible_count(),
+        best_on_ms,
+        best_off_ms,
+        stats_on,
+        stats_off,
+        bit_identical,
+    })
+}
+
+/// Solve `REPS` times serially and keep the fastest wall time; returns the
+/// last solution and its stats (identical across repetitions).
+fn timed_solve(
+    graph: &TangibleReachGraph,
+    dedup: bool,
+) -> Result<(SteadyState, MrgpStats, f64), String> {
+    let options = SolveOptions {
+        jobs: Jobs::Fixed(1),
+        dedup,
+        ..SolveOptions::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let solved = steady_state_with_options(graph, &options)
+            .map_err(|e| format!("solve (dedup={dedup}): {e}"))?;
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        result = Some(solved);
+    }
+    let (solution, stats) = result.expect("REPS > 0");
+    Ok((solution, stats, best))
+}
+
+/// A ring of `positions` places with one circulating token hopping at a
+/// uniform `rate`, plus a no-op deterministic clock enabled everywhere.
+/// Every marking's subordinated chain is the same `positions`-state cycle,
+/// so dedup collapses the row stage to a single class solve.
+fn ring_net(positions: usize, rate: f64, tau: f64) -> PetriNet {
+    let mut b = NetBuilder::new("bench-ring");
+    let places: Vec<_> = (0..positions)
+        .map(|i| b.place(format!("P{i}"), u32::from(i == 0)))
+        .collect();
+    let clk = b.place("Clk", 1);
+    for i in 0..positions {
+        b.transition(format!("hop{i}"), TransitionKind::exponential_rate(rate))
+            .expect("valid rate")
+            .input(places[i], 1)
+            .output(places[(i + 1) % positions], 1);
+    }
+    b.transition("clock", TransitionKind::deterministic_delay(tau))
+        .expect("valid delay")
+        .input(clk, 1)
+        .output(clk, 1);
+    b.build().expect("well-formed ring net")
+}
+
+/// Sparse-kernel throughput on the shapes the hot path actually runs:
+/// a row-stochastic uniformized matrix with a few off-diagonals per row.
+struct KernelBench {
+    n: usize,
+    nnz: usize,
+    vecmat_mflops: f64,
+    matvec_mflops: f64,
+}
+
+fn bench_kernels(n: usize) -> KernelBench {
+    // Deterministic banded stochastic matrix: diagonal plus three
+    // wrapped off-diagonals per row — about the density a subordinated
+    // chain's uniformized kernel has.
+    let mut builder = CsrBuilder::new(n, n);
+    for i in 0..n {
+        builder.push(i, i, 0.55);
+        builder.push(i, (i + 1) % n, 0.25);
+        builder.push(i, (i + 7) % n, 0.15);
+        builder.push(i, (i + 31) % n, 0.05);
+    }
+    let p = builder.build();
+    let x = vec![1.0 / n as f64; n];
+    let mut y = vec![0.0; n];
+    let flops_per_apply = 2.0 * p.nnz() as f64;
+
+    let reps = 2000usize;
+    let mut vecmat_best = f64::INFINITY;
+    let mut matvec_best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..reps {
+            p.vecmat_into(&x, &mut y);
+        }
+        vecmat_best = vecmat_best.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for _ in 0..reps {
+            p.matvec_into(&x, &mut y);
+        }
+        matvec_best = matvec_best.min(start.elapsed().as_secs_f64());
+    }
+    // `y` feeds the report only through this checksum, which keeps the
+    // kernel loops from being optimized away.
+    let checksum: f64 = y.iter().sum();
+    assert!(checksum.is_finite());
+    KernelBench {
+        n,
+        nnz: p.nnz(),
+        vecmat_mflops: flops_per_apply * reps as f64 / vecmat_best / 1e6,
+        matvec_mflops: flops_per_apply * reps as f64 / matvec_best / 1e6,
+    }
+}
+
+fn render_model(out: &mut String, bench: &ModelBench) {
+    let _ = write!(
+        out,
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"markings\": {},\n",
+            "    \"subordinated_chains\": {},\n",
+            "    \"dedup_classes\": {},\n",
+            "    \"dedup_hits\": {},\n",
+            "    \"steady_state_detections\": {},\n",
+            "    \"max_truncation_steps_dedup\": {},\n",
+            "    \"max_truncation_steps_per_row\": {},\n",
+            "    \"solve_ms_dedup\": {:.4},\n",
+            "    \"solve_ms_per_row\": {:.4},\n",
+            "    \"speedup\": {:.4},\n",
+            "    \"bit_identical\": {}\n",
+            "  }}"
+        ),
+        bench.id,
+        bench.markings,
+        bench.stats_on.subordinated_chains,
+        bench.stats_on.dedup_classes,
+        bench.stats_on.dedup_hits,
+        bench.stats_on.steady_state_detections,
+        bench.stats_on.max_truncation_steps,
+        bench.stats_off.max_truncation_steps,
+        bench.best_on_ms,
+        bench.best_off_ms,
+        bench.speedup(),
+        bench.bit_identical,
+    );
+}
+
+fn render_report(fig3: &ModelBench, ring: &ModelBench, kernel: &KernelBench) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"nvp-bench/single-solve/v1\",\n");
+    let _ = writeln!(out, "  \"reps\": {REPS},");
+    render_model(&mut out, fig3);
+    out.push_str(",\n");
+    render_model(&mut out, ring);
+    let _ = write!(
+        out,
+        concat!(
+            ",\n  \"kernel\": {{\n",
+            "    \"n\": {},\n",
+            "    \"nnz\": {},\n",
+            "    \"vecmat_mflops\": {:.1},\n",
+            "    \"matvec_mflops\": {:.1}\n",
+            "  }}\n}}\n"
+        ),
+        kernel.n, kernel.nnz, kernel.vecmat_mflops, kernel.matvec_mflops,
+    );
+    out
+}
+
+/// `--check` assertions; each failure prints its own diagnostic.
+fn run_checks(fig3: &ModelBench, ring: &ModelBench, parsed: &Json) -> bool {
+    let mut ok = true;
+    let mut fail = |message: String| {
+        eprintln!("check failed: {message}");
+        ok = false;
+    };
+    if fig3.stats_on.dedup_classes == 0 {
+        fail("fig3 solve reports zero dedup classes".into());
+    }
+    if fig3.stats_on.dedup_classes + fig3.stats_on.dedup_hits != fig3.stats_on.subordinated_chains {
+        fail(format!(
+            "fig3 class accounting broken: {} classes + {} hits != {} chains",
+            fig3.stats_on.dedup_classes,
+            fig3.stats_on.dedup_hits,
+            fig3.stats_on.subordinated_chains
+        ));
+    }
+    if ring.stats_on.dedup_hits == 0 {
+        fail("repeated-structure ring produced no dedup hits".into());
+    }
+    for bench in [fig3, ring] {
+        if !bench.bit_identical {
+            fail(format!(
+                "{}: dedup solution is not bit-identical to the per-row path",
+                bench.id
+            ));
+        }
+    }
+    if ring.speedup() < 1.5 {
+        fail(format!(
+            "repeated-structure speedup {:.2}x below the 1.5x floor",
+            ring.speedup()
+        ));
+    }
+    for key in ["fig3_six_version", "repeated_ring", "kernel"] {
+        if parsed.get(key).is_none() {
+            fail(format!("report is missing the `{key}` object"));
+        }
+    }
+    if ok {
+        println!("all checks passed");
+    }
+    ok
+}

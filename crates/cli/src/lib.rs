@@ -1068,6 +1068,7 @@ mod tests {
         assert!(text.contains("solver statistics:"), "{text}");
         assert!(text.contains("chain cache"), "{text}");
         assert!(text.contains("uniformization depth"), "{text}");
+        assert!(text.contains("dedup class(es)"), "{text}");
         // Without the flag the report stays stats-free.
         let text = run_to_string(&["analyze"]).unwrap();
         assert!(!text.contains("solver statistics:"), "{text}");
@@ -1094,6 +1095,7 @@ mod tests {
         assert!(text.contains("metrics:"), "{text}");
         assert!(text.contains("nvp_cache_misses_total 1"), "{text}");
         assert!(text.contains("nvp_stage_solve_ns_count 1"), "{text}");
+        assert!(text.contains("nvp_dedup_classes_total 49"), "{text}");
         let (status, text) = run_full(&[
             "sweep",
             "--axis",

@@ -285,8 +285,17 @@ pub struct SolverStats {
     pub subordinated_chains: usize,
     /// Largest subordinated CTMC (state count) seen.
     pub max_subordinated_states: usize,
-    /// Deepest uniformization (Poisson-series) truncation seen.
+    /// Deepest uniformization (Poisson-series) truncation actually used.
     pub max_truncation_steps: usize,
+    /// Structural equivalence classes actually solved by the MRGP row stage
+    /// across cached solutions (one shared solve per class).
+    pub dedup_classes: usize,
+    /// Subordinated-chain solves skipped because a structurally identical
+    /// chain's class solution was reused, across cached solutions.
+    pub dedup_hits: usize,
+    /// Uniformization series cut short by bitwise steady-state detection,
+    /// across cached solutions.
+    pub steady_state_detections: usize,
     /// Stationary solves answered by the dense LU backend.
     pub dense_solves: usize,
     /// Stationary solves answered by damped power iteration.
@@ -362,6 +371,12 @@ impl std::fmt::Display for SolverStats {
             "mrgp             : {} subordinated chain(s), largest {} state(s), \
              uniformization depth <= {}",
             self.subordinated_chains, self.max_subordinated_states, self.max_truncation_steps
+        )?;
+        writeln!(
+            f,
+            "solver hot path  : {} dedup class(es), {} dedup hit(s), \
+             {} steady-state detection(s)",
+            self.dedup_classes, self.dedup_hits, self.steady_state_detections
         )?;
         writeln!(
             f,
@@ -443,6 +458,11 @@ impl SolverStats {
                 .saturating_sub(baseline.subordinated_chains),
             max_subordinated_states: self.max_subordinated_states,
             max_truncation_steps: self.max_truncation_steps,
+            dedup_classes: self.dedup_classes.saturating_sub(baseline.dedup_classes),
+            dedup_hits: self.dedup_hits.saturating_sub(baseline.dedup_hits),
+            steady_state_detections: self
+                .steady_state_detections
+                .saturating_sub(baseline.steady_state_detections),
             dense_solves: self.dense_solves.saturating_sub(baseline.dense_solves),
             iterative_solves: self
                 .iterative_solves
@@ -524,6 +544,9 @@ pub struct AnalysisEngine {
     retries_taken: Counter,
     resume_hits: Counter,
     poisoned_locks: Counter,
+    dedup_classes: Counter,
+    dedup_hits: Counter,
+    steady_state_detections: Counter,
     build_hist: Histogram,
     explore_hist: Histogram,
     solve_hist: Histogram,
@@ -553,6 +576,9 @@ impl Default for AnalysisEngine {
             retries_taken: metrics.counter("nvp_retries_total"),
             resume_hits: metrics.counter("nvp_resume_hits_total"),
             poisoned_locks: metrics.counter("nvp_poisoned_locks_recovered_total"),
+            dedup_classes: metrics.counter("nvp_dedup_classes_total"),
+            dedup_hits: metrics.counter("nvp_dedup_hits_total"),
+            steady_state_detections: metrics.counter("nvp_steady_state_detections_total"),
             build_hist: metrics.histogram("nvp_stage_build_ns"),
             explore_hist: metrics.histogram("nvp_stage_explore_ns"),
             solve_hist: metrics.histogram("nvp_stage_solve_ns"),
@@ -1348,6 +1374,9 @@ impl AnalysisEngine {
             s.max_truncation_steps = s
                 .max_truncation_steps
                 .max(sol.solver_stats.max_truncation_steps);
+            s.dedup_classes += sol.solver_stats.dedup_classes;
+            s.dedup_hits += sol.solver_stats.dedup_hits;
+            s.steady_state_detections += sol.solver_stats.steady_state_detections;
             s.guard_trips += sol.solver_stats.guard_trips;
             s.workers_used = s.workers_used.max(sol.solver_stats.workers_used);
             s.parallel_rows += sol.solver_stats.parallel_rows;
@@ -1454,6 +1483,10 @@ impl AnalysisEngine {
         let solve_time = t2.elapsed();
         self.solve_hist.record_duration(solve_time);
         self.workers_gauge.set_max(solver_stats.workers_used as u64);
+        self.dedup_classes.add(solver_stats.dedup_classes as u64);
+        self.dedup_hits.add(solver_stats.dedup_hits as u64);
+        self.steady_state_detections
+            .add(solver_stats.steady_state_detections as u64);
         if !chain_span.is_inert() {
             chain_span.record("tangible_markings", explore_stats.tangible_markings);
             chain_span.record("degraded", degraded.is_some());

@@ -74,7 +74,8 @@ pub struct MrgpStats {
     /// the calling thread); 0 when no such stage ran (CTMC / single
     /// marking), 1 for a strictly serial MRGP solve.
     pub workers_used: usize,
-    /// Subordinated-chain rows solved on more than one worker.
+    /// Subordinated-chain rows whose class solves ran on more than one
+    /// worker.
     pub parallel_rows: usize,
     /// Times the row stage asked the worker pool for permits and was
     /// granted fewer than requested (nested parallelism degrading towards
@@ -85,6 +86,20 @@ pub struct MrgpStats {
     /// any caught panic fails the solve — but the counter survives into the
     /// stats a caller collects from a failed attempt's partial state.
     pub worker_panics: usize,
+    /// Structural equivalence classes among the subordinated CTMCs — the
+    /// number of distinct (delay, transition-structure) fingerprints that
+    /// were actually solved. Equals `subordinated_chains` when every chain
+    /// is unique or dedup is disabled.
+    pub dedup_classes: usize,
+    /// Subordinated chains whose solve was skipped because another chain in
+    /// the same structural class already provided the bit-identical
+    /// solution (`subordinated_chains - dedup_classes`).
+    pub dedup_hits: usize,
+    /// Class solves whose uniformization iterate reached a bitwise fixpoint
+    /// before the Poisson series ended, letting the solver skip the
+    /// remaining matrix products (see
+    /// [`nvp_numerics::ctmc::TransientStats`]).
+    pub steady_state_detections: usize,
 }
 
 /// Options controlling a steady-state solve.
@@ -110,6 +125,13 @@ pub struct SolveOptions {
     /// bit-identical to the serial path. [`Jobs::Fixed`]`(1)` forces the
     /// historical strictly serial loop.
     pub jobs: Jobs,
+    /// Solve one subordinated CTMC per structural equivalence class and map
+    /// the class solution back to every member, instead of solving each
+    /// chain independently. Chains with bitwise-equal delay and local
+    /// transition structure run the exact same float operations, so sharing
+    /// is bit-identical to the chain-per-marking path; `false` forces that
+    /// historical path (useful for differential tests and benchmarks).
+    pub dedup: bool,
 }
 
 impl Default for SolveOptions {
@@ -120,6 +142,7 @@ impl Default for SolveOptions {
             tolerance: DEFAULT_TOLERANCE,
             max_iterations: DEFAULT_MAX_ITERATIONS,
             jobs: Jobs::Auto,
+            dedup: true,
         }
     }
 }
@@ -294,6 +317,9 @@ pub fn steady_state_with_options(
         span.record("method", format!("{:?}", stats.method));
         span.record("workers_used", stats.workers_used);
         span.record("subordinated_chains", stats.subordinated_chains);
+        span.record("dedup_classes", stats.dedup_classes);
+        span.record("dedup_hits", stats.dedup_hits);
+        span.record("steady_state_detections", stats.steady_state_detections);
     }
     Ok((solution, stats))
 }
@@ -434,39 +460,94 @@ fn solve_mrgp(
 /// which enables a deterministic transition), returning the results in the
 /// same order.
 ///
-/// The rows are independent by construction — each builds and solves its own
-/// subordinated CTMC from immutable graph data — so when
-/// [`SolveOptions::jobs`] and the process-wide [`WorkerPool`] allow it they
-/// fan out over `std::thread::scope` workers claiming markings from a shared
-/// index. Each worker accumulates its own [`MrgpStats`]; the per-worker
-/// counters are merged with order-independent operations (sums and maxes),
-/// and the rows themselves are returned in marking order, so the caller sees
-/// results bit-identical to the serial loop.
+/// The work runs in three phases:
 ///
-/// On the first row error the workers stop claiming further markings
+/// 1. **Build** (serial): BFS each marking's subordinated CTMC and compute
+///    its structural fingerprint ([`ChainClassKey`]). Chains with equal keys
+///    form one equivalence class — they run the exact same float operations
+///    when solved, so one solve serves every member bit for bit.
+/// 2. **Class solve** (parallel): one transient/sojourn solve per class
+///    representative. When [`SolveOptions::jobs`] and the process-wide
+///    [`WorkerPool`] allow it, workers claim classes from a shared index;
+///    per-worker counters merge with order-independent operations (sums and
+///    maxes).
+/// 3. **Assemble** (serial): map each class solution back to its members'
+///    embedded-chain rows and conversion factors, in marking order — so the
+///    result is bit-identical however the class solves were scheduled.
+///
+/// On the first class-solve error the workers stop claiming further classes
 /// (cancellation) and the lowest-index recorded error is returned. Budget
-/// checks run on the worker threads, one per claimed row, exactly like the
-/// serial path.
+/// checks run once per built chain and once per claimed class, exactly like
+/// the historical per-row path.
 fn solve_deterministic_rows(
     graph: &TangibleReachGraph,
     markings: &[usize],
     options: &SolveOptions,
     stats: &mut MrgpStats,
 ) -> Result<Vec<RowAndConversion>> {
-    let serial = |stats: &mut MrgpStats| -> Result<Vec<RowAndConversion>> {
-        stats.workers_used = 1;
-        let mut rows = Vec::with_capacity(markings.len());
-        for &k in markings {
-            options.budget.check("subordinated chain solve")?;
-            rows.push(deterministic_row_isolated(graph, k, stats)?);
+    // Phase 1 — build every subordinated chain and group by fingerprint.
+    let mut chains = Vec::with_capacity(markings.len());
+    for &k in markings {
+        options.budget.check("subordinated chain solve")?;
+        chains.push(build_subordinated_isolated(graph, k, stats)?);
+    }
+    let mut class_of = Vec::with_capacity(chains.len());
+    let mut reps: Vec<usize> = Vec::new(); // chain index of each class representative
+    if options.dedup {
+        let mut seen: HashMap<&ChainClassKey, usize> = HashMap::new();
+        for chain in &chains {
+            match seen.get(&chain.key) {
+                Some(&class) => class_of.push(class),
+                None => {
+                    seen.insert(&chain.key, reps.len());
+                    class_of.push(reps.len());
+                    reps.push(class_of.len() - 1);
+                }
+            }
         }
-        Ok(rows)
+    } else {
+        // Dedup disabled: one class per chain, reproducing the historical
+        // chain-per-marking schedule.
+        class_of.extend(0..chains.len());
+        reps.extend(0..chains.len());
+    }
+    stats.dedup_classes += reps.len();
+    stats.dedup_hits += chains.len() - reps.len();
+
+    // Phase 2 — one solve per class, fanned out when permitted.
+    let solutions = solve_classes(&chains, &reps, options, stats)?;
+
+    // Phase 3 — per-member assembly in marking order.
+    Ok(chains
+        .iter()
+        .zip(&class_of)
+        .map(|(chain, &class)| assemble_row(graph, chain, &solutions[class]))
+        .collect())
+}
+
+/// Runs `class_solution_isolated` for every class representative in `reps`,
+/// returning the solutions in class order. Fans out over
+/// `std::thread::scope` workers claiming classes from a shared index when
+/// the jobs setting and the [`WorkerPool`] allow it; otherwise runs the
+/// strictly serial loop.
+fn solve_classes(
+    chains: &[SubordinatedChain],
+    reps: &[usize],
+    options: &SolveOptions,
+    stats: &mut MrgpStats,
+) -> Result<Vec<ClassSolution>> {
+    let serial = |stats: &mut MrgpStats| -> Result<Vec<ClassSolution>> {
+        stats.workers_used = 1;
+        let mut out = Vec::with_capacity(reps.len());
+        for &i in reps {
+            options.budget.check("subordinated chain solve")?;
+            out.push(class_solution_isolated(&chains[i], stats)?);
+        }
+        Ok(out)
     };
     let pool = WorkerPool::global();
-    let desired = options
-        .jobs
-        .desired_workers(markings.len(), pool.capacity());
-    if desired <= 1 || markings.len() <= 1 {
+    let desired = options.jobs.desired_workers(reps.len(), pool.capacity());
+    if desired <= 1 || reps.len() <= 1 {
         return serial(stats);
     }
     let permits = pool.try_acquire(desired - 1);
@@ -477,17 +558,17 @@ fn solve_deterministic_rows(
         return serial(stats);
     }
     stats.workers_used = permits.count() + 1;
-    stats.parallel_rows = markings.len();
+    stats.parallel_rows = chains.len();
     let next = AtomicUsize::new(0);
     let cancel = AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<Result<RowAndConversion>>>> =
-        markings.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<ClassSolution>>>> =
+        reps.iter().map(|_| Mutex::new(None)).collect();
     let merged = Mutex::new(MrgpStats::default());
     let work = || {
         let mut local = MrgpStats::default();
         loop {
             let idx = next.fetch_add(1, Ordering::Relaxed);
-            let Some(&k) = markings.get(idx) else {
+            let Some(&i) = reps.get(idx) else {
                 break;
             };
             // A slot skipped after cancellation stays `None`; the error that
@@ -495,23 +576,21 @@ fn solve_deterministic_rows(
             if cancel.load(Ordering::Relaxed) {
                 continue;
             }
-            let row = options
+            let sol = options
                 .budget
                 .check("subordinated chain solve")
                 .map_err(MrgpError::from)
-                .and_then(|()| deterministic_row_isolated(graph, k, &mut local));
-            if row.is_err() {
+                .and_then(|()| class_solution_isolated(&chains[i], &mut local));
+            if sol.is_err() {
                 cancel.store(true, Ordering::Relaxed);
             }
-            *slots[idx].lock().expect("no panics while holding lock") = Some(row);
+            *slots[idx].lock().expect("no panics while holding lock") = Some(sol);
         }
         // Sums and maxes commute, so the merge order (worker completion
         // order) cannot influence the final counters.
         let mut m = merged.lock().expect("no panics while holding lock");
-        m.subordinated_chains += local.subordinated_chains;
-        m.total_subordinated_states += local.total_subordinated_states;
-        m.max_subordinated_states = m.max_subordinated_states.max(local.max_subordinated_states);
         m.max_truncation_steps = m.max_truncation_steps.max(local.max_truncation_steps);
+        m.steady_state_detections += local.steady_state_detections;
         m.worker_panics += local.worker_panics;
     };
     std::thread::scope(|scope| {
@@ -522,27 +601,23 @@ fn solve_deterministic_rows(
     });
     drop(permits);
     let local = merged.into_inner().expect("lock not poisoned");
-    stats.subordinated_chains += local.subordinated_chains;
-    stats.total_subordinated_states += local.total_subordinated_states;
-    stats.max_subordinated_states = stats
-        .max_subordinated_states
-        .max(local.max_subordinated_states);
     stats.max_truncation_steps = stats.max_truncation_steps.max(local.max_truncation_steps);
+    stats.steady_state_detections += local.steady_state_detections;
     stats.worker_panics += local.worker_panics;
-    let mut rows = Vec::with_capacity(markings.len());
+    let mut out = Vec::with_capacity(reps.len());
     for slot in slots {
         match slot.into_inner().expect("lock not poisoned") {
-            Some(Ok(row)) => rows.push(row),
+            Some(Ok(sol)) => out.push(sol),
             Some(Err(e)) => return Err(e),
             // Cancelled before being solved: an error exists at some later
-            // slot (cancellation is only ever set by a failing row).
+            // slot (cancellation is only ever set by a failing class).
             None => {}
         }
     }
-    if rows.len() != markings.len() {
+    if out.len() != reps.len() {
         unreachable!("cancelled slots imply a recorded error");
     }
-    Ok(rows)
+    Ok(out)
 }
 
 /// Renders a `catch_unwind` payload as text: `&str`/`String` payloads (the
@@ -558,56 +633,105 @@ pub(crate) fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// [`deterministic_row`] wrapped in `catch_unwind`: a panic anywhere in one
-/// row's subordinated-chain solve becomes [`MrgpError::WorkerPanicked`] for
-/// that row instead of unwinding through `std::thread::scope` and aborting
-/// the whole solve (and, under a parallel sweep, the whole process).
+/// Embedded-chain row entries and conversion factors, both as sparse
+/// `(marking index, value)` lists.
+type RowAndConversion = (Vec<(usize, f64)>, Vec<(usize, f64)>);
+
+/// Structural fingerprint of a subordinated CTMC: the deterministic delay
+/// and the exact `add_rate` sequence over dense local indices, both at bit
+/// granularity.
+///
+/// Two chains with equal keys are built by identical construction calls, so
+/// their [`Ctmc`]s are bitwise-equal values — and since the transient solve
+/// is a deterministic pure-float function of the chain, the delay, and the
+/// (shared, `e₀`) initial vector, their solutions are bit-identical too.
+/// The deterministic firing's branch rows are deliberately *not* part of the
+/// key: they only enter during per-member row assembly, which runs after the
+/// shared solve, so they cannot constrain class membership.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ChainClassKey {
+    /// Bit pattern of the deterministic delay `tau`.
+    tau_bits: u64,
+    /// Transient (non-absorbing) state count.
+    n_trans: usize,
+    /// Total state count, transient + absorbing.
+    n_total: usize,
+    /// `(from, to, rate bits)` in `add_rate` order.
+    transitions: Vec<(usize, usize, u64)>,
+}
+
+/// One marking's subordinated CTMC, built but not yet solved: the BFS
+/// membership (global marking indices), the chain over local indices, and
+/// the structural fingerprint used to pool solves across markings.
+struct SubordinatedChain {
+    /// The deterministic marking this chain subordinates.
+    k: usize,
+    /// The deterministic transition enabled in `k`.
+    det_transition: nvp_petri::net::TransitionId,
+    /// Deterministic delay.
+    tau: f64,
+    /// Global marking index of each transient local state (`members[0] == k`).
+    members: Vec<usize>,
+    /// Global marking index of each absorbing local state (offset by
+    /// `members.len()` in the chain).
+    absorbing_members: Vec<usize>,
+    /// The subordinated CTMC: transient states first, then absorbing.
+    sub: Ctmc,
+    /// Structural equivalence key.
+    key: ChainClassKey,
+}
+
+/// The shared solution of one structural class: the transient distribution
+/// and accumulated sojourn at `tau`, over local state indices.
+struct ClassSolution {
+    at_tau: Vec<f64>,
+    sojourn: Vec<f64>,
+}
+
+/// [`build_subordinated`] wrapped in `catch_unwind`: a panic while building
+/// one marking's chain becomes [`MrgpError::WorkerPanicked`] for that row
+/// instead of unwinding the whole solve.
 ///
 /// `AssertUnwindSafe` is justified: on unwind the partially updated `stats`
-/// counters are still consulted (they may undercount the aborted row, which
-/// is fine for observability), and the row result itself is discarded.
-fn deterministic_row_isolated(
+/// counters are still consulted (they may undercount the aborted build,
+/// which is fine for observability), and the chain itself is discarded.
+fn build_subordinated_isolated(
     graph: &TangibleReachGraph,
     k: usize,
     stats: &mut MrgpStats,
-) -> Result<RowAndConversion> {
-    // One span per row, opened on the thread that solves it, so a trace
-    // shows which worker handled which deterministic marking.
+) -> Result<SubordinatedChain> {
+    // One span per row, so a trace still shows every deterministic marking
+    // even when its solve is pooled into a shared class.
     let mut span = nvp_obs::span("mrgp.row");
     span.record("marking", k);
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        deterministic_row(graph, k, stats)
+        build_subordinated(graph, k, stats)
     }))
     .unwrap_or_else(|payload| {
         stats.worker_panics += 1;
         nvp_obs::event_with("panic_caught", || {
             vec![
-                ("site", "subordinated row solve".into()),
+                ("site", "subordinated chain build".into()),
                 ("marking", k.into()),
             ]
         });
         Err(MrgpError::WorkerPanicked {
-            site: "subordinated row solve",
+            site: "subordinated chain build",
             payload: panic_payload(payload),
         })
     })
 }
 
-/// Computes the embedded-chain row and conversion factors for marking `k`,
-/// which enables exactly one deterministic transition.
-///
-/// Builds the subordinated CTMC over the markings reachable from `k` through
-/// exponential firings while the same deterministic transition stays enabled;
-/// markings that disable it are absorbing (regeneration on entry).
-/// Embedded-chain row entries and conversion factors, both as sparse
-/// `(marking index, value)` lists.
-type RowAndConversion = (Vec<(usize, f64)>, Vec<(usize, f64)>);
-
-fn deterministic_row(
+/// Builds the subordinated CTMC for marking `k`, which enables exactly one
+/// deterministic transition: BFS over the markings reachable through
+/// exponential firings while that transition stays enabled (markings that
+/// disable it are absorbing — regeneration on entry), then the chain and its
+/// structural fingerprint.
+fn build_subordinated(
     graph: &TangibleReachGraph,
     k: usize,
     stats: &mut MrgpStats,
-) -> Result<RowAndConversion> {
+) -> Result<SubordinatedChain> {
     let states = graph.states();
     let det = &states[k].deterministic[0];
     let det_transition = det.transition;
@@ -666,13 +790,16 @@ fn deterministic_row(
         }
     }
 
-    // Subordinated CTMC: transient states first, then absorbing states.
+    // Subordinated CTMC: transient states first, then absorbing states. The
+    // fingerprint records the exact construction sequence, so equal keys
+    // guarantee bitwise-equal chains.
     let n_trans = members.len();
     let n_total = n_trans + absorbing_members.len();
     stats.subordinated_chains += 1;
     stats.max_subordinated_states = stats.max_subordinated_states.max(n_total);
     stats.total_subordinated_states += n_total;
     let mut sub = Ctmc::new(n_total);
+    let mut edges: Vec<(usize, usize, u64)> = Vec::new();
     for (s_local, &s_global) in members.iter().enumerate() {
         for arc in &states[s_global].exponential {
             for &(to, p) in arc.targets.entries() {
@@ -689,36 +816,107 @@ fn deterministic_row(
                     continue; // self-loop: no effect
                 }
                 sub.add_rate(s_local, target_local, rate)?;
+                edges.push((s_local, target_local, rate.to_bits()));
             }
         }
     }
-    stats.max_truncation_steps = stats
-        .max_truncation_steps
-        .max(sub.truncation_steps(tau, UNIFORMIZATION_EPS)?);
-    let mut pi0 = vec![0.0; n_total];
-    pi0[0] = 1.0; // start in marking k
-    let at_tau = sub.transient(&pi0, tau, UNIFORMIZATION_EPS)?;
-    let sojourn = sub.accumulated_sojourn(&pi0, tau, UNIFORMIZATION_EPS)?;
+    let key = ChainClassKey {
+        tau_bits: tau.to_bits(),
+        n_trans,
+        n_total,
+        transitions: edges,
+    };
+    Ok(SubordinatedChain {
+        k,
+        det_transition,
+        tau,
+        members,
+        absorbing_members,
+        sub,
+        key,
+    })
+}
 
+/// [`class_solution`] wrapped in `catch_unwind`, mirroring the historical
+/// per-row isolation: a panic inside one class's shared solve becomes
+/// [`MrgpError::WorkerPanicked`] for that class — failing the solve with a
+/// typed error — instead of unwinding through `std::thread::scope` and
+/// aborting the whole process.
+fn class_solution_isolated(
+    chain: &SubordinatedChain,
+    stats: &mut MrgpStats,
+) -> Result<ClassSolution> {
+    // One span per class solve, opened on the thread that runs it, so a
+    // trace shows which worker handled which equivalence class.
+    let mut span = nvp_obs::span("mrgp.class");
+    span.record("representative", chain.k);
+    span.record("states", chain.sub.n_states());
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        class_solution(chain, stats)
+    }))
+    .unwrap_or_else(|payload| {
+        stats.worker_panics += 1;
+        nvp_obs::event_with("panic_caught", || {
+            vec![
+                ("site", "subordinated class solve".into()),
+                ("marking", chain.k.into()),
+            ]
+        });
+        Err(MrgpError::WorkerPanicked {
+            site: "subordinated class solve",
+            payload: panic_payload(payload),
+        })
+    })
+}
+
+/// Solves one class representative's chain: transient distribution and
+/// accumulated sojourn at `tau` in a single fused uniformization pass,
+/// recording the truncation depth the series *actually* used (not a
+/// recomputed estimate) and whether steady-state detection fired.
+fn class_solution(chain: &SubordinatedChain, stats: &mut MrgpStats) -> Result<ClassSolution> {
+    let mut pi0 = vec![0.0; chain.sub.n_states()];
+    pi0[0] = 1.0; // every member starts in its own marking = local state 0
+    let (at_tau, sojourn, tstats) =
+        chain
+            .sub
+            .transient_and_sojourn(&pi0, chain.tau, UNIFORMIZATION_EPS)?;
+    stats.max_truncation_steps = stats.max_truncation_steps.max(tstats.truncation_steps());
+    if tstats.stationary_at.is_some() {
+        stats.steady_state_detections += 1;
+    }
+    Ok(ClassSolution { at_tau, sojourn })
+}
+
+/// Maps a class solution back to one member's embedded-chain row and
+/// conversion factors. Pure per-member arithmetic — identical to what the
+/// historical per-row solve computed from its own (bit-identical) transient
+/// and sojourn vectors.
+fn assemble_row(
+    graph: &TangibleReachGraph,
+    chain: &SubordinatedChain,
+    sol: &ClassSolution,
+) -> RowAndConversion {
+    let states = graph.states();
+    let n_trans = chain.members.len();
     // Embedded-chain row: absorbed mass regenerates in the absorbing
     // marking; surviving mass fires the deterministic transition from
     // whatever transient marking it reached.
     let mut row: Vec<(usize, f64)> = Vec::new();
-    for (a_local, &a_global) in absorbing_members.iter().enumerate() {
-        let p = at_tau[n_trans + a_local];
+    for (a_local, &a_global) in chain.absorbing_members.iter().enumerate() {
+        let p = sol.at_tau[n_trans + a_local];
         if p > 0.0 {
             row.push((a_global, p));
         }
     }
-    for (s_local, &s_global) in members.iter().enumerate() {
-        let p_here = at_tau[s_local];
+    for (s_local, &s_global) in chain.members.iter().enumerate() {
+        let p_here = sol.at_tau[s_local];
         if p_here <= 0.0 {
             continue;
         }
         let firing = states[s_global]
             .deterministic
             .iter()
-            .find(|d| d.transition == det_transition)
+            .find(|d| d.transition == chain.det_transition)
             .expect("membership implies the deterministic transition is enabled");
         for &(to, p) in firing.targets.entries() {
             row.push((to, p_here * p));
@@ -726,15 +924,16 @@ fn deterministic_row(
     }
     // Conversion factors: expected time in each *transient* marking before
     // regeneration (absorbing states belong to the next period).
-    let conv: Vec<(usize, f64)> = members
+    let conv: Vec<(usize, f64)> = chain
+        .members
         .iter()
         .enumerate()
         .filter_map(|(s_local, &s_global)| {
-            let t = sojourn[s_local];
+            let t = sol.sojourn[s_local];
             (t > 0.0).then_some((s_global, t))
         })
         .collect();
-    Ok((row, conv))
+    (row, conv)
 }
 
 #[cfg(test)]
@@ -939,6 +1138,162 @@ mod tests {
             .input_expr(c, Expr::parse("#B").unwrap())
             .output_expr(a, Expr::parse("#B").unwrap());
         b.build().unwrap()
+    }
+
+    /// A ring of `positions` places with one circulating token and a no-op
+    /// deterministic clock enabled everywhere. Every hop carries the same
+    /// rate, so every marking's subordinated chain has the exact same local
+    /// structure: dedup collapses the whole row stage to one class solve.
+    fn ring_net(positions: usize, rate: f64, tau: f64) -> PetriNet {
+        let mut b = NetBuilder::new("ring");
+        let places: Vec<_> = (0..positions)
+            .map(|i| b.place(format!("P{i}"), u32::from(i == 0)))
+            .collect();
+        let clk = b.place("Clk", 1);
+        for i in 0..positions {
+            b.transition(format!("hop{i}"), TransitionKind::exponential_rate(rate))
+                .unwrap()
+                .input(places[i], 1)
+                .output(places[(i + 1) % positions], 1);
+        }
+        b.transition("clock", TransitionKind::deterministic_delay(tau))
+            .unwrap()
+            .input(clk, 1)
+            .output(clk, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn structural_dedup_collapses_identical_chains() {
+        let net = ring_net(5, 0.9, 2.0);
+        let graph = explore(&net, 100).unwrap();
+        let on = SolveOptions {
+            jobs: Jobs::Fixed(1),
+            ..SolveOptions::default()
+        };
+        let (pooled, pooled_stats) = steady_state_with_options(&graph, &on).unwrap();
+        assert_eq!(pooled_stats.subordinated_chains, 5);
+        assert_eq!(
+            pooled_stats.dedup_classes, 1,
+            "all five chains share one structure: {pooled_stats:?}"
+        );
+        assert_eq!(pooled_stats.dedup_hits, 4);
+        let off = SolveOptions {
+            jobs: Jobs::Fixed(1),
+            dedup: false,
+            ..SolveOptions::default()
+        };
+        let (per_row, per_row_stats) = steady_state_with_options(&graph, &off).unwrap();
+        assert_eq!(per_row_stats.dedup_classes, 5, "dedup off: class per chain");
+        assert_eq!(per_row_stats.dedup_hits, 0);
+        let identical = pooled
+            .probabilities()
+            .iter()
+            .zip(per_row.probabilities())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(
+            identical,
+            "shared class solutions must be bit-identical to per-row solves: {:?} vs {:?}",
+            pooled.probabilities(),
+            per_row.probabilities()
+        );
+        // Symmetry: the token is uniform over the ring.
+        for p in pooled.probabilities() {
+            assert!((p - 0.2).abs() < 1e-9, "{:?}", pooled.probabilities());
+        }
+        // The counters the truncation depth comes from are the ones the
+        // solve actually used, so they agree across the two paths.
+        assert_eq!(
+            pooled_stats.max_truncation_steps,
+            per_row_stats.max_truncation_steps
+        );
+    }
+
+    #[test]
+    fn steady_state_detection_shortens_long_horizon_solves() {
+        // Up enables a tau = 300 maintenance clock while failing at rate 1
+        // into an absorbing Down. The subordinated chain's iterate drains
+        // geometrically into the absorbing state and reaches an exact
+        // bitwise fixpoint (0, 1) long before the ~360-term Poisson series
+        // for lambda*tau = 306 ends, so detection must fire and the recorded
+        // depth must be the real (shortened) product count, not the
+        // recomputed full series length.
+        let (lambda, mu, delta, tau) = (1.0, 0.8, 2.5, 300.0);
+        let mut b = NetBuilder::new("longmaint");
+        let up = b.place("Up", 1);
+        let down = b.place("Down", 0);
+        let maint = b.place("Maint", 0);
+        b.transition("fail", TransitionKind::exponential_rate(lambda))
+            .unwrap()
+            .input(up, 1)
+            .output(down, 1);
+        b.transition("clock", TransitionKind::deterministic_delay(tau))
+            .unwrap()
+            .input(up, 1)
+            .output(maint, 1);
+        b.transition("repair", TransitionKind::exponential_rate(mu))
+            .unwrap()
+            .input(down, 1)
+            .output(up, 1);
+        b.transition("finish", TransitionKind::exponential_rate(delta))
+            .unwrap()
+            .input(maint, 1)
+            .output(up, 1);
+        let net = b.build().unwrap();
+        let graph = explore(&net, 100).unwrap();
+        let (_, stats) = steady_state_with_stats(&graph).unwrap();
+        assert_eq!(stats.dedup_classes, 1);
+        assert_eq!(
+            stats.steady_state_detections, 1,
+            "the one class solve must detect stationarity: {stats:?}"
+        );
+        // Full series length for this chain's uniformization rate
+        // (max exit = lambda, so the uniformized rate is 1.02 * lambda).
+        let full_series =
+            nvp_numerics::poisson::poisson_weights(1.02 * lambda * tau, UNIFORMIZATION_EPS)
+                .unwrap()
+                .weights
+                .len();
+        assert!(
+            stats.max_truncation_steps > 0 && stats.max_truncation_steps < full_series,
+            "recorded depth {} must be the shortened one (full series = {full_series})",
+            stats.max_truncation_steps
+        );
+    }
+
+    /// A panic injected into the shared class solve must degrade exactly
+    /// that class — surfacing as a typed error naming the class-solve site —
+    /// while the process (and subsequent solves) stay healthy.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_panic_in_shared_class_solve_is_isolated() {
+        use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+        let _lock = pool_test_lock();
+        let pool = WorkerPool::global();
+        pool.set_capacity(pool.capacity().max(4));
+        let net = ring_net(5, 0.9, 2.0);
+        let graph = explore(&net, 100).unwrap();
+        let opts = SolveOptions {
+            jobs: Jobs::Fixed(4),
+            ..SolveOptions::default()
+        };
+        {
+            let _guard = arm(FaultPlan::new(
+                Site::SubordinatedTransient,
+                FaultMode::Panic,
+            ));
+            match steady_state_with_options(&graph, &opts) {
+                Err(MrgpError::WorkerPanicked { site, .. }) => {
+                    assert_eq!(site, "subordinated class solve");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+        // Disarmed, the exact same options solve cleanly: the panic was
+        // contained to the one class solve, not the process.
+        let (sol, stats) = steady_state_with_options(&graph, &opts).unwrap();
+        assert_eq!(stats.worker_panics, 0);
+        assert!((sol.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -1552,7 +1907,9 @@ mod tests {
             };
             match steady_state_with_options(&graph, &options) {
                 Err(MrgpError::WorkerPanicked { site, payload }) => {
-                    assert_eq!(site, "subordinated row solve");
+                    // The transient solve now runs once per structural
+                    // class, so the panic is caught at the class boundary.
+                    assert_eq!(site, "subordinated class solve");
                     assert!(payload.contains("injected panic"), "payload: {payload}");
                 }
                 other => panic!("expected WorkerPanicked under {jobs:?}, got {other:?}"),

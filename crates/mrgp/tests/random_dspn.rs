@@ -1,7 +1,8 @@
 //! Property-based validation of the MRGP solver against closed forms on
 //! randomly parameterized nets.
 
-use nvp_mrgp::steady_state;
+use nvp_mrgp::{steady_state, steady_state_with_options, SolveOptions};
+use nvp_numerics::pool::{Jobs, WorkerPool};
 use nvp_petri::net::{NetBuilder, PetriNet, TransitionKind};
 use nvp_petri::reach::explore;
 use proptest::prelude::*;
@@ -50,6 +51,31 @@ fn maintenance_net(lambda: f64, mu: f64, delta: f64, tau: f64) -> PetriNet {
         .unwrap()
         .input(maint, 1)
         .output(up, 1);
+    b.build().unwrap()
+}
+
+/// A ring of `positions` places with one circulating token (hop `i` fires at
+/// `rates[i]`) and a no-op deterministic clock enabled in every marking.
+/// With equal hop rates every marking's subordinated chain is structurally
+/// identical; with distinct rates the chains differ and dedup must not
+/// conflate them.
+fn ring_net(rates: &[f64], tau: f64) -> PetriNet {
+    let positions = rates.len();
+    let mut b = NetBuilder::new("ring");
+    let places: Vec<_> = (0..positions)
+        .map(|i| b.place(format!("P{i}"), u32::from(i == 0)))
+        .collect();
+    let clk = b.place("Clk", 1);
+    for (i, &rate) in rates.iter().enumerate() {
+        b.transition(format!("hop{i}"), TransitionKind::exponential_rate(rate))
+            .unwrap()
+            .input(places[i], 1)
+            .output(places[(i + 1) % positions], 1);
+    }
+    b.transition("clock", TransitionKind::deterministic_delay(tau))
+        .unwrap()
+        .input(clk, 1)
+        .output(clk, 1);
     b.build().unwrap()
 }
 
@@ -118,5 +144,64 @@ proptest! {
         let total: f64 = sol.probabilities().iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
         prop_assert!(sol.probabilities().iter().all(|&p| p >= 0.0));
+    }
+
+    /// On random ring DSPNs the dedup path must be bit-identical to the
+    /// per-row path, serial and parallel alike, and the class accounting
+    /// must add up: classes + hits = chains, with equal hop rates collapsing
+    /// everything into one class.
+    #[test]
+    fn ring_dedup_is_bit_identical_to_per_row(
+        positions in 2usize..6,
+        base_rate in 0.05..4.0f64,
+        jitter in proptest::collection::vec(0.1..2.0f64, 5),
+        tau in 0.1..15.0f64,
+        equal_rates in proptest::bool::ANY,
+    ) {
+        let rates: Vec<f64> = (0..positions)
+            .map(|i| if equal_rates { base_rate } else { base_rate * jitter[i] })
+            .collect();
+        let net = ring_net(&rates, tau);
+        let graph = explore(&net, 100).unwrap();
+        // The reference: dedup off, strictly serial — the historical
+        // chain-per-marking path.
+        let reference_opts = SolveOptions {
+            jobs: Jobs::Fixed(1),
+            dedup: false,
+            ..SolveOptions::default()
+        };
+        let (reference, reference_stats) =
+            steady_state_with_options(&graph, &reference_opts).unwrap();
+        prop_assert_eq!(reference_stats.dedup_classes, positions);
+        prop_assert_eq!(reference_stats.dedup_hits, 0);
+        WorkerPool::global().set_capacity(WorkerPool::global().capacity().max(4));
+        for jobs in [Jobs::Fixed(1), Jobs::Fixed(4)] {
+            let opts = SolveOptions { jobs, ..SolveOptions::default() };
+            let (dedup, stats) = steady_state_with_options(&graph, &opts).unwrap();
+            for (i, (a, b)) in reference
+                .probabilities()
+                .iter()
+                .zip(dedup.probabilities())
+                .enumerate()
+            {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "marking {} differs under {}: {} vs {}",
+                    i, jobs, a, b
+                );
+            }
+            prop_assert_eq!(stats.subordinated_chains, positions);
+            prop_assert_eq!(
+                stats.dedup_classes + stats.dedup_hits,
+                stats.subordinated_chains
+            );
+            if equal_rates {
+                prop_assert_eq!(
+                    stats.dedup_classes, 1,
+                    "equal hop rates make every chain structurally identical"
+                );
+            }
+        }
     }
 }

@@ -15,8 +15,35 @@
 use crate::dense::DenseMatrix;
 use crate::guard::{guard_probability_vector, DENSE_RENORMALIZATION_LIMIT};
 use crate::poisson::{cumulative, poisson_weights};
-use crate::sparse::{stationary_power_with, CsrBuilder, CsrMatrix};
+use crate::sparse::{axpy, stationary_power_with, CsrBuilder, CsrMatrix};
 use crate::{stationary_backend_for, NumericsError, Result, StationaryBackend, StationaryOptions};
+
+/// Diagnostics from one uniformization series
+/// ([`Ctmc::transient_with_stats`] / [`Ctmc::transient_and_sojourn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransientStats {
+    /// Poisson-series length the truncation produced (number of weights).
+    pub series_len: usize,
+    /// First series index at which the uniformized iterate `π₀ Pᵏ` became
+    /// *bitwise* stationary, if it did before the series ended. From that
+    /// index on the solve stops multiplying by `P` and folds the remaining
+    /// Poisson mass onto the frozen iterate — the result stays bit-identical
+    /// to summing the full series, because a bitwise fixpoint reproduces
+    /// itself exactly under further products.
+    pub stationary_at: Option<usize>,
+}
+
+impl TransientStats {
+    /// Truncation depth the solve actually used: the number of Poisson terms
+    /// with *distinct* iterate values — the full series when the iterate
+    /// never reached a fixpoint, the detection index + 1 when it did.
+    pub fn truncation_steps(&self) -> usize {
+        match self.stationary_at {
+            Some(k) => k + 1,
+            None => self.series_len,
+        }
+    }
+}
 
 /// A continuous-time Markov chain over states `0..n`.
 ///
@@ -256,47 +283,75 @@ impl Ctmc {
     /// * [`NumericsError::InvalidValue`] if `t` is negative or not finite, or
     ///   `epsilon` is out of range.
     pub fn transient(&self, pi0: &[f64], t: f64, epsilon: f64) -> Result<Vec<f64>> {
+        Ok(self.transient_with_stats(pi0, t, epsilon)?.0)
+    }
+
+    /// [`Ctmc::transient`] that also reports the truncation depth the series
+    /// actually used (see [`TransientStats`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctmc::transient`].
+    pub fn transient_with_stats(
+        &self,
+        pi0: &[f64],
+        t: f64,
+        epsilon: f64,
+    ) -> Result<(Vec<f64>, TransientStats)> {
         self.check_transient_args(pi0, t)?;
         #[cfg(feature = "fault-inject")]
-        let poison = match crate::fault::intercept(crate::fault::Site::SubordinatedTransient) {
-            Some(crate::fault::FaultMode::ConvergenceFailure) => {
-                return Err(NumericsError::NoConvergence {
-                    iterations: 0,
-                    residual: f64::INFINITY,
-                });
-            }
-            Some(crate::fault::FaultMode::IterationExhaustion) => {
-                return Err(NumericsError::NoConvergence {
-                    iterations: 0,
-                    residual: f64::INFINITY,
-                });
-            }
-            Some(crate::fault::FaultMode::NanPoison) => true,
-            // Panic and Stall are handled inside `intercept` and never returned.
-            _ => false,
-        };
+        let poison = self.transient_fault_poison()?;
         if t == 0.0 {
-            return Ok(pi0.to_vec());
+            return Ok((pi0.to_vec(), TransientStats::default()));
         }
-        let (p, lambda) = self.uniformize();
-        let weights = poisson_weights(lambda * t, epsilon)?;
-        let mut power = pi0.to_vec(); // π₀ Pᵏ
-        let mut result = vec![0.0; self.n];
-        for (k, &w) in weights.weights.iter().enumerate() {
-            if k > 0 {
-                power = p.vecmat(&power);
-            }
-            for (r, v) in result.iter_mut().zip(&power) {
-                *r += w * v;
-            }
-        }
+        let (at_t, _, stats) = self.uniformized_series(pi0, t, epsilon, false)?;
         #[cfg(feature = "fault-inject")]
-        if poison {
-            if let Some(first) = result.first_mut() {
-                *first = f64::NAN;
+        let at_t = {
+            let mut at_t = at_t;
+            if poison {
+                if let Some(first) = at_t.first_mut() {
+                    *first = f64::NAN;
+                }
             }
+            at_t
+        };
+        Ok((at_t, stats))
+    }
+
+    /// Computes the transient distribution *and* the accumulated sojourn
+    /// times in one pass — the MRGP solver's hot path. Both quantities share
+    /// the same uniformized power sequence `π₀ Pᵏ`, so combining them runs
+    /// one Poisson series and one set of sparse products instead of two, and
+    /// the outputs are bit-identical to separate [`Ctmc::transient`] and
+    /// [`Ctmc::accumulated_sojourn`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctmc::transient`].
+    pub fn transient_and_sojourn(
+        &self,
+        pi0: &[f64],
+        t: f64,
+        epsilon: f64,
+    ) -> Result<(Vec<f64>, Vec<f64>, TransientStats)> {
+        self.check_transient_args(pi0, t)?;
+        #[cfg(feature = "fault-inject")]
+        let poison = self.transient_fault_poison()?;
+        if t == 0.0 {
+            return Ok((pi0.to_vec(), vec![0.0; self.n], TransientStats::default()));
         }
-        Ok(result)
+        let (at_t, sojourn, stats) = self.uniformized_series(pi0, t, epsilon, true)?;
+        #[cfg(feature = "fault-inject")]
+        let at_t = {
+            let mut at_t = at_t;
+            if poison {
+                if let Some(first) = at_t.first_mut() {
+                    *first = f64::NAN;
+                }
+            }
+            at_t
+        };
+        Ok((at_t, sojourn, stats))
     }
 
     /// Computes the expected sojourn times `L(t) = ∫₀ᵗ π(s) ds` by
@@ -313,28 +368,85 @@ impl Ctmc {
         if t == 0.0 {
             return Ok(vec![0.0; self.n]);
         }
+        let (_, sojourn, _) = self.uniformized_series(pi0, t, epsilon, true)?;
+        Ok(sojourn)
+    }
+
+    /// Shared uniformization core: accumulates `Σ_k P(K=k) π₀ Pᵏ` (the
+    /// transient distribution) and, when `want_sojourn` is set,
+    /// `(1/Λ) Σ_k [1 - F(k)] π₀ Pᵏ` (the sojourn integral — the series
+    /// telescopes to `Λt`, and keeping terms one step beyond the probability
+    /// truncation point keeps the integral error of the same order).
+    ///
+    /// The iterate is advanced with scratch-buffer kernels (no per-step
+    /// allocation), and once `π₀ Pᵏ` reaches a *bitwise* fixpoint the
+    /// products stop: a bit-for-bit fixpoint reproduces itself exactly under
+    /// further multiplication, so freezing the iterate and continuing to
+    /// accumulate the Poisson weights term by term yields the same bits as
+    /// the full series while skipping its sparse products.
+    fn uniformized_series(
+        &self,
+        pi0: &[f64],
+        t: f64,
+        epsilon: f64,
+        want_sojourn: bool,
+    ) -> Result<(Vec<f64>, Vec<f64>, TransientStats)> {
+        debug_assert!(t > 0.0);
         let (p, lambda) = self.uniformize();
         let weights = poisson_weights(lambda * t, epsilon)?;
         let cdf = cumulative(&weights.weights);
-        let mut power = pi0.to_vec();
-        let mut result = vec![0.0; self.n];
-        // ∫₀ᵗ π(s) ds = (1/Λ) Σ_k [1 - F(k)] π₀ Pᵏ.
-        // The series Σ_k [1 - F(k)] telescopes to Λt but we must keep terms
-        // one step beyond the probability truncation point to keep the
-        // integral truncation error of the same order.
-        for (k, &fk) in cdf.iter().enumerate() {
-            if k > 0 {
-                power = p.vecmat(&power);
+        let mut power = pi0.to_vec(); // π₀ Pᵏ
+        let mut scratch = vec![0.0; self.n];
+        let mut at_t = vec![0.0; self.n];
+        let mut sojourn = if want_sojourn {
+            vec![0.0; self.n]
+        } else {
+            Vec::new()
+        };
+        let mut stationary_at = None;
+        for (k, (&w, &fk)) in weights.weights.iter().zip(&cdf).enumerate() {
+            if k > 0 && stationary_at.is_none() {
+                p.vecmat_into(&power, &mut scratch);
+                if scratch
+                    .iter()
+                    .zip(&power)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+                {
+                    stationary_at = Some(k);
+                }
+                std::mem::swap(&mut power, &mut scratch);
             }
-            let coeff = (1.0 - fk).max(0.0) / lambda;
-            if coeff == 0.0 {
-                continue;
-            }
-            for (r, v) in result.iter_mut().zip(&power) {
-                *r += coeff * v;
+            axpy(&mut at_t, w, &power);
+            if want_sojourn {
+                let coeff = (1.0 - fk).max(0.0) / lambda;
+                if coeff != 0.0 {
+                    axpy(&mut sojourn, coeff, &power);
+                }
             }
         }
-        Ok(result)
+        let stats = TransientStats {
+            series_len: weights.weights.len(),
+            stationary_at,
+        };
+        Ok((at_t, sojourn, stats))
+    }
+
+    /// Evaluates the fault-injection intercept shared by the transient entry
+    /// points; returns whether the result should be NaN-poisoned.
+    #[cfg(feature = "fault-inject")]
+    fn transient_fault_poison(&self) -> Result<bool> {
+        match crate::fault::intercept(crate::fault::Site::SubordinatedTransient) {
+            Some(crate::fault::FaultMode::ConvergenceFailure)
+            | Some(crate::fault::FaultMode::IterationExhaustion) => {
+                Err(NumericsError::NoConvergence {
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                })
+            }
+            Some(crate::fault::FaultMode::NanPoison) => Ok(true),
+            // Panic and Stall are handled inside `intercept` and never returned.
+            _ => Ok(false),
+        }
     }
 
     fn check_transient_args(&self, pi0: &[f64], t: f64) -> Result<()> {
@@ -615,6 +727,113 @@ mod tests {
         let r = expected_reward(&[0.25, 0.75], &[1.0, 0.0]).unwrap();
         assert!((r - 0.25).abs() < 1e-15);
         assert!(expected_reward(&[0.5], &[1.0, 2.0]).is_err());
+    }
+
+    /// Reference implementation: the pre-optimization per-term loops with
+    /// allocating kernels and no steady-state detection.
+    fn naive_transient_and_sojourn(
+        c: &Ctmc,
+        pi0: &[f64],
+        t: f64,
+        epsilon: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let (p, lambda) = c.uniformize();
+        let w = poisson_weights(lambda * t, epsilon).unwrap();
+        let cdf = cumulative(&w.weights);
+        let mut power = pi0.to_vec();
+        let mut at_t = vec![0.0; c.n_states()];
+        let mut soj = vec![0.0; c.n_states()];
+        for (k, (&wk, &fk)) in w.weights.iter().zip(&cdf).enumerate() {
+            if k > 0 {
+                power = p.vecmat(&power);
+            }
+            for (r, v) in at_t.iter_mut().zip(&power) {
+                *r += wk * v;
+            }
+            let coeff = (1.0 - fk).max(0.0) / lambda;
+            if coeff != 0.0 {
+                for (r, v) in soj.iter_mut().zip(&power) {
+                    *r += coeff * v;
+                }
+            }
+        }
+        (at_t, soj)
+    }
+
+    fn assert_bits_equal(a: &[f64], b: &[f64], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: entry {i} differs ({x} vs {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_detection_fires_on_long_horizons() {
+        // At t = 200 the up/down chain has long since mixed: the iterate
+        // reaches a bitwise fixpoint well before the Poisson series ends.
+        let c = updown(0.5, 1.5);
+        let (pi_t, stats) = c.transient_with_stats(&[1.0, 0.0], 200.0, 1e-13).unwrap();
+        assert!(
+            stats.stationary_at.is_some(),
+            "expected a fixpoint, got {stats:?}"
+        );
+        assert!(
+            stats.truncation_steps() < stats.series_len,
+            "detection must shorten the product sequence: {stats:?}"
+        );
+        let pi_inf = c.steady_state().unwrap();
+        for (a, b) in pi_t.iter().zip(&pi_inf) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn detection_path_is_bit_identical_to_the_naive_series() {
+        let c = updown(0.5, 1.5);
+        let pi0 = [1.0, 0.0];
+        // Long horizon: detection fires. Short horizon: it does not. Both
+        // must reproduce the naive full-series loop bit for bit.
+        for t in [0.3, 5.0, 200.0] {
+            let (at_t, soj, _) = c.transient_and_sojourn(&pi0, t, 1e-13).unwrap();
+            let (naive_t, naive_s) = naive_transient_and_sojourn(&c, &pi0, t, 1e-13);
+            assert_bits_equal(&at_t, &naive_t, "transient");
+            assert_bits_equal(&soj, &naive_s, "sojourn");
+        }
+    }
+
+    #[test]
+    fn combined_call_matches_separate_calls_bitwise() {
+        let mut c = Ctmc::new(4);
+        c.add_rate(0, 1, 0.7).unwrap();
+        c.add_rate(1, 2, 1.3).unwrap();
+        c.add_rate(2, 3, 0.2).unwrap();
+        c.add_rate(3, 0, 2.0).unwrap();
+        c.add_rate(1, 0, 0.4).unwrap();
+        let pi0 = [0.25, 0.25, 0.25, 0.25];
+        for t in [0.5, 4.0, 80.0] {
+            let (at_t, soj, stats) = c.transient_and_sojourn(&pi0, t, 1e-13).unwrap();
+            assert_bits_equal(&at_t, &c.transient(&pi0, t, 1e-13).unwrap(), "transient");
+            assert_bits_equal(
+                &soj,
+                &c.accumulated_sojourn(&pi0, t, 1e-13).unwrap(),
+                "sojourn",
+            );
+            assert!(stats.series_len > 0);
+            assert!(stats.truncation_steps() <= stats.series_len);
+        }
+    }
+
+    #[test]
+    fn transient_and_sojourn_at_zero_matches_components() {
+        let c = updown(1.0, 1.0);
+        let (at_t, soj, stats) = c.transient_and_sojourn(&[0.25, 0.75], 0.0, 1e-12).unwrap();
+        assert_eq!(at_t, vec![0.25, 0.75]);
+        assert_eq!(soj, vec![0.0, 0.0]);
+        assert_eq!(stats.truncation_steps(), 0);
     }
 
     #[test]

@@ -15,7 +15,11 @@ use crate::{NumericsError, Result};
 pub struct PoissonWeights {
     /// `weights[k] = e^{-lambda} lambda^k / k!`.
     pub weights: Vec<f64>,
-    /// Total probability mass not covered by `weights` (at most `epsilon`).
+    /// Upper bound on the probability mass not covered by `weights` (at most
+    /// `epsilon`). This is the analytic geometric tail bound at the
+    /// truncation point, never the floating-point residual `1 - Σ weights` —
+    /// for large `lambda` the summed mass rounds to exactly 1.0 in `f64` and
+    /// the residual would report 0 even though real mass was truncated.
     pub tail_mass: f64,
 }
 
@@ -26,6 +30,13 @@ pub struct PoissonWeights {
 ///
 /// Returns [`NumericsError::InvalidValue`] if `lambda` is negative, NaN or
 /// infinite, or `epsilon` is not in `(0, 1)`.
+///
+/// Returns [`NumericsError::NoConvergence`] if the support cap
+/// (mean + 10 standard deviations + slack) is reached while the provable
+/// tail bound still exceeds `epsilon` — the requested accuracy cannot be
+/// certified, and silently returning a short series would understate
+/// `tail_mass`. In practice this only happens for adversarially small
+/// `epsilon` (far below `f64` resolution of the cumulative mass).
 ///
 /// # Example
 ///
@@ -56,41 +67,42 @@ pub fn poisson_weights(lambda: f64, epsilon: f64) -> Result<PoissonWeights> {
             tail_mass: 0.0,
         });
     }
-    // Work in log space around the mode to avoid under/overflow, then
-    // normalize. ln P(k) = -lambda + k ln(lambda) - ln(k!).
-    let mut log_weights = Vec::new();
+    // Work in log space around the mode to avoid under/overflow.
+    // ln P(k) = -lambda + k ln(lambda) - ln(k!).
     let ln_lambda = lambda.ln();
     let mut ln_fact = 0.0f64; // ln(0!) = 0
     let mut k = 0usize;
-    let mut cumulative = 0.0f64;
     // Upper bound on the support we may need: mean + 10 stddev + slack, and
     // always at least a small constant so tiny lambdas still terminate by
-    // tail mass.
+    // tail mass. The cap always lies past the mode (it exceeds lambda by at
+    // least 50), so the geometric tail bound below is valid when it binds.
     let hard_cap = (lambda + 10.0 * lambda.sqrt() + 50.0).ceil() as usize;
     let mut weights = Vec::with_capacity(hard_cap.min(4096));
-    loop {
+    let tail_mass = loop {
         let lw = -lambda + k as f64 * ln_lambda - ln_fact;
-        log_weights.push(lw);
-        let w = lw.exp();
-        weights.push(w);
-        cumulative += w;
+        weights.push(lw.exp());
         // Terminate once the right tail is provably below epsilon: past the
         // mode, weights decay faster than geometrically with ratio
         // lambda / (k + 1).
         if k as f64 > lambda {
             let ratio = lambda / (k as f64 + 1.0);
-            let tail_bound = w * ratio / (1.0 - ratio);
+            let tail_bound = lw.exp() * ratio / (1.0 - ratio);
             if tail_bound < epsilon {
-                break;
+                break tail_bound;
             }
-        }
-        if k >= hard_cap {
-            break;
+            if k >= hard_cap {
+                // The cap binds before the bound certifies epsilon: refuse
+                // rather than hand back weights whose tail_mass silently
+                // exceeds the accuracy the caller asked for.
+                return Err(NumericsError::NoConvergence {
+                    iterations: weights.len(),
+                    residual: tail_bound,
+                });
+            }
         }
         k += 1;
         ln_fact += (k as f64).ln();
-    }
-    let tail_mass = (1.0 - cumulative).max(0.0);
+    };
     Ok(PoissonWeights { weights, tail_mass })
 }
 
@@ -155,6 +167,47 @@ mod tests {
     fn truncation_covers_requested_mass() {
         let w = poisson_weights(30.0, 1e-10).unwrap();
         assert!(w.tail_mass < 1e-9);
+    }
+
+    /// Regression for the silent-truncation bug: with an epsilon far below
+    /// what the 10σ support cap can certify, the old code broke out of the
+    /// loop at `hard_cap` and reported `tail_mass = (1 - Σw).max(0) = 0.0`
+    /// (the cumulative mass rounds to 1.0 in f64) — i.e. it silently
+    /// exceeded the requested accuracy. The cap must now surface as a typed
+    /// error carrying the provable residual instead.
+    #[test]
+    fn cap_binding_truncation_is_a_typed_error() {
+        // At lambda = 100 the cap sits at k = 250, where the geometric tail
+        // bound is ~5e-37 — far above 1e-300.
+        match poisson_weights(100.0, 1e-300) {
+            Err(NumericsError::NoConvergence {
+                iterations,
+                residual,
+            }) => {
+                assert!(iterations > 100, "cap binds past the mode: {iterations}");
+                assert!(
+                    residual > 1e-300 && residual < 1e-9,
+                    "residual must be the provable tail bound, got {residual}"
+                );
+            }
+            other => panic!("expected NoConvergence at the cap, got {other:?}"),
+        }
+    }
+
+    /// For large lambda the floating-point residual `1 - Σw` is dominated by
+    /// rounding in the log-space weights (orders of magnitude above the true
+    /// truncated mass), so it cannot serve as the tail estimate. The reported
+    /// tail_mass must be the analytic bound: positive and below epsilon.
+    #[test]
+    fn tail_mass_is_honest_for_large_lambda() {
+        let w = poisson_weights(5000.0, 1e-13).unwrap();
+        let residual = (1.0 - w.weights.iter().sum::<f64>()).max(0.0);
+        assert!(residual < 1e-6, "sanity: the residual is pure float noise");
+        assert!(
+            w.tail_mass > 0.0 && w.tail_mass < 1e-13,
+            "tail_mass = {} must be positive and below epsilon",
+            w.tail_mass
+        );
     }
 
     #[test]

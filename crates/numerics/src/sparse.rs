@@ -75,21 +75,33 @@ impl CsrBuilder {
     }
 
     /// Finalizes the builder into a [`CsrMatrix`].
+    ///
+    /// Duplicate `(row, col)` triplets are summed; groups that cancel to
+    /// exactly `0.0` are dropped entirely, matching the zero filtering
+    /// [`CsrBuilder::push`] applies to individual entries — an explicit
+    /// stored zero would inflate `nnz` and cost a multiply in every kernel.
     pub fn build(mut self) -> CsrMatrix {
         self.triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut row_ptr = vec![0usize; self.rows + 1];
         let mut col_idx = Vec::with_capacity(self.triplets.len());
         let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
-        let mut last: Option<(usize, usize)> = None;
-        for &(r, c, v) in &self.triplets {
-            if last == Some((r, c)) {
-                // Sorted order guarantees duplicates are adjacent.
-                *values.last_mut().expect("non-empty on duplicate") += v;
-            } else {
+        let mut i = 0;
+        while let Some(&(r, c, first)) = self.triplets.get(i) {
+            // Sorted order guarantees duplicates are adjacent; accumulate
+            // the whole group before deciding whether it survives.
+            let mut v = first;
+            i += 1;
+            while let Some(&(r2, c2, v2)) = self.triplets.get(i) {
+                if (r2, c2) != (r, c) {
+                    break;
+                }
+                v += v2;
+                i += 1;
+            }
+            if v != 0.0 {
                 col_idx.push(c);
                 values.push(v);
                 row_ptr[r + 1] += 1;
-                last = Some((r, c));
             }
         }
         for r in 0..self.rows {
@@ -142,8 +154,23 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
         let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Computes `A · x` into a caller-owned buffer, overwriting `y`.
+    ///
+    /// The in-place twin of [`CsrMatrix::matvec`] (bit-identical result):
+    /// iterative kernels call this with a reused scratch buffer so a product
+    /// per step stops costing an allocation per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
+        assert_eq!(y.len(), self.rows, "output buffer mismatch in matvec_into");
         for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row_entries(r) {
@@ -151,7 +178,6 @@ impl CsrMatrix {
             }
             *yr = acc;
         }
-        y
     }
 
     /// Computes `xᵀ · A` (row vector times matrix).
@@ -160,8 +186,24 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != rows`.
     pub fn vecmat(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "dimension mismatch in vecmat");
         let mut y = vec![0.0; self.cols];
+        self.vecmat_into(x, &mut y);
+        y
+    }
+
+    /// Computes `xᵀ · A` into a caller-owned buffer, overwriting `y`.
+    ///
+    /// The in-place twin of [`CsrMatrix::vecmat`] (bit-identical result);
+    /// power iteration and uniformization drive their whole series through
+    /// two ping-pong buffers instead of allocating a fresh vector per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `y.len() != cols`.
+    pub fn vecmat_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in vecmat");
+        assert_eq!(y.len(), self.cols, "output buffer mismatch in vecmat_into");
+        y.fill(0.0);
         for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
@@ -170,7 +212,6 @@ impl CsrMatrix {
                 y[c] += xr * v;
             }
         }
-        y
     }
 
     /// Converts to a dense matrix (for small systems or debugging).
@@ -182,6 +223,22 @@ impl CsrMatrix {
             }
         }
         d
+    }
+}
+
+/// Fused scaled accumulation `y[i] += a · x[i]`.
+///
+/// The one-pass kernel behind uniformization's weighted series: folding each
+/// Poisson term into the running result touches `y` exactly once, with no
+/// temporary for `a · x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "dimension mismatch in axpy");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
     }
 }
 
@@ -255,12 +312,17 @@ pub fn stationary_power_with(
         pi[0] = f64::NAN;
     }
     let mut diff = f64::INFINITY;
+    // Ping-pong between `pi` and one scratch buffer: every iteration is a
+    // vecmat_into plus in-place damping, with zero per-step allocations.
+    // The arithmetic (and therefore the iterate sequence) is bit-identical
+    // to the historical allocating loop.
+    let mut next = vec![0.0; n];
     for iter in 0..max_iter {
         if iter % BUDGET_CHECK_INTERVAL == 0 {
             budget.check("power iteration")?;
         }
+        p.vecmat_into(&pi, &mut next);
         // Damped iteration avoids stalling on periodic chains.
-        let mut next = p.vecmat(&pi);
         for (nx, old) in next.iter_mut().zip(&pi) {
             *nx = 0.5 * *nx + 0.5 * old;
         }
@@ -284,7 +346,7 @@ pub fn stationary_power_with(
             .zip(&pi)
             .map(|(a, b)| (a - b).abs())
             .sum::<f64>();
-        pi = next;
+        std::mem::swap(&mut pi, &mut next);
         if diff < tol {
             guard_probability_vector(
                 &mut pi,
@@ -340,6 +402,57 @@ mod tests {
         b.push(1, 1, 2.0);
         let m = b.build();
         assert_eq!(m.nnz(), 1);
+    }
+
+    /// Regression: duplicate triplets that sum to exactly 0.0 used to
+    /// survive as an explicit stored zero, contradicting `push`'s zero
+    /// filtering and inflating `nnz`.
+    #[test]
+    fn cancelling_duplicates_are_stripped() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 1, 1.0);
+        b.push(0, 1, -1.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 0, "cancelled entries must not be stored");
+        assert_eq!(m.row_entries(0).count(), 0);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![0.0, 0.0]);
+
+        // A cancelled group must not shift later entries into the wrong row.
+        let mut b = CsrBuilder::new(3, 3);
+        b.push(0, 0, 2.0);
+        b.push(1, 1, 1.0);
+        b.push(1, 1, -1.0);
+        b.push(2, 2, 3.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row_entries(1).count(), 0);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_kernels() {
+        let m = two_state_chain();
+        let x = [0.3, 0.7];
+        let mut y = vec![f64::NAN; 2]; // stale contents must be overwritten
+        m.matvec_into(&x, &mut y);
+        assert_eq!(y, m.matvec(&x));
+        let mut y = vec![f64::NAN; 2];
+        m.vecmat_into(&x, &mut y);
+        assert_eq!(y, m.vecmat(&x));
+    }
+
+    #[test]
+    fn axpy_accumulates_in_place() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(&mut y, 0.5, &[2.0, 4.0, 6.0]);
+        assert_eq!(y, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch in axpy")]
+    fn axpy_rejects_length_mismatch() {
+        let mut y = vec![0.0; 2];
+        axpy(&mut y, 1.0, &[1.0]);
     }
 
     #[test]
