@@ -141,23 +141,27 @@ impl Journal {
         fingerprint: u64,
         steps: usize,
     ) -> io::Result<(Journal, Vec<JournalPoint>)> {
-        let mut text = String::new();
-        File::open(path)?.read_to_string(&mut text)?;
+        // Read raw bytes, not a String: a bit-flipped journal may hold
+        // invalid UTF-8, and that is line-level damage to truncate like any
+        // torn tail — not a reason to refuse the whole journal with a bare
+        // decode error.
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
         let expected_header = header_line(fingerprint, steps);
-        let Some(header_end) = text.find('\n') else {
+        let Some(header_end) = bytes.iter().position(|&b| b == b'\n') else {
             return Err(invalid(format!(
                 "journal `{}` has no complete header line; delete it to start over",
                 path.display()
             )));
         };
-        let header = &text[..=header_end];
-        if header != expected_header {
+        let header = &bytes[..=header_end];
+        if header != expected_header.as_bytes() {
             return Err(invalid(format!(
                 "journal `{}` does not match this sweep (its header is `{}`, this run \
                  expects `{}`); it records a different invocation — delete it or change \
                  --out to start over",
                 path.display(),
-                header.trim_end(),
+                String::from_utf8_lossy(header).trim_end(),
                 expected_header.trim_end(),
             )));
         }
@@ -165,18 +169,23 @@ impl Journal {
         // Byte offset of the end of the last intact line; everything after
         // it is a torn tail to truncate away.
         let mut keep = header_end + 1;
-        for line in text[keep..].split_inclusive('\n') {
-            if !line.ends_with('\n') {
+        while keep < bytes.len() {
+            let rest = &bytes[keep..];
+            let Some(newline) = rest.iter().position(|&b| b == b'\n') else {
                 break; // partial final line: the append was interrupted
-            }
-            let Some(point) = JournalPoint::parse(line.trim_end_matches('\n')) else {
+            };
+            let line = &rest[..newline];
+            let Some(point) = std::str::from_utf8(line)
+                .ok() // non-UTF-8 bytes: corruption, distrust from here on
+                .and_then(JournalPoint::parse)
+            else {
                 break; // unparsable line: treat it and the rest as torn
             };
             points.push(point);
-            keep += line.len();
+            keep += newline + 1;
         }
         let file = OpenOptions::new().append(true).open(path)?;
-        if keep < text.len() {
+        if keep < bytes.len() {
             file.set_len(keep as u64)?;
             file.sync_data()?;
         }
@@ -195,40 +204,12 @@ impl Journal {
     }
 }
 
-/// Writes `contents` to `path` atomically: a temporary sibling file is
-/// written, synced, and renamed over `path`, so readers observe either the
-/// old file or the complete new one — never a torn write. The parent
-/// directory is fsync'd best-effort so the rename itself survives a crash.
-///
-/// # Errors
-///
-/// I/O errors creating, writing, syncing or renaming the temporary file.
-pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
-    let mut name = path
-        .file_name()
-        .map(|n| n.to_os_string())
-        .ok_or_else(|| invalid(format!("`{}` has no file name to write to", path.display())))?;
-    name.push(".tmp");
-    let tmp = path.with_file_name(name);
-    let mut file = File::create(&tmp)?;
-    file.write_all(contents)?;
-    file.sync_all()?;
-    drop(file);
-    std::fs::rename(&tmp, path)?;
-    if let Some(parent) = path.parent() {
-        let dir = if parent.as_os_str().is_empty() {
-            Path::new(".")
-        } else {
-            parent
-        };
-        // Durability of the rename, not correctness, depends on this; some
-        // filesystems refuse directory fsync, so failures are ignored.
-        if let Ok(dir) = File::open(dir) {
-            let _ = dir.sync_all();
-        }
-    }
-    Ok(())
-}
+// Atomic file publication lives in `nvp-store` now (the persistent solve
+// store shares the primitive), with one fix over the version that used to
+// live here: the temp sibling gets a unique `.<pid>.<seq>.tmp` suffix, so
+// two concurrent processes writing the same CSV/journal can no longer
+// clobber each other's in-flight temp file and publish torn bytes.
+pub use nvp_store::atomic::write_atomic;
 
 #[cfg(test)]
 mod tests {
@@ -334,6 +315,54 @@ mod tests {
         // Everything from the first bad line on is distrusted.
         let (_journal, points) = Journal::resume(&path, fp, 2).unwrap();
         assert_eq!(points, vec![point(0, 1.0, 0.5, false)]);
+    }
+
+    #[test]
+    fn non_utf8_corruption_is_a_torn_tail_not_a_decode_error() {
+        let dir = temp_dir("non-utf8");
+        let path = dir.join("sweep.csv.journal");
+        let fp = fingerprint("demo");
+        let mut journal = Journal::create(&path, fp, 3).unwrap();
+        journal.append(&point(0, 1.0, 0.5, false)).unwrap();
+        drop(journal);
+        // A bit-flipped line holding invalid UTF-8, followed by a line that
+        // would otherwise parse: everything from the damage on is torn.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"p 1 \xff\xfe\x80 0 ok\np 2 0 0 ok\n")
+            .unwrap();
+        drop(file);
+        let (mut journal, points) = Journal::resume(&path, fp, 3).unwrap();
+        assert_eq!(points, vec![point(0, 1.0, 0.5, false)]);
+        // The truncated journal accepts appends and replays cleanly.
+        journal.append(&point(1, 2.0, 0.25, true)).unwrap();
+        drop(journal);
+        let (_journal, points) = Journal::resume(&path, fp, 3).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1], point(1, 2.0, 0.25, true));
+    }
+
+    #[test]
+    fn concurrent_atomic_writers_cannot_clobber_each_others_temps() {
+        // Regression guard for the fixed-name `.tmp` sibling: two writers
+        // publishing the same path concurrently must each keep their own
+        // temp file, so the published file is always one writer's complete
+        // bytes.
+        let dir = temp_dir("concurrent-atomic");
+        let path = dir.join("contested.csv");
+        std::thread::scope(|scope| {
+            for id in 0..4u8 {
+                let path = &path;
+                scope.spawn(move || {
+                    let payload = vec![b'a' + id; 256];
+                    for _ in 0..25 {
+                        write_atomic(path, &payload).unwrap();
+                    }
+                });
+            }
+        });
+        let published = std::fs::read(&path).unwrap();
+        assert_eq!(published.len(), 256);
+        assert!(published.iter().all(|&b| b == published[0]));
     }
 
     #[test]

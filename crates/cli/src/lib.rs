@@ -7,6 +7,7 @@
 //! nvp analyze [PARAM OPTIONS] [--matrix] [--sensitivities] [--states N]
 //! nvp sweep --axis AXIS --from X --to Y --steps N [PARAM OPTIONS]
 //!           [--out FILE [--resume]] [--retries N] [--point-deadline-ms MS]
+//! nvp cache stats|verify|clear [--cache-dir DIR]
 //! nvp solve FILE.dspn [--reward EXPR] [--max-markings N]
 //! nvp simulate FILE.dspn --reward EXPR [--horizon T] [--seed S]
 //! nvp dot FILE.dspn [--reach]
@@ -35,7 +36,9 @@ use nvp_numerics::{Jobs, WorkerPool};
 use nvp_obs::progress::SweepProgress;
 use nvp_sim::dspn::{simulate_reward, SimOptions};
 use nvp_sim::fallback::monte_carlo_hook;
+use nvp_store::SolveStore;
 use std::io::Write;
+use std::path::PathBuf;
 
 /// Outcome of a successful [`run`]: whether every analysis was answered by
 /// the primary solver or some result is a degraded (fallback) estimate.
@@ -97,13 +100,13 @@ nvp — N-version perception reliability toolkit
 USAGE:
   nvp analyze [PARAMS] [--matrix] [--sensitivities] [--states N] [--stats]
               [--budget-ms MS] [--max-markings N] [--jobs N|auto]
-              [--metrics] [--quiet]
+              [--cache-dir DIR] [--metrics] [--quiet]
               [--trace-out FILE [--trace-format jsonl|chrome]]
       Analyze a perception system and print a report.
   nvp sweep --axis AXIS --from X --to Y --steps N [PARAMS] [--stats]
             [--budget-ms MS] [--max-markings N] [--jobs N|auto]
             [--out FILE [--resume]] [--retries N] [--point-deadline-ms MS]
-            [--metrics] [--quiet]
+            [--cache-dir DIR] [--metrics] [--quiet]
             [--trace-out FILE [--trace-format jsonl|chrome]]
       Print a CSV sweep of E[R] over one parameter axis (N >= 2 steps,
       --from < --to, both finite).
@@ -137,6 +140,19 @@ USAGE:
       A sweep on an interactive terminal shows a live progress line on
       stderr (completed/total, pts/s, ETA, degraded and retried counts);
       --quiet suppresses it along with WARNING/note diagnostics.
+      --cache-dir DIR (or the NVP_CACHE_DIR environment variable) adds a
+      persistent on-disk solve store as a second cache tier behind the
+      in-memory chain cache: solved chains are written as checksummed,
+      content-addressed records and replayed bit-identically by later runs
+      — across processes, and safely shared by concurrent ones. A torn or
+      bit-flipped record is detected, quarantined (renamed .corrupt), and
+      re-solved; corruption can cost a re-solve, never a wrong number.
+  nvp cache stats|verify|clear [--cache-dir DIR]
+      Inspect or maintain a persistent solve store. stats prints entry,
+      byte, quarantine, and temp-file counts; verify re-checksums every
+      record and quarantines damaged ones; clear removes all entries,
+      quarantined records, and temp files. The directory comes from
+      --cache-dir or NVP_CACHE_DIR.
   nvp solve FILE.dspn [--reward EXPR] [--max-markings N]
       Solve a DSPN model file for its stationary distribution.
   nvp simulate FILE.dspn --reward EXPR [--horizon T] [--seed S]
@@ -177,6 +193,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     match command.as_str() {
         "analyze" => cmd_analyze(&args[1..], out),
         "sweep" => cmd_sweep(&args[1..], out),
+        "cache" => cmd_cache(&args[1..], out),
         "solve" => cmd_solve(&args[1..], out),
         "simulate" => cmd_simulate(&args[1..], out),
         "dot" => cmd_dot(&args[1..], out),
@@ -294,7 +311,11 @@ fn parse_params(args: &[String]) -> Result<(SystemParams, RewardPolicy, Vec<Stri
 /// so the request can actually be met on machines with fewer cores (the
 /// results are identical at any worker count; `N` only trades memory for
 /// wall-clock time).
-fn resilient_engine(budget_ms: Option<u64>, jobs: Jobs) -> AnalysisEngine {
+fn resilient_engine(
+    budget_ms: Option<u64>,
+    jobs: Jobs,
+    cache_dir: Option<&std::path::Path>,
+) -> Result<AnalysisEngine> {
     if let Jobs::Fixed(n) = jobs {
         WorkerPool::global().set_capacity(n);
     }
@@ -304,7 +325,23 @@ fn resilient_engine(budget_ms: Option<u64>, jobs: Jobs) -> AnalysisEngine {
     if let Some(ms) = budget_ms {
         engine = engine.with_budget_ms(ms);
     }
-    engine
+    if let Some(dir) = cache_dir {
+        let store = SolveStore::open(dir).map_err(|e| CliError {
+            message: format!("cannot open solve store `{}`: {e}", dir.display()),
+        })?;
+        engine = engine.with_store(store);
+    }
+    Ok(engine)
+}
+
+/// Resolves the persistent solve-store directory: an explicit `--cache-dir`
+/// wins, else the `NVP_CACHE_DIR` environment variable, else no store.
+fn resolve_cache_dir(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    explicit.or_else(|| {
+        std::env::var_os("NVP_CACHE_DIR")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    })
 }
 
 /// Parses a `--jobs` value: a positive worker count or `auto`.
@@ -412,6 +449,7 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut budget_ms = None;
     let mut max_markings = None;
     let mut jobs = Jobs::Auto;
+    let mut cache_dir = None;
     let mut obs = ObsOptions::default();
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
@@ -427,6 +465,7 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             "--budget-ms" => budget_ms = Some(cursor.value_u64(flag)?),
             "--max-markings" => max_markings = Some(cursor.value_usize(flag)?),
             "--jobs" => jobs = parse_jobs(cursor.value(flag)?)?,
+            "--cache-dir" => cache_dir = Some(PathBuf::from(cursor.value(flag)?)),
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for analyze"),
@@ -434,8 +473,9 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             }
         }
     }
+    let cache_dir = resolve_cache_dir(cache_dir);
     let session = TraceSession::start(&obs);
-    let engine = resilient_engine(budget_ms, jobs);
+    let engine = resilient_engine(budget_ms, jobs, cache_dir.as_deref())?;
     let backend = max_markings.map_or(SolverBackend::Auto, SolverBackend::Budget);
     let report = engine.analyze(&params, policy, ReliabilitySource::Auto, backend)?;
     let text = render_with_on(&engine, &params, policy, &report, &options)?;
@@ -454,6 +494,68 @@ fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     } else {
         RunStatus::Success
     })
+}
+
+/// `nvp cache stats|verify|clear`: inspect or maintain a persistent solve
+/// store without running an analysis.
+fn cmd_cache(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
+    let Some(action) = args.first() else {
+        return Err(CliError {
+            message: "cache requires an action: stats | verify | clear".into(),
+        });
+    };
+    if !matches!(action.as_str(), "stats" | "verify" | "clear") {
+        return Err(CliError {
+            message: format!("unknown cache action `{action}` (stats | verify | clear)"),
+        });
+    }
+    let mut cache_dir = None;
+    let mut cursor = Args::new(&args[1..]);
+    while let Some(flag) = cursor.next() {
+        match flag {
+            "--cache-dir" => cache_dir = Some(PathBuf::from(cursor.value(flag)?)),
+            other => {
+                return Err(CliError {
+                    message: format!("unknown flag `{other}` for cache"),
+                });
+            }
+        }
+    }
+    let Some(dir) = resolve_cache_dir(cache_dir) else {
+        return Err(CliError {
+            message: "cache requires --cache-dir DIR (or the NVP_CACHE_DIR environment variable)"
+                .into(),
+        });
+    };
+    let store = SolveStore::open(&dir).map_err(|e| CliError {
+        message: format!("cannot open solve store `{}`: {e}", dir.display()),
+    })?;
+    let io_err = |e: std::io::Error| CliError {
+        message: format!("solve store `{}`: {e}", dir.display()),
+    };
+    match action.as_str() {
+        "stats" => {
+            let s = store.stats().map_err(io_err)?;
+            writeln!(out, "solve store {}", dir.display())?;
+            writeln!(out, "  entries     : {} ({} bytes)", s.entries, s.bytes)?;
+            writeln!(out, "  quarantined : {}", s.quarantined)?;
+            writeln!(out, "  temp files  : {}", s.temps)?;
+        }
+        "verify" => {
+            let (intact, quarantined) = store.verify().map_err(io_err)?;
+            writeln!(
+                out,
+                "verified {}: {intact} intact, {quarantined} quarantined",
+                dir.display()
+            )?;
+        }
+        "clear" => {
+            let removed = store.clear().map_err(io_err)?;
+            writeln!(out, "cleared {}: {removed} file(s) removed", dir.display())?;
+        }
+        _ => unreachable!("action validated above"),
+    }
+    Ok(RunStatus::Success)
 }
 
 fn axis_from_name(name: &str) -> Result<ParamAxis> {
@@ -489,6 +591,7 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut resume = false;
     let mut retries = None;
     let mut point_deadline_ms = None;
+    let mut cache_dir = None;
     let mut obs = ObsOptions::default();
     let mut cursor = Args::new(&rest);
     while let Some(flag) = cursor.next() {
@@ -508,6 +611,7 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             "--resume" => resume = true,
             "--retries" => retries = Some(cursor.value_u32(flag)?),
             "--point-deadline-ms" => point_deadline_ms = Some(cursor.value_u64(flag)?),
+            "--cache-dir" => cache_dir = Some(PathBuf::from(cursor.value(flag)?)),
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for sweep"),
@@ -548,8 +652,9 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
         });
     }
     let grid = analysis::linspace(from, to, steps);
+    let cache_dir = resolve_cache_dir(cache_dir);
     let session = TraceSession::start(&obs);
-    let mut engine = resilient_engine(budget_ms, jobs);
+    let mut engine = resilient_engine(budget_ms, jobs, cache_dir.as_deref())?;
     if let Some(n) = retries {
         engine = engine.with_retries(n);
     }
@@ -994,6 +1099,53 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(status, RunStatus::Success);
+    }
+
+    #[test]
+    fn cache_dir_warm_analyze_is_byte_identical_and_counted() {
+        let dir = std::env::temp_dir().join("nvp-cli-cache-warm");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_flag = dir.to_str().unwrap();
+
+        let cold = run_to_string(&["analyze", "--cache-dir", dir_flag]).unwrap();
+        let warm = run_to_string(&["analyze", "--cache-dir", dir_flag]).unwrap();
+        assert_eq!(cold, warm, "warm store load must be byte-identical");
+        let baseline = run_to_string(&["analyze"]).unwrap();
+        assert_eq!(cold, baseline, "the store must not change the answer");
+
+        let (status, text) = run_full(&["analyze", "--cache-dir", dir_flag, "--stats"]).unwrap();
+        assert_eq!(status, RunStatus::Success);
+        assert!(text.contains("solve store"), "{text}");
+        assert!(text.contains("1 hit(s)"), "{text}");
+    }
+
+    #[test]
+    fn cache_subcommand_covers_stats_verify_and_clear() {
+        let dir = std::env::temp_dir().join("nvp-cli-cache-subcommand");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_flag = dir.to_str().unwrap();
+
+        let text = run_to_string(&["cache", "stats", "--cache-dir", dir_flag]).unwrap();
+        assert!(text.contains("entries     : 0"), "{text}");
+
+        run_to_string(&["analyze", "--cache-dir", dir_flag]).unwrap();
+        let text = run_to_string(&["cache", "stats", "--cache-dir", dir_flag]).unwrap();
+        assert!(text.contains("entries     : 1"), "{text}");
+
+        let text = run_to_string(&["cache", "verify", "--cache-dir", dir_flag]).unwrap();
+        assert!(text.contains("1 intact, 0 quarantined"), "{text}");
+
+        let text = run_to_string(&["cache", "clear", "--cache-dir", dir_flag]).unwrap();
+        assert!(text.contains("1 file(s) removed"), "{text}");
+        let text = run_to_string(&["cache", "stats", "--cache-dir", dir_flag]).unwrap();
+        assert!(text.contains("entries     : 0"), "{text}");
+    }
+
+    #[test]
+    fn cache_subcommand_rejects_bad_invocations() {
+        assert!(run_to_string(&["cache"]).is_err());
+        assert!(run_to_string(&["cache", "defrag", "--cache-dir", "/tmp/x"]).is_err());
+        assert!(run_to_string(&["cache", "stats", "--bogus"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Chaos tests for the persistent solve store: a `nvp sweep` process is
+//! SIGKILLed mid-run with a `--cache-dir` attached, records are torn and
+//! bit-flipped on disk, and two sweeps share one store concurrently — in
+//! every case the store must stay readable, damage must be quarantined and
+//! re-solved, and the output CSV must be byte-identical to a storeless run.
+//! Corruption may cost a re-solve; it must never change a number.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn nvp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nvp"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvp-store-recovery-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Published (`.nvps`) entries in a store directory.
+fn entries(store: &Path) -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(store)
+        .map(|it| {
+            it.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "nvps"))
+                .collect()
+        })
+        .unwrap_or_default();
+    found.sort();
+    found
+}
+
+/// Quarantined (`.corrupt`) records in a store directory.
+fn quarantined(store: &Path) -> usize {
+    std::fs::read_dir(store).map_or(0, |it| {
+        it.filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".corrupt"))
+            .count()
+    })
+}
+
+fn sweep_args(from: &str, to: &str, steps: &str, extra: &[&str]) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "sweep", "--axis", "gamma", "--from", from, "--to", to, "--steps", steps,
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.extend(extra.iter().map(|s| s.to_string()));
+    args
+}
+
+/// Counts complete journaled point lines (header excluded).
+fn journal_points(journal: &Path) -> usize {
+    std::fs::read(journal).map_or(0, |bytes| {
+        let text = String::from_utf8_lossy(&bytes);
+        text.split_inclusive('\n')
+            .filter(|l| l.starts_with("p ") && l.ends_with('\n'))
+            .count()
+    })
+}
+
+/// SIGKILL a sweep mid-run with a store attached: the store must stay
+/// readable (atomic publication means a kill can strand temp files but
+/// never tear a published record), and a rerun over the half-warm store —
+/// with one record deliberately torn to simulate a filesystem that does
+/// tear — must quarantine the damage and reproduce the storeless CSV byte
+/// for byte.
+#[test]
+fn a_killed_sweep_leaves_a_readable_store_and_a_byte_identical_rerun() {
+    const STEPS: usize = 60;
+    let dir = temp_dir("kill");
+    let store = dir.join("store");
+    let store_flag = store.to_str().unwrap().to_string();
+
+    // Reference: the same sweep, storeless and uninterrupted.
+    let reference = nvp()
+        .args(sweep_args("300", "1500", "60", &[]))
+        .stderr(Stdio::null())
+        .output()
+        .expect("spawn reference sweep");
+    assert!(reference.status.success(), "{reference:?}");
+
+    // Chaos: kill the sweep once it has journaled some — but not all — of
+    // its points. SIGKILL, so no destructor gets to tidy the store.
+    let out = dir.join("sweep.csv");
+    let journal = dir.join("sweep.csv.journal");
+    let mut child = nvp()
+        .args(sweep_args(
+            "300",
+            "1500",
+            "60",
+            &["--cache-dir", &store_flag, "--out", out.to_str().unwrap()],
+        ))
+        .spawn()
+        .expect("spawn chaos sweep");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            assert!(status.success(), "{status:?}");
+            break;
+        }
+        if (1..STEPS).contains(&journal_points(&journal)) {
+            child.kill().expect("SIGKILL the sweep");
+            child.wait().expect("reap the sweep");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no journal progress within 120 s"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The store must be fully readable after the kill: every published
+    // record validates (atomic rename never publishes a torn one).
+    let verify = nvp()
+        .args(["cache", "verify", "--cache-dir", &store_flag])
+        .output()
+        .expect("spawn cache verify");
+    assert!(verify.status.success(), "{verify:?}");
+    let stdout = String::from_utf8_lossy(&verify.stdout);
+    assert!(stdout.contains("0 quarantined"), "{stdout}");
+
+    // Manufacture the torn write the atomic path prevents: truncate one
+    // published record mid-body, as a crashing non-atomic filesystem would.
+    let torn = !entries(&store).is_empty();
+    if let Some(entry) = entries(&store).first() {
+        let bytes = std::fs::read(entry).unwrap();
+        std::fs::write(entry, &bytes[..bytes.len() / 2]).unwrap();
+    }
+
+    // Recovery: a fresh storeful run must detect the torn record, move it
+    // aside, re-solve it, and emit exactly the reference CSV.
+    let healed = nvp()
+        .args(sweep_args(
+            "300",
+            "1500",
+            "60",
+            &["--cache-dir", &store_flag, "--stats", "--quiet"],
+        ))
+        .output()
+        .expect("spawn recovery sweep");
+    assert!(healed.status.success(), "{healed:?}");
+    let stdout = String::from_utf8_lossy(&healed.stdout);
+    let (csv, stats) = stdout
+        .split_once("\nsolver statistics:")
+        .expect("stats section");
+    assert_eq!(
+        csv.as_bytes(),
+        &reference.stdout[..],
+        "storeful rerun differs from the storeless reference"
+    );
+    if torn {
+        assert!(stats.contains("1 corrupt quarantined"), "{stats}");
+        assert_eq!(quarantined(&store), 1, "torn record moved aside");
+    }
+
+    // The store is healed: a second warm run serves every point from disk.
+    let warm = nvp()
+        .args(sweep_args(
+            "300",
+            "1500",
+            "60",
+            &["--cache-dir", &store_flag, "--stats", "--quiet"],
+        ))
+        .output()
+        .expect("spawn warm sweep");
+    assert!(warm.status.success(), "{warm:?}");
+    let stdout = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        stdout.contains(&format!("{STEPS} hit(s), 0 miss(es)")),
+        "{stdout}"
+    );
+}
+
+/// Two concurrent sweeps over overlapping grids share one store directory:
+/// both CSVs must match their storeless references byte for byte, and a
+/// follow-up run must find the union of their work on disk.
+#[test]
+fn concurrent_sweeps_share_one_store_without_tearing() {
+    let dir = temp_dir("shared");
+    let store = dir.join("store");
+    let store_flag = store.to_str().unwrap().to_string();
+    // linspace(300, 900, 7) and linspace(600, 1200, 7) overlap on four
+    // exactly-equal grid points (600, 700, 800, 900): the two processes
+    // race to publish the same filenames.
+    let grids = [("300", "900"), ("600", "1200")];
+
+    let references: Vec<Vec<u8>> = grids
+        .iter()
+        .map(|(from, to)| {
+            let output = nvp()
+                .args(sweep_args(from, to, "7", &["--quiet"]))
+                .output()
+                .expect("spawn reference sweep");
+            assert!(output.status.success(), "{output:?}");
+            output.stdout
+        })
+        .collect();
+
+    let children: Vec<_> = grids
+        .iter()
+        .map(|(from, to)| {
+            nvp()
+                .args(sweep_args(
+                    from,
+                    to,
+                    "7",
+                    &["--cache-dir", &store_flag, "--quiet"],
+                ))
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn concurrent sweep")
+        })
+        .collect();
+    for (child, reference) in children.into_iter().zip(&references) {
+        let output = child.wait_with_output().expect("reap concurrent sweep");
+        assert!(output.status.success(), "{output:?}");
+        assert_eq!(
+            &output.stdout, reference,
+            "shared-store sweep differs from its storeless reference"
+        );
+    }
+
+    // Ten distinct gamma values were solved across both processes; every
+    // one must now be on disk and intact.
+    assert_eq!(entries(&store).len(), 10, "union of both grids persisted");
+    let verify = nvp()
+        .args(["cache", "verify", "--cache-dir", &store_flag])
+        .output()
+        .expect("spawn cache verify");
+    assert!(verify.status.success(), "{verify:?}");
+    assert!(
+        String::from_utf8_lossy(&verify.stdout).contains("10 intact, 0 quarantined"),
+        "{verify:?}"
+    );
+
+    // A rerun of the first grid is served entirely from the shared store.
+    let warm = nvp()
+        .args(sweep_args(
+            "300",
+            "900",
+            "7",
+            &["--cache-dir", &store_flag, "--stats", "--quiet"],
+        ))
+        .output()
+        .expect("spawn warm sweep");
+    assert!(warm.status.success(), "{warm:?}");
+    let stdout = String::from_utf8_lossy(&warm.stdout);
+    assert!(stdout.contains("7 hit(s), 0 miss(es)"), "{stdout}");
+}
+
+/// Bit-flip and truncation drills against `nvp analyze`, driving the store
+/// through the `NVP_CACHE_DIR` environment fallback: every kind of damage
+/// is quarantined and re-solved with byte-identical output, and `nvp cache
+/// stats` accounts for the quarantined records.
+#[test]
+fn corrupt_records_are_quarantined_and_resolved() {
+    let dir = temp_dir("corrupt");
+    let store = dir.join("store");
+    let analyze = |extra: &[&str]| {
+        let mut args = vec!["analyze"];
+        args.extend(extra);
+        let output = nvp()
+            .args(&args)
+            .env("NVP_CACHE_DIR", &store)
+            .output()
+            .expect("spawn analyze");
+        assert!(output.status.success(), "{output:?}");
+        output.stdout
+    };
+
+    let cold = analyze(&[]);
+    assert_eq!(entries(&store).len(), 1, "one chain, one record");
+
+    // Torn record: keep only the first half.
+    let entry = entries(&store)[0].clone();
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+    let healed = analyze(&[]);
+    assert_eq!(healed, cold, "re-solve after truncation, same bytes");
+    assert_eq!(quarantined(&store), 1);
+
+    // Bit-flip: invert one payload byte of the re-published record.
+    let entry = entries(&store)[0].clone();
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&entry, bytes).unwrap();
+    let stats_run = analyze(&["--stats"]);
+    let stdout = String::from_utf8_lossy(&stats_run);
+    assert!(
+        stdout.as_bytes().starts_with(&cold),
+        "report prefix must match the cold run: {stdout}"
+    );
+    assert!(stdout.contains("1 corrupt quarantined"), "{stdout}");
+    // Quarantining the same slot twice overwrites the first `.corrupt`
+    // file (the latest damage is the one kept for inspection).
+    assert_eq!(quarantined(&store), 1);
+
+    let cache_stats = nvp()
+        .args(["cache", "stats"])
+        .env("NVP_CACHE_DIR", &store)
+        .output()
+        .expect("spawn cache stats");
+    assert!(cache_stats.status.success(), "{cache_stats:?}");
+    let stdout = String::from_utf8_lossy(&cache_stats.stdout);
+    assert!(stdout.contains("entries     : 1"), "{stdout}");
+    assert!(stdout.contains("quarantined : 1"), "{stdout}");
+}
+
+/// An injected I/O failure on every store write degrades to a cache miss:
+/// the analysis succeeds with exit code 0 and the failure is only visible
+/// in the statistics — nothing is published to the store.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_store_write_failure_keeps_the_exit_code_and_the_answer() {
+    let dir = temp_dir("io-write");
+    let store = dir.join("store");
+
+    let reference = nvp().args(["analyze"]).output().expect("spawn reference");
+    assert!(reference.status.success(), "{reference:?}");
+
+    let faulted = nvp()
+        .args(["analyze", "--stats"])
+        .env("NVP_CACHE_DIR", &store)
+        .env("NVP_FAULT_INJECT", "io@store-write")
+        .output()
+        .expect("spawn faulted analyze");
+    assert_eq!(faulted.status.code(), Some(0), "{faulted:?}");
+    let stdout = String::from_utf8_lossy(&faulted.stdout);
+    assert!(
+        stdout.as_bytes().starts_with(&reference.stdout),
+        "the answer must not change: {stdout}"
+    );
+    assert!(stdout.contains("1 write failure(s)"), "{stdout}");
+    assert!(entries(&store).is_empty(), "nothing was published");
+}

@@ -233,6 +233,36 @@ impl SteadyState {
             probabilities: occupancy,
         })
     }
+
+    /// Rebuilds a steady state from a previously solved probability vector
+    /// **without renormalizing**: the entries are validated (non-empty,
+    /// finite, non-negative, mass within the estimate guard limit of 1) but
+    /// stored bit for bit as given. This is the reload path for the
+    /// persistent solve store, where a warm result must be bit-identical to
+    /// the cold solve that produced it — any renormalization would perturb
+    /// the last ulp.
+    ///
+    /// # Errors
+    ///
+    /// [`MrgpError::Numerics`] if the vector is empty, contains non-finite
+    /// or negative entries, or its mass deviates from 1 by more than the
+    /// estimate renormalization limit (a vector that damaged could not have
+    /// come from a successful solve).
+    pub fn from_exact(probabilities: Vec<f64>) -> Result<SteadyState> {
+        let mass: f64 = probabilities.iter().sum();
+        let damaged = probabilities.is_empty()
+            || probabilities.iter().any(|p| !p.is_finite() || *p < 0.0)
+            || (mass - 1.0).abs() > ESTIMATE_RENORMALIZATION_LIMIT;
+        if damaged {
+            return Err(MrgpError::Numerics(
+                nvp_numerics::NumericsError::InvalidValue {
+                    what: "stored steady-state vector (mass)",
+                    value: mass,
+                },
+            ));
+        }
+        Ok(SteadyState { probabilities })
+    }
 }
 
 /// Computes the steady-state probabilities of the tangible markings of a
@@ -1617,6 +1647,22 @@ mod tests {
         assert!(SteadyState::from_occupancy(vec![f64::NAN, 1.0]).is_err());
         assert!(SteadyState::from_occupancy(vec![0.3, 0.3]).is_err());
         assert!(SteadyState::from_occupancy(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_exact_preserves_bits_and_rejects_damage() {
+        // A real solve never sums to exactly 1.0; from_exact must keep the
+        // stored bits untouched instead of renormalizing them.
+        let stored = vec![0.6, 0.4 - 1e-13, 1e-13];
+        let s = SteadyState::from_exact(stored.clone()).unwrap();
+        for (a, b) in s.probabilities().iter().zip(stored.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Damage that cannot have come from a successful solve is rejected.
+        assert!(SteadyState::from_exact(vec![]).is_err());
+        assert!(SteadyState::from_exact(vec![f64::NAN, 1.0]).is_err());
+        assert!(SteadyState::from_exact(vec![1.2, -0.2]).is_err());
+        assert!(SteadyState::from_exact(vec![0.3, 0.3]).is_err());
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub enum FaultMode {
     /// inside [`intercept`] (sites never observe this variant); used to make
     /// a solve overstay a watchdog deadline deterministically.
     Stall,
+    /// Fail the site's I/O operation (persistent-store read or write). The
+    /// engine must degrade the operation to a cache miss / skipped save,
+    /// never an error surfaced to the caller.
+    Io,
+    /// Corrupt the site's on-disk artifact (persistent-store record) so the
+    /// checksum-verify-quarantine machinery runs against real damage.
+    Corrupt,
 }
 
 /// How long a [`FaultMode::Stall`] injection sleeps before letting the call
@@ -69,6 +76,10 @@ pub enum Site {
     /// Uniformized transient solves (`ctmc::Ctmc::transient`) — the
     /// subordinated-chain work the MRGP row stage runs on worker threads.
     SubordinatedTransient,
+    /// Persistent solve-store record writes (the engine's save path).
+    StoreWrite,
+    /// Persistent solve-store record reads (the engine's load path).
+    StoreRead,
     /// Every interceptable site.
     Any,
 }
@@ -158,9 +169,10 @@ pub fn arm(plan: FaultPlan) -> FaultGuard {
 /// across a process boundary.
 ///
 /// Format: `mode@site[:skip[:hits]]` with modes `noconverge`, `nan`,
-/// `exhaust`, `panic`, `stall` and sites `dense`, `power`, `transient`,
-/// `any`; `skip` and `hits` default to `0` and unlimited. Examples:
-/// `noconverge@any`, `nan@dense:1:2`, `panic@transient:0:1`.
+/// `exhaust`, `panic`, `stall`, `io`, `corrupt` and sites `dense`, `power`,
+/// `transient`, `store-write`, `store-read`, `any`; `skip` and `hits`
+/// default to `0` and unlimited. Examples: `noconverge@any`, `nan@dense:1:2`,
+/// `panic@transient:0:1`, `io@store-write`, `corrupt@store-read:0:1`.
 ///
 /// Returns `None` (arming nothing) when the variable is unset or malformed.
 pub fn arm_from_env() -> Option<FaultGuard> {
@@ -177,6 +189,8 @@ fn parse_plan(spec: &str) -> Option<FaultPlan> {
         "exhaust" => FaultMode::IterationExhaustion,
         "panic" => FaultMode::Panic,
         "stall" => FaultMode::Stall,
+        "io" => FaultMode::Io,
+        "corrupt" => FaultMode::Corrupt,
         _ => return None,
     };
     let mut parts = rest.split(':');
@@ -184,6 +198,8 @@ fn parse_plan(spec: &str) -> Option<FaultPlan> {
         "dense" => Site::DenseStationary,
         "power" => Site::PowerIteration,
         "transient" => Site::SubordinatedTransient,
+        "store-write" => Site::StoreWrite,
+        "store-read" => Site::StoreRead,
         "any" => Site::Any,
         _ => return None,
     };
@@ -241,6 +257,15 @@ pub(crate) fn intercept(site: Site) -> Option<FaultMode> {
         }
         other => Some(other),
     }
+}
+
+/// Public interception point for sites that live outside this crate (the
+/// persistent solve-store hooks in `nvp-core`). Identical semantics to the
+/// crate-internal solver sites: returns the failure mode to inject at this
+/// call, or `None` to proceed normally; `Panic` and `Stall` are handled
+/// internally.
+pub fn check(site: Site) -> Option<FaultMode> {
+    intercept(site)
 }
 
 #[cfg(test)]
@@ -334,6 +359,32 @@ mod tests {
             parse_plan("stall@any"),
             Some(FaultPlan::new(Site::Any, FaultMode::Stall))
         );
+    }
+
+    #[test]
+    fn env_spec_parses_store_sites_and_modes() {
+        assert_eq!(
+            parse_plan("io@store-write"),
+            Some(FaultPlan::new(Site::StoreWrite, FaultMode::Io))
+        );
+        assert_eq!(
+            parse_plan("corrupt@store-read:0:1"),
+            Some(
+                FaultPlan::new(Site::StoreRead, FaultMode::Corrupt)
+                    .after(0)
+                    .times(1)
+            )
+        );
+        assert_eq!(parse_plan("io@store"), None);
+    }
+
+    #[test]
+    fn store_sites_are_reachable_through_the_public_check() {
+        let _guard = arm(FaultPlan::new(Site::StoreWrite, FaultMode::Io).times(1));
+        // A store-read call must not consume the store-write plan.
+        assert_eq!(check(Site::StoreRead), None);
+        assert_eq!(check(Site::StoreWrite), Some(FaultMode::Io));
+        assert_eq!(check(Site::StoreWrite), None);
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Persistent, crash-detectable, content-addressed store of chain solves.
+//!
+//! The in-process chain cache dies with the process: every restart — a
+//! crash, a rejuvenation, or simply the next CLI invocation — pays the full
+//! solve cost again. This crate keeps solved chains on disk so warm starts
+//! are cheap across process lifetimes, with three hard guarantees:
+//!
+//! 1. **Never a torn record.** Every write goes through unique-temp-file +
+//!    rename ([`atomic::write_atomic`]), so a reader observes either the
+//!    previous complete record or the new complete record — even with
+//!    concurrent writer processes, even under SIGKILL.
+//! 2. **Never a wrong answer.** Every record carries a checksum and length
+//!    header ([`record`]); a truncated or bit-flipped record fails
+//!    validation, is quarantined (renamed to `.corrupt`), and the caller
+//!    re-solves. Corruption degrades to a cache miss, nothing worse.
+//! 3. **Bit-identical warm loads.** Floats are persisted as exact IEEE-754
+//!    bit patterns, so a warm result is indistinguishable — byte for byte
+//!    in downstream CSVs — from the cold solve that produced it.
+//!
+//! Entries are content-addressed: the filename is the FNV-1a 64 hash of an
+//! explicit, stable byte serialization of the cache key supplied by the
+//! caller. Rust's std `Hash`/`RandomState` is deliberately **not** used —
+//! its hashes are randomized per process, so they cannot name files shared
+//! across processes. The full key bytes are also stored inside the record,
+//! so a filename hash collision is detected by byte comparison and served
+//! as a miss rather than a wrong solution.
+//!
+//! Like `nvp-obs`, this crate has zero dependencies and knows nothing about
+//! Petri nets or solvers: keys and discriminants are opaque bytes owned by
+//! the caller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod record;
+
+pub use record::{DecodeError, DegradedRecord, SolveRecord};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File extension of a published store entry.
+pub const ENTRY_EXT: &str = "nvps";
+
+/// File extension a quarantined (corrupt) entry is renamed to.
+pub const CORRUPT_EXT: &str = "corrupt";
+
+/// Outcome of [`SolveStore::load`].
+#[derive(Debug)]
+pub enum Load {
+    /// An intact record for exactly this key.
+    Hit(SolveRecord),
+    /// No entry, an entry for a colliding key, or an entry written by a
+    /// different format version — solve and (over)write.
+    Miss,
+    /// The entry failed validation and was quarantined; solve as a miss.
+    Corrupt {
+        /// Where the damaged bytes were moved (`.corrupt`), when the
+        /// rename succeeded.
+        quarantined: Option<PathBuf>,
+        /// What failed validation.
+        reason: &'static str,
+    },
+}
+
+/// Counts reported by [`SolveStore::stats`] and [`SolveStore::verify`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Published, readable entries (`.nvps`).
+    pub entries: usize,
+    /// Bytes across published entries.
+    pub bytes: u64,
+    /// Quarantined entries (`.corrupt`) awaiting inspection or `clear`.
+    pub quarantined: usize,
+    /// In-flight or orphaned temp files.
+    pub temps: usize,
+}
+
+/// A directory of content-addressed solve records.
+///
+/// Multiple `SolveStore` handles — across threads and across processes —
+/// may safely point at the same directory: writes are atomic renames and
+/// reads validate checksums, so the worst interleaving costs a re-solve,
+/// never a wrong result.
+#[derive(Debug, Clone)]
+pub struct SolveStore {
+    dir: PathBuf,
+}
+
+impl SolveStore {
+    /// Opens (creating if needed) a store rooted at `dir`, and sweeps
+    /// stale temp files abandoned by dead writers.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let store = Self { dir };
+        let _ = atomic::clean_stale_temps(&store.dir, atomic::STALE_TEMP_AGE);
+        Ok(store)
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Content-addressed path of the entry for `key`.
+    #[must_use]
+    pub fn entry_path(&self, key: &[u8]) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.{ENTRY_EXT}", record::fnv1a64(key)))
+    }
+
+    /// Looks up the record for `key`, validating it end to end. Damaged
+    /// entries are quarantined as a side effect; collisions and foreign
+    /// format versions are plain misses.
+    ///
+    /// # Errors
+    ///
+    /// Only unexpected I/O errors (permissions, etc.); a missing file is
+    /// [`Load::Miss`] and a damaged file is [`Load::Corrupt`], not an
+    /// error.
+    pub fn load(&self, key: &[u8]) -> io::Result<Load> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Load::Miss),
+            Err(e) => return Err(e),
+        };
+        match record::decode(&bytes, Some(key)) {
+            Ok(rec) => Ok(Load::Hit(rec)),
+            Err(DecodeError::KeyMismatch) | Err(DecodeError::VersionMismatch { .. }) => {
+                Ok(Load::Miss)
+            }
+            Err(DecodeError::Corrupt(reason)) => Ok(Load::Corrupt {
+                quarantined: self.quarantine(&path),
+                reason,
+            }),
+        }
+    }
+
+    /// Persists `record` under `key`, atomically replacing any previous
+    /// entry for the same filename.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the atomic write; the previous entry (if any) is
+    /// untouched on failure.
+    pub fn save(&self, key: &[u8], record: &SolveRecord) -> io::Result<()> {
+        atomic::write_atomic(&self.entry_path(key), &record::encode(key, record))
+    }
+
+    /// Moves a damaged entry aside as `<name>.corrupt` so it stops
+    /// shadowing the slot but remains available for inspection. Returns
+    /// the quarantine path when the rename succeeded. If the rename fails
+    /// (e.g. read-only dir) the entry is left in place; subsequent loads
+    /// will keep classifying it as corrupt rather than serving it.
+    fn quarantine(&self, path: &Path) -> Option<PathBuf> {
+        let mut name = path.file_name()?.to_os_string();
+        name.push(format!(".{CORRUPT_EXT}"));
+        let target = path.with_file_name(name);
+        std::fs::rename(path, &target).ok()?;
+        Some(target)
+    }
+
+    /// Flips one payload byte of the published entry for `key`, in place,
+    /// bypassing the atomic-write path. Support code for fault injection
+    /// and CI corruption drills — this is exactly the damage `load` must
+    /// detect and quarantine.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or rewriting the entry, including `NotFound`
+    /// when no entry exists.
+    pub fn corrupt_entry(&self, key: &[u8]) -> io::Result<()> {
+        let path = self.entry_path(key);
+        let mut bytes = std::fs::read(&path)?;
+        let target = record::HEADER_LEN.min(bytes.len().saturating_sub(1));
+        bytes[target] ^= 0x01;
+        std::fs::write(&path, bytes)
+    }
+
+    /// Counts entries, bytes, quarantined records, and temp files.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the directory.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let mut stats = StoreStats::default();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let Ok(entry) = entry else { continue };
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(&format!(".{ENTRY_EXT}")) {
+                stats.entries += 1;
+                stats.bytes += entry.metadata().map_or(0, |m| m.len());
+            } else if name.ends_with(&format!(".{CORRUPT_EXT}")) {
+                stats.quarantined += 1;
+            } else if name.ends_with(atomic::TEMP_SUFFIX) {
+                stats.temps += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Validates every published entry (magic, lengths, checksum, payload
+    /// structure) and quarantines the damaged ones. Also sweeps stale
+    /// temps. Returns `(intact, quarantined_now)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the directory.
+    pub fn verify(&self) -> io::Result<(usize, usize)> {
+        let _ = atomic::clean_stale_temps(&self.dir, atomic::STALE_TEMP_AGE);
+        let mut intact = 0;
+        let mut quarantined = 0;
+        let suffix = format!(".{ENTRY_EXT}");
+        for entry in std::fs::read_dir(&self.dir)? {
+            let Ok(entry) = entry else { continue };
+            if !entry.file_name().to_string_lossy().ends_with(&suffix) {
+                continue;
+            }
+            let path = entry.path();
+            let damaged = match std::fs::read(&path) {
+                // No expected key here: validate integrity, and confirm the
+                // stored key actually addresses this file.
+                Ok(bytes) => match record::stored_key(&bytes) {
+                    Ok(key) => self.entry_path(key) != path,
+                    Err(DecodeError::VersionMismatch { .. }) => false,
+                    Err(_) => true,
+                },
+                Err(_) => true,
+            };
+            if damaged {
+                self.quarantine(&path);
+                quarantined += 1;
+            } else {
+                intact += 1;
+            }
+        }
+        Ok((intact, quarantined))
+    }
+
+    /// Removes every entry, quarantined record, and temp file. Returns the
+    /// number of files removed. The directory itself is kept.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the directory.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let Ok(entry) = entry else { continue };
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ours = name.ends_with(&format!(".{ENTRY_EXT}"))
+                || name.ends_with(&format!(".{CORRUPT_EXT}"))
+                || name.ends_with(atomic::TEMP_SUFFIX);
+            if ours && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> SolveStore {
+        let dir = std::env::temp_dir().join(format!("nvp-store-lib-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        SolveStore::open(dir).unwrap()
+    }
+
+    fn sample(seed: u64) -> SolveRecord {
+        SolveRecord {
+            probabilities: vec![0.25, 0.75, seed as f64 * 1e-6],
+            tangible_markings: seed,
+            method: 2,
+            ..SolveRecord::default()
+        }
+    }
+
+    #[test]
+    fn save_then_load_hits_with_exact_record() {
+        let store = store("roundtrip");
+        let record = sample(7);
+        store.save(b"key-7", &record).unwrap();
+        match store.load(b"key-7").unwrap() {
+            Load::Hit(got) => assert_eq!(got, record),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absent_key_is_a_miss() {
+        let store = store("miss");
+        assert!(matches!(store.load(b"nope").unwrap(), Load::Miss));
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined_then_misses() {
+        let store = store("truncate");
+        store.save(b"k", &sample(1)).unwrap();
+        let path = store.entry_path(b"k");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        match store.load(b"k").unwrap() {
+            Load::Corrupt { quarantined, .. } => {
+                let q = quarantined.expect("rename succeeded");
+                assert!(q.extension().is_some_and(|e| e == CORRUPT_EXT));
+                assert!(q.exists());
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        assert!(!path.exists(), "damaged entry no longer shadows the slot");
+        assert!(matches!(store.load(b"k").unwrap(), Load::Miss));
+        assert_eq!(store.stats().unwrap().quarantined, 1);
+    }
+
+    #[test]
+    fn bit_flipped_entry_is_quarantined() {
+        let store = store("bitflip");
+        store.save(b"k", &sample(2)).unwrap();
+        store.corrupt_entry(b"k").unwrap();
+        assert!(matches!(store.load(b"k").unwrap(), Load::Corrupt { .. }));
+    }
+
+    #[test]
+    fn save_over_damaged_entry_recovers_the_slot() {
+        let store = store("repair");
+        store.save(b"k", &sample(3)).unwrap();
+        store.corrupt_entry(b"k").unwrap();
+        let fresh = sample(4);
+        store.save(b"k", &fresh).unwrap();
+        match store.load(b"k").unwrap() {
+            Load::Hit(got) => assert_eq!(got, fresh),
+            other => panic!("expected hit after rewrite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn colliding_filename_with_foreign_key_is_a_miss() {
+        let store = store("collision");
+        store.save(b"real-key", &sample(5)).unwrap();
+        // Forge the collision: copy the entry to the filename another key
+        // would hash to, as if FNV collided.
+        let forged = store.entry_path(b"other-key");
+        std::fs::copy(store.entry_path(b"real-key"), &forged).unwrap();
+        assert!(matches!(store.load(b"other-key").unwrap(), Load::Miss));
+        assert!(forged.exists(), "collisions are not quarantined");
+    }
+
+    #[test]
+    fn verify_quarantines_damage_and_keeps_intact_entries() {
+        let store = store("verify");
+        store.save(b"good", &sample(6)).unwrap();
+        store.save(b"bad", &sample(7)).unwrap();
+        store.corrupt_entry(b"bad").unwrap();
+        // A misplaced (forged-collision) entry is damage too: its stored
+        // key does not address its filename.
+        std::fs::copy(
+            store.entry_path(b"good"),
+            store
+                .dir()
+                .join(format!("{:016x}.{ENTRY_EXT}", 0xdead_beefu64)),
+        )
+        .unwrap();
+
+        assert_eq!(store.verify().unwrap(), (1, 2));
+        assert_eq!(store.verify().unwrap(), (1, 0), "verify is idempotent");
+        assert!(matches!(store.load(b"good").unwrap(), Load::Hit(_)));
+    }
+
+    #[test]
+    fn stats_and_clear_cover_entries_quarantine_and_temps() {
+        let store = store("clear");
+        store.save(b"a", &sample(8)).unwrap();
+        store.save(b"b", &sample(9)).unwrap();
+        store.corrupt_entry(b"b").unwrap();
+        assert!(matches!(store.load(b"b").unwrap(), Load::Corrupt { .. }));
+        std::fs::write(store.dir().join("orphan.nvps.999.0.tmp"), b"x").unwrap();
+        std::fs::write(store.dir().join("unrelated.txt"), b"keep me").unwrap();
+
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.temps, 1);
+
+        assert_eq!(store.clear().unwrap(), 3);
+        assert_eq!(store.stats().unwrap(), StoreStats::default());
+        assert!(store.dir().join("unrelated.txt").exists());
+    }
+
+    #[test]
+    fn open_sweeps_only_stale_temps() {
+        let dir = std::env::temp_dir().join("nvp-store-lib-open-sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("young.nvps.1.0.tmp"), b"x").unwrap();
+        let store = SolveStore::open(&dir).unwrap();
+        // The temp is seconds old — far under the hour threshold.
+        assert_eq!(store.stats().unwrap().temps, 1);
+    }
+}
