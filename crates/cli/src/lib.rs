@@ -34,6 +34,7 @@ use nvp_core::report::{render_with_on, ReportOptions};
 use nvp_core::reward::RewardPolicy;
 use nvp_numerics::{Jobs, WorkerPool};
 use nvp_obs::progress::SweepProgress;
+use nvp_serve::{ServeConfig, Server};
 use nvp_sim::dspn::{simulate_reward, SimOptions};
 use nvp_sim::fallback::monte_carlo_hook;
 use nvp_store::SolveStore;
@@ -147,6 +148,24 @@ USAGE:
       — across processes, and safely shared by concurrent ones. A torn or
       bit-flipped record is detected, quarantined (renamed .corrupt), and
       re-solved; corruption can cost a re-solve, never a wrong number.
+  nvp serve [--addr HOST:PORT] [--budget-ms MS] [--jobs N|auto]
+            [--cache-dir DIR] [--retries N] [--point-deadline-ms MS]
+            [--max-body-bytes N] [--max-connections N]
+      Run an HTTP analysis daemon around one warm engine (default address
+      127.0.0.1:7171; use port 0 for an ephemeral port). The bound address
+      is printed to stdout, then the daemon serves until killed.
+      POST /v1/analyze and POST /v1/sweep take JSON bodies (same parameter
+      names as the CLI flags, without dashes) and return 202 with a job id;
+      poll GET /v1/jobs/ID for the result and GET /v1/jobs/ID/progress for
+      the per-point journal. GET /metrics serves Prometheus text format and
+      GET /healthz reports engine/pool/store/job health. Degraded results
+      are 200s carrying the WARNING in the body; 429 + Retry-After signals
+      a starved worker pool. --budget-ms, --retries and
+      --point-deadline-ms set engine-level defaults (a request budget_ms
+      can only tighten the deadline); --cache-dir shares one persistent
+      solve store across all clients and restarts. The daemon itself is
+      always --quiet: diagnostics go to stderr with request-id prefixes,
+      never interactive UI.
   nvp cache stats|verify|clear [--cache-dir DIR]
       Inspect or maintain a persistent solve store. stats prints entry,
       byte, quarantine, and temp-file counts; verify re-checksums every
@@ -193,6 +212,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     match command.as_str() {
         "analyze" => cmd_analyze(&args[1..], out),
         "sweep" => cmd_sweep(&args[1..], out),
+        "serve" => cmd_serve(&args[1..], out),
         "cache" => cmd_cache(&args[1..], out),
         "solve" => cmd_solve(&args[1..], out),
         "simulate" => cmd_simulate(&args[1..], out),
@@ -559,21 +579,8 @@ fn cmd_cache(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
 }
 
 fn axis_from_name(name: &str) -> Result<ParamAxis> {
-    Ok(match name {
-        "gamma" | "interval" => ParamAxis::RejuvenationInterval,
-        "mttc" => ParamAxis::MeanTimeToCompromise,
-        "mttf" => ParamAxis::MeanTimeToFailure,
-        "mttr" => ParamAxis::MeanTimeToRepair,
-        "alpha" => ParamAxis::Alpha,
-        "p" => ParamAxis::HealthyInaccuracy,
-        "pprime" | "p-prime" => ParamAxis::CompromisedInaccuracy,
-        other => {
-            return Err(CliError {
-                message: format!(
-                    "unknown axis `{other}` (gamma | mttc | mttf | mttr | alpha | p | pprime)"
-                ),
-            });
-        }
+    ParamAxis::from_name(name).ok_or_else(|| CliError {
+        message: format!("unknown axis `{name}` (gamma | mttc | mttf | mttr | alpha | p | pprime)"),
     })
 }
 
@@ -832,6 +839,61 @@ fn sweep_journaled(
         .map(|(&x, slot)| (x, slot.expect("every grid point replayed or solved").0))
         .collect();
     Ok((points, replayed_degraded))
+}
+
+/// `nvp serve`: one warm engine behind an HTTP API. Blocks until the
+/// process is killed (or the listener fails fatally).
+fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut budget_ms = None;
+    let mut jobs = Jobs::Auto;
+    let mut cache_dir = None;
+    let mut retries = None;
+    let mut point_deadline_ms = None;
+    let mut config = ServeConfig::default();
+    let mut cursor = Args::new(args);
+    while let Some(flag) = cursor.next() {
+        match flag {
+            "--addr" => addr = cursor.value(flag)?.to_owned(),
+            "--budget-ms" => budget_ms = Some(cursor.value_u64(flag)?),
+            "--jobs" => jobs = parse_jobs(cursor.value(flag)?)?,
+            "--cache-dir" => cache_dir = Some(PathBuf::from(cursor.value(flag)?)),
+            "--retries" => retries = Some(cursor.value_u32(flag)?),
+            "--point-deadline-ms" => point_deadline_ms = Some(cursor.value_u64(flag)?),
+            "--max-body-bytes" => config.max_body_bytes = cursor.value_usize(flag)?,
+            "--max-connections" => config.max_connections = cursor.value_usize(flag)?,
+            other => {
+                return Err(CliError {
+                    message: format!("unknown flag `{other}` for serve"),
+                });
+            }
+        }
+    }
+    // A daemon has no interactive terminal: progress meters and per-point
+    // WARNING lines stay off, and diagnostics flow through the stderr sink
+    // with request-id prefixes instead.
+    nvp_obs::sink::set_quiet(true);
+    let cache_dir = resolve_cache_dir(cache_dir);
+    let mut engine = resilient_engine(budget_ms, jobs, cache_dir.as_deref())?;
+    if let Some(n) = retries {
+        engine = engine.with_retries(n);
+    }
+    if let Some(ms) = point_deadline_ms {
+        engine = engine.with_point_deadline_ms(ms);
+    }
+    let server =
+        Server::bind(std::sync::Arc::new(engine), &addr, config).map_err(|e| CliError {
+            message: format!("cannot bind `{addr}`: {e}"),
+        })?;
+    // Announce the resolved address (meaningful with `--addr ...:0`) and
+    // flush so supervisors reading our stdout see it before the first
+    // request.
+    writeln!(out, "listening on http://{}", server.local_addr())?;
+    out.flush()?;
+    server.run().map_err(|e| CliError {
+        message: format!("server failed: {e}"),
+    })?;
+    Ok(RunStatus::Success)
 }
 
 fn load_net(path: &str) -> Result<nvp_petri::net::PetriNet> {

@@ -1,0 +1,222 @@
+//! Child-process drill for `nvp serve`: a real daemon process with a
+//! persistent solve store is driven over HTTP, SIGKILLed mid-flight, and
+//! restarted on the same store — service results must be byte-identical to
+//! the CLI path, and the restarted daemon must answer warm from the store.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use nvp_obs::json::Json;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvp-serve-recovery-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running daemon child; killed on drop so failed asserts never leak a
+/// listening process.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Start `nvp serve --addr 127.0.0.1:0 ...` and read the announced
+    /// address off the child's stdout.
+    fn start(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_nvp"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected announce line {line:?}"))
+            .to_owned();
+        Daemon { child, addr }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// One `Connection: close` request; returns `(status, body)`.
+fn roundtrip(addr: &str, method: &str, target: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut raw = format!("{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
+    if let Some(body) = body {
+        raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    } else {
+        raw.push_str("\r\n");
+    }
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let (head, body) = text.split_once("\r\n\r\n").unwrap();
+    let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+    (status, body.to_owned())
+}
+
+/// Submit a job, retrying `429` (admission control is allowed to push back
+/// while another job holds the single-core pool's permit).
+fn submit(addr: &str, endpoint: &str, body: &str) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, reply) = roundtrip(addr, "POST", endpoint, Some(body));
+        if status == 429 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        }
+        assert_eq!(status, 202, "submit failed: {reply}");
+        return Json::parse(&reply)
+            .unwrap()
+            .get("job")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+    }
+}
+
+fn await_job(addr: &str, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, body) = roundtrip(addr, "GET", &format!("/v1/jobs/{id}"), None);
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        let state = doc.get("status").unwrap().as_str().unwrap().to_owned();
+        if state == "done" || state == "failed" {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in {state}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn sweep_to_csv(addr: &str, body: &str) -> String {
+    let id = submit(addr, "/v1/sweep", body);
+    let doc = await_job(addr, id);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+    doc.get("result")
+        .unwrap()
+        .get("csv")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned()
+}
+
+/// Value of a Prometheus counter in a `/metrics` scrape.
+fn metric_value(scrape: &str, name: &str) -> Option<f64> {
+    scrape.lines().find_map(|line| {
+        line.strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+/// A gamma sweep makes every grid point a distinct subordinated chain, so
+/// each point lands in the persistent store — exactly what the restart leg
+/// needs to prove warm hits.
+const SWEEP: &str = r#"{"axis":"gamma","from":300,"to":1500,"steps":3}"#;
+
+#[test]
+fn served_results_match_the_cli_and_survive_kill_minus_nine() {
+    let store = temp_dir("store");
+    let store_flag = store.to_str().unwrap();
+
+    // Leg 1: a daemon with a persistent store serves analyze + concurrent
+    // sweeps.
+    let mut daemon = Daemon::start(&["--cache-dir", store_flag, "--jobs", "2"]);
+    let analyze_id = submit(&daemon.addr, "/v1/analyze", "{}");
+    let analyze = await_job(&daemon.addr, analyze_id);
+    assert_eq!(analyze.get("status").unwrap().as_str(), Some("done"));
+    assert!(analyze
+        .get("result")
+        .unwrap()
+        .get("expected_reliability")
+        .unwrap()
+        .as_f64()
+        .unwrap()
+        .is_finite());
+
+    let first = sweep_to_csv(&daemon.addr, SWEEP);
+    let second = sweep_to_csv(&daemon.addr, SWEEP);
+    assert_eq!(first, second);
+
+    // The CLI is the reference: same grid, byte-identical CSV.
+    let reference = Command::new(env!("CARGO_BIN_EXE_nvp"))
+        .args([
+            "sweep", "--axis", "gamma", "--from", "300", "--to", "1500", "--steps", "3", "--quiet",
+        ])
+        .stderr(Stdio::null())
+        .output()
+        .unwrap();
+    assert!(reference.status.success());
+    assert_eq!(first, String::from_utf8(reference.stdout).unwrap());
+
+    // The first leg's HTTP metrics are live.
+    let (status, scrape) = roundtrip(&daemon.addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    for series in ["nvp_http_requests_total", "nvp_http_jobs_submitted_total"] {
+        assert!(
+            metric_value(&scrape, series).is_some_and(|v| v >= 1.0),
+            "missing or zero {series} in scrape"
+        );
+    }
+
+    // Leg 2: kill -9 the daemon (no shutdown grace), restart on the same
+    // store, and re-run the sweep: the answers must be identical and the
+    // chains must come warm out of the store, not be re-solved.
+    daemon.kill();
+    let mut daemon = Daemon::start(&["--cache-dir", store_flag, "--jobs", "2"]);
+    let replay = sweep_to_csv(&daemon.addr, SWEEP);
+    assert_eq!(first, replay);
+    let (status, scrape) = roundtrip(&daemon.addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let warm = metric_value(&scrape, "nvp_store_hits_total").unwrap();
+    assert!(
+        warm >= 1.0,
+        "expected warm store hits after restart, got {warm}"
+    );
+    daemon.kill();
+}
+
+#[test]
+fn daemon_survives_garbage_and_stays_healthy() {
+    let mut daemon = Daemon::start(&[]);
+    let bomb = "[".repeat(10_000);
+    let (status, body) = roundtrip(&daemon.addr, "POST", "/v1/analyze", Some(&bomb));
+    assert_eq!(status, 400, "{body}");
+    let (status, _) = roundtrip(&daemon.addr, "POST", "/v1/sweep", Some("{\"axis\":"));
+    assert_eq!(status, 400);
+    let (status, body) = roundtrip(&daemon.addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(
+        Json::parse(&body).unwrap().get("status").unwrap().as_str(),
+        Some("ok")
+    );
+    daemon.kill();
+}

@@ -223,6 +223,22 @@ impl ParamAxis {
         )
     }
 
+    /// Parses the short axis name used by the CLI and the HTTP API
+    /// (`gamma`/`interval`, `mttc`, `mttf`, `mttr`, `alpha`, `p`,
+    /// `pprime`/`p-prime`). Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<ParamAxis> {
+        Some(match name {
+            "gamma" | "interval" => ParamAxis::RejuvenationInterval,
+            "mttc" => ParamAxis::MeanTimeToCompromise,
+            "mttf" => ParamAxis::MeanTimeToFailure,
+            "mttr" => ParamAxis::MeanTimeToRepair,
+            "alpha" => ParamAxis::Alpha,
+            "p" => ParamAxis::HealthyInaccuracy,
+            "pprime" | "p-prime" => ParamAxis::CompromisedInaccuracy,
+            _ => return None,
+        })
+    }
+
     /// Short axis label used in experiment output.
     pub fn label(self) -> &'static str {
         match self {

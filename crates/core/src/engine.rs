@@ -1180,7 +1180,26 @@ impl AnalysisEngine {
         source: ReliabilitySource,
         backend: SolverBackend,
     ) -> Result<AnalysisReport> {
-        let chain = self.chain(params, backend)?;
+        self.analyze_budgeted(params, policy, source, backend, None)
+    }
+
+    /// [`AnalysisEngine::analyze`] under an optional per-request deadline:
+    /// the solve runs under the tighter of the engine budget and
+    /// `budget_ms`. Cached chain solutions are served regardless.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisEngine::chain`].
+    pub fn analyze_budgeted(
+        &self,
+        params: &SystemParams,
+        policy: RewardPolicy,
+        source: ReliabilitySource,
+        backend: SolverBackend,
+        budget_ms: Option<u64>,
+    ) -> Result<AnalysisReport> {
+        let chain =
+            self.chain_with_budget(params, backend, &self.solve_budget_capped(budget_ms))?;
         let _reward_span = nvp_obs::span("reward");
         let t = Instant::now();
         let reliability = ReliabilityModel::for_params(params, source)?;
@@ -1361,6 +1380,28 @@ impl AnalysisEngine {
         backend: SolverBackend,
         observer: &(dyn Fn(SweepPointRecord) + Sync),
     ) -> Result<Vec<(f64, f64)>> {
+        self.sweep_supervised_budgeted(params, axis, values, policy, backend, None, observer)
+    }
+
+    /// [`AnalysisEngine::sweep_supervised`] under an optional per-request
+    /// deadline: every point's solve budget is the tighter of the engine
+    /// budget and `budget_ms`. This is the entry point `nvp serve` uses so
+    /// one client's deadline never reconfigures the shared engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-index analysis error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_supervised_budgeted(
+        &self,
+        params: &SystemParams,
+        axis: ParamAxis,
+        values: &[f64],
+        policy: RewardPolicy,
+        backend: SolverBackend,
+        budget_ms: Option<u64>,
+        observer: &(dyn Fn(SweepPointRecord) + Sync),
+    ) -> Result<Vec<(f64, f64)>> {
         let pool = WorkerPool::global();
         // One watchdog covers the whole sweep; sweeping a few times per
         // deadline keeps cancellation latency well under one deadline.
@@ -1369,7 +1410,8 @@ impl AnalysisEngine {
             .map(|ms| pool.start_watchdog(Duration::from_millis((ms / 4).clamp(2, 100))));
         let solve_point = |idx: usize, value: f64| -> Result<f64> {
             let p = axis.apply(params, value);
-            let (expected, degraded) = self.solve_point_supervised(&p, policy, backend)?;
+            let (expected, degraded) =
+                self.solve_point_supervised(&p, policy, backend, budget_ms)?;
             observer(SweepPointRecord {
                 index: idx,
                 x: value,
@@ -1450,6 +1492,7 @@ impl AnalysisEngine {
         params: &SystemParams,
         policy: RewardPolicy,
         backend: SolverBackend,
+        budget_ms: Option<u64>,
     ) -> Result<(f64, bool)> {
         let pool = WorkerPool::global();
         let mut attempt: u32 = 0;
@@ -1460,7 +1503,9 @@ impl AnalysisEngine {
             span.record("attempt", attempt);
             let t = Instant::now();
             let lease = pool.lease(self.point_deadline_ms.map(Duration::from_millis));
-            let budget = self.solve_budget().with_cancel(lease.cancel_token());
+            let budget = self
+                .solve_budget_capped(budget_ms)
+                .with_cancel(lease.cancel_token());
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 self.reliability_point(params, policy, backend, &budget)
             }))
@@ -1791,9 +1836,18 @@ impl AnalysisEngine {
 
     /// The fresh per-solve budget implied by [`AnalysisEngine::with_budget_ms`].
     fn solve_budget(&self) -> SolveBudget {
-        match self.budget_ms {
-            Some(ms) => SolveBudget::with_wall_clock_ms(ms),
-            None => SolveBudget::unlimited(),
+        self.solve_budget_capped(None)
+    }
+
+    /// The per-solve budget with an optional per-request cap: the tighter of
+    /// the engine-wide budget and `request_ms` wins. This is how a shared
+    /// long-lived engine (the `nvp serve` daemon) honors one caller's
+    /// deadline without reconfiguring the engine for everyone else.
+    fn solve_budget_capped(&self, request_ms: Option<u64>) -> SolveBudget {
+        match (self.budget_ms, request_ms) {
+            (Some(engine), Some(request)) => SolveBudget::with_wall_clock_ms(engine.min(request)),
+            (Some(ms), None) | (None, Some(ms)) => SolveBudget::with_wall_clock_ms(ms),
+            (None, None) => SolveBudget::unlimited(),
         }
     }
 

@@ -1,0 +1,376 @@
+//! Shared job table for long-lived engine hosts.
+//!
+//! `nvp serve` accepts analysis requests asynchronously: submission returns
+//! a job id immediately and clients poll for status, per-point progress,
+//! and the final result. This module is the bookkeeping behind that — a
+//! concurrent table of jobs keyed by monotonically increasing `u64` ids,
+//! with a per-job progress journal of [`SweepPointRecord`]s appended in
+//! completion order (the in-memory analog of the CLI's resume journal).
+//!
+//! Ids start at 1 and stay far below 2^53, so they survive a round-trip
+//! through the JSON ingress (`Json::as_u64` rejects anything in the range
+//! where `f64` ids could alias). Finished jobs are retained up to
+//! [`JobTable::MAX_FINISHED`] and then evicted oldest-first, bounding the
+//! table's memory in a daemon that serves millions of requests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::analysis::AnalysisReport;
+use crate::engine::SweepPointRecord;
+
+/// Identifier of a submitted job. Sequential from 1.
+pub type JobId = u64;
+
+/// What kind of work a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// One full analysis (`POST /v1/analyze`).
+    Analyze,
+    /// A parameter sweep (`POST /v1/sweep`).
+    Sweep,
+}
+
+impl JobKind {
+    /// Lower-case label used in JSON payloads and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobKind::Analyze => "analyze",
+            JobKind::Sweep => "sweep",
+        }
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, not yet picked up by its worker thread.
+    Queued,
+    /// Worker running.
+    Running,
+    /// Finished with a result (possibly degraded — that is still `Done`).
+    Done,
+    /// Finished with an error (or a caught worker panic).
+    Failed,
+}
+
+impl JobStatus {
+    /// Lower-case label used in JSON payloads.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+}
+
+/// Result payload of a finished job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// Full analysis report.
+    Analyze(AnalysisReport),
+    /// Sweep results.
+    Sweep {
+        /// `(x, expected_reliability)` pairs in input order.
+        points: Vec<(f64, f64)>,
+        /// The CSV rendering of `points`, byte-identical to `nvp sweep`'s
+        /// stdout for the same request.
+        csv: String,
+        /// How many points were answered by a degraded fallback.
+        degraded_points: usize,
+    },
+}
+
+/// Point-in-time copy of one job's public state.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job's id.
+    pub id: JobId,
+    /// What the job runs.
+    pub kind: JobKind,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Grid size for sweeps, 1 for analyses.
+    pub total_points: usize,
+    /// Points completed so far (length of the progress journal).
+    pub completed_points: usize,
+    /// The result, once `status` is `Done`. Shared, not copied: reports
+    /// carry per-state detail that may be large.
+    pub outcome: Option<Arc<JobOutcome>>,
+    /// The failure message, once `status` is `Failed`.
+    pub error: Option<String>,
+}
+
+/// Aggregate job counts for health reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Jobs accepted but not yet running.
+    pub queued: usize,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Jobs finished successfully.
+    pub done: usize,
+    /// Jobs finished with an error.
+    pub failed: usize,
+}
+
+struct JobEntry {
+    kind: JobKind,
+    status: JobStatus,
+    total_points: usize,
+    /// Per-point completion journal, in completion order.
+    progress: Vec<SweepPointRecord>,
+    outcome: Option<Arc<JobOutcome>>,
+    error: Option<String>,
+}
+
+/// Concurrent table of submitted jobs. All methods take `&self`; the table
+/// is shared between the daemon's accept loop and its worker threads.
+#[derive(Default)]
+pub struct JobTable {
+    jobs: Mutex<HashMap<JobId, JobEntry>>,
+    /// Ids of finished jobs in finish order, for oldest-first eviction.
+    finished: Mutex<Vec<JobId>>,
+    next_id: AtomicU64,
+}
+
+impl JobTable {
+    /// Retention bound on finished jobs: beyond this, the oldest finished
+    /// jobs are evicted (their ids then answer as unknown).
+    pub const MAX_FINISHED: usize = 1024;
+
+    /// An empty table; the first created job gets id 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<JobId, JobEntry>> {
+        match self.jobs.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Register a new queued job and return its id.
+    pub fn create(&self, kind: JobKind, total_points: usize) -> JobId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.lock().insert(
+            id,
+            JobEntry {
+                kind,
+                status: JobStatus::Queued,
+                total_points,
+                progress: Vec::new(),
+                outcome: None,
+                error: None,
+            },
+        );
+        id
+    }
+
+    /// Transition a job to `Running` (no-op for unknown or terminal jobs).
+    pub fn mark_running(&self, id: JobId) {
+        if let Some(entry) = self.lock().get_mut(&id) {
+            if !entry.status.is_terminal() {
+                entry.status = JobStatus::Running;
+            }
+        }
+    }
+
+    /// Append one completed point to a job's progress journal.
+    pub fn record_point(&self, id: JobId, record: SweepPointRecord) {
+        if let Some(entry) = self.lock().get_mut(&id) {
+            entry.progress.push(record);
+        }
+    }
+
+    /// Transition a job to `Done` with its result.
+    pub fn finish(&self, id: JobId, outcome: JobOutcome) {
+        {
+            let mut jobs = self.lock();
+            let Some(entry) = jobs.get_mut(&id) else {
+                return;
+            };
+            entry.status = JobStatus::Done;
+            entry.outcome = Some(Arc::new(outcome));
+        }
+        self.note_finished(id);
+    }
+
+    /// Transition a job to `Failed` with an error message.
+    pub fn fail(&self, id: JobId, error: String) {
+        {
+            let mut jobs = self.lock();
+            let Some(entry) = jobs.get_mut(&id) else {
+                return;
+            };
+            entry.status = JobStatus::Failed;
+            entry.error = Some(error);
+        }
+        self.note_finished(id);
+    }
+
+    fn note_finished(&self, id: JobId) {
+        let evict: Vec<JobId> = {
+            let mut finished = match self.finished.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            finished.push(id);
+            let excess = finished.len().saturating_sub(Self::MAX_FINISHED);
+            finished.drain(..excess).collect()
+        };
+        if !evict.is_empty() {
+            let mut jobs = self.lock();
+            for old in evict {
+                jobs.remove(&old);
+            }
+        }
+    }
+
+    /// A point-in-time copy of a job's state, `None` for unknown ids.
+    pub fn snapshot(&self, id: JobId) -> Option<JobSnapshot> {
+        let jobs = self.lock();
+        let entry = jobs.get(&id)?;
+        Some(JobSnapshot {
+            id,
+            kind: entry.kind,
+            status: entry.status,
+            total_points: entry.total_points,
+            completed_points: entry.progress.len(),
+            outcome: entry.outcome.clone(),
+            error: entry.error.clone(),
+        })
+    }
+
+    /// Progress records with journal position `>= since`, plus the job's
+    /// current status and grid size. Polling clients stream increments by
+    /// passing the count they have already seen.
+    pub fn progress_since(
+        &self,
+        id: JobId,
+        since: usize,
+    ) -> Option<(JobStatus, usize, Vec<SweepPointRecord>)> {
+        let jobs = self.lock();
+        let entry = jobs.get(&id)?;
+        let from = since.min(entry.progress.len());
+        Some((
+            entry.status,
+            entry.total_points,
+            entry.progress[from..].to_vec(),
+        ))
+    }
+
+    /// Aggregate counts by status, for `/healthz`.
+    pub fn counts(&self) -> JobCounts {
+        let jobs = self.lock();
+        let mut counts = JobCounts::default();
+        for entry in jobs.values() {
+            match entry.status {
+                JobStatus::Queued => counts.queued += 1,
+                JobStatus::Running => counts.running += 1,
+                JobStatus::Done => counts.done += 1,
+                JobStatus::Failed => counts.failed += 1,
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize) -> SweepPointRecord {
+        SweepPointRecord {
+            index,
+            x: index as f64,
+            value: 0.5,
+            degraded: false,
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_from_one() {
+        let table = JobTable::new();
+        assert_eq!(table.create(JobKind::Analyze, 1), 1);
+        assert_eq!(table.create(JobKind::Sweep, 10), 2);
+        assert_eq!(table.create(JobKind::Sweep, 10), 3);
+    }
+
+    #[test]
+    fn lifecycle_and_progress() {
+        let table = JobTable::new();
+        let id = table.create(JobKind::Sweep, 3);
+        assert_eq!(table.snapshot(id).unwrap().status, JobStatus::Queued);
+        table.mark_running(id);
+        table.record_point(id, record(0));
+        table.record_point(id, record(1));
+        let snap = table.snapshot(id).unwrap();
+        assert_eq!(snap.status, JobStatus::Running);
+        assert_eq!(snap.completed_points, 2);
+        let (_, total, fresh) = table.progress_since(id, 1).unwrap();
+        assert_eq!(total, 3);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].index, 1);
+        table.finish(
+            id,
+            JobOutcome::Sweep {
+                points: vec![(0.0, 0.5)],
+                csv: "x,expected_reliability\n".to_owned(),
+                degraded_points: 0,
+            },
+        );
+        let snap = table.snapshot(id).unwrap();
+        assert_eq!(snap.status, JobStatus::Done);
+        assert!(snap.outcome.is_some());
+        // Terminal states are sticky.
+        table.mark_running(id);
+        assert_eq!(table.snapshot(id).unwrap().status, JobStatus::Done);
+    }
+
+    #[test]
+    fn failed_jobs_report_their_error() {
+        let table = JobTable::new();
+        let id = table.create(JobKind::Analyze, 1);
+        table.fail(id, "solver exploded".to_owned());
+        let snap = table.snapshot(id).unwrap();
+        assert_eq!(snap.status, JobStatus::Failed);
+        assert_eq!(snap.error.as_deref(), Some("solver exploded"));
+    }
+
+    #[test]
+    fn unknown_ids_answer_none() {
+        let table = JobTable::new();
+        assert!(table.snapshot(7).is_none());
+        assert!(table.progress_since(7, 0).is_none());
+        // Mutations on unknown ids are harmless no-ops.
+        table.mark_running(7);
+        table.record_point(7, record(0));
+        table.fail(7, "x".to_owned());
+    }
+
+    #[test]
+    fn finished_jobs_are_evicted_oldest_first() {
+        let table = JobTable::new();
+        let first = table.create(JobKind::Analyze, 1);
+        table.fail(first, "old".to_owned());
+        for _ in 0..JobTable::MAX_FINISHED {
+            let id = table.create(JobKind::Analyze, 1);
+            table.fail(id, "filler".to_owned());
+        }
+        // The oldest finished job fell off; the newest survives, and jobs
+        // still in flight are never evicted.
+        assert!(table.snapshot(first).is_none());
+        let counts = table.counts();
+        assert_eq!(counts.failed, JobTable::MAX_FINISHED);
+    }
+}

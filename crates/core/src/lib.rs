@@ -26,6 +26,9 @@
 //!   [`analysis`]: caches the expensive chain stage (model build,
 //!   exploration, steady-state solve) across reward-parameter variations
 //!   and exposes solver statistics ([`engine::SolverStats`]);
+//! * [`jobs`] — the asynchronous job table long-lived engine hosts
+//!   (`nvp serve`) use to track submitted analyses and sweeps, with a
+//!   per-point progress journal and bounded retention;
 //! * [`dependability`] — extensions beyond the paper's steady-state view:
 //!   transient reliability `R(t)`, interval reliability, and the mean time
 //!   to quorum loss.
@@ -52,6 +55,7 @@ pub mod analysis;
 pub mod dependability;
 pub mod engine;
 pub mod error;
+pub mod jobs;
 pub mod model;
 pub mod params;
 pub mod reliability;

@@ -1,12 +1,66 @@
 //! Minimal hand-rolled JSON writer/parser (no serde).
 //!
 //! The parser is a recursive-descent reader over the full JSON grammar,
-//! used by [`crate::schema`] to validate trace exports and by tests to
-//! round-trip every emitted record. Numbers are held as `f64`; the ids and
-//! nanosecond timestamps the trace emits stay well inside the 2^53 range
-//! where that is exact.
+//! used by [`crate::schema`] to validate trace exports, by tests to
+//! round-trip every emitted record, and by `nvp serve` on untrusted network
+//! bodies. Numbers are held as `f64`; the ids and nanosecond timestamps the
+//! trace emits stay well inside the 2^53 range where that is exact.
+//!
+//! Because request bodies arrive from the network, the parser is hardened
+//! against adversarial input: nesting depth is capped at [`MAX_DEPTH`] (a
+//! few thousand `[` bytes would otherwise overflow the stack), non-finite
+//! numbers are rejected, and every failure is a typed [`JsonError`] rather
+//! than a panic.
 
 use std::fmt::Write as _;
+
+/// Maximum container nesting depth [`Json::parse`] accepts. Deep enough for
+/// any legitimate trace or request document, shallow enough that the
+/// recursive-descent parser cannot be driven into stack overflow.
+pub const MAX_DEPTH: usize = 128;
+
+/// Largest `f64` value that is still an exactly-representable integer
+/// boundary: 2^53. Integral doubles at or above this have already lost
+/// low-order bits at parse time, so they are rejected by [`Json::as_u64`].
+const MAX_SAFE_INTEGER: f64 = 9_007_199_254_740_992.0;
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Container nesting exceeded [`MAX_DEPTH`].
+    TooDeep {
+        /// The enforced depth limit.
+        limit: usize,
+        /// Byte offset of the opening bracket that crossed the limit.
+        at: usize,
+    },
+    /// Any other grammar violation.
+    Syntax {
+        /// Byte offset where the violation was detected.
+        at: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::TooDeep { limit, at } => {
+                write!(f, "nesting deeper than {limit} levels at byte {at}")
+            }
+            JsonError::Syntax { at, message } => write!(f, "{message} at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<JsonError> for String {
+    fn from(e: JsonError) -> String {
+        e.to_string()
+    }
+}
 
 /// A parsed JSON value. Object member order is preserved.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,18 +75,65 @@ pub enum Json {
 
 impl Json {
     /// Parse a complete JSON document; trailing non-whitespace is an error.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
+            return Err(p.syntax("trailing data"));
         }
         Ok(value)
+    }
+
+    /// Serialize to compact JSON text. The inverse of [`Json::parse`]:
+    /// numbers use `f64`'s shortest round-tripping `Display` form, so
+    /// `parse(x.emit()) == x` for every parseable value. Non-finite numbers
+    /// (which `parse` never produces) are emitted as `null`.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    /// Append the compact serialization of `self` to `out`.
+    pub fn emit_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) if n.is_finite() => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    value.emit_into(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     /// Object member lookup (first match), `None` for non-objects.
@@ -57,10 +158,15 @@ impl Json {
         }
     }
 
-    /// The number as a `u64` if it is a non-negative integer.
+    /// The number as a `u64` if it is a non-negative integer in the *safe*
+    /// range `0..2^53`, where every integer is exactly representable as an
+    /// `f64`. Integral values at or above 2^53 are rejected: distinct
+    /// decimal texts can collapse to the same double at parse time (and
+    /// `18446744073709551616` would otherwise saturate the cast to
+    /// `u64::MAX`), so accepting them would let ids alias.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < MAX_SAFE_INTEGER => {
                 Some(*n as u64)
             }
             _ => None,
@@ -75,9 +181,17 @@ impl Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn syntax(&self, message: impl Into<String>) -> JsonError {
+        JsonError::Syntax {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -92,17 +206,16 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}, found {:?}",
+            Err(self.syntax(format!(
+                "expected '{}', found {:?}",
                 b as char,
-                self.pos,
                 self.peek().map(|c| c as char)
-            ))
+            )))
         }
     }
 
@@ -115,25 +228,43 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => {
+                self.descend()?;
+                let v = self.object()?;
+                self.depth -= 1;
+                Ok(v)
+            }
+            Some(b'[') => {
+                self.descend()?;
+                let v = self.array()?;
+                self.depth -= 1;
+                Ok(v)
+            }
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
             Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
             Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|c| c as char),
-                self.pos
-            )),
+            other => Err(self.syntax(format!("unexpected {:?}", other.map(|c| c as char)))),
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    /// Charge one container level against [`MAX_DEPTH`] before recursing.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError::TooDeep {
+                limit: MAX_DEPTH,
+                at: self.pos,
+            });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
@@ -156,17 +287,16 @@ impl Parser<'_> {
                     return Ok(Json::Obj(members));
                 }
                 other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {}, found {:?}",
-                        self.pos,
+                    return Err(self.syntax(format!(
+                        "expected ',' or '}}', found {:?}",
                         other.map(|c| c as char)
-                    ))
+                    )))
                 }
             }
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -184,22 +314,21 @@ impl Parser<'_> {
                     return Ok(Json::Arr(items));
                 }
                 other => {
-                    return Err(format!(
-                        "expected ',' or ']' at byte {}, found {:?}",
-                        self.pos,
+                    return Err(self.syntax(format!(
+                        "expected ',' or ']', found {:?}",
                         other.map(|c| c as char)
-                    ))
+                    )))
                 }
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".to_owned()),
+                None => return Err(self.syntax("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -222,23 +351,31 @@ impl Parser<'_> {
                             // by \uDC00-\uDFFF.
                             if (0xD800..0xDC00).contains(&cp) {
                                 if !self.eat_literal("\\u") {
-                                    return Err("lone high surrogate".to_owned());
+                                    return Err(self.syntax("lone high surrogate"));
                                 }
                                 let lo = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&lo) {
-                                    return Err("invalid low surrogate".to_owned());
+                                    return Err(self.syntax("invalid low surrogate"));
                                 }
                                 let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-                                out.push(char::from_u32(c).ok_or("bad surrogate pair")?);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| self.syntax("bad surrogate pair"))?,
+                                );
                             } else {
-                                out.push(char::from_u32(cp).ok_or("bad \\u escape")?);
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.syntax("bad \\u escape"))?,
+                                );
                             }
                             // hex4 leaves pos past the digits; skip the
                             // shared `pos += 1` below.
                             continue;
                         }
                         other => {
-                            return Err(format!("bad escape {:?}", other.map(|c| c as char)));
+                            return Err(
+                                self.syntax(format!("bad escape {:?}", other.map(|c| c as char)))
+                            );
                         }
                     }
                     self.pos += 1;
@@ -247,10 +384,10 @@ impl Parser<'_> {
                     // Multi-byte UTF-8 is passed through: find the char at
                     // this byte boundary.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf-8".to_owned())?;
+                        .map_err(|_| self.syntax("invalid utf-8"))?;
                     let c = rest.chars().next().unwrap();
                     if (c as u32) < 0x20 {
-                        return Err(format!("unescaped control char {:?}", c));
+                        return Err(self.syntax(format!("unescaped control char {c:?}")));
                     }
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -259,18 +396,18 @@ impl Parser<'_> {
         }
     }
 
-    fn hex4(&mut self) -> Result<u32, String> {
+    fn hex4(&mut self) -> Result<u32, JsonError> {
         if self.pos + 4 > self.bytes.len() {
-            return Err("truncated \\u escape".to_owned());
+            return Err(self.syntax("truncated \\u escape"));
         }
         let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| "bad \\u escape".to_owned())?;
-        let cp = u32::from_str_radix(digits, 16).map_err(|_| "bad \\u escape".to_owned())?;
+            .map_err(|_| self.syntax("bad \\u escape"))?;
+        let cp = u32::from_str_radix(digits, 16).map_err(|_| self.syntax("bad \\u escape"))?;
         self.pos += 4;
         Ok(cp)
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -282,9 +419,20 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        let value = text.parse::<f64>().map_err(|_| JsonError::Syntax {
+            at: start,
+            message: format!("invalid number {text:?}"),
+        })?;
+        // `"1e999".parse::<f64>()` succeeds with infinity; a hardened
+        // ingress must not let magnitude bombs smuggle non-finite values
+        // into the solvers.
+        if !value.is_finite() {
+            return Err(JsonError::Syntax {
+                at: start,
+                message: format!("number {text:?} out of range"),
+            });
+        }
+        Ok(Json::Num(value))
     }
 }
 
@@ -374,9 +522,80 @@ mod tests {
     }
 
     #[test]
+    fn emit_round_trips_structures() {
+        let doc = r#"{"a":[1,2,{"b":null}],"c":{"d":false},"e":"x\ny"}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(Json::parse(&v.emit()).unwrap(), v);
+        // Non-finite numbers cannot come out of parse; emit degrades them
+        // to null instead of producing unparseable text.
+        assert_eq!(Json::Num(f64::INFINITY).emit(), "null");
+    }
+
+    #[test]
     fn as_u64_rejects_fractions_and_negatives() {
         assert_eq!(Json::Num(42.0).as_u64(), Some(42));
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Num(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn as_u64_boundaries_at_the_safe_integer_limit() {
+        // 2^53 - 1 is the largest exactly-representable integer id.
+        assert_eq!(
+            Json::Num(9007199254740991.0).as_u64(),
+            Some(9007199254740991)
+        );
+        // 2^53 itself is where distinct texts start aliasing: both
+        // 9007199254740992 and 9007199254740993 parse to the same double.
+        let lo = Json::parse("9007199254740992").unwrap();
+        let hi = Json::parse("9007199254740993").unwrap();
+        assert_eq!(lo, hi, "texts alias at 2^53, so both must be rejected");
+        assert_eq!(lo.as_u64(), None);
+        assert_eq!(hi.as_u64(), None);
+        // 2^64: `u64::MAX as f64` rounds up to exactly this value; the old
+        // `<=` bound accepted it and the cast saturated to u64::MAX.
+        assert_eq!(Json::parse("18446744073709551616").unwrap().as_u64(), None);
+        assert_eq!(Json::Num(u64::MAX as f64).as_u64(), None);
+    }
+
+    #[test]
+    fn depth_bomb_is_an_error_not_a_crash() {
+        // Regression: this used to recurse once per '[' and overflow the
+        // stack long before 100k levels.
+        let mut bomb = String::new();
+        bomb.push_str(&"[".repeat(100_000));
+        bomb.push_str(&"]".repeat(100_000));
+        match Json::parse(&bomb) {
+            Err(JsonError::TooDeep { limit, .. }) => assert_eq!(limit, MAX_DEPTH),
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // Unclosed variant must fail identically (never reaches the ']'s).
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+        assert!(Json::parse(&"{\"k\":".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn depth_limit_is_exact() {
+        let nested = |depth: usize| {
+            let mut s = String::new();
+            s.push_str(&"[".repeat(depth));
+            s.push('1');
+            s.push_str(&"]".repeat(depth));
+            s
+        };
+        assert!(Json::parse(&nested(MAX_DEPTH)).is_ok());
+        assert!(matches!(
+            Json::parse(&nested(MAX_DEPTH + 1)),
+            Err(JsonError::TooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_numbers_are_rejected_not_infinite() {
+        for bad in ["1e999", "-1e999", "1e99999999"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Large but finite stays accepted.
+        assert!(Json::parse("1e308").is_ok());
     }
 }

@@ -82,6 +82,20 @@ pub fn error(message: &str) {
     write_line("", message);
 }
 
+/// Emit a server diagnostic line tagged with a request id, e.g.
+/// `[req-42] POST /v1/sweep -> 202`. Never suppressed: the daemon runs with
+/// the sink quiet so per-point solver warnings from concurrent jobs cannot
+/// interleave, and this is the one channel its own diagnostics use. Goes
+/// through the same lock as every other line, so concurrent handlers cannot
+/// shear each other's output.
+pub fn server(request_id: &str, message: &str) {
+    let mut prefix = String::with_capacity(request_id.len() + 3);
+    prefix.push('[');
+    prefix.push_str(request_id);
+    prefix.push_str("] ");
+    write_line(&prefix, message);
+}
+
 /// Replace the current in-place progress line (no trailing newline). The
 /// caller is responsible for rate limiting and TTY gating.
 pub(crate) fn progress_line(message: &str) {

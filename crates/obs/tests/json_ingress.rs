@@ -1,0 +1,138 @@
+//! Adversarial ingress property tests for the hand-rolled JSON parser.
+//!
+//! `nvp serve` feeds untrusted network bodies straight into `Json::parse`,
+//! so the parser must satisfy two contracts under fuzz-shaped input:
+//!
+//! 1. every value it can represent round-trips: `parse(emit(x)) == x`;
+//! 2. no input — deep nesting, torn bytes, huge numbers, lone surrogates —
+//!    ever panics, overflows the stack, or returns anything but a typed
+//!    error.
+
+use nvp_obs::json::{Json, JsonError, MAX_DEPTH};
+use proptest::prelude::*;
+
+/// Finite `f64`s spanning the full bit space (including subnormals, -0.0,
+/// and huge magnitudes); NaN/infinity map to 0.0 since `parse` can never
+/// produce them.
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Arbitrary strings including every escape class the emitter handles:
+/// quotes, backslashes, control characters, and astral-plane characters.
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u32>(), 0..12).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(|c| char::from_u32(c % 0x11_0000))
+            .collect()
+    })
+}
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        arb_finite_f64().prop_map(Json::Num),
+        arb_string().prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            prop::collection::vec((arb_string(), inner), 0..4).prop_map(Json::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn emit_parse_round_trips(value in arb_json()) {
+        let text = value.emit();
+        let reparsed = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("emitted text failed to parse: {e}\n{text}"));
+        prop_assert_eq!(reparsed, value);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Outcome is irrelevant; the property is "returns, never panics".
+        let _ = Json::parse(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn torn_valid_documents_never_panic(value in arb_json(), cut in any::<u16>()) {
+        let text = value.emit();
+        // Truncate at an arbitrary char boundary: a torn read mid-body.
+        let mut at = (cut as usize) % (text.len() + 1);
+        while !text.is_char_boundary(at) {
+            at -= 1;
+        }
+        let _ = Json::parse(&text[..at]);
+    }
+
+    #[test]
+    fn nesting_bombs_error_without_overflow(depth in 1usize..100_000, open in any::<bool>()) {
+        let bracket = if open { "[" } else { "{\"k\":" };
+        let bomb = bracket.repeat(depth);
+        let result = Json::parse(&bomb);
+        prop_assert!(result.is_err());
+        if depth > MAX_DEPTH {
+            // Past the cap the typed depth error fires before any syntax
+            // error from the missing closers can be reached.
+            prop_assert!(matches!(result, Err(JsonError::TooDeep { .. })));
+        }
+    }
+
+    #[test]
+    fn huge_number_texts_never_become_non_finite(mag in 0u32..100_000, neg in any::<bool>()) {
+        let text = format!("{}1e{mag}", if neg { "-" } else { "" });
+        match Json::parse(&text) {
+            Ok(Json::Num(n)) => prop_assert!(n.is_finite()),
+            Ok(other) => prop_assert!(false, "number parsed to {other:?}"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn lone_surrogate_escapes_are_rejected(cp in 0xD800u32..0xE000) {
+        // Any unpaired surrogate escape must be a typed error, not a panic
+        // or a mangled char.
+        let text = format!("\"\\u{cp:04x}\"");
+        if (0xDC00..0xE000).contains(&cp) {
+            prop_assert!(Json::parse(&text).is_err(), "lone low surrogate accepted");
+        } else {
+            // High surrogate followed by nothing / a non-surrogate.
+            prop_assert!(Json::parse(&text).is_err());
+            let torn = format!("\"\\u{cp:04x}\\u0041\"");
+            prop_assert!(Json::parse(&torn).is_err());
+        }
+    }
+}
+
+/// Deterministic companion to the proptests: the documented width bomb — a
+/// very wide (not deep) document — stays linear and parseable, so the depth
+/// cap cannot be satisfied by a parser that just rejects big inputs.
+#[test]
+fn wide_documents_still_parse() {
+    let mut wide = String::from("[");
+    for i in 0..100_000 {
+        if i > 0 {
+            wide.push(',');
+        }
+        wide.push('1');
+    }
+    wide.push(']');
+    let Json::Arr(items) = Json::parse(&wide).unwrap() else {
+        panic!("expected array");
+    };
+    assert_eq!(items.len(), 100_000);
+}

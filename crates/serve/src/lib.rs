@@ -1,0 +1,35 @@
+//! `nvp-serve` — a zero-dependency HTTP/1.1 analysis daemon.
+//!
+//! One warm [`AnalysisEngine`](nvp_core::engine::AnalysisEngine), many
+//! clients: the daemon amortizes the engine's memoized chain stage (and an
+//! optional persistent solve store) across every request, which is the
+//! paper's long-lived perception-service story applied to the analysis
+//! side. The implementation is `std`-only — `TcpListener`, a thread per
+//! connection, and the workspace's own hardened JSON parser on the ingress.
+//!
+//! # Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /v1/analyze` | submit a full analysis; returns `202` + job id |
+//! | `POST /v1/sweep` | submit a parameter sweep; returns `202` + job id |
+//! | `GET /v1/jobs/{id}` | job status and, once done, the result |
+//! | `GET /v1/jobs/{id}/progress` | per-point progress journal (`?from=N`) |
+//! | `GET /metrics` | Prometheus exposition (solver + `nvp_http_*` series) |
+//! | `GET /healthz` | engine/store/pool/job-table health |
+//!
+//! Degraded results are service results: a fallback-answered analysis
+//! returns `200` with the WARNING classification and half-width in the
+//! body, mirroring the CLI's exit-code-2-with-output contract. Failure
+//! statuses are reserved for requests the daemon could not serve at all
+//! (`400` bad input, `404` unknown job, `413` oversized body, `429`
+//! admission refusal, `500` contained panic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod server;
+
+pub use server::{ServeConfig, Server};

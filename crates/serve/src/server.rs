@@ -1,0 +1,608 @@
+//! The daemon: accept loop, connection supervision, routing, and job
+//! execution against one shared [`AnalysisEngine`].
+//!
+//! Supervision mirrors the engine's own rejuvenation machinery at the
+//! connection layer: every request handler runs under `catch_unwind`, so a
+//! panicked handler costs that one request (a `500` and a counter bump),
+//! never the daemon. Job threads are wrapped the same way — a panicking
+//! solve fails its job, and the table keeps serving. Admission control
+//! rides on the process-wide [`WorkerPool`]: a submission that cannot get a
+//! permit is refused up front with `429` + `Retry-After` instead of piling
+//! unbounded work onto a starved pool.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nvp_core::analysis::linspace;
+use nvp_core::engine::{AnalysisEngine, SweepPointRecord};
+use nvp_core::jobs::{JobId, JobKind, JobOutcome, JobTable};
+use nvp_core::reliability::ReliabilitySource;
+use nvp_numerics::pool::{Permits, WorkerPool};
+use nvp_obs::json::Json;
+use nvp_obs::metrics::{Counter, Gauge, Histogram};
+use nvp_obs::sink;
+
+use crate::api::{self, AnalyzeSpec, SweepSpec};
+use crate::http::{self, Request, RequestError, Response};
+
+/// Tunables of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Cap on request-body bytes, enforced before the body is read.
+    pub max_body_bytes: usize,
+    /// Cap on concurrently served connections; excess connections get `503`.
+    pub max_connections: usize,
+    /// Per-read socket timeout (also bounds keep-alive idle time).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_body_bytes: 1 << 20,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct HttpMetrics {
+    requests: Counter,
+    bad_requests: Counter,
+    rejected: Counter,
+    panics: Counter,
+    jobs_submitted: Counter,
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    request_nanos: Histogram,
+    active_connections: Gauge,
+}
+
+impl HttpMetrics {
+    /// Registered on the *engine's* registry so `/metrics` serves solver
+    /// and HTTP series from one exposition.
+    fn register(engine: &AnalysisEngine) -> Self {
+        let m = engine.metrics();
+        Self {
+            requests: m.counter("nvp_http_requests_total"),
+            bad_requests: m.counter("nvp_http_bad_requests_total"),
+            rejected: m.counter("nvp_http_rejected_total"),
+            panics: m.counter("nvp_http_panics_total"),
+            jobs_submitted: m.counter("nvp_http_jobs_submitted_total"),
+            jobs_completed: m.counter("nvp_http_jobs_completed_total"),
+            jobs_failed: m.counter("nvp_http_jobs_failed_total"),
+            request_nanos: m.histogram("nvp_http_request_nanos"),
+            active_connections: m.gauge("nvp_http_active_connections"),
+        }
+    }
+}
+
+struct ServerInner {
+    engine: Arc<AnalysisEngine>,
+    jobs: JobTable,
+    config: ServeConfig,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    next_request: AtomicU64,
+    metrics: HttpMetrics,
+}
+
+/// A running (or ready-to-run) daemon around one shared engine. Cheap to
+/// clone; all clones drive the same listener and job table.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<ServerInner>,
+}
+
+enum JobSpec {
+    Analyze(AnalyzeSpec),
+    Sweep(SweepSpec),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_owned()
+    }
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) around a
+    /// shared engine. The engine's metrics registry gains the `nvp_http_*`
+    /// series.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind(
+        engine: Arc<AnalysisEngine>,
+        addr: &str,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = HttpMetrics::register(&engine);
+        // A capacity-1 pool has zero grantable permits (the lone slot is
+        // the implicit calling thread), which would make admission control
+        // refuse every job forever on a single-core host. The daemon's
+        // calling thread is the accept loop, not a worker, so guarantee at
+        // least one real permit.
+        let pool = WorkerPool::global();
+        if pool.capacity() < 2 {
+            pool.set_capacity(2);
+        }
+        Ok(Server {
+            inner: Arc::new(ServerInner {
+                engine,
+                jobs: JobTable::new(),
+                config,
+                listener,
+                local_addr,
+                stop: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                next_request: AtomicU64::new(0),
+                metrics,
+            }),
+        })
+    }
+
+    /// The bound address (resolves the actual port after binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Ask the accept loop to exit. Idempotent; wakes the loop with a
+    /// throwaway connection so `run` returns promptly.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept. Failure is fine: the next real
+        // connection would observe the flag instead.
+        let _ = TcpStream::connect(self.inner.local_addr);
+    }
+
+    /// Serve until [`Server::shutdown`]. Each connection gets its own
+    /// thread; handler panics are contained per request.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop failures (per-connection errors are absorbed).
+    pub fn run(&self) -> std::io::Result<()> {
+        loop {
+            let (stream, _) = match self.inner.listener.accept() {
+                Ok(conn) => conn,
+                Err(_) if self.inner.stop.load(Ordering::SeqCst) => return Ok(()),
+                Err(e) if matches!(e.kind(), std::io::ErrorKind::ConnectionAborted) => continue,
+                Err(e) => return Err(e),
+            };
+            if self.inner.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let inner = Arc::clone(&self.inner);
+            let active = inner.active.fetch_add(1, Ordering::SeqCst) + 1;
+            inner.metrics.active_connections.set(active as u64);
+            if active > inner.config.max_connections {
+                let mut stream = stream;
+                let resp = Response::json(
+                    503,
+                    api::error_body("connection limit reached; retry shortly"),
+                )
+                .with_retry_after(1);
+                let _ = http::write_response(&mut stream, &resp, true);
+                release_connection(&inner);
+                continue;
+            }
+            let spawned = std::thread::Builder::new()
+                .name("nvp-serve-conn".to_owned())
+                .spawn(move || {
+                    serve_connection(&inner, stream);
+                    release_connection(&inner);
+                });
+            if let Err(e) = spawned {
+                // Thread exhaustion: shed this connection, keep serving.
+                sink::server("accept", &format!("cannot spawn connection thread: {e}"));
+                release_connection(&self.inner);
+            }
+        }
+    }
+}
+
+fn release_connection(inner: &ServerInner) {
+    let active = inner.active.fetch_sub(1, Ordering::SeqCst) - 1;
+    inner.metrics.active_connections.set(active as u64);
+}
+
+/// Keep-alive loop over one accepted connection.
+fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match http::read_request(&mut reader, inner.config.max_body_bytes) {
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                let request_id = format!(
+                    "req-{}",
+                    inner.next_request.fetch_add(1, Ordering::Relaxed) + 1
+                );
+                inner.metrics.requests.inc();
+                let started = Instant::now();
+                // The connection supervisor: one panicking handler costs
+                // this request, never the daemon.
+                let response =
+                    catch_unwind(AssertUnwindSafe(|| dispatch(inner, &request_id, &request)))
+                        .unwrap_or_else(|payload| {
+                            inner.metrics.panics.inc();
+                            let message = panic_message(payload);
+                            sink::server(&request_id, &format!("handler panicked: {message}"));
+                            Response::json(500, api::error_body("internal error: handler panicked"))
+                        });
+                inner
+                    .metrics
+                    .request_nanos
+                    .record_duration(started.elapsed());
+                if response.status == 429 {
+                    inner.metrics.rejected.inc();
+                } else if (400..500).contains(&response.status) {
+                    inner.metrics.bad_requests.inc();
+                }
+                sink::server(
+                    &request_id,
+                    &format!(
+                        "{} {} -> {} ({:?})",
+                        request.method,
+                        request.path,
+                        response.status,
+                        started.elapsed()
+                    ),
+                );
+                let close = request.close;
+                if http::write_response(&mut writer, &response, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(error) => {
+                // Protocol-level failures still get an answer (the client
+                // is waiting); transport failures just end the connection.
+                let response = match error {
+                    RequestError::Malformed(message) => {
+                        Some(Response::json(400, api::error_body(&message)))
+                    }
+                    RequestError::LengthRequired => Some(Response::json(
+                        411,
+                        api::error_body("content-length is required"),
+                    )),
+                    RequestError::BodyTooLarge { declared, limit } => Some(Response::json(
+                        413,
+                        api::error_body(&format!(
+                            "request body of {declared} bytes exceeds the {limit}-byte limit"
+                        )),
+                    )),
+                    RequestError::HeadTooLarge => Some(Response::json(
+                        431,
+                        api::error_body("request head exceeds the size limit"),
+                    )),
+                    RequestError::Io(_) => None,
+                };
+                if let Some(response) = response {
+                    inner.metrics.requests.inc();
+                    inner.metrics.bad_requests.inc();
+                    let _ = http::write_response(&mut writer, &response, true);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn dispatch(inner: &Arc<ServerInner>, request_id: &str, request: &Request) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(inner),
+        ("GET", "/metrics") => Response::text(200, inner.engine.metrics().render_prometheus()),
+        ("POST", "/v1/analyze") => submit(inner, request_id, request, JobKind::Analyze),
+        ("POST", "/v1/sweep") => submit(inner, request_id, request, JobKind::Sweep),
+        (method, path) => {
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                if method != "GET" {
+                    return method_not_allowed();
+                }
+                return job_endpoint(inner, rest, request.query.as_deref());
+            }
+            if matches!(path, "/healthz" | "/metrics" | "/v1/analyze" | "/v1/sweep") {
+                return method_not_allowed();
+            }
+            Response::json(404, api::error_body(&format!("no route for {path}")))
+        }
+    }
+}
+
+fn method_not_allowed() -> Response {
+    Response::json(405, api::error_body("method not allowed"))
+}
+
+/// `POST /v1/analyze` / `POST /v1/sweep`: parse (hardened), admit
+/// (pool-permit gate), register, and hand off to a worker thread. The
+/// `202` goes out as soon as the job exists; clients poll the job URL.
+fn submit(
+    inner: &Arc<ServerInner>,
+    request_id: &str,
+    request: &Request,
+    kind: JobKind,
+) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::json(400, api::error_body("request body is not valid UTF-8"));
+    };
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return Response::json(400, api::error_body(&format!("invalid JSON: {e}")));
+        }
+    };
+    let (spec, total_points) = match kind {
+        JobKind::Analyze => match api::parse_analyze(&doc) {
+            Ok(spec) => (JobSpec::Analyze(spec), 1),
+            Err(message) => return Response::json(400, api::error_body(&message)),
+        },
+        JobKind::Sweep => match api::parse_sweep(&doc) {
+            Ok(spec) => {
+                let steps = spec.steps;
+                (JobSpec::Sweep(spec), steps)
+            }
+            Err(message) => return Response::json(400, api::error_body(&message)),
+        },
+    };
+    // Admission control: a job needs at least one pool permit for its
+    // lifetime. `try_acquire` never blocks; zero grants means the pool is
+    // starved and the honest answer is "try again later", not a queue that
+    // grows without bound.
+    let permits = WorkerPool::global().try_acquire(1);
+    if permits.count() == 0 {
+        return Response::json(
+            429,
+            api::error_body("worker pool exhausted; retry after the indicated delay"),
+        )
+        .with_retry_after(1);
+    }
+    let id = inner.jobs.create(kind, total_points);
+    inner.metrics.jobs_submitted.inc();
+    let job_inner = Arc::clone(inner);
+    let spawned = std::thread::Builder::new()
+        .name(format!("nvp-serve-job-{id}"))
+        .spawn(move || run_job(&job_inner, id, &spec, permits));
+    match spawned {
+        Ok(_) => Response::json(202, api::job_accepted(id).emit()),
+        Err(e) => {
+            inner.metrics.jobs_failed.inc();
+            inner.jobs.fail(id, format!("cannot spawn job thread: {e}"));
+            sink::server(request_id, &format!("job-{id} spawn failed: {e}"));
+            Response::json(503, api::error_body("cannot spawn job thread")).with_retry_after(1)
+        }
+    }
+}
+
+/// Job worker body. Holds its admission permit for the duration; panics
+/// fail the job, never the daemon.
+fn run_job(inner: &Arc<ServerInner>, id: JobId, spec: &JobSpec, permits: Permits<'static>) {
+    inner.jobs.mark_running(id);
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute_job(inner, id, spec)));
+    drop(permits);
+    match outcome {
+        Ok(Ok(result)) => {
+            inner.jobs.finish(id, result);
+            inner.metrics.jobs_completed.inc();
+        }
+        Ok(Err(error)) => {
+            inner.metrics.jobs_failed.inc();
+            sink::server(&format!("job-{id}"), &format!("failed: {error}"));
+            inner.jobs.fail(id, error.to_string());
+        }
+        Err(payload) => {
+            inner.metrics.panics.inc();
+            inner.metrics.jobs_failed.inc();
+            let message = panic_message(payload);
+            sink::server(&format!("job-{id}"), &format!("worker panicked: {message}"));
+            inner.jobs.fail(id, format!("worker panicked: {message}"));
+        }
+    }
+}
+
+fn execute_job(
+    inner: &Arc<ServerInner>,
+    id: JobId,
+    spec: &JobSpec,
+) -> Result<JobOutcome, nvp_core::CoreError> {
+    match spec {
+        JobSpec::Analyze(spec) => {
+            let report = inner.engine.analyze_budgeted(
+                &spec.params,
+                spec.policy,
+                ReliabilitySource::Auto,
+                spec.backend,
+                spec.budget_ms,
+            )?;
+            inner.jobs.record_point(
+                id,
+                SweepPointRecord {
+                    index: 0,
+                    x: 0.0,
+                    value: report.expected_reliability,
+                    degraded: report.degraded.is_some(),
+                },
+            );
+            Ok(JobOutcome::Analyze(report))
+        }
+        JobSpec::Sweep(spec) => {
+            let grid = linspace(spec.from, spec.to, spec.steps);
+            // Per-point completions stream straight into the job's
+            // progress journal, from whichever engine worker finished
+            // them — the service analog of the CLI's resume journal.
+            let observer = |record: SweepPointRecord| inner.jobs.record_point(id, record);
+            let points = inner.engine.sweep_supervised_budgeted(
+                &spec.base.params,
+                spec.axis,
+                &grid,
+                spec.base.policy,
+                spec.base.backend,
+                spec.base.budget_ms,
+                &observer,
+            )?;
+            let degraded_points = inner
+                .jobs
+                .progress_since(id, 0)
+                .map_or(0, |(_, _, records)| {
+                    records.iter().filter(|r| r.degraded).count()
+                });
+            let csv = api::sweep_csv(spec.axis, &points);
+            Ok(JobOutcome::Sweep {
+                points,
+                csv,
+                degraded_points,
+            })
+        }
+    }
+}
+
+/// `GET /v1/jobs/{id}` and `GET /v1/jobs/{id}/progress`.
+fn job_endpoint(inner: &Arc<ServerInner>, rest: &str, query: Option<&str>) -> Response {
+    let (id_text, progress) = match rest.split_once('/') {
+        None => (rest, false),
+        Some((id_text, "progress")) => (id_text, true),
+        Some(_) => {
+            return Response::json(404, api::error_body("no such job endpoint"));
+        }
+    };
+    let Ok(id) = id_text.parse::<JobId>() else {
+        return Response::json(400, api::error_body("job id must be a decimal integer"));
+    };
+    if progress {
+        let since = match query_from(query) {
+            Ok(since) => since,
+            Err(message) => return Response::json(400, api::error_body(&message)),
+        };
+        match inner.jobs.progress_since(id, since) {
+            Some((status, total, records)) => Response::json(
+                200,
+                api::job_progress(id, status, total, since, &records).emit(),
+            ),
+            None => Response::json(404, api::error_body(&format!("no job {id}"))),
+        }
+    } else {
+        match inner.jobs.snapshot(id) {
+            Some(snapshot) => Response::json(200, api::job_status(&snapshot).emit()),
+            None => Response::json(404, api::error_body(&format!("no job {id}"))),
+        }
+    }
+}
+
+/// Parse the `from=N` cursor of a progress poll.
+fn query_from(query: Option<&str>) -> Result<usize, String> {
+    let Some(query) = query else { return Ok(0) };
+    let mut from = 0;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key == "from" {
+            from = value
+                .parse::<usize>()
+                .map_err(|_| format!("bad `from` value {value:?}"))?;
+        } else {
+            return Err(format!("unknown query parameter `{key}`"));
+        }
+    }
+    Ok(from)
+}
+
+/// `GET /healthz`: engine, store, pool, and job-table health in one body.
+fn healthz(inner: &Arc<ServerInner>) -> Response {
+    let stats = inner.engine.stats();
+    let counts = inner.jobs.counts();
+    let pool = WorkerPool::global();
+    let store = match inner.engine.store() {
+        None => Json::Null,
+        Some(store) => match store.stats() {
+            Ok(s) => Json::Obj(vec![
+                ("entries".to_owned(), Json::Num(s.entries as f64)),
+                ("bytes".to_owned(), Json::Num(s.bytes as f64)),
+                ("quarantined".to_owned(), Json::Num(s.quarantined as f64)),
+            ]),
+            Err(e) => Json::Obj(vec![("error".to_owned(), Json::Str(e.to_string()))]),
+        },
+    };
+    let body = Json::Obj(vec![
+        ("status".to_owned(), Json::Str("ok".to_owned())),
+        (
+            "jobs".to_owned(),
+            Json::Obj(vec![
+                ("queued".to_owned(), Json::Num(counts.queued as f64)),
+                ("running".to_owned(), Json::Num(counts.running as f64)),
+                ("done".to_owned(), Json::Num(counts.done as f64)),
+                ("failed".to_owned(), Json::Num(counts.failed as f64)),
+            ]),
+        ),
+        (
+            "engine".to_owned(),
+            Json::Obj(vec![
+                ("cache_hits".to_owned(), Json::Num(stats.cache_hits as f64)),
+                (
+                    "cache_misses".to_owned(),
+                    Json::Num(stats.cache_misses as f64),
+                ),
+                (
+                    "chain_solutions".to_owned(),
+                    Json::Num(stats.chain_solutions as f64),
+                ),
+                (
+                    "degraded_solutions".to_owned(),
+                    Json::Num(stats.degraded_solutions as f64),
+                ),
+                (
+                    "worker_panics".to_owned(),
+                    Json::Num(stats.worker_panics as f64),
+                ),
+                ("store_hits".to_owned(), Json::Num(stats.store_hits as f64)),
+            ]),
+        ),
+        (
+            "pool".to_owned(),
+            Json::Obj(vec![
+                ("capacity".to_owned(), Json::Num(pool.capacity() as f64)),
+                ("available".to_owned(), Json::Num(pool.available() as f64)),
+                ("in_use".to_owned(), Json::Num(pool.in_use() as f64)),
+            ]),
+        ),
+        ("store".to_owned(), store),
+    ]);
+    Response::json(200, body.emit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_from_parses_and_rejects() {
+        assert_eq!(query_from(None).unwrap(), 0);
+        assert_eq!(query_from(Some("from=5")).unwrap(), 5);
+        assert!(query_from(Some("from=x")).is_err());
+        assert!(query_from(Some("limit=2")).is_err());
+    }
+
+    #[test]
+    fn panic_messages_extract_both_payload_shapes() {
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(panic_message(Box::new("boom".to_owned())), "boom");
+        assert_eq!(panic_message(Box::new(42u8)), "panic of unknown type");
+    }
+}

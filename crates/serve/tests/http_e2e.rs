@@ -1,0 +1,455 @@
+//! In-process end-to-end tests: a real daemon on an ephemeral port, driven
+//! by raw `TcpStream` clients.
+//!
+//! Every test binds its own [`Server`] around its own engine, so tests are
+//! independent except for the process-wide worker pool — submissions are
+//! serialized behind [`submit_lock`] so the admission-control test can
+//! starve the pool deterministically without 429-ing its neighbours.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use nvp_core::analysis::{ParamAxis, SolverBackend};
+use nvp_core::engine::AnalysisEngine;
+use nvp_core::params::SystemParams;
+use nvp_core::reliability::ReliabilitySource;
+use nvp_core::reward::RewardPolicy;
+use nvp_numerics::pool::WorkerPool;
+use nvp_obs::json::Json;
+use nvp_serve::{ServeConfig, Server};
+
+/// Global submission lock: tests that POST jobs (and the test that starves
+/// the pool) hold this so admission behavior stays deterministic.
+fn submit_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct TestServer {
+    server: Server,
+    addr: SocketAddr,
+}
+
+impl TestServer {
+    fn start(engine: AnalysisEngine, config: ServeConfig) -> TestServer {
+        let server = Server::bind(Arc::new(engine), "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+        let runner = server.clone();
+        std::thread::spawn(move || runner.run().unwrap());
+        TestServer { server, addr }
+    }
+
+    fn default_start() -> TestServer {
+        Self::start(AnalysisEngine::new(), ServeConfig::default())
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.server.shutdown();
+    }
+}
+
+struct Reply {
+    status: u16,
+    head: String,
+    body: String,
+}
+
+impl Reply {
+    fn json(&self) -> Json {
+        Json::parse(&self.body).unwrap_or_else(|e| panic!("unparseable body ({e}): {}", self.body))
+    }
+}
+
+/// One request on its own connection (`Connection: close`), read to EOF.
+///
+/// Writes and reads are failure-tolerant up to a point: a server that
+/// rejects an oversized body closes the connection before the client has
+/// finished writing it, which surfaces here as `EPIPE` on write and
+/// possibly `ECONNRESET` after the response bytes have arrived.
+fn roundtrip(addr: SocketAddr, method: &str, target: &str, body: Option<&str>) -> Reply {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut raw = format!("{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
+    if let Some(body) = body {
+        raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    } else {
+        raw.push_str("\r\n");
+    }
+    let _ = stream.write_all(raw.as_bytes());
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(_) if !bytes.is_empty() => break,
+            Err(e) => panic!("read failed with no response bytes: {e}"),
+        }
+    }
+    parse_reply(&String::from_utf8(bytes).unwrap())
+}
+
+fn parse_reply(text: &str) -> Reply {
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {text:?}"));
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    Reply {
+        status,
+        head: head.to_owned(),
+        body: body.to_owned(),
+    }
+}
+
+/// Submit a job, honoring the admission-control contract: a `429` means
+/// "retry after the indicated delay", which on a single-permit host is the
+/// normal answer while another job holds the pool.
+fn submit(addr: SocketAddr, endpoint: &str, body: &str) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = roundtrip(addr, "POST", endpoint, Some(body));
+        if reply.status == 429 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(25));
+            continue;
+        }
+        assert_eq!(reply.status, 202, "submit failed: {}", reply.body);
+        return reply.json().get("job").unwrap().as_u64().unwrap();
+    }
+}
+
+/// Poll a job until it reaches a terminal state.
+fn await_job(addr: SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = roundtrip(addr, "GET", &format!("/v1/jobs/{id}"), None);
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let doc = reply.json();
+        let status = doc.get("status").unwrap().as_str().unwrap().to_owned();
+        if status == "done" || status == "failed" {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in {status}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+const SWEEP_BODY: &str = r#"{"axis":"alpha","from":0.1,"to":0.9,"steps":4}"#;
+
+#[test]
+fn analyze_job_matches_direct_engine_result() {
+    let ts = TestServer::default_start();
+    let id = {
+        let _guard = submit_lock();
+        submit(ts.addr, "/v1/analyze", "{}")
+    };
+    let doc = await_job(ts.addr, id);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+    assert_eq!(doc.get("kind").unwrap().as_str(), Some("analyze"));
+    let got = doc
+        .get("result")
+        .unwrap()
+        .get("expected_reliability")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    let reference = AnalysisEngine::new()
+        .analyze(
+            &SystemParams::paper_six_version(),
+            RewardPolicy::FailedOnly,
+            ReliabilitySource::Auto,
+            SolverBackend::Auto,
+        )
+        .unwrap()
+        .expected_reliability;
+    // f64 Display round-trips exactly, so the service answer is the CLI
+    // answer to the last bit.
+    assert_eq!(got, reference);
+}
+
+#[test]
+fn concurrent_sweep_clients_get_byte_identical_csv() {
+    let ts = TestServer::default_start();
+    let ids: Vec<u64> = {
+        let _guard = submit_lock();
+        (0..3)
+            .map(|_| submit(ts.addr, "/v1/sweep", SWEEP_BODY))
+            .collect()
+    };
+    let csvs: Vec<String> = ids
+        .iter()
+        .map(|&id| {
+            let doc = await_job(ts.addr, id);
+            assert_eq!(
+                doc.get("status").unwrap().as_str(),
+                Some("done"),
+                "job {id}"
+            );
+            doc.get("result")
+                .unwrap()
+                .get("csv")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_owned()
+        })
+        .collect();
+    assert_eq!(csvs[0], csvs[1]);
+    assert_eq!(csvs[1], csvs[2]);
+    // Byte-identical to the CLI path: same grid, same engine API, same
+    // formatting.
+    let reference_points = AnalysisEngine::new()
+        .sweep_with(
+            &SystemParams::paper_six_version(),
+            ParamAxis::Alpha,
+            &nvp_core::analysis::linspace(0.1, 0.9, 4),
+            RewardPolicy::FailedOnly,
+            SolverBackend::Auto,
+        )
+        .unwrap();
+    let mut reference = format!("{},expected_reliability\n", ParamAxis::Alpha.label());
+    for (x, r) in &reference_points {
+        reference.push_str(&format!("{x},{r}\n"));
+    }
+    assert_eq!(csvs[0], reference);
+    // The shared engine answered at least the repeat jobs from cache.
+    let health = roundtrip(ts.addr, "GET", "/healthz", None).json();
+    let hits = health
+        .get("engine")
+        .unwrap()
+        .get("cache_hits")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(hits >= 1, "expected warm-cache hits, got {hits}");
+}
+
+#[test]
+fn progress_endpoint_streams_the_point_journal() {
+    let ts = TestServer::default_start();
+    let id = {
+        let _guard = submit_lock();
+        submit(ts.addr, "/v1/sweep", SWEEP_BODY)
+    };
+    await_job(ts.addr, id);
+    let doc = roundtrip(ts.addr, "GET", &format!("/v1/jobs/{id}/progress"), None).json();
+    let Json::Arr(points) = doc.get("points").unwrap() else {
+        panic!("points is not an array");
+    };
+    assert_eq!(points.len(), 4);
+    for point in points {
+        assert!(point.get("value").unwrap().as_f64().unwrap().is_finite());
+    }
+    // Cursor-based incremental poll: skip what we have seen.
+    let tail = roundtrip(
+        ts.addr,
+        "GET",
+        &format!("/v1/jobs/{id}/progress?from=3"),
+        None,
+    )
+    .json();
+    let Json::Arr(rest) = tail.get("points").unwrap() else {
+        panic!("points is not an array");
+    };
+    assert_eq!(rest.len(), 1);
+    assert!(
+        roundtrip(
+            ts.addr,
+            "GET",
+            &format!("/v1/jobs/{id}/progress?from=xyz"),
+            None
+        )
+        .status
+            == 400
+    );
+}
+
+#[test]
+fn starved_pool_answers_429_with_retry_after() {
+    let ts = TestServer::default_start();
+    let _guard = submit_lock();
+    // Wait for any stragglers from other tests to release their permits,
+    // then take everything: no running jobs + all permits held + the
+    // submit lock means nothing can free a permit under us.
+    let pool = WorkerPool::global();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut held = Vec::new();
+    loop {
+        while pool.available() > 0 {
+            let permits = pool.try_acquire(pool.available());
+            if permits.count() > 0 {
+                held.push(permits);
+            }
+        }
+        let health = roundtrip(ts.addr, "GET", "/healthz", None).json();
+        let running = health
+            .get("jobs")
+            .unwrap()
+            .get("running")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if running == 0 && pool.available() == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pool never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let reply = roundtrip(ts.addr, "POST", "/v1/sweep", Some(SWEEP_BODY));
+    assert_eq!(reply.status, 429, "{}", reply.body);
+    assert!(
+        reply.head.to_ascii_lowercase().contains("retry-after:"),
+        "missing retry-after in {}",
+        reply.head
+    );
+    drop(held);
+    // With permits back, the same request is admitted.
+    let id = submit(ts.addr, "/v1/sweep", SWEEP_BODY);
+    let doc = await_job(ts.addr, id);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+}
+
+#[test]
+fn ingress_bombs_get_400_and_the_daemon_keeps_serving() {
+    let ts = TestServer::start(
+        AnalysisEngine::new(),
+        ServeConfig {
+            max_body_bytes: 64 * 1024,
+            ..ServeConfig::default()
+        },
+    );
+    // Depth bomb: would have been a stack-overflow process kill before the
+    // parser's depth cap.
+    let depth_bomb = "[".repeat(50_000);
+    let reply = roundtrip(ts.addr, "POST", "/v1/analyze", Some(&depth_bomb));
+    assert_eq!(reply.status, 400);
+    assert!(reply.body.contains("nesting deeper"), "{}", reply.body);
+    // Width bomb: over the body cap, rejected from the declared length
+    // alone (413, before parsing).
+    let width_bomb = format!("[{}]", "1,".repeat(40_000));
+    let reply = roundtrip(ts.addr, "POST", "/v1/analyze", Some(&width_bomb));
+    assert_eq!(reply.status, 413);
+    // Torn JSON and huge numbers are 400s.
+    for bad in ["{\"n\":", "{\"budget_ms\":1e999}", "not json"] {
+        assert_eq!(
+            roundtrip(ts.addr, "POST", "/v1/analyze", Some(bad)).status,
+            400,
+            "accepted {bad:?}"
+        );
+    }
+    // The daemon survived all of it.
+    let health = roundtrip(ts.addr, "GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    assert_eq!(health.json().get("status").unwrap().as_str(), Some("ok"));
+}
+
+#[test]
+fn invalid_parameters_fail_the_job_not_the_daemon() {
+    let ts = TestServer::default_start();
+    let id = {
+        let _guard = submit_lock();
+        submit(ts.addr, "/v1/analyze", r#"{"n":0}"#)
+    };
+    let doc = await_job(ts.addr, id);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("failed"));
+    assert!(doc.get("error").unwrap().as_str().is_some());
+    assert_eq!(roundtrip(ts.addr, "GET", "/healthz", None).status, 200);
+}
+
+#[test]
+fn routing_edges() {
+    let ts = TestServer::default_start();
+    assert_eq!(roundtrip(ts.addr, "GET", "/nope", None).status, 404);
+    assert_eq!(
+        roundtrip(ts.addr, "GET", "/v1/jobs/999999", None).status,
+        404
+    );
+    assert_eq!(roundtrip(ts.addr, "GET", "/v1/jobs/abc", None).status, 400);
+    assert_eq!(roundtrip(ts.addr, "GET", "/v1/analyze", None).status, 405);
+    assert_eq!(
+        roundtrip(ts.addr, "POST", "/metrics", Some("{}")).status,
+        405
+    );
+    // POST without a content-length is 411.
+    let mut stream = TcpStream::connect(ts.addr).unwrap();
+    stream
+        .write_all(b"POST /v1/analyze HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    assert_eq!(parse_reply(&text).status, 411);
+}
+
+#[test]
+fn metrics_expose_http_series() {
+    let ts = TestServer::default_start();
+    // Generate one bad request so the counter is non-zero.
+    assert_eq!(
+        roundtrip(ts.addr, "POST", "/v1/analyze", Some("broken")).status,
+        400
+    );
+    let reply = roundtrip(ts.addr, "GET", "/metrics", None);
+    assert_eq!(reply.status, 200);
+    for series in [
+        "nvp_http_requests_total",
+        "nvp_http_bad_requests_total",
+        "nvp_http_rejected_total",
+        "nvp_http_panics_total",
+        "nvp_http_jobs_submitted_total",
+    ] {
+        assert!(reply.body.contains(series), "missing {series}");
+    }
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let ts = TestServer::default_start();
+    let mut stream = TcpStream::connect(ts.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    for _ in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        // Read exactly one response: head, then content-length bytes.
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).unwrap();
+            buf.push(byte[0]);
+        }
+        let head = String::from_utf8(buf).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("connection: keep-alive"), "{head}");
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; length];
+        stream.read_exact(&mut body).unwrap();
+        assert_eq!(
+            Json::parse(std::str::from_utf8(&body).unwrap())
+                .unwrap()
+                .get("status")
+                .unwrap()
+                .as_str(),
+            Some("ok")
+        );
+    }
+}
