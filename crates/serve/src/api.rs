@@ -26,6 +26,12 @@ pub struct AnalyzeSpec {
     pub budget_ms: Option<u64>,
 }
 
+/// Upper bound on the `steps` of one sweep request. The grid is
+/// materialized up front (`steps` f64s) and each point is a full solve, so
+/// an unbounded value is a remote allocation bomb: an allocation-failure
+/// abort is not a panic and the connection supervisor cannot contain it.
+pub const MAX_SWEEP_STEPS: usize = 100_000;
+
 /// A parsed `POST /v1/sweep` request.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
@@ -203,6 +209,11 @@ pub fn parse_sweep(body: &Json) -> Result<SweepSpec, String> {
     if steps < 2 {
         return Err(format!(
             "sweep requires `steps` >= 2 to cover [{from}, {to}]; got {steps}"
+        ));
+    }
+    if steps > MAX_SWEEP_STEPS {
+        return Err(format!(
+            "sweep `steps` is capped at {MAX_SWEEP_STEPS}; got {steps}"
         ));
     }
     Ok(SweepSpec {
@@ -418,6 +429,19 @@ mod tests {
             r#"{"axis":"nope","from":0,"to":1}"#,
         ] {
             assert!(parse_sweep(&parse(bad)).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn sweep_steps_are_capped() {
+        // An uncapped `steps` reaches linspace as a Vec length: 2^53-1
+        // would be an allocation-failure abort, not a 400.
+        let at_cap = format!(r#"{{"axis":"alpha","from":0,"to":1,"steps":{MAX_SWEEP_STEPS}}}"#);
+        assert_eq!(parse_sweep(&parse(&at_cap)).unwrap().steps, MAX_SWEEP_STEPS);
+        for over in [MAX_SWEEP_STEPS as u64 + 1, 1_000_000_000, (1 << 53) - 1] {
+            let body = format!(r#"{{"axis":"alpha","from":0,"to":1,"steps":{over}}}"#);
+            let err = parse_sweep(&parse(&body)).unwrap_err();
+            assert!(err.contains("capped"), "steps {over}: {err}");
         }
     }
 

@@ -16,7 +16,9 @@ pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 /// One parsed request.
 #[derive(Debug)]
 pub struct Request {
-    /// Upper-cased method token (`GET`, `POST`, ...).
+    /// Method token exactly as the client sent it. HTTP methods are
+    /// case-sensitive (RFC 9110 §9.1), so routing matches the uppercase
+    /// names only; a nonconforming lowercase `get` earns a `405`/`404`.
     pub method: String,
     /// Path component of the request target (before any `?`).
     pub path: String,
@@ -143,6 +145,14 @@ pub fn read_request(
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
+                // Two Content-Length headers mean the peer and any proxy in
+                // front of us may disagree about where the body ends — a
+                // request-smuggling primitive, not a recoverable ambiguity.
+                if content_length.is_some() {
+                    return Err(RequestError::Malformed(
+                        "duplicate content-length header".into(),
+                    ));
+                }
                 let n: usize = value.parse().map_err(|_| {
                     RequestError::Malformed(format!("bad content-length {value:?}"))
                 })?;
@@ -350,6 +360,21 @@ mod tests {
             parse(&raw, 64).unwrap_err(),
             RequestError::HeadTooLarge
         ));
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Identical or conflicting values both go: last-one-wins parsing
+        // behind a first-one-wins proxy is a smuggling vector.
+        for raw in [
+            "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n{}",
+            "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}",
+        ] {
+            assert!(
+                matches!(parse(raw, 64), Err(RequestError::Malformed(_))),
+                "accepted {raw:?}"
+            );
+        }
     }
 
     #[test]

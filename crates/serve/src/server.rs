@@ -10,7 +10,7 @@
 //! permit is refused up front with `429` + `Retry-After` instead of piling
 //! unbounded work onto a starved pool.
 
-use std::io::BufReader;
+use std::io::{self, BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -38,6 +38,12 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Per-read socket timeout (also bounds keep-alive idle time).
     pub read_timeout: Duration,
+    /// Cap on the total time spent reading one request (head + body),
+    /// measured from its first byte. The per-read timeout alone is a
+    /// slow-loris invitation: a client trickling one byte every 29 seconds
+    /// never trips a single read yet holds a `max_connections` slot
+    /// forever. Connections that exceed this are dropped.
+    pub request_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +52,7 @@ impl Default for ServeConfig {
             max_body_bytes: 1 << 20,
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
+            request_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -220,6 +227,82 @@ fn release_connection(inner: &ServerInner) {
     inner.metrics.active_connections.set(active as u64);
 }
 
+/// The connection reader: enforces a total per-request deadline on top of
+/// the socket's per-read timeout. The deadline arms when the first byte of
+/// a request arrives (keep-alive idle time between requests does not
+/// count) and is cleared by [`DeadlineReader::finish_request`]; while
+/// armed, each socket wait is capped at the time still remaining, so a
+/// request that trickles in byte by byte errors out at the deadline
+/// instead of holding its connection slot indefinitely.
+struct DeadlineReader {
+    reader: BufReader<TcpStream>,
+    read_timeout: Duration,
+    request_timeout: Duration,
+    deadline: Option<Instant>,
+}
+
+impl DeadlineReader {
+    fn new(stream: TcpStream, config: &ServeConfig) -> DeadlineReader {
+        DeadlineReader {
+            reader: BufReader::new(stream),
+            read_timeout: config.read_timeout,
+            request_timeout: config.request_timeout,
+            deadline: None,
+        }
+    }
+
+    /// Disarm after a request is fully read and restore the idle timeout.
+    fn finish_request(&mut self) {
+        self.deadline = None;
+        let _ = self
+            .reader
+            .get_ref()
+            .set_read_timeout(Some(self.read_timeout));
+    }
+}
+
+impl Read for DeadlineReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(out.len());
+        out[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for DeadlineReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        match self.deadline {
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request deadline exceeded",
+                    ));
+                }
+                let _ = self
+                    .reader
+                    .get_ref()
+                    .set_read_timeout(Some(remaining.min(self.read_timeout)));
+            }
+            None => {
+                // Idle: wait under the per-read timeout, then arm the
+                // request clock the moment data shows up.
+                if !self.reader.fill_buf()?.is_empty() {
+                    self.deadline = Some(Instant::now() + self.request_timeout);
+                }
+            }
+        }
+        self.reader.fill_buf()
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.reader.consume(n);
+    }
+}
+
 /// Keep-alive loop over one accepted connection.
 fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
@@ -227,12 +310,13 @@ fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = DeadlineReader::new(read_half, &inner.config);
     let mut writer = stream;
     loop {
         match http::read_request(&mut reader, inner.config.max_body_bytes) {
             Ok(None) => return,
             Ok(Some(request)) => {
+                reader.finish_request();
                 let request_id = format!(
                     "req-{}",
                     inner.next_request.fetch_add(1, Ordering::Relaxed) + 1

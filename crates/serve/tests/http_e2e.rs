@@ -414,6 +414,54 @@ fn metrics_expose_http_series() {
 }
 
 #[test]
+fn slow_loris_connections_are_dropped_at_the_request_deadline() {
+    let ts = TestServer::start(
+        AnalysisEngine::new(),
+        ServeConfig {
+            read_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(ts.addr).unwrap();
+    // Trickle an endless request head one byte at a time: every individual
+    // write lands well inside the per-read timeout, so only the total
+    // per-request deadline can end this connection.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nX-Filler: ")
+        .unwrap();
+    let mut closed = false;
+    for _ in 0..200 {
+        let _ = stream.write_all(b"a");
+        std::thread::sleep(Duration::from_millis(30));
+        // Poll for the server-side close without blocking the trickle.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(1)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                closed = true;
+                break;
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => {
+                closed = true;
+                break;
+            }
+        }
+    }
+    assert!(closed, "slow-loris connection was never dropped");
+    // One shed connection, daemon still healthy.
+    assert_eq!(roundtrip(ts.addr, "GET", "/healthz", None).status, 200);
+}
+
+#[test]
 fn keep_alive_serves_multiple_requests_per_connection() {
     let ts = TestServer::default_start();
     let mut stream = TcpStream::connect(ts.addr).unwrap();
