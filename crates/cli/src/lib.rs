@@ -34,7 +34,7 @@ use nvp_core::report::{render_with_on, ReportOptions};
 use nvp_core::reward::RewardPolicy;
 use nvp_numerics::{Jobs, WorkerPool};
 use nvp_obs::progress::SweepProgress;
-use nvp_serve::{ServeConfig, Server};
+use nvp_serve::{RejuvenateMode, ServeConfig, ServeOutcome, Server};
 use nvp_sim::dspn::{simulate_reward, SimOptions};
 use nvp_sim::fallback::monte_carlo_hook;
 use nvp_store::SolveStore;
@@ -53,6 +53,11 @@ pub enum RunStatus {
     /// At least one result was produced by a fallback (alternate backend or
     /// Monte Carlo); a warning was printed alongside it.
     Degraded,
+    /// `nvp serve` completed an `exit`-mode rejuvenation drain; the
+    /// process exits with the distinguished code 75 so a supervisor loop
+    /// (`until nvp serve ...; do :; done`) restarts it while a clean
+    /// SIGTERM stop (exit 0) ends the loop.
+    Rejuvenate,
 }
 
 /// CLI errors: message plus the exit code to report.
@@ -151,21 +156,38 @@ USAGE:
   nvp serve [--addr HOST:PORT] [--budget-ms MS] [--jobs N|auto]
             [--cache-dir DIR] [--retries N] [--point-deadline-ms MS]
             [--max-body-bytes N] [--max-connections N]
+            [--max-cache-entries N] [--max-cache-bytes N]
+            [--job-deadline-ms MS] [--drain-deadline-ms MS]
+            [--rejuvenate-after-jobs N] [--rejuvenate-after-secs S]
+            [--rejuvenate-cache-entries N] [--rejuvenate-after-panics N]
+            [--rejuvenate-mode swap|exit]
       Run an HTTP analysis daemon around one warm engine (default address
       127.0.0.1:7171; use port 0 for an ephemeral port). The bound address
-      is printed to stdout, then the daemon serves until killed.
+      is printed to stdout, then the daemon serves until stopped.
       POST /v1/analyze and POST /v1/sweep take JSON bodies (same parameter
       names as the CLI flags, without dashes) and return 202 with a job id;
       poll GET /v1/jobs/ID for the result and GET /v1/jobs/ID/progress for
       the per-point journal. GET /metrics serves Prometheus text format and
-      GET /healthz reports engine/pool/store/job health. Degraded results
-      are 200s carrying the WARNING in the body; 429 + Retry-After signals
-      a starved worker pool. --budget-ms, --retries and
+      GET /healthz reports state/engine/pool/store/job health. Degraded
+      results are 200s carrying the WARNING in the body; 429 + Retry-After
+      signals a starved worker pool. --budget-ms, --retries and
       --point-deadline-ms set engine-level defaults (a request budget_ms
-      can only tighten the deadline); --cache-dir shares one persistent
-      solve store across all clients and restarts. The daemon itself is
-      always --quiet: diagnostics go to stderr with request-id prefixes,
-      never interactive UI.
+      can only tighten the deadline); --job-deadline-ms gives jobs
+      submitted without their own budget_ms a server-side default deadline
+      (off by default, for CLI parity); --cache-dir shares one persistent
+      solve store across all clients and restarts.
+      --max-cache-entries / --max-cache-bytes bound the in-memory chain
+      cache with LRU eviction (evicted entries reload warm from the
+      store). The --rejuvenate-* flags arm self-rejuvenation: once the
+      daemon has served N jobs, run S seconds, cached N entries, or
+      panicked N times in a row, it drains — new submissions get 503 +
+      Retry-After, in-flight jobs get --drain-deadline-ms (default 30000)
+      to finish, the store is fsynced — and then either swaps in a fresh
+      warm engine in-process (mode swap, the default) or exits with the
+      distinguished code 75 for a supervisor loop (mode exit). SIGTERM and
+      SIGINT trigger the same graceful drain and exit 0. The daemon itself
+      is always --quiet: diagnostics go to stderr with request-id
+      prefixes, never interactive UI.
   nvp cache stats|verify|clear [--cache-dir DIR]
       Inspect or maintain a persistent solve store. stats prints entry,
       byte, quarantine, and temp-file counts; verify re-checksums every
@@ -841,8 +863,9 @@ fn sweep_journaled(
     Ok((points, replayed_degraded))
 }
 
-/// `nvp serve`: one warm engine behind an HTTP API. Blocks until the
-/// process is killed (or the listener fails fatally).
+/// `nvp serve`: one warm engine behind an HTTP API. Blocks until stopped
+/// (SIGTERM/SIGINT drain cleanly, an `exit`-mode rejuvenation returns the
+/// distinguished status) or the listener fails fatally.
 fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut addr = "127.0.0.1:7171".to_owned();
     let mut budget_ms = None;
@@ -850,6 +873,8 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     let mut cache_dir = None;
     let mut retries = None;
     let mut point_deadline_ms = None;
+    let mut max_cache_entries = None;
+    let mut max_cache_bytes = None;
     let mut config = ServeConfig::default();
     let mut cursor = Args::new(args);
     while let Some(flag) = cursor.next() {
@@ -862,6 +887,29 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
             "--point-deadline-ms" => point_deadline_ms = Some(cursor.value_u64(flag)?),
             "--max-body-bytes" => config.max_body_bytes = cursor.value_usize(flag)?,
             "--max-connections" => config.max_connections = cursor.value_usize(flag)?,
+            "--max-cache-entries" => max_cache_entries = Some(cursor.value_usize(flag)?),
+            "--max-cache-bytes" => max_cache_bytes = Some(cursor.value_u64(flag)?),
+            "--job-deadline-ms" => config.job_deadline_ms = Some(cursor.value_u64(flag)?),
+            "--drain-deadline-ms" => {
+                config.rejuvenation.drain_deadline =
+                    std::time::Duration::from_millis(cursor.value_u64(flag)?);
+            }
+            "--rejuvenate-after-jobs" => {
+                config.rejuvenation.after_jobs = Some(cursor.value_u64(flag)?);
+            }
+            "--rejuvenate-after-secs" => {
+                config.rejuvenation.after_secs = Some(cursor.value_u64(flag)?);
+            }
+            "--rejuvenate-cache-entries" => {
+                config.rejuvenation.cache_entries_pressure = Some(cursor.value_usize(flag)?);
+            }
+            "--rejuvenate-after-panics" => {
+                config.rejuvenation.panic_streak = Some(cursor.value_u32(flag)?);
+            }
+            "--rejuvenate-mode" => {
+                config.rejuvenation.mode = RejuvenateMode::parse(cursor.value(flag)?)
+                    .map_err(|message| CliError { message })?;
+            }
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for serve"),
@@ -874,26 +922,53 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
     // with request-id prefixes instead.
     nvp_obs::sink::set_quiet(true);
     let cache_dir = resolve_cache_dir(cache_dir);
-    let mut engine = resilient_engine(budget_ms, jobs, cache_dir.as_deref())?;
-    if let Some(n) = retries {
-        engine = engine.with_retries(n);
-    }
-    if let Some(ms) = point_deadline_ms {
-        engine = engine.with_point_deadline_ms(ms);
-    }
+    let build_engine = move || -> Result<AnalysisEngine> {
+        let mut engine = resilient_engine(budget_ms, jobs, cache_dir.as_deref())?;
+        if let Some(n) = retries {
+            engine = engine.with_retries(n);
+        }
+        if let Some(ms) = point_deadline_ms {
+            engine = engine.with_point_deadline_ms(ms);
+        }
+        if let Some(n) = max_cache_entries {
+            engine = engine.with_max_cache_entries(n);
+        }
+        if let Some(n) = max_cache_bytes {
+            engine = engine.with_max_cache_bytes(n);
+        }
+        Ok(engine)
+    };
+    let engine = build_engine()?;
     let server =
         Server::bind(std::sync::Arc::new(engine), &addr, config).map_err(|e| CliError {
             message: format!("cannot bind `{addr}`: {e}"),
         })?;
+    // Swap-mode rejuvenations rebuild the engine with this exact
+    // configuration; a failure at that point (e.g. the store directory
+    // vanished) falls back to in-place renewal inside the server.
+    server.set_engine_factory(std::sync::Arc::new(move || {
+        build_engine().unwrap_or_else(|e| {
+            nvp_obs::sink::error(&format!("nvp serve: engine rebuild failed: {e}"));
+            AnalysisEngine::new()
+        })
+    }));
+    // Operator-initiated drain: SIGTERM/SIGINT flip a flag the server's
+    // monitor turns into the graceful-drain path. Installed here (the
+    // binary entry), not in the library, so embedders keep control of
+    // their own signal disposition.
+    nvp_serve::signal::install();
     // Announce the resolved address (meaningful with `--addr ...:0`) and
     // flush so supervisors reading our stdout see it before the first
     // request.
     writeln!(out, "listening on http://{}", server.local_addr())?;
     out.flush()?;
-    server.run().map_err(|e| CliError {
+    let outcome = server.run().map_err(|e| CliError {
         message: format!("server failed: {e}"),
     })?;
-    Ok(RunStatus::Success)
+    Ok(match outcome {
+        ServeOutcome::Shutdown => RunStatus::Success,
+        ServeOutcome::Rejuvenate => RunStatus::Rejuvenate,
+    })
 }
 
 fn load_net(path: &str) -> Result<nvp_petri::net::PetriNet> {
@@ -1269,6 +1344,9 @@ mod tests {
                     }
                     Err(e) => {
                         assert!(!e.message.is_empty(), "{mode:?}@{site:?}");
+                    }
+                    Ok((RunStatus::Rejuvenate, text)) => {
+                        panic!("analyze cannot rejuvenate: {mode:?}@{site:?}: {text}");
                     }
                 }
             }

@@ -1,0 +1,230 @@
+//! Child-process drills for the daemon's graceful-drain and
+//! self-rejuvenation exits: SIGTERM must finish the in-flight job, refuse
+//! new work with `503`, and exit `0`; an `exit`-mode rejuvenation trigger
+//! must drain and exit with the distinguished code `75` so a supervisor
+//! loop restarts the process.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use nvp_obs::json::Json;
+
+/// A running daemon child; killed on drop so failed asserts never leak a
+/// listening process.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Start `nvp serve --addr 127.0.0.1:0 ...` and read the announced
+    /// address off the child's stdout.
+    fn start(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_nvp"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected announce line {line:?}"))
+            .to_owned();
+        Daemon { child, addr }
+    }
+
+    /// Deliver SIGTERM, the way an init system or operator would.
+    fn sigterm(&self) {
+        let pid = self.child.id();
+        let status = Command::new("sh")
+            .args(["-c", &format!("kill -TERM {pid}")])
+            .status()
+            .unwrap();
+        assert!(status.success(), "kill -TERM failed");
+    }
+
+    /// Wait for the child to exit within `timeout`; returns its exit code.
+    fn wait_code(&mut self, timeout: Duration) -> i32 {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(status) = self.child.try_wait().unwrap() {
+                return status.code().expect("child killed by signal");
+            }
+            assert!(Instant::now() < deadline, "daemon never exited");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One `Connection: close` request; `None` once the daemon has exited and
+/// the connect is refused — drain tests race process death by design.
+fn try_roundtrip(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut raw = format!("{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
+    if let Some(body) = body {
+        raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    } else {
+        raw.push_str("\r\n");
+    }
+    stream.write_all(raw.as_bytes()).ok()?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text).ok()?;
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    Some((status, body.to_owned()))
+}
+
+fn roundtrip(addr: &str, method: &str, target: &str, body: Option<&str>) -> (u16, String) {
+    try_roundtrip(addr, method, target, body).expect("daemon gone mid-request")
+}
+
+fn submit(addr: &str, endpoint: &str, body: &str) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, reply) = roundtrip(addr, "POST", endpoint, Some(body));
+        if status == 429 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        }
+        assert_eq!(status, 202, "submit failed: {reply}");
+        return Json::parse(&reply)
+            .unwrap()
+            .get("job")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+    }
+}
+
+/// Every grid point of a gamma sweep is a distinct chain solve, so this
+/// keeps the daemon busy long enough for the drain window to be observable.
+const LONG_SWEEP: &str = r#"{"axis":"gamma","from":300,"to":1500,"steps":24}"#;
+
+#[test]
+fn sigterm_finishes_the_inflight_job_refuses_new_work_and_exits_zero() {
+    let mut daemon = Daemon::start(&[]);
+    let id = submit(&daemon.addr, "/v1/sweep", LONG_SWEEP);
+    // Wait until the job is running, so SIGTERM lands mid-sweep.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = roundtrip(&daemon.addr, "GET", "/healthz", None);
+        assert_eq!(status, 200);
+        let running = Json::parse(&body)
+            .unwrap()
+            .get("jobs")
+            .unwrap()
+            .get("running")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if running >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.sigterm();
+    // The monitor thread polls the signal flag every 50ms; once it starts
+    // the drain, new submissions are refused with 503 + Retry-After while
+    // the in-flight sweep keeps going.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut saw_refusal = false;
+    while Instant::now() < deadline && !saw_refusal {
+        match try_roundtrip(&daemon.addr, "POST", "/v1/sweep", Some(LONG_SWEEP)) {
+            Some((503, _)) => saw_refusal = true,
+            Some((202, _)) | Some((429, _)) => std::thread::sleep(Duration::from_millis(10)),
+            Some((status, body)) => panic!("unexpected answer during drain: {status} {body}"),
+            None => break, // daemon already exited — drain resolved
+        }
+    }
+    // The in-flight job reaches a terminal state before the daemon exits;
+    // `None` here means the daemon finished draining between polls, which
+    // the exit code below vouches for.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match try_roundtrip(&daemon.addr, "GET", &format!("/v1/jobs/{id}"), None) {
+            Some((200, body)) => {
+                let status = Json::parse(&body)
+                    .unwrap()
+                    .get("status")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_owned();
+                if status == "done" || status == "failed" {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "job {id} stuck in {status}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Some((status, body)) => panic!("job poll answered {status}: {body}"),
+            None => break,
+        }
+    }
+    assert!(saw_refusal, "drain never refused a submission with 503");
+    // Clean operator-initiated drain: exit 0, so a supervisor loop stops.
+    assert_eq!(daemon.wait_code(Duration::from_secs(120)), 0);
+}
+
+#[test]
+fn exit_mode_rejuvenation_drains_and_exits_75_for_the_supervisor() {
+    let mut daemon = Daemon::start(&[
+        "--rejuvenate-after-jobs",
+        "1",
+        "--rejuvenate-mode",
+        "exit",
+        "--drain-deadline-ms",
+        "5000",
+    ]);
+    // One finished job trips the trigger; the daemon drains (nothing else
+    // in flight) and exits with EX_TEMPFAIL so `until nvp serve; do :;
+    // done` restarts it.
+    let id = submit(
+        &daemon.addr,
+        "/v1/sweep",
+        r#"{"axis":"alpha","from":0.1,"to":0.9,"steps":4}"#,
+    );
+    let deadline = Instant::now() + Duration::from_secs(120);
+    // A non-200 answer or a refused connect both mean the daemon exited
+    // right after the job landed — the exit code below is the real check.
+    while let Some((200, body)) =
+        try_roundtrip(&daemon.addr, "GET", &format!("/v1/jobs/{id}"), None)
+    {
+        let status = Json::parse(&body)
+            .unwrap()
+            .get("status")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        if status == "done" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job stuck in {status}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(daemon.wait_code(Duration::from_secs(120)), 75);
+}

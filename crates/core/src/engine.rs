@@ -53,7 +53,7 @@ use nvp_petri::reach::{ExploreStats, TangibleReachGraph};
 use nvp_store::{DegradedRecord, Load, SolveRecord, SolveStore};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -403,6 +403,19 @@ pub struct ChainSolution {
     pub solve_time: Duration,
 }
 
+impl ChainSolution {
+    /// Rough in-memory footprint of this solution, for cost-aware cache
+    /// eviction. Counts the dominant allocations — the probability vector,
+    /// the marking table and the timed arcs — plus a fixed overhead; exact
+    /// accounting is not needed, only a stable ordering of "big" vs
+    /// "small" entries against a configured byte budget.
+    pub fn approx_bytes(&self) -> u64 {
+        1024 + (self.solution.probabilities().len() as u64) * 8
+            + (self.explore_stats.tangible_markings as u64) * 48
+            + (self.explore_stats.timed_arcs as u64) * 24
+    }
+}
+
 /// Aggregated observability over everything an engine has computed.
 ///
 /// Cache counters are lifetime totals; state-space and solver counters are
@@ -414,6 +427,11 @@ pub struct SolverStats {
     pub cache_hits: u64,
     /// Chain requests that had to run the full chain stage.
     pub cache_misses: u64,
+    /// Cached chain solutions dropped to honor a configured cache bound
+    /// (lifetime total; see [`AnalysisEngine::with_max_cache_entries`]).
+    /// Safe aging containment: an evicted entry reloads warm from the
+    /// persistent store on its next request.
+    pub cache_evictions: u64,
     /// Distinct chain solutions currently cached.
     pub chain_solutions: usize,
     /// Total tangible markings across cached solutions.
@@ -513,8 +531,8 @@ impl std::fmt::Display for SolverStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "chain cache      : {} solution(s) cached, {} miss(es), {} hit(s)",
-            self.chain_solutions, self.cache_misses, self.cache_hits
+            "chain cache      : {} solution(s) cached, {} miss(es), {} hit(s), {} eviction(s)",
+            self.chain_solutions, self.cache_misses, self.cache_hits, self.cache_evictions
         )?;
         writeln!(
             f,
@@ -609,6 +627,9 @@ impl SolverStats {
         SolverStats {
             cache_hits: self.cache_hits.saturating_sub(baseline.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(baseline.cache_misses),
+            cache_evictions: self
+                .cache_evictions
+                .saturating_sub(baseline.cache_evictions),
             chain_solutions: self.chain_solutions,
             tangible_markings: self
                 .tangible_markings
@@ -675,7 +696,20 @@ impl SolverStats {
 /// the whole cache), so one thread computes while the rest wait for the
 /// result instead of recomputing it.
 #[derive(Debug, Default)]
-struct Slot(Mutex<Option<Arc<ChainSolution>>>);
+struct Slot {
+    value: Mutex<Option<Arc<ChainSolution>>>,
+    /// Logical timestamp of the slot's last hit or insert, drawn from the
+    /// engine's `cache_clock`; bounded eviction removes the smallest.
+    last_used: AtomicU64,
+}
+
+impl Slot {
+    /// Stamps this slot as most-recently used.
+    fn touch(&self, clock: &AtomicU64) {
+        self.last_used
+            .store(clock.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+}
 
 /// Memoizing analysis engine (see the [module docs](self)).
 ///
@@ -708,6 +742,9 @@ pub struct AnalysisEngine {
     metrics: MetricsRegistry,
     hits: Counter,
     misses: Counter,
+    evictions: Counter,
+    cache_entries_gauge: Gauge,
+    cache_bytes_gauge: Gauge,
     reward_nanos: Counter,
     fallbacks: Counter,
     budget_exhaustions: Counter,
@@ -736,6 +773,17 @@ pub struct AnalysisEngine {
     jobs: Jobs,
     monte_carlo: Option<MonteCarloHook>,
     store: Option<SolveStore>,
+    /// Bounds on the chain cache; `None` means unbounded (the pre-daemon
+    /// default). Enforced after every insert by LRU-ish eviction.
+    max_cache_entries: Option<usize>,
+    max_cache_bytes: Option<u64>,
+    /// Monotone logical clock stamping slot recency; cheaper and
+    /// steadier than wall-clock reads on the hit path.
+    cache_clock: AtomicU64,
+    /// Engine-wide cooperative cancellation: attached to every solve
+    /// budget, set by [`AnalysisEngine::cancel_inflight`] when a draining
+    /// daemon's deadline passes.
+    cancel: Arc<AtomicBool>,
 }
 
 impl Default for AnalysisEngine {
@@ -745,6 +793,9 @@ impl Default for AnalysisEngine {
             cache: Mutex::default(),
             hits: metrics.counter("nvp_cache_hits_total"),
             misses: metrics.counter("nvp_cache_misses_total"),
+            evictions: metrics.counter("nvp_cache_evictions_total"),
+            cache_entries_gauge: metrics.gauge("nvp_cache_entries"),
+            cache_bytes_gauge: metrics.gauge("nvp_cache_bytes_approx"),
             reward_nanos: metrics.counter("nvp_reward_nanoseconds_total"),
             fallbacks: metrics.counter("nvp_fallbacks_total"),
             budget_exhaustions: metrics.counter("nvp_budget_exhaustions_total"),
@@ -774,6 +825,10 @@ impl Default for AnalysisEngine {
             jobs: Jobs::default(),
             monte_carlo: None,
             store: None,
+            max_cache_entries: None,
+            max_cache_bytes: None,
+            cache_clock: AtomicU64::new(0),
+            cancel: Arc::new(AtomicBool::new(false)),
         }
     }
 }
@@ -874,6 +929,44 @@ impl AnalysisEngine {
         self
     }
 
+    /// Returns this engine bounding the chain cache at `entries` cached
+    /// solutions. After every insert the least-recently-used entries are
+    /// evicted (counted in [`SolverStats::cache_evictions`]) until the
+    /// bound holds — safe aging containment, because with a persistent
+    /// store ([`AnalysisEngine::with_store`]) an evicted entry reloads
+    /// warm, bit-identically, on its next request. Entries whose slot is
+    /// mid-solve are never evicted. The default is unbounded.
+    pub fn with_max_cache_entries(mut self, entries: usize) -> Self {
+        self.max_cache_entries = Some(entries);
+        self
+    }
+
+    /// Like [`AnalysisEngine::with_max_cache_entries`], but bounding the
+    /// cache's *approximate* in-memory footprint
+    /// ([`ChainSolution::approx_bytes`] summed over cached entries). Both
+    /// bounds may be set; either being exceeded evicts.
+    pub fn with_max_cache_bytes(mut self, bytes: u64) -> Self {
+        self.max_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Requests cooperative cancellation of every in-flight (and future)
+    /// solve on this engine: the flag rides on every solve budget, so the
+    /// next budget check anywhere in the pipeline fails with
+    /// [`NumericsError::Cancelled`]. Cached answers are still served. A
+    /// draining daemon uses this to reclaim workers from jobs that outstay
+    /// the drain deadline; clear with
+    /// [`AnalysisEngine::reset_cancellation`] before reusing the engine.
+    pub fn cancel_inflight(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Clears [`AnalysisEngine::cancel_inflight`]. Only meaningful once
+    /// the work being cancelled has actually drained.
+    pub fn reset_cancellation(&self) {
+        self.cancel.store(false, Ordering::Relaxed);
+    }
+
     /// Records `n` sweep grid points served from a resume journal instead of
     /// being solved; surfaces as [`SolverStats::resume_hits`].
     pub fn note_resume_hits(&self, n: u64) {
@@ -910,9 +1003,9 @@ impl AnalysisEngine {
         &self,
         slot: &'a Slot,
     ) -> std::sync::MutexGuard<'a, Option<Arc<ChainSolution>>> {
-        slot.0.lock().unwrap_or_else(|poisoned| {
+        slot.value.lock().unwrap_or_else(|poisoned| {
             self.poisoned_locks.inc();
-            slot.0.clear_poison();
+            slot.value.clear_poison();
             let mut guard = poisoned.into_inner();
             *guard = None;
             guard
@@ -958,6 +1051,7 @@ impl AnalysisEngine {
             Arc::clone(map.entry(key).or_default())
         };
         let mut guard = self.lock_slot(&slot);
+        slot.touch(&self.cache_clock);
         if let Some(solution) = guard.as_ref() {
             self.hits.inc();
             return Ok(Arc::clone(solution));
@@ -972,6 +1066,11 @@ impl AnalysisEngine {
             }
         };
         *guard = Some(Arc::clone(&solution));
+        // The insert may have pushed the cache over its configured bound;
+        // evict (and refresh the cache-shape gauges) with the slot guard
+        // released, preserving the map-then-slot lock order.
+        drop(guard);
+        self.enforce_cache_bound();
         Ok(solution)
     }
 
@@ -1754,9 +1853,65 @@ impl AnalysisEngine {
             .count()
     }
 
+    /// Approximate in-memory footprint of the cached chain solutions
+    /// ([`ChainSolution::approx_bytes`] summed over populated slots).
+    pub fn cache_bytes_approx(&self) -> u64 {
+        let map = self.lock_cache();
+        map.values()
+            .map(|slot| {
+                self.lock_slot(slot)
+                    .as_ref()
+                    .map_or(0, |sol| sol.approx_bytes())
+            })
+            .sum()
+    }
+
     /// Drops all cached chain solutions. Hit/miss counters are kept.
     pub fn clear(&self) {
         self.lock_cache().clear();
+        self.cache_entries_gauge.set(0);
+        self.cache_bytes_gauge.set(0);
+    }
+
+    /// Evicts least-recently-used cache entries until the configured
+    /// bounds hold, then publishes the cache-shape gauges. Slots are
+    /// inspected with `try_lock`: a busy slot is an in-flight solve (or a
+    /// concurrent reader) and is simply skipped this round — it is never
+    /// evicted from under its solving thread, and the bound is re-checked
+    /// on the next insert anyway. Runs entirely under the map-then-slot
+    /// lock order, so it cannot deadlock with the solve path.
+    fn enforce_cache_bound(&self) {
+        loop {
+            let mut entries = 0usize;
+            let mut bytes = 0u64;
+            let mut oldest: Option<(ChainKey, u64)> = None;
+            {
+                let map = self.lock_cache();
+                for (key, slot) in map.iter() {
+                    let Ok(guard) = slot.value.try_lock() else {
+                        continue;
+                    };
+                    if guard.as_ref().is_none() {
+                        continue;
+                    }
+                    entries += 1;
+                    bytes += guard.as_ref().map_or(0, |sol| sol.approx_bytes());
+                    let used = slot.last_used.load(Ordering::Relaxed);
+                    if oldest.as_ref().is_none_or(|(_, t)| used < *t) {
+                        oldest = Some((key.clone(), used));
+                    }
+                }
+            }
+            let over = self.max_cache_entries.is_some_and(|cap| entries > cap)
+                || self.max_cache_bytes.is_some_and(|cap| bytes > cap);
+            let (Some((key, _)), true) = (oldest, over) else {
+                self.cache_entries_gauge.set(entries as u64);
+                self.cache_bytes_gauge.set(bytes);
+                return;
+            };
+            self.lock_cache().remove(&key);
+            self.evictions.inc();
+        }
     }
 
     /// Aggregates the statistics of everything this engine has computed.
@@ -1764,6 +1919,7 @@ impl AnalysisEngine {
         let mut s = SolverStats {
             cache_hits: self.cache_hits(),
             cache_misses: self.cache_misses(),
+            cache_evictions: self.evictions.get(),
             fallbacks_taken: self.fallbacks.get(),
             budget_exhaustions: self.budget_exhaustions.get(),
             sweep_cancellations: self.sweep_cancellations.get(),
@@ -1844,11 +2000,15 @@ impl AnalysisEngine {
     /// long-lived engine (the `nvp serve` daemon) honors one caller's
     /// deadline without reconfiguring the engine for everyone else.
     fn solve_budget_capped(&self, request_ms: Option<u64>) -> SolveBudget {
-        match (self.budget_ms, request_ms) {
+        let budget = match (self.budget_ms, request_ms) {
             (Some(engine), Some(request)) => SolveBudget::with_wall_clock_ms(engine.min(request)),
             (Some(ms), None) | (None, Some(ms)) => SolveBudget::with_wall_clock_ms(ms),
             (None, None) => SolveBudget::unlimited(),
-        }
+        };
+        // Every solve watches the engine-wide drain flag, so a daemon past
+        // its drain deadline can reclaim workers without knowing which
+        // budgets are in flight.
+        budget.with_cancel(Arc::clone(&self.cancel))
     }
 
     /// Runs the chain stage uncached — build, explore, solve, with per-stage
@@ -2721,7 +2881,7 @@ mod tests {
             Arc::clone(map.values().next().expect("one cached chain"))
         };
         let slot_poisoner = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let _guard = slot.0.lock().unwrap();
+            let _guard = slot.value.lock().unwrap();
             panic!("poisoning the slot lock");
         }));
         assert!(slot_poisoner.is_err());
@@ -2859,6 +3019,100 @@ mod tests {
                 .unwrap();
             assert_eq!(warm_r.to_bits(), cold_r.to_bits());
         }
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_never_exceeds_the_bound() {
+        let engine = AnalysisEngine::new().with_max_cache_entries(2);
+        let params = SystemParams::paper_six_version();
+        // Four distinct chain keys through a cache bounded at two entries.
+        let grid = [600.0, 800.0, 1000.0, 1200.0];
+        engine
+            .sweep(
+                &params,
+                ParamAxis::MeanTimeToFailure,
+                &grid,
+                RewardPolicy::FailedOnly,
+            )
+            .unwrap();
+        assert!(engine.cache_len() <= 2, "{}", engine.cache_len());
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 4);
+        assert_eq!(stats.cache_evictions, 2);
+        assert!(stats.to_string().contains("2 eviction(s)"), "{stats}");
+        let prom = engine.metrics().render_prometheus();
+        assert!(prom.contains("nvp_cache_evictions_total 2"), "{prom}");
+        assert!(prom.contains("nvp_cache_entries 2"), "{prom}");
+        assert!(engine.cache_bytes_approx() > 0);
+    }
+
+    #[test]
+    fn a_byte_cap_below_any_entry_disables_caching_but_not_answers() {
+        let engine = AnalysisEngine::new().with_max_cache_bytes(1);
+        let params = SystemParams::paper_six_version();
+        let reference = AnalysisEngine::new()
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        let bounded = engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap();
+        assert_eq!(bounded.to_bits(), reference.to_bits());
+        // Every solution is bigger than one byte, so the insert is evicted
+        // straight away — the bound always wins over retention.
+        assert_eq!(engine.cache_len(), 0);
+        assert!(engine.stats().cache_evictions >= 1);
+    }
+
+    #[test]
+    fn evicted_entries_reload_warm_and_bit_identical_from_the_store() {
+        let store = store_in("evict");
+        let engine = AnalysisEngine::new()
+            .with_store(store.clone())
+            .with_max_cache_entries(1);
+        let four = SystemParams::paper_four_version();
+        let six = SystemParams::paper_six_version();
+        let cold = engine.chain(&four, SolverBackend::Auto).unwrap();
+        let cold_bits: Vec<u64> = cold
+            .solution
+            .probabilities()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        drop(cold);
+        // Solving a second system pushes the cache over its bound and
+        // evicts the first (least recently used) solution.
+        engine.chain(&six, SolverBackend::Auto).unwrap();
+        assert_eq!(engine.cache_len(), 1);
+        assert_eq!(engine.stats().cache_evictions, 1);
+        let warm = engine.chain(&four, SolverBackend::Auto).unwrap();
+        let stats = engine.stats();
+        assert_eq!(
+            stats.store_hits, 1,
+            "the evicted entry reloads from the store instead of re-solving"
+        );
+        let warm_bits: Vec<u64> = warm
+            .solution
+            .probabilities()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        assert_eq!(warm_bits, cold_bits, "reload after eviction is bit-exact");
+        assert_eq!(warm.solve_time, Duration::ZERO, "no solve ran");
+    }
+
+    #[test]
+    fn cancel_inflight_stops_new_solves_until_reset() {
+        let engine = AnalysisEngine::new();
+        let params = SystemParams::paper_six_version();
+        engine.cancel_inflight();
+        let err = engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .unwrap_err();
+        assert!(AnalysisEngine::retryable(&err), "typed Cancelled: {err:?}");
+        engine.reset_cancellation();
+        assert!(engine
+            .expected_reliability(&params, RewardPolicy::FailedOnly, SolverBackend::Auto)
+            .is_ok());
     }
 
     #[test]

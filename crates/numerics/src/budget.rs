@@ -35,11 +35,14 @@ use crate::{NumericsError, Result};
 /// The default budget is unlimited, so existing entry points that do not
 /// thread a budget behave exactly as before.
 ///
-/// Besides the deadline and iteration cap, a budget can carry an external
-/// *cancellation flag* ([`with_cancel`](Self::with_cancel)): a supervisor —
-/// e.g. the worker-pool watchdog in [`crate::pool`] — sets the flag and the
-/// next [`check`](Self::check) anywhere in the pipeline fails with
-/// [`NumericsError::Cancelled`]. Cloning the budget shares the same flag.
+/// Besides the deadline and iteration cap, a budget can carry external
+/// *cancellation flags* ([`with_cancel`](Self::with_cancel)): a supervisor —
+/// e.g. the worker-pool watchdog in [`crate::pool`], or a draining daemon —
+/// sets its flag and the next [`check`](Self::check) anywhere in the
+/// pipeline fails with [`NumericsError::Cancelled`]. A budget may carry
+/// several flags from independent supervisors (a point-lease watchdog *and*
+/// an engine-wide drain, say); any one of them set means cancelled. Cloning
+/// the budget shares the same flags.
 #[derive(Debug, Clone, Default)]
 pub struct SolveBudget {
     /// Wall-clock instant after which [`check`](Self::check) fails.
@@ -49,8 +52,9 @@ pub struct SolveBudget {
     /// Optional cap on iterations for iterative solvers. `None` leaves each
     /// solver's own default in place.
     max_iterations: Option<usize>,
-    /// Cooperative cancellation flag set by a supervisor.
-    cancel: Option<Arc<AtomicBool>>,
+    /// Cooperative cancellation flags set by supervisors; any one set
+    /// cancels the solve.
+    cancel: Vec<Arc<AtomicBool>>,
 }
 
 impl SolveBudget {
@@ -69,7 +73,7 @@ impl SolveBudget {
             deadline: Some(Instant::now() + Duration::from_millis(ms)),
             budget_ms: ms,
             max_iterations: None,
-            cancel: None,
+            cancel: Vec::new(),
         }
     }
 
@@ -80,24 +84,24 @@ impl SolveBudget {
         self
     }
 
-    /// Returns this budget carrying `flag` as a cooperative cancellation
-    /// flag; once a supervisor stores `true` in it, the next
+    /// Returns this budget additionally carrying `flag` as a cooperative
+    /// cancellation flag; once a supervisor stores `true` in it, the next
     /// [`check`](Self::check) fails with [`NumericsError::Cancelled`].
+    /// Flags accumulate: a budget may watch several supervisors at once.
     pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
-        self.cancel = Some(flag);
+        self.cancel.push(flag);
         self
     }
 
     /// `true` if no deadline, iteration cap, or cancellation flag is set.
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_iterations.is_none() && self.cancel.is_none()
+        self.deadline.is_none() && self.max_iterations.is_none() && self.cancel.is_empty()
     }
 
-    /// `true` if a supervisor has set this budget's cancellation flag.
+    /// `true` if a supervisor has set any of this budget's cancellation
+    /// flags.
     pub fn is_cancelled(&self) -> bool {
-        self.cancel
-            .as_deref()
-            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+        self.cancel.iter().any(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// The iteration cap to use given a solver's own `default` cap: the
@@ -197,6 +201,27 @@ mod tests {
         flag.store(true, Ordering::Relaxed);
         assert!(a.check("a").is_err());
         assert!(b.check("b").is_err());
+    }
+
+    #[test]
+    fn any_of_several_cancellation_flags_cancels() {
+        // A supervised daemon solve watches both its point-lease watchdog
+        // and the engine-wide drain flag; either one must stop it.
+        let lease = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
+        let b = SolveBudget::unlimited()
+            .with_cancel(lease.clone())
+            .with_cancel(drain.clone());
+        assert!(b.check("row stage").is_ok());
+        drain.store(true, Ordering::Relaxed);
+        assert!(b.is_cancelled());
+        assert!(matches!(
+            b.check("row stage"),
+            Err(NumericsError::Cancelled { .. })
+        ));
+        drain.store(false, Ordering::Relaxed);
+        lease.store(true, Ordering::Relaxed);
+        assert!(b.is_cancelled());
     }
 
     #[test]

@@ -23,13 +23,31 @@
 //! body, mirroring the CLI's exit-code-2-with-output contract. Failure
 //! statuses are reserved for requests the daemon could not serve at all
 //! (`400` bad input, `404` unknown job, `413` oversized body, `429`
-//! admission refusal, `500` contained panic).
+//! admission refusal, `500` contained panic, `503` draining).
+//!
+//! # Self-rejuvenation
+//!
+//! The daemon practices the paper's own medicine: a configurable
+//! [`RejuvenationPolicy`] watches aging signals (jobs served, cycle age,
+//! cache pressure, consecutive panics) and, when one trips — or when
+//! SIGTERM/SIGINT arrives — the server *drains*: new submissions get
+//! `503` + jittered `Retry-After`, in-flight jobs finish under a drain
+//! deadline (overdue ones are cancelled through the engine's budget
+//! flag), the store is fsynced, and then the engine is either swapped
+//! fresh in-process or the process exits with the distinguished code
+//! `75` for an external supervisor. The persistent solve store is the
+//! memento that makes the renewed engine warm again.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one signal-handler binding in
+// [`signal`] can opt out explicitly; everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod http;
+pub mod rejuvenate;
 pub mod server;
+pub mod signal;
 
-pub use server::{ServeConfig, Server};
+pub use rejuvenate::{AgingSnapshot, RejuvenateMode, RejuvenationPolicy};
+pub use server::{EngineFactory, ServeConfig, ServeOutcome, Server};

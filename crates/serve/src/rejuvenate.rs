@@ -1,0 +1,217 @@
+//! Rejuvenation policy for the daemon itself.
+//!
+//! The source paper's thesis is that periodic rejuvenation arrests the
+//! reliability decay caused by software aging. The daemon applies that
+//! policy to *its own* long-lived process: a [`RejuvenationPolicy`]
+//! watches observable aging signals (jobs served, cycle age, cache
+//! pressure, consecutive panics) and, when one trips, the server drains
+//! and renews its engine — cheaply, because the persistent solve store is
+//! the memento that makes a fresh engine warm again.
+//!
+//! The policy itself is pure: the server samples an [`AgingSnapshot`] and
+//! asks [`RejuvenationPolicy::tripped`] for a verdict, which keeps every
+//! trigger rule unit-testable without sockets or clocks.
+
+use std::time::Duration;
+
+/// What the server does once a rejuvenation drain has completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RejuvenateMode {
+    /// Swap a fresh engine in-process: zero dropped connections, warm
+    /// restart from the persistent store. The default.
+    #[default]
+    Swap,
+    /// Stop serving and exit with the distinguished code `75`
+    /// (`EX_TEMPFAIL`), telling an external supervisor loop to restart
+    /// the whole process — the strongest form of rejuvenation.
+    Exit,
+}
+
+impl RejuvenateMode {
+    /// Parses a `--rejuvenate-mode` value (`swap` or `exit`).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the accepted values.
+    pub fn parse(text: &str) -> Result<RejuvenateMode, String> {
+        match text {
+            "swap" => Ok(RejuvenateMode::Swap),
+            "exit" => Ok(RejuvenateMode::Exit),
+            other => Err(format!(
+                "bad rejuvenate mode `{other}` (expected `swap` or `exit`)"
+            )),
+        }
+    }
+}
+
+/// Aging signals sampled by the server and judged by
+/// [`RejuvenationPolicy::tripped`]. All values are relative to the start
+/// of the current engine cycle (process start, or the last rejuvenation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AgingSnapshot {
+    /// Jobs that reached a terminal state this cycle.
+    pub jobs_this_cycle: u64,
+    /// Seconds since the cycle started.
+    pub cycle_secs: u64,
+    /// Chain solutions currently held in the engine's memory cache.
+    pub cache_entries: usize,
+    /// Consecutive job-worker panics with no intervening success.
+    pub panic_streak: u32,
+}
+
+/// When (and how) the daemon rejuvenates itself.
+///
+/// Every trigger is opt-in; the default policy never trips, so embedding
+/// the server without configuring rejuvenation behaves exactly as before.
+#[derive(Debug, Clone)]
+pub struct RejuvenationPolicy {
+    /// Trip after this many jobs have reached a terminal state this cycle.
+    pub after_jobs: Option<u64>,
+    /// Trip once the cycle is this many seconds old (time-based
+    /// rejuvenation, the paper's classic interval policy).
+    pub after_secs: Option<u64>,
+    /// Trip when the engine's memory cache holds at least this many
+    /// solutions (cache pressure as an aging proxy).
+    pub cache_entries_pressure: Option<usize>,
+    /// Trip after this many *consecutive* worker panics — a crash-looping
+    /// engine is aged by definition.
+    pub panic_streak: Option<u32>,
+    /// Swap the engine in-process or exit for an external supervisor.
+    pub mode: RejuvenateMode,
+    /// How long a drain waits for in-flight jobs before cancelling them
+    /// through the engine's budget flag.
+    pub drain_deadline: Duration,
+}
+
+impl Default for RejuvenationPolicy {
+    fn default() -> Self {
+        RejuvenationPolicy {
+            after_jobs: None,
+            after_secs: None,
+            cache_entries_pressure: None,
+            panic_streak: None,
+            mode: RejuvenateMode::Swap,
+            drain_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RejuvenationPolicy {
+    /// `true` if any trigger is configured; a disabled policy is never
+    /// consulted, so the hot path pays nothing for it.
+    pub fn is_enabled(&self) -> bool {
+        self.after_jobs.is_some()
+            || self.after_secs.is_some()
+            || self.cache_entries_pressure.is_some()
+            || self.panic_streak.is_some()
+    }
+
+    /// Judges `snapshot` against the configured triggers. Returns the name
+    /// of the first tripped trigger (stable, log-friendly), or `None`.
+    pub fn tripped(&self, snapshot: &AgingSnapshot) -> Option<&'static str> {
+        if self
+            .panic_streak
+            .is_some_and(|cap| snapshot.panic_streak >= cap)
+        {
+            return Some("panic_streak");
+        }
+        if self
+            .after_jobs
+            .is_some_and(|cap| snapshot.jobs_this_cycle >= cap)
+        {
+            return Some("after_jobs");
+        }
+        if self
+            .after_secs
+            .is_some_and(|cap| snapshot.cycle_secs >= cap)
+        {
+            return Some("after_secs");
+        }
+        if self
+            .cache_entries_pressure
+            .is_some_and(|cap| snapshot.cache_entries >= cap)
+        {
+            return Some("cache_pressure");
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_default_policy_is_disabled_and_never_trips() {
+        let policy = RejuvenationPolicy::default();
+        assert!(!policy.is_enabled());
+        let aged = AgingSnapshot {
+            jobs_this_cycle: u64::MAX,
+            cycle_secs: u64::MAX,
+            cache_entries: usize::MAX,
+            panic_streak: u32::MAX,
+        };
+        assert_eq!(policy.tripped(&aged), None);
+    }
+
+    #[test]
+    fn each_trigger_trips_at_its_threshold_not_below() {
+        let policy = RejuvenationPolicy {
+            after_jobs: Some(10),
+            ..RejuvenationPolicy::default()
+        };
+        assert!(policy.is_enabled());
+        let mut snapshot = AgingSnapshot {
+            jobs_this_cycle: 9,
+            ..AgingSnapshot::default()
+        };
+        assert_eq!(policy.tripped(&snapshot), None);
+        snapshot.jobs_this_cycle = 10;
+        assert_eq!(policy.tripped(&snapshot), Some("after_jobs"));
+
+        let policy = RejuvenationPolicy {
+            after_secs: Some(60),
+            ..RejuvenationPolicy::default()
+        };
+        let snapshot = AgingSnapshot {
+            cycle_secs: 60,
+            ..AgingSnapshot::default()
+        };
+        assert_eq!(policy.tripped(&snapshot), Some("after_secs"));
+
+        let policy = RejuvenationPolicy {
+            cache_entries_pressure: Some(100),
+            ..RejuvenationPolicy::default()
+        };
+        let snapshot = AgingSnapshot {
+            cache_entries: 100,
+            ..AgingSnapshot::default()
+        };
+        assert_eq!(policy.tripped(&snapshot), Some("cache_pressure"));
+    }
+
+    #[test]
+    fn a_panic_streak_outranks_every_other_trigger() {
+        // A crash-looping engine must be renewed first; the reason string
+        // tells the operator which pathology actually fired.
+        let policy = RejuvenationPolicy {
+            after_jobs: Some(1),
+            panic_streak: Some(3),
+            ..RejuvenationPolicy::default()
+        };
+        let snapshot = AgingSnapshot {
+            jobs_this_cycle: 5,
+            panic_streak: 3,
+            ..AgingSnapshot::default()
+        };
+        assert_eq!(policy.tripped(&snapshot), Some("panic_streak"));
+    }
+
+    #[test]
+    fn mode_parsing_accepts_swap_and_exit_only() {
+        assert_eq!(RejuvenateMode::parse("swap").unwrap(), RejuvenateMode::Swap);
+        assert_eq!(RejuvenateMode::parse("exit").unwrap(), RejuvenateMode::Exit);
+        assert!(RejuvenateMode::parse("restart").is_err());
+        assert_eq!(RejuvenateMode::default(), RejuvenateMode::Swap);
+    }
+}

@@ -13,8 +13,8 @@
 use std::io::{self, BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use nvp_core::analysis::linspace;
@@ -23,11 +23,13 @@ use nvp_core::jobs::{JobId, JobKind, JobOutcome, JobTable};
 use nvp_core::reliability::ReliabilitySource;
 use nvp_numerics::pool::{Permits, WorkerPool};
 use nvp_obs::json::Json;
-use nvp_obs::metrics::{Counter, Gauge, Histogram};
+use nvp_obs::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use nvp_obs::sink;
 
 use crate::api::{self, AnalyzeSpec, SweepSpec};
 use crate::http::{self, Request, RequestError, Response};
+use crate::rejuvenate::{AgingSnapshot, RejuvenateMode, RejuvenationPolicy};
+use crate::signal;
 
 /// Tunables of one daemon instance.
 #[derive(Debug, Clone)]
@@ -44,6 +46,15 @@ pub struct ServeConfig {
     /// never trips a single read yet holds a `max_connections` slot
     /// forever. Connections that exceed this are dropped.
     pub request_timeout: Duration,
+    /// Server-side default deadline for jobs submitted without their own
+    /// `budget_ms`. `None` (the default, for CLI parity) lets such jobs
+    /// run unbounded; a value turns a runaway job into a typed,
+    /// terminal failure instead of a permit pinned across a drain. A
+    /// request's own `budget_ms` always wins.
+    pub job_deadline_ms: Option<u64>,
+    /// When (and how) the daemon drains and renews its engine; the
+    /// default policy never trips.
+    pub rejuvenation: RejuvenationPolicy,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +64,8 @@ impl Default for ServeConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
             request_timeout: Duration::from_secs(60),
+            job_deadline_ms: None,
+            rejuvenation: RejuvenationPolicy::default(),
         }
     }
 }
@@ -70,10 +83,10 @@ struct HttpMetrics {
 }
 
 impl HttpMetrics {
-    /// Registered on the *engine's* registry so `/metrics` serves solver
-    /// and HTTP series from one exposition.
-    fn register(engine: &AnalysisEngine) -> Self {
-        let m = engine.metrics();
+    /// Registered on the *server's own* registry — not the engine's — so
+    /// HTTP counters survive an engine swap during rejuvenation.
+    /// `/metrics` concatenates both expositions.
+    fn register(m: &MetricsRegistry) -> Self {
         Self {
             requests: m.counter("nvp_http_requests_total"),
             bad_requests: m.counter("nvp_http_bad_requests_total"),
@@ -88,16 +101,82 @@ impl HttpMetrics {
     }
 }
 
+/// Builds the replacement engine for a `swap`-mode rejuvenation. Without
+/// one the server renews the current engine in place (cache cleared,
+/// cancellation flag reset), which loses builder-applied configuration
+/// held only in closures — the CLI installs a factory so the fresh engine
+/// is configured identically to the first.
+pub type EngineFactory = Arc<dyn Fn() -> AnalysisEngine + Send + Sync>;
+
+/// How the daemon leaves its serving state; returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// A clean stop: [`Server::shutdown`], or an operator drain
+    /// (SIGTERM/SIGINT) that completed. Exit `0`.
+    Shutdown,
+    /// An `exit`-mode rejuvenation drain completed; the process should
+    /// exit with the distinguished code `75` so a supervisor loop
+    /// restarts it.
+    Rejuvenate,
+}
+
+/// Serving / draining, packed into an atomic.
+const STATE_SERVING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+
 struct ServerInner {
-    engine: Arc<AnalysisEngine>,
+    /// Swapped wholesale by a `swap`-mode rejuvenation; request handlers
+    /// grab one `Arc` per use and never observe a half-swapped engine.
+    engine: RwLock<Arc<AnalysisEngine>>,
+    factory: Mutex<Option<EngineFactory>>,
     jobs: JobTable,
     config: ServeConfig,
     listener: TcpListener,
     local_addr: SocketAddr,
     stop: AtomicBool,
+    /// Set by an `exit`-mode rejuvenation so [`Server::run`] can return
+    /// [`ServeOutcome::Rejuvenate`] instead of a clean shutdown.
+    exit_rejuvenate: AtomicBool,
+    state: std::sync::atomic::AtomicU8,
+    /// CAS guard: at most one drain runs at a time.
+    drain_active: AtomicBool,
+    /// The monitor thread is spawned once, by whichever `run` call
+    /// starts first.
+    monitor_started: AtomicBool,
     active: AtomicUsize,
     next_request: AtomicU64,
     metrics: HttpMetrics,
+    /// Server-owned registry (HTTP series + rejuvenation counter);
+    /// unlike the engine's registry it survives engine swaps.
+    registry: MetricsRegistry,
+    rejuvenations: Counter,
+    started: Instant,
+    /// Start of the current engine cycle (process start or the last
+    /// rejuvenation); basis for the `after_secs` trigger.
+    cycle_started: Mutex<Instant>,
+    /// Jobs that reached a terminal state, over the daemon's lifetime.
+    jobs_finished: AtomicU64,
+    /// `jobs_finished` at the start of the current cycle.
+    cycle_jobs_base: AtomicU64,
+    /// Consecutive job-worker panics; any success resets it.
+    panic_streak: AtomicU32,
+}
+
+impl ServerInner {
+    /// The engine to use for this request/job. One `Arc` clone; a swap
+    /// mid-job leaves the job on the engine it started with.
+    fn engine(&self) -> Arc<AnalysisEngine> {
+        Arc::clone(
+            &self
+                .engine
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    fn draining(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == STATE_DRAINING
+    }
 }
 
 /// A running (or ready-to-run) daemon around one shared engine. Cheap to
@@ -137,7 +216,9 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let metrics = HttpMetrics::register(&engine);
+        let registry = MetricsRegistry::new();
+        let metrics = HttpMetrics::register(&registry);
+        let rejuvenations = registry.counter("nvp_engine_rejuvenations_total");
         // A capacity-1 pool has zero grantable permits (the lone slot is
         // the implicit calling thread), which would make admission control
         // refuse every job forever on a single-core host. The daemon's
@@ -149,15 +230,27 @@ impl Server {
         }
         Ok(Server {
             inner: Arc::new(ServerInner {
-                engine,
+                engine: RwLock::new(engine),
+                factory: Mutex::new(None),
                 jobs: JobTable::new(),
                 config,
                 listener,
                 local_addr,
                 stop: AtomicBool::new(false),
+                exit_rejuvenate: AtomicBool::new(false),
+                state: std::sync::atomic::AtomicU8::new(STATE_SERVING),
+                drain_active: AtomicBool::new(false),
+                monitor_started: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
                 next_request: AtomicU64::new(0),
                 metrics,
+                registry,
+                rejuvenations,
+                started: Instant::now(),
+                cycle_started: Mutex::new(Instant::now()),
+                jobs_finished: AtomicU64::new(0),
+                cycle_jobs_base: AtomicU64::new(0),
+                panic_streak: AtomicU32::new(0),
             }),
         })
     }
@@ -165,6 +258,17 @@ impl Server {
     /// The bound address (resolves the actual port after binding `:0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.inner.local_addr
+    }
+
+    /// Installs the closure that builds the replacement engine for
+    /// `swap`-mode rejuvenations. Without one, a swap renews the current
+    /// engine in place (cache cleared, cancellation reset).
+    pub fn set_engine_factory(&self, factory: EngineFactory) {
+        *self
+            .inner
+            .factory
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(factory);
     }
 
     /// Ask the accept loop to exit. Idempotent; wakes the loop with a
@@ -176,22 +280,49 @@ impl Server {
         let _ = TcpStream::connect(self.inner.local_addr);
     }
 
-    /// Serve until [`Server::shutdown`]. Each connection gets its own
-    /// thread; handler panics are contained per request.
+    /// Starts a *graceful* stop: refuse new submissions (`503` +
+    /// `Retry-After`), let in-flight jobs finish under the drain deadline
+    /// (overdue ones are cancelled through the engine's budget flag and
+    /// land as typed failures), fsync the store, then stop. This is the
+    /// path SIGTERM/SIGINT take; [`Server::run`] returns
+    /// [`ServeOutcome::Shutdown`].
+    pub fn drain(&self) {
+        begin_drain(&self.inner, DrainKind::Terminate, "operator");
+    }
+
+    /// Trips a rejuvenation drain right now, exactly as a configured
+    /// trigger would: drain, then swap or exit per the policy's mode.
+    pub fn rejuvenate(&self) {
+        begin_drain(&self.inner, DrainKind::Rejuvenate, "manual");
+    }
+
+    /// Serve until [`Server::shutdown`] (or a drain completes). Each
+    /// connection gets its own thread; handler panics are contained per
+    /// request.
     ///
     /// # Errors
     ///
     /// Fatal accept-loop failures (per-connection errors are absorbed).
-    pub fn run(&self) -> std::io::Result<()> {
+    pub fn run(&self) -> std::io::Result<ServeOutcome> {
+        self.start_monitor();
         loop {
             let (stream, _) = match self.inner.listener.accept() {
                 Ok(conn) => conn,
-                Err(_) if self.inner.stop.load(Ordering::SeqCst) => return Ok(()),
-                Err(e) if matches!(e.kind(), std::io::ErrorKind::ConnectionAborted) => continue,
+                Err(_) if self.inner.stop.load(Ordering::SeqCst) => return Ok(self.outcome()),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    // `Interrupted`: a signal landed mid-accept; the
+                    // monitor thread turns the flag into a drain.
+                    continue;
+                }
                 Err(e) => return Err(e),
             };
             if self.inner.stop.load(Ordering::SeqCst) {
-                return Ok(());
+                return Ok(self.outcome());
             }
             let inner = Arc::clone(&self.inner);
             let active = inner.active.fetch_add(1, Ordering::SeqCst) + 1;
@@ -202,7 +333,7 @@ impl Server {
                     503,
                     api::error_body("connection limit reached; retry shortly"),
                 )
-                .with_retry_after(1);
+                .with_retry_after(retry_jitter(&format!("conn-{active}")));
                 let _ = http::write_response(&mut stream, &resp, true);
                 release_connection(&inner);
                 continue;
@@ -218,6 +349,198 @@ impl Server {
                 sink::server("accept", &format!("cannot spawn connection thread: {e}"));
                 release_connection(&self.inner);
             }
+        }
+    }
+
+    /// How `run` is ending, once the stop flag is set.
+    fn outcome(&self) -> ServeOutcome {
+        if self.inner.exit_rejuvenate.load(Ordering::SeqCst) {
+            ServeOutcome::Rejuvenate
+        } else {
+            ServeOutcome::Shutdown
+        }
+    }
+
+    /// Spawns (once) the aging monitor: a low-frequency poll that turns a
+    /// delivered SIGTERM/SIGINT into an operator drain and fires the
+    /// time-based rejuvenation trigger even when no jobs are arriving.
+    fn start_monitor(&self) {
+        if self
+            .inner
+            .monitor_started
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        let inner = Arc::clone(&self.inner);
+        let spawned = std::thread::Builder::new()
+            .name("nvp-serve-monitor".to_owned())
+            .spawn(move || {
+                while !inner.stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(50));
+                    if signal::drain_requested() {
+                        begin_drain(&inner, DrainKind::Terminate, "signal");
+                    } else {
+                        maybe_rejuvenate(&inner);
+                    }
+                }
+            });
+        if spawned.is_err() {
+            // Degraded but serviceable: job-count triggers still fire from
+            // job completions; only signals and after_secs go unnoticed.
+            sink::server("monitor", "cannot spawn monitor thread");
+        }
+    }
+}
+
+/// Why a drain was started; decides what happens when it completes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DrainKind {
+    /// Renew the engine (swap in-process or exit `75`, per the policy).
+    Rejuvenate,
+    /// Stop the daemon cleanly (exit `0`).
+    Terminate,
+}
+
+/// Samples the aging signals and starts a rejuvenation drain if the
+/// policy says so. Called after every job completion and by the monitor.
+fn maybe_rejuvenate(inner: &Arc<ServerInner>) {
+    let policy = &inner.config.rejuvenation;
+    if !policy.is_enabled() || inner.draining() {
+        return;
+    }
+    let cycle_secs = inner
+        .cycle_started
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .elapsed()
+        .as_secs();
+    let snapshot = AgingSnapshot {
+        jobs_this_cycle: inner.jobs_finished.load(Ordering::SeqCst)
+            - inner.cycle_jobs_base.load(Ordering::SeqCst),
+        cycle_secs,
+        cache_entries: inner.engine().cache_len(),
+        panic_streak: inner.panic_streak.load(Ordering::SeqCst),
+    };
+    if let Some(reason) = policy.tripped(&snapshot) {
+        begin_drain(inner, DrainKind::Rejuvenate, reason);
+    }
+}
+
+/// Enters the drain state machine (at most one drain at a time):
+///
+/// 1. stop admitting jobs (`503` + jittered `Retry-After`, `/healthz`
+///    reports `"draining"`);
+/// 2. wait for in-flight jobs under the drain deadline; past it, cancel
+///    them through the engine-wide budget flag (they land as typed
+///    failures) and keep waiting up to a 2x hard stop;
+/// 3. fsync the store — the memento the next engine warms up from;
+/// 4. resolve: swap a fresh engine in-process and resume serving, or set
+///    the stop flag (exit-mode rejuvenation and operator drains).
+fn begin_drain(inner: &Arc<ServerInner>, kind: DrainKind, reason: &'static str) {
+    if inner
+        .drain_active
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return;
+    }
+    inner.state.store(STATE_DRAINING, Ordering::SeqCst);
+    sink::server("drain", &format!("draining ({reason})"));
+    let worker = Arc::clone(inner);
+    let spawned = std::thread::Builder::new()
+        .name("nvp-serve-drain".to_owned())
+        .spawn(move || drain_and_resolve(&worker, kind));
+    if let Err(e) = spawned {
+        // No drain thread means no graceful path; fall back to a hard
+        // stop rather than serving 503s forever.
+        sink::server("drain", &format!("cannot spawn drain thread: {e}"));
+        inner.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(inner.local_addr);
+    }
+}
+
+/// The drain worker body; see [`begin_drain`] for the state machine.
+fn drain_and_resolve(inner: &Arc<ServerInner>, kind: DrainKind) {
+    let engine = inner.engine();
+    let deadline = inner.config.rejuvenation.drain_deadline;
+    let started = Instant::now();
+    let mut cancelled = false;
+    loop {
+        let counts = inner.jobs.counts();
+        if counts.queued + counts.running == 0 {
+            break;
+        }
+        let elapsed = started.elapsed();
+        if elapsed >= deadline && !cancelled {
+            // Overdue: reclaim the workers through the same cooperative
+            // flag the watchdog uses; the jobs finish as typed failures.
+            sink::server("drain", "deadline passed; cancelling in-flight jobs");
+            engine.cancel_inflight();
+            cancelled = true;
+        }
+        if elapsed >= deadline * 2 + Duration::from_secs(1) {
+            // A solve stuck where no budget check runs cannot be reclaimed
+            // cooperatively; give up waiting rather than hang the drain.
+            sink::server("drain", "hard stop: jobs still running past 2x deadline");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if let Some(store) = engine.store() {
+        // Belt-and-braces: records are already written atomically; this
+        // pins down the directory metadata before a restart.
+        if let Err(e) = store.sync() {
+            sink::server("drain", &format!("store sync failed: {e}"));
+        }
+    }
+    match (kind, inner.config.rejuvenation.mode) {
+        (DrainKind::Terminate, _) => {
+            inner.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(inner.local_addr);
+        }
+        (DrainKind::Rejuvenate, RejuvenateMode::Exit) => {
+            inner.rejuvenations.inc();
+            inner.exit_rejuvenate.store(true, Ordering::SeqCst);
+            inner.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(inner.local_addr);
+        }
+        (DrainKind::Rejuvenate, RejuvenateMode::Swap) => {
+            let factory = inner
+                .factory
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone();
+            match factory {
+                Some(build) => {
+                    // The replacement is fully built (and warm-capable via
+                    // the store) before it becomes visible to requests.
+                    let fresh = Arc::new(build());
+                    *inner
+                        .engine
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = fresh;
+                }
+                None => {
+                    // In-place renewal: drop aged cache state and re-arm
+                    // the cancellation flag we may just have set.
+                    engine.clear();
+                    engine.reset_cancellation();
+                }
+            }
+            inner.rejuvenations.inc();
+            *inner
+                .cycle_started
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Instant::now();
+            inner
+                .cycle_jobs_base
+                .store(inner.jobs_finished.load(Ordering::SeqCst), Ordering::SeqCst);
+            inner.panic_streak.store(0, Ordering::SeqCst);
+            inner.state.store(STATE_SERVING, Ordering::SeqCst);
+            inner.drain_active.store(false, Ordering::SeqCst);
+            sink::server("drain", "rejuvenated: fresh engine serving");
         }
     }
 }
@@ -395,7 +718,15 @@ fn dispatch(inner: &Arc<ServerInner>, request_id: &str, request: &Request) -> Re
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(inner),
-        ("GET", "/metrics") => Response::text(200, inner.engine.metrics().render_prometheus()),
+        ("GET", "/metrics") => {
+            // Engine series (reset by an engine swap) followed by the
+            // server's own (HTTP + rejuvenation counters, which survive
+            // swaps). Names never collide, so the concatenation is a
+            // valid exposition.
+            let mut text = inner.engine().metrics().render_prometheus();
+            text.push_str(&inner.registry.render_prometheus());
+            Response::text(200, text)
+        }
         ("POST", "/v1/analyze") => submit(inner, request_id, request, JobKind::Analyze),
         ("POST", "/v1/sweep") => submit(inner, request_id, request, JobKind::Sweep),
         (method, path) => {
@@ -426,6 +757,13 @@ fn submit(
     request: &Request,
     kind: JobKind,
 ) -> Response {
+    if inner.draining() {
+        return Response::json(
+            503,
+            api::error_body("draining for rejuvenation; retry after the indicated delay"),
+        )
+        .with_retry_after(retry_jitter(request_id));
+    }
     let Ok(text) = std::str::from_utf8(&request.body) else {
         return Response::json(400, api::error_body("request body is not valid UTF-8"));
     };
@@ -458,7 +796,7 @@ fn submit(
             429,
             api::error_body("worker pool exhausted; retry after the indicated delay"),
         )
-        .with_retry_after(1);
+        .with_retry_after(retry_jitter(request_id));
     }
     let id = inner.jobs.create(kind, total_points);
     inner.metrics.jobs_submitted.inc();
@@ -472,9 +810,24 @@ fn submit(
             inner.metrics.jobs_failed.inc();
             inner.jobs.fail(id, format!("cannot spawn job thread: {e}"));
             sink::server(request_id, &format!("job-{id} spawn failed: {e}"));
-            Response::json(503, api::error_body("cannot spawn job thread")).with_retry_after(1)
+            Response::json(503, api::error_body("cannot spawn job thread"))
+                .with_retry_after(retry_jitter(request_id))
         }
     }
+}
+
+/// Deterministic per-request `Retry-After` jitter in `1..=3` seconds,
+/// seeded from the request id (FNV-1a; no `rand` dependency). A fixed
+/// constant would march every client refused during a drain back in
+/// lockstep; distinct request ids de-synchronize them, and determinism
+/// keeps refusal behavior reproducible in tests.
+fn retry_jitter(seed: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in seed.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    1 + hash % 3
 }
 
 /// Job worker body. Holds its admission permit for the duration; panics
@@ -487,11 +840,13 @@ fn run_job(inner: &Arc<ServerInner>, id: JobId, spec: &JobSpec, permits: Permits
         Ok(Ok(result)) => {
             inner.jobs.finish(id, result);
             inner.metrics.jobs_completed.inc();
+            inner.panic_streak.store(0, Ordering::SeqCst);
         }
         Ok(Err(error)) => {
             inner.metrics.jobs_failed.inc();
             sink::server(&format!("job-{id}"), &format!("failed: {error}"));
             inner.jobs.fail(id, error.to_string());
+            inner.panic_streak.store(0, Ordering::SeqCst);
         }
         Err(payload) => {
             inner.metrics.panics.inc();
@@ -499,8 +854,13 @@ fn run_job(inner: &Arc<ServerInner>, id: JobId, spec: &JobSpec, permits: Permits
             let message = panic_message(payload);
             sink::server(&format!("job-{id}"), &format!("worker panicked: {message}"));
             inner.jobs.fail(id, format!("worker panicked: {message}"));
+            inner.panic_streak.fetch_add(1, Ordering::SeqCst);
         }
     }
+    inner.jobs_finished.fetch_add(1, Ordering::SeqCst);
+    // Job-count, cache-pressure and panic-streak triggers fire here, at
+    // the moment the aging signal actually changed.
+    maybe_rejuvenate(inner);
 }
 
 fn execute_job(
@@ -508,14 +868,21 @@ fn execute_job(
     id: JobId,
     spec: &JobSpec,
 ) -> Result<JobOutcome, nvp_core::CoreError> {
+    // One engine for the whole job: a rejuvenation swap mid-job must not
+    // split a sweep across two engines.
+    let engine = inner.engine();
     match spec {
         JobSpec::Analyze(spec) => {
-            let report = inner.engine.analyze_budgeted(
+            // The job-level watchdog: a job without its own budget gets
+            // the server's default deadline (when configured), so it can
+            // never pin a pool permit forever — it lands as a typed,
+            // terminal failure instead.
+            let report = engine.analyze_budgeted(
                 &spec.params,
                 spec.policy,
                 ReliabilitySource::Auto,
                 spec.backend,
-                spec.budget_ms,
+                spec.budget_ms.or(inner.config.job_deadline_ms),
             )?;
             inner.jobs.record_point(
                 id,
@@ -534,13 +901,13 @@ fn execute_job(
             // progress journal, from whichever engine worker finished
             // them — the service analog of the CLI's resume journal.
             let observer = |record: SweepPointRecord| inner.jobs.record_point(id, record);
-            let points = inner.engine.sweep_supervised_budgeted(
+            let points = engine.sweep_supervised_budgeted(
                 &spec.base.params,
                 spec.axis,
                 &grid,
                 spec.base.policy,
                 spec.base.backend,
-                spec.base.budget_ms,
+                spec.base.budget_ms.or(inner.config.job_deadline_ms),
                 &observer,
             )?;
             let degraded_points = inner
@@ -608,12 +975,15 @@ fn query_from(query: Option<&str>) -> Result<usize, String> {
     Ok(from)
 }
 
-/// `GET /healthz`: engine, store, pool, and job-table health in one body.
+/// `GET /healthz`: daemon state, engine, store, pool, and job-table
+/// health in one body — enough for operators (and the chaos drills) to
+/// observe aging and drain without scraping `/metrics`.
 fn healthz(inner: &Arc<ServerInner>) -> Response {
-    let stats = inner.engine.stats();
+    let engine = inner.engine();
+    let stats = engine.stats();
     let counts = inner.jobs.counts();
     let pool = WorkerPool::global();
-    let store = match inner.engine.store() {
+    let store = match engine.store() {
         None => Json::Null,
         Some(store) => match store.stats() {
             Ok(s) => Json::Obj(vec![
@@ -624,8 +994,26 @@ fn healthz(inner: &Arc<ServerInner>) -> Response {
             Err(e) => Json::Obj(vec![("error".to_owned(), Json::Str(e.to_string()))]),
         },
     };
+    let state = if inner.draining() {
+        "draining"
+    } else {
+        "serving"
+    };
     let body = Json::Obj(vec![
         ("status".to_owned(), Json::Str("ok".to_owned())),
+        ("state".to_owned(), Json::Str(state.to_owned())),
+        (
+            "uptime_secs".to_owned(),
+            Json::Num(inner.started.elapsed().as_secs() as f64),
+        ),
+        (
+            "jobs_served_total".to_owned(),
+            Json::Num(inner.jobs_finished.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "rejuvenations".to_owned(),
+            Json::Num(inner.rejuvenations.get() as f64),
+        ),
         (
             "jobs".to_owned(),
             Json::Obj(vec![
@@ -642,6 +1030,18 @@ fn healthz(inner: &Arc<ServerInner>) -> Response {
                 (
                     "cache_misses".to_owned(),
                     Json::Num(stats.cache_misses as f64),
+                ),
+                (
+                    "cache_entries".to_owned(),
+                    Json::Num(stats.chain_solutions as f64),
+                ),
+                (
+                    "cache_bytes_approx".to_owned(),
+                    Json::Num(engine.cache_bytes_approx() as f64),
+                ),
+                (
+                    "cache_evictions".to_owned(),
+                    Json::Num(stats.cache_evictions as f64),
                 ),
                 (
                     "chain_solutions".to_owned(),
@@ -681,6 +1081,20 @@ mod tests {
         assert_eq!(query_from(Some("from=5")).unwrap(), 5);
         assert!(query_from(Some("from=x")).is_err());
         assert!(query_from(Some("limit=2")).is_err());
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_in_range() {
+        for seed in ["req-1", "req-2", "req-3", "conn-64", ""] {
+            let first = retry_jitter(seed);
+            assert_eq!(first, retry_jitter(seed), "deterministic per seed");
+            assert!((1..=3).contains(&first), "{seed}: {first}");
+        }
+        // Distinct ids actually spread out (the whole point of jitter):
+        // across a modest id range all three values occur.
+        let values: std::collections::BTreeSet<u64> =
+            (0..32).map(|i| retry_jitter(&format!("req-{i}"))).collect();
+        assert_eq!(values.len(), 3, "{values:?}");
     }
 
     #[test]

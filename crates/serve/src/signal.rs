@@ -1,0 +1,92 @@
+//! Stdlib-only SIGTERM/SIGINT hook for operator-initiated drain.
+//!
+//! The daemon must not die mid-job when an operator (or an init system)
+//! asks it to stop: both signals set one process-wide flag, the server's
+//! monitor thread notices it and runs the same graceful-drain path a
+//! rejuvenation trigger uses. No signal-handling crate is pulled in — the
+//! handler is a direct `extern "C"` binding to `signal(2)`, and the only
+//! thing it does is a relaxed atomic store, which is async-signal-safe.
+//!
+//! On non-unix targets the hook is a no-op: [`install`] succeeds and
+//! [`drain_requested`] simply never turns true via a signal.
+
+// The one `unsafe` in the crate: registering the C signal handler.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler; read by the server's monitor thread.
+static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    /// `SIGINT` on every unix the workspace targets.
+    const SIGINT: i32 = 2;
+    /// `SIGTERM` likewise.
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)`. The previous-handler return value is ignored: the
+        /// daemon installs exactly one handler, once.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // The only async-signal-safe thing a handler may do here: flip the
+        // flag. Draining, logging and fsync all happen on normal threads.
+        super::DRAIN_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` is the libc prototype; `on_signal` is a
+        // non-unwinding `extern "C" fn(i32)` that only performs an atomic
+        // store, so it is a valid, async-signal-safe handler.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    #[cfg(test)]
+    pub(super) fn raise_sigterm() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        // SAFETY: `raise(3)` with a signal whose handler `install` set.
+        unsafe {
+            raise(SIGTERM);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handlers. Idempotent; call it from the
+/// binary entry point, not from library code an embedder might not want
+/// touching process-wide signal disposition.
+pub fn install() {
+    imp::install();
+}
+
+/// `true` once a SIGTERM or SIGINT has been delivered after [`install`].
+pub fn drain_requested() -> bool {
+    DRAIN_REQUESTED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(unix)]
+    fn a_delivered_sigterm_sets_the_drain_flag_instead_of_killing_us() {
+        install();
+        imp::raise_sigterm();
+        // The handler runs synchronously on `raise`; reaching this line at
+        // all proves the default terminate disposition was replaced.
+        assert!(drain_requested());
+    }
+}

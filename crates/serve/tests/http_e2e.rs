@@ -18,7 +18,8 @@ use nvp_core::reliability::ReliabilitySource;
 use nvp_core::reward::RewardPolicy;
 use nvp_numerics::pool::WorkerPool;
 use nvp_obs::json::Json;
-use nvp_serve::{ServeConfig, Server};
+use nvp_serve::{RejuvenationPolicy, ServeConfig, Server};
+use nvp_store::SolveStore;
 
 /// Global submission lock: tests that POST jobs (and the test that starves
 /// the pool) hold this so admission behavior stays deterministic.
@@ -116,12 +117,13 @@ fn parse_reply(text: &str) -> Reply {
 
 /// Submit a job, honoring the admission-control contract: a `429` means
 /// "retry after the indicated delay", which on a single-permit host is the
-/// normal answer while another job holds the pool.
+/// normal answer while another job holds the pool, and a `503` means the
+/// daemon is draining for rejuvenation and will admit again shortly.
 fn submit(addr: SocketAddr, endpoint: &str, body: &str) -> u64 {
     let deadline = Instant::now() + Duration::from_secs(120);
     loop {
         let reply = roundtrip(addr, "POST", endpoint, Some(body));
-        if reply.status == 429 && Instant::now() < deadline {
+        if (reply.status == 429 || reply.status == 503) && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(25));
             continue;
         }
@@ -459,6 +461,174 @@ fn slow_loris_connections_are_dropped_at_the_request_deadline() {
     assert!(closed, "slow-loris connection was never dropped");
     // One shed connection, daemon still healthy.
     assert_eq!(roundtrip(ts.addr, "GET", "/healthz", None).status, 200);
+}
+
+/// Value of an unlabelled Prometheus series in a `/metrics` scrape.
+fn metric_value(scrape: &str, name: &str) -> f64 {
+    scrape
+        .lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("series {name} missing from scrape"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// A fresh on-disk store under the system temp dir, wiped per test run.
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvp-serve-e2e-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Long enough (24 distinct chain solves) to still be in flight when the
+/// drain starts, so the 503 refusal window is deterministic.
+const LONG_SWEEP_BODY: &str = r#"{"axis":"gamma","from":300,"to":1500,"steps":24}"#;
+
+#[test]
+fn a_drain_refuses_new_work_but_finishes_the_inflight_job() {
+    let ts = TestServer::default_start();
+    let _guard = submit_lock();
+    let id = submit(ts.addr, "/v1/sweep", LONG_SWEEP_BODY);
+    // Wait until the job is actually running so the drain has something
+    // in flight to wait for.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let health = roundtrip(ts.addr, "GET", "/healthz", None).json();
+        let running = health
+            .get("jobs")
+            .unwrap()
+            .get("running")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if running >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Trip a manual rejuvenation drain (default mode: in-process swap).
+    // `begin_drain` flips the admission state synchronously, so refusals
+    // are observable the moment this returns.
+    ts.server.rejuvenate();
+    let health = roundtrip(ts.addr, "GET", "/healthz", None).json();
+    assert_eq!(health.get("state").unwrap().as_str(), Some("draining"));
+    let refused = roundtrip(ts.addr, "POST", "/v1/sweep", Some(SWEEP_BODY));
+    assert_eq!(refused.status, 503, "{}", refused.body);
+    assert!(
+        refused.head.to_ascii_lowercase().contains("retry-after:"),
+        "missing retry-after in {}",
+        refused.head
+    );
+    // The in-flight job is not a casualty: it finishes under the drain
+    // deadline and stays queryable across the engine swap.
+    let doc = await_job(ts.addr, id);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+    // Once the drain resolves, the daemon serves again and owns up to the
+    // rejuvenation in /healthz.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let health = roundtrip(ts.addr, "GET", "/healthz", None).json();
+        let state = health.get("state").unwrap().as_str().unwrap().to_owned();
+        let rejuvenations = health.get("rejuvenations").unwrap().as_u64().unwrap();
+        if state == "serving" && rejuvenations >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "drain never resolved: state={state} rejuvenations={rejuvenations}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The renewed engine answers new submissions.
+    let id = submit(ts.addr, "/v1/sweep", SWEEP_BODY);
+    let doc = await_job(ts.addr, id);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+}
+
+#[test]
+fn rejuvenation_swaps_a_fresh_engine_with_byte_identical_answers() {
+    let dir = temp_store("swap");
+    let engine = AnalysisEngine::new().with_store(SolveStore::open(&dir).unwrap());
+    let ts = TestServer::start(
+        engine,
+        ServeConfig {
+            rejuvenation: RejuvenationPolicy {
+                after_jobs: Some(1),
+                ..RejuvenationPolicy::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let factory_dir = dir.clone();
+    ts.server
+        .set_engine_factory(Arc::new(move || match SolveStore::open(&factory_dir) {
+            Ok(store) => AnalysisEngine::new().with_store(store),
+            Err(_) => AnalysisEngine::new(),
+        }));
+    let _guard = submit_lock();
+    let first = {
+        let id = submit(ts.addr, "/v1/sweep", SWEEP_BODY);
+        let doc = await_job(ts.addr, id);
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+        doc.get("result")
+            .unwrap()
+            .get("csv")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned()
+    };
+    // The after_jobs=1 trigger trips once that job lands; wait for the
+    // swap to complete. `cache_entries == 0` is the proof that a *fresh*
+    // engine took over — the old one held all four sweep points.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let health = roundtrip(ts.addr, "GET", "/healthz", None).json();
+        let state = health.get("state").unwrap().as_str().unwrap().to_owned();
+        let rejuvenations = health.get("rejuvenations").unwrap().as_u64().unwrap();
+        let cache_entries = health
+            .get("engine")
+            .unwrap()
+            .get("cache_entries")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if state == "serving" && rejuvenations >= 1 && cache_entries == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "swap never completed: state={state} rejuvenations={rejuvenations} \
+             cache_entries={cache_entries}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The rejuvenation counter lives in the server's own registry, so it
+    // survives the engine swap and shows up in the merged scrape.
+    let scrape = roundtrip(ts.addr, "GET", "/metrics", None);
+    assert_eq!(scrape.status, 200);
+    assert!(
+        metric_value(&scrape.body, "nvp_engine_rejuvenations_total") >= 1.0,
+        "rejuvenation not counted in scrape"
+    );
+    // Same request against the swapped engine: warm from the persistent
+    // store, byte-identical to the pre-rejuvenation answer.
+    let second = {
+        let id = submit(ts.addr, "/v1/sweep", SWEEP_BODY);
+        let doc = await_job(ts.addr, id);
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("done"));
+        doc.get("result")
+            .unwrap()
+            .get("csv")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned()
+    };
+    assert_eq!(first, second, "swapped engine changed the answer");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

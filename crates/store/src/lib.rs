@@ -155,6 +155,22 @@ impl SolveStore {
         atomic::write_atomic(&self.entry_path(key), &record::encode(key, record))
     }
 
+    /// Forces the store directory's metadata to stable storage.
+    ///
+    /// Every record write is already fsync'd before its atomic rename, and
+    /// the rename itself is followed by a directory fsync — so this is a
+    /// belt-and-braces barrier for moments when durability matters extra:
+    /// a daemon about to rejuvenate (swap its engine or exit for a
+    /// supervisor restart) syncs the directory once so the warm restart is
+    /// guaranteed to see every record the old engine published.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or syncing the directory.
+    pub fn sync(&self) -> io::Result<()> {
+        std::fs::File::open(&self.dir)?.sync_all()
+    }
+
     /// Moves a damaged entry aside as `<name>.corrupt` so it stops
     /// shadowing the slot but remains available for inspection. Returns
     /// the quarantine path when the rename succeeded. If the rename fails
