@@ -9,6 +9,12 @@
 //! stay under 5% of the measured solve time. The enabled-path time is
 //! printed alongside for reference but carries no assertion: recording
 //! allocates, and `--trace-out` users have opted into that.
+//!
+//! The serve daemon's *flight recorder* is always on, so its teed path gets
+//! the same 5% budget, priced the same way (per-call cost with the ring
+//! installed x call sites per solve). This section runs last: installing
+//! the ring is irreversible in-process and would contaminate the
+//! disabled-path numbers above.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nvp_core::analysis::SolverBackend;
@@ -112,7 +118,44 @@ fn bench_obs_overhead(c: &mut Criterion) {
         b.iter(|| black_box(analyze_once()));
         drop(nvp_obs::trace::stop_recording());
     });
+    group.bench_function("analyze/flight-recorder", |b| {
+        // First use of the ring in this process; every solve from here on
+        // tees into it (which is the point: this is the always-on path).
+        nvp_obs::recorder::install(nvp_obs::recorder::DEFAULT_CAPACITY);
+        b.iter(|| black_box(analyze_once()));
+    });
     group.finish();
+
+    // The always-on budget: with the ring installed (and no collector),
+    // each call site builds a record and pushes it into a fixed slot. Same
+    // methodology as the disabled path — per-call price x call sites must
+    // stay under 5% of a solve.
+    assert!(
+        nvp_obs::trace::enabled(),
+        "flight install must have enabled capture"
+    );
+    let start = Instant::now();
+    for i in 0..probes {
+        let mut span = nvp_obs::span("bench.flight");
+        span.record("i", u64::from(i));
+        nvp_obs::event_with("bench.event", || vec![("i", u64::from(i).into())]);
+        black_box(&span);
+    }
+    let per_flight_call = start.elapsed() / probes;
+    let flight_overhead = per_flight_call.as_secs_f64() * call_sites as f64;
+    let flight_fraction = flight_overhead / disabled_per_solve.as_secs_f64();
+    println!(
+        "obs_overhead: {per_flight_call:?} per flight-teed call, \
+         modeled always-on overhead {:.3}%",
+        flight_fraction * 100.0
+    );
+    assert!(
+        flight_fraction < 0.05,
+        "the always-on flight recorder must cost < 5% of an analyze solve; \
+         modeled {:.3}% ({call_sites} calls x {per_flight_call:?} over \
+         {disabled_per_solve:?})",
+        flight_fraction * 100.0
+    );
 }
 
 criterion_group!(

@@ -160,7 +160,8 @@ USAGE:
             [--job-deadline-ms MS] [--drain-deadline-ms MS]
             [--rejuvenate-after-jobs N] [--rejuvenate-after-secs S]
             [--rejuvenate-cache-entries N] [--rejuvenate-after-panics N]
-            [--rejuvenate-mode swap|exit]
+            [--rejuvenate-mode swap|exit] [--flight-dir DIR]
+            [--flight-records N] [--access-log]
       Run an HTTP analysis daemon around one warm engine (default address
       127.0.0.1:7171; use port 0 for an ephemeral port). The bound address
       is printed to stdout, then the daemon serves until stopped.
@@ -187,7 +188,14 @@ USAGE:
       distinguished code 75 for a supervisor loop (mode exit). SIGTERM and
       SIGINT trigger the same graceful drain and exit 0. The daemon itself
       is always --quiet: diagnostics go to stderr with request-id
-      prefixes, never interactive UI.
+      prefixes, never interactive UI. The daemon keeps an always-on
+      in-memory flight recorder (last --flight-records spans/events,
+      default 4096); with --flight-dir DIR a worker panic, a drain, or a
+      rejuvenation writes the ring as a JSONL dump into DIR (validate
+      with nvp-trace-check --flight). GET /v1/debug/recorder serves the
+      live ring, GET /v1/debug/aging the rejuvenation-policy signals.
+      --access-log switches the per-request stderr line to structured
+      JSON (method, path, endpoint, status, nanos, body_bytes).
   nvp cache stats|verify|clear [--cache-dir DIR]
       Inspect or maintain a persistent solve store. stats prints entry,
       byte, quarantine, and temp-file counts; verify re-checksums every
@@ -910,6 +918,11 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<RunStatus> {
                 config.rejuvenation.mode = RejuvenateMode::parse(cursor.value(flag)?)
                     .map_err(|message| CliError { message })?;
             }
+            "--flight-dir" => config.flight_dir = Some(PathBuf::from(cursor.value(flag)?)),
+            "--flight-records" => {
+                config.flight_records = cursor.value_usize(flag)?;
+            }
+            "--access-log" => config.access_log = true,
             other => {
                 return Err(CliError {
                     message: format!("unknown flag `{other}` for serve"),

@@ -80,6 +80,10 @@ pub enum Site {
     StoreWrite,
     /// Persistent solve-store record reads (the engine's load path).
     StoreRead,
+    /// The serve daemon's job-worker entry point, *outside* the engine's
+    /// own panic isolation — a `panic` here fails the whole job, which is
+    /// what the flight-recorder postmortem drills need to force.
+    ServeJob,
     /// Every interceptable site.
     Any,
 }
@@ -170,7 +174,8 @@ pub fn arm(plan: FaultPlan) -> FaultGuard {
 ///
 /// Format: `mode@site[:skip[:hits]]` with modes `noconverge`, `nan`,
 /// `exhaust`, `panic`, `stall`, `io`, `corrupt` and sites `dense`, `power`,
-/// `transient`, `store-write`, `store-read`, `any`; `skip` and `hits`
+/// `transient`, `store-write`, `store-read`, `serve-job`, `any`; `skip` and
+/// `hits`
 /// default to `0` and unlimited. Examples: `noconverge@any`, `nan@dense:1:2`,
 /// `panic@transient:0:1`, `io@store-write`, `corrupt@store-read:0:1`.
 ///
@@ -200,6 +205,7 @@ fn parse_plan(spec: &str) -> Option<FaultPlan> {
         "transient" => Site::SubordinatedTransient,
         "store-write" => Site::StoreWrite,
         "store-read" => Site::StoreRead,
+        "serve-job" => Site::ServeJob,
         "any" => Site::Any,
         _ => return None,
     };

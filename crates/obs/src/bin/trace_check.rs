@@ -1,13 +1,21 @@
-//! `nvp-trace-check`: validate a trace file produced by `nvp ... --trace-out`.
+//! `nvp-trace-check`: validate a trace file produced by `nvp ... --trace-out`
+//! or a flight-recorder dump produced by `nvp serve --flight-dir`.
 //!
 //! ```text
 //! nvp-trace-check FILE [--format jsonl|chrome] [--require SPAN]...
 //!                      [--min-spans N] [--min-threads N]
+//!                      [--flight] [--link CHILD=PARENT]...
 //! ```
 //!
 //! Exits 0 when the file passes the schema check (and, for JSONL, contains
 //! every `--require`d span name); prints the failure and exits 1 otherwise.
-//! CI runs this against real `nvp sweep --trace-out` output.
+//! `--flight` insists the file is a flight-recorder dump (its meta line
+//! carries the dump context; dangling references to evicted spans are
+//! legal — the checker detects this automatically, the flag makes it an
+//! assertion). `--link job.run=http.request` enforces cross-thread
+//! causality: every `job.run` span must link to an `http.request` span.
+//! CI runs this against real `nvp sweep --trace-out` output and against
+//! the dumps the serve drills produce.
 
 use std::process::ExitCode;
 
@@ -25,6 +33,8 @@ fn main() -> ExitCode {
     let mut required: Vec<String> = Vec::new();
     let mut min_spans: usize = 1;
     let mut min_threads: usize = 1;
+    let mut expect_flight = false;
+    let mut links: Vec<(String, String)> = Vec::new();
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -46,10 +56,21 @@ fn main() -> ExitCode {
                 Some(n) => min_threads = n,
                 None => return fail("--min-threads needs an integer"),
             },
+            "--flight" => expect_flight = true,
+            "--link" => match it.next() {
+                Some(rule) => match rule.split_once('=') {
+                    Some((child, parent)) if !child.is_empty() && !parent.is_empty() => {
+                        links.push((child.to_owned(), parent.to_owned()));
+                    }
+                    _ => return fail("--link needs CHILD=PARENT span names"),
+                },
+                None => return fail("--link needs CHILD=PARENT span names"),
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: nvp-trace-check FILE [--format jsonl|chrome] \
-                     [--require SPAN]... [--min-spans N] [--min-threads N]"
+                     [--require SPAN]... [--min-spans N] [--min-threads N] \
+                     [--flight] [--link CHILD=PARENT]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -79,6 +100,11 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => return fail(&format!("{path}: {e}")),
         };
+        if expect_flight && !summary.flight {
+            return fail(&format!(
+                "{path}: expected a flight-recorder dump, got a plain trace"
+            ));
+        }
         if summary.spans < min_spans {
             return fail(&format!(
                 "{path}: {} span(s), expected at least {min_spans}",
@@ -100,13 +126,30 @@ fn main() -> ExitCode {
                 ));
             }
         }
+        let mut linked = 0;
+        for (child, parent) in &links {
+            match schema::check_link_rule(&summary, child, parent) {
+                Ok(n) => linked += n,
+                Err(e) => return fail(&format!("{path}: {e}")),
+            }
+        }
         let names: Vec<String> = summary
             .span_names
             .iter()
             .map(|(name, count)| format!("{name}×{count}"))
             .collect();
+        let kind = if summary.flight {
+            "valid flight dump"
+        } else {
+            "valid trace"
+        };
+        let link_note = if links.is_empty() {
+            String::new()
+        } else {
+            format!(", {linked} linked span(s) checked")
+        };
         println!(
-            "{path}: valid trace, {} span(s) / {} event(s) on {} thread(s): {}",
+            "{path}: {kind}, {} span(s) / {} event(s) on {} thread(s){link_note}: {}",
             summary.spans,
             summary.events,
             summary.threads,

@@ -28,9 +28,11 @@
 pub mod json;
 pub mod metrics;
 pub mod progress;
+pub mod recorder;
 pub mod schema;
 pub mod sink;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
-pub use trace::{event, event_with, span, SpanGuard, TraceRecord, Value};
+pub use recorder::FlightRecorder;
+pub use trace::{event, event_with, span, span_linked, SpanGuard, SpanHandle, TraceRecord, Value};

@@ -220,9 +220,16 @@ impl Metric {
 /// Named registry of metrics. Registration is get-or-create, so handing the
 /// same name to two subsystems shares one cell; asking for an existing name
 /// with a different kind panics (a wiring bug, not a runtime condition).
+///
+/// A metric may carry multiple *labeled series*: the `_with` constructors
+/// take a pre-rendered Prometheus label body (`endpoint="analyze",
+/// status="2xx"` — no braces) and register an independent cell per label
+/// set under one metric name. The plain constructors are the empty-label
+/// case, so an aggregate series and its labeled splits coexist under the
+/// same name — exactly what dashboards migrating from the aggregate need.
 #[derive(Default)]
 pub struct MetricsRegistry {
-    inner: Mutex<BTreeMap<&'static str, Metric>>,
+    inner: Mutex<BTreeMap<(&'static str, &'static str), Metric>>,
 }
 
 impl MetricsRegistry {
@@ -230,40 +237,77 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    fn get_or_insert(&self, name: &'static str, make: impl FnOnce() -> Metric) -> Metric {
+    fn get_or_insert(
+        &self,
+        name: &'static str,
+        labels: &'static str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
         let mut map = match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        map.entry(name).or_insert_with(make).clone()
+        let metric = map.entry((name, labels)).or_insert_with(make).clone();
+        // One name, one kind, across every label set: Prometheus emits a
+        // single TYPE line per name, so a mixed-kind name is a wiring bug.
+        for ((other_name, _), other) in map.range((name, "")..) {
+            if *other_name != name {
+                break;
+            }
+            assert_eq!(
+                other.kind(),
+                metric.kind(),
+                "metric {name:?} registered with conflicting kinds"
+            );
+        }
+        metric
     }
 
     pub fn counter(&self, name: &'static str) -> Counter {
-        match self.get_or_insert(name, || Metric::Counter(Counter::new())) {
+        self.counter_with(name, "")
+    }
+
+    /// A counter series under `name` distinguished by `labels` (a rendered
+    /// Prometheus label body without braces; empty = the unlabeled series).
+    pub fn counter_with(&self, name: &'static str, labels: &'static str) -> Counter {
+        match self.get_or_insert(name, labels, || Metric::Counter(Counter::new())) {
             Metric::Counter(c) => c,
             other => panic!("metric {name:?} already registered as {}", other.kind()),
         }
     }
 
     pub fn gauge(&self, name: &'static str) -> Gauge {
-        match self.get_or_insert(name, || Metric::Gauge(Gauge::new())) {
+        self.gauge_with(name, "")
+    }
+
+    /// A gauge series under `name` distinguished by `labels`.
+    pub fn gauge_with(&self, name: &'static str, labels: &'static str) -> Gauge {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Gauge::new())) {
             Metric::Gauge(g) => g,
             other => panic!("metric {name:?} already registered as {}", other.kind()),
         }
     }
 
     pub fn histogram(&self, name: &'static str) -> Histogram {
-        match self.get_or_insert(name, || Metric::Histogram(Histogram::new())) {
+        self.histogram_with(name, "")
+    }
+
+    /// A histogram series under `name` distinguished by `labels`.
+    pub fn histogram_with(&self, name: &'static str, labels: &'static str) -> Histogram {
+        match self.get_or_insert(name, labels, || Metric::Histogram(Histogram::new())) {
             Metric::Histogram(h) => h,
             other => panic!("metric {name:?} already registered as {}", other.kind()),
         }
     }
 
     /// Render every registered metric in the Prometheus text exposition
-    /// format (sorted by name; histogram buckets are cumulative and elided
-    /// past the last non-empty bucket).
+    /// format: one `# TYPE` line per metric name (sorted), then one line —
+    /// or one cumulative bucket block — per labeled series. Histogram
+    /// buckets are cumulative and elided past the last non-empty bucket;
+    /// the mandatory `+Inf` bucket, `_sum`, and `_count` always close the
+    /// block.
     pub fn render_prometheus(&self) -> String {
-        let metrics: Vec<(&'static str, Metric)> = {
+        let metrics: Vec<((&'static str, &'static str), Metric)> = {
             let map = match self.inner.lock() {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
@@ -271,32 +315,51 @@ impl MetricsRegistry {
             map.iter().map(|(k, v)| (*k, v.clone())).collect()
         };
         let mut out = String::new();
-        for (name, metric) in metrics {
+        let mut last_name = "";
+        for ((name, labels), metric) in metrics {
+            if name != last_name {
+                let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+                last_name = name;
+            }
+            // `{labels}` suffix for a plain sample line; empty labels mean
+            // a bare series name.
+            let series_suffix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
             match metric {
                 Metric::Counter(c) => {
-                    let _ = writeln!(out, "# TYPE {name} counter");
-                    let _ = writeln!(out, "{name} {}", c.get());
+                    let _ = writeln!(out, "{name}{series_suffix} {}", c.get());
                 }
                 Metric::Gauge(g) => {
-                    let _ = writeln!(out, "# TYPE {name} gauge");
-                    let _ = writeln!(out, "{name} {}", g.get());
+                    let _ = writeln!(out, "{name}{series_suffix} {}", g.get());
                 }
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
-                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    // `le` joins any series labels inside one brace pair.
+                    let le_prefix = if labels.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{labels},")
+                    };
                     let last_nonzero = snap.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
                     let mut cumulative = 0u64;
                     for (i, &n) in snap.buckets.iter().enumerate().take(last_nonzero + 1) {
                         cumulative += n;
                         let _ = writeln!(
                             out,
-                            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                            "{name}_bucket{{{le_prefix}le=\"{}\"}} {cumulative}",
                             bucket_upper_bound(i)
                         );
                     }
-                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
-                    let _ = writeln!(out, "{name}_sum {}", snap.sum);
-                    let _ = writeln!(out, "{name}_count {}", snap.count);
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{{le_prefix}le=\"+Inf\"}} {}",
+                        snap.count
+                    );
+                    let _ = writeln!(out, "{name}_sum{series_suffix} {}", snap.sum);
+                    let _ = writeln!(out, "{name}_count{series_suffix} {}", snap.count);
                 }
             }
         }
@@ -396,5 +459,110 @@ mod tests {
         assert!(text.contains("nvp_latency_ns_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("nvp_latency_ns_sum 904\n"));
         assert!(text.contains("nvp_latency_ns_count 3\n"));
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line_and_coexist_with_the_aggregate() {
+        let reg = MetricsRegistry::new();
+        reg.counter("nvp_req_total").add(3);
+        reg.counter_with("nvp_req_total", "endpoint=\"analyze\",status=\"2xx\"")
+            .add(2);
+        reg.counter_with("nvp_req_total", "endpoint=\"sweep\",status=\"4xx\"")
+            .inc();
+        reg.histogram_with("nvp_req_ns", "endpoint=\"analyze\"")
+            .record(5);
+        let text = reg.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE nvp_req_total counter").count(),
+            1,
+            "one TYPE line per metric name:\n{text}"
+        );
+        assert!(text.contains("nvp_req_total 3\n"));
+        assert!(text.contains("nvp_req_total{endpoint=\"analyze\",status=\"2xx\"} 2\n"));
+        assert!(text.contains("nvp_req_total{endpoint=\"sweep\",status=\"4xx\"} 1\n"));
+        // Histogram labels and `le` share one brace pair.
+        assert!(text.contains("nvp_req_ns_bucket{endpoint=\"analyze\",le=\"7\"} 1\n"));
+        assert!(text.contains("nvp_req_ns_sum{endpoint=\"analyze\"} 5\n"));
+        assert!(text.contains("nvp_req_ns_count{endpoint=\"analyze\"} 1\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting kinds")]
+    fn labeled_series_cannot_change_the_kind_of_a_name() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("nvp_mixed");
+        let _ = reg.histogram_with("nvp_mixed", "endpoint=\"x\"");
+    }
+
+    /// Satellite check for the exposition format itself: *parse* the text
+    /// and verify every histogram block is spec-compliant — cumulative
+    /// bucket counts that never decrease, a final `+Inf` bucket equal to
+    /// `_count`, and `le` bounds strictly increasing.
+    #[test]
+    fn parsed_exposition_has_monotonic_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("nvp_parse_ns");
+        for v in [1u64, 1, 3, 9, 1000, 65_000] {
+            h.record(v);
+        }
+        let labeled = reg.histogram_with("nvp_parse_ns", "endpoint=\"healthz\"");
+        for v in [2u64, 4, 4, 4096] {
+            labeled.record(v);
+        }
+        let text = reg.render_prometheus();
+
+        // series label body -> (le bounds, cumulative counts), parsed back
+        // out of the exposition text.
+        let mut buckets: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            if let Some(rest) = series.strip_prefix("nvp_parse_ns_bucket{") {
+                let body = rest.strip_suffix('}').expect("closing brace");
+                let (labels, le) = match body.split_once(",le=\"") {
+                    Some((labels, le)) => (labels.to_owned(), le),
+                    None => (String::new(), body.strip_prefix("le=\"").unwrap()),
+                };
+                let le = le.strip_suffix('"').expect("closing quote");
+                let bound: f64 = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap()
+                };
+                buckets
+                    .entry(labels)
+                    .or_default()
+                    .push((bound, value.parse().unwrap()));
+            } else if let Some(rest) = series.strip_prefix("nvp_parse_ns_count") {
+                let labels = rest
+                    .strip_prefix('{')
+                    .and_then(|r| r.strip_suffix('}'))
+                    .unwrap_or("");
+                counts.insert(labels.to_owned(), value.parse().unwrap());
+            }
+        }
+        assert_eq!(buckets.len(), 2, "two series expected:\n{text}");
+        for (labels, rows) in &buckets {
+            assert!(rows.len() >= 2, "series {labels:?} too short");
+            for pair in rows.windows(2) {
+                assert!(
+                    pair[0].0 < pair[1].0,
+                    "series {labels:?}: le bounds not increasing"
+                );
+                assert!(
+                    pair[0].1 <= pair[1].1,
+                    "series {labels:?}: cumulative counts decreased"
+                );
+            }
+            let (last_bound, last_count) = *rows.last().unwrap();
+            assert!(last_bound.is_infinite(), "series {labels:?}: missing +Inf");
+            assert_eq!(
+                Some(&last_count),
+                counts.get(labels.as_str()),
+                "series {labels:?}: +Inf bucket != _count"
+            );
+        }
+        assert_eq!(counts.get(""), Some(&6));
+        assert_eq!(counts.get("endpoint=\"healthz\""), Some(&4));
     }
 }

@@ -1,0 +1,334 @@
+//! Always-on flight recorder: a fixed-size ring of the most recent trace
+//! records, kept at ~zero cost so a postmortem is available the moment
+//! something goes wrong.
+//!
+//! The drainable collector in [`crate::trace`] answers "record this run and
+//! hand me everything" — the right shape for a traced CLI invocation, and
+//! the wrong one for a daemon that must run for weeks: unbounded memory,
+//! and nothing to read when a job panics at 3am with recording off. The
+//! recorder inverts the deal: a bounded ring that is *always* capturing,
+//! overwriting the oldest record, and dumped on demand (panic-in-job, drain
+//! entry, rejuvenation, SIGTERM, or a debug endpoint).
+//!
+//! Writers never block and never wait for each other beyond one
+//! uncontended `try_lock` per record: each slot is its own mutex, the
+//! cursor is a fetch-add, and a slot that happens to be held by a
+//! concurrent writer or an in-progress dump is simply skipped and counted
+//! in `dropped`. The dump path locks slots one at a time, so a dump can
+//! run while the daemon keeps serving.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::trace::{self, TraceRecord, JSONL_VERSION};
+
+/// Default ring capacity when the embedder does not choose one.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+struct Slot {
+    /// 1-based push sequence of the record held (0 = empty). Written after
+    /// the record under the slot lock; read by dumps to order the ring.
+    seq: AtomicU64,
+    record: Mutex<Option<TraceRecord>>,
+}
+
+/// A fixed-size non-blocking ring buffer of [`TraceRecord`]s.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Total records ever pushed; `cursor % slots.len()` is the next slot.
+    cursor: AtomicU64,
+    /// Records discarded because their slot was momentarily held.
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder with room for the most recent `capacity` records
+    /// (minimum 16).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(16);
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                record: Mutex::new(None),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        FlightRecorder {
+            slots,
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records pushed over the recorder's lifetime.
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records discarded because their slot was briefly contended.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Append one record, overwriting the oldest. Never blocks: a slot held
+    /// by another writer or a dump loses this record to `dropped` instead.
+    pub fn push(&self, record: TraceRecord) {
+        let n = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        match slot.record.try_lock() {
+            Ok(mut guard) => {
+                *guard = Some(record);
+                slot.seq.store(n + 1, Ordering::Release);
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The ring's contents, oldest first. Slots are locked one at a time,
+    /// so concurrent pushes proceed (and may drop against the slot being
+    /// read); the snapshot is a consistent *per-slot* view, not a frozen
+    /// instant — exactly the fidelity a crash dump needs.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut entries: Vec<(u64, TraceRecord)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let guard = match slot.record.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(record) = guard.as_ref() {
+                entries.push((slot.seq.load(Ordering::Acquire), record.clone()));
+            }
+        }
+        entries.sort_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, record)| record).collect()
+    }
+}
+
+fn global() -> &'static OnceLock<Arc<FlightRecorder>> {
+    static GLOBAL: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
+    &GLOBAL
+}
+
+/// Install the process-global flight recorder and start capturing into it.
+///
+/// Idempotent: the first call sizes the ring; later calls return the
+/// existing recorder (a process has one black box). Spans and events flow
+/// into the ring from this moment on, whether or not the drainable
+/// collector is also recording.
+pub fn install(capacity: usize) -> Arc<FlightRecorder> {
+    let recorder = global()
+        .get_or_init(|| Arc::new(FlightRecorder::new(capacity)))
+        .clone();
+    trace::set_flight_capture(true);
+    recorder
+}
+
+/// The installed recorder, if any.
+pub fn installed() -> Option<Arc<FlightRecorder>> {
+    global().get().cloned()
+}
+
+/// Trace-side tee: called by the span/event machinery for every finished
+/// record while the flight capture bit is set.
+pub(crate) fn tee(record: TraceRecord) {
+    if let Some(recorder) = global().get() {
+        recorder.push(record);
+    }
+}
+
+/// Context stamped into a dump's meta line so each dump file is a
+/// self-contained postmortem: why it was taken and what the daemon knew
+/// about its own aging at that moment.
+#[derive(Debug, Clone, Default)]
+pub struct DumpContext {
+    /// Why the dump was taken: `panic`, `drain`, `rejuvenate`, `signal`,
+    /// `inspect`, ...
+    pub trigger: String,
+    /// Free-form detail (tripped trigger name, drain reason, job id).
+    pub detail: String,
+    /// The serving state (`/healthz` `state` field) at dump time.
+    pub state: String,
+    /// Aging signals at dump time, as `(key, value)` pairs — kept untyped
+    /// here so `nvp-obs` does not depend on the serve crate's
+    /// `AgingSnapshot` type.
+    pub aging: Vec<(&'static str, u64)>,
+}
+
+/// Serialize a dump as schema-valid JSONL: one meta line (version 1 plus a
+/// `"flight"` object carrying the [`DumpContext`] and ring statistics),
+/// then the ring's records oldest-first.
+///
+/// Because the ring evicts, a dump may reference spans that have already
+/// been overwritten (a `parent` or `link` with no matching record); the
+/// schema checker's flight mode tolerates exactly that.
+pub fn write_dump(
+    recorder: &FlightRecorder,
+    context: &DumpContext,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    let records = recorder.snapshot();
+    let mut meta = format!("{{\"type\":\"meta\",\"version\":{JSONL_VERSION},\"unit\":\"ns\"");
+    meta.push_str(",\"flight\":{\"trigger\":");
+    crate::json::escape_into(&context.trigger, &mut meta);
+    meta.push_str(",\"detail\":");
+    crate::json::escape_into(&context.detail, &mut meta);
+    meta.push_str(",\"state\":");
+    crate::json::escape_into(&context.state, &mut meta);
+    meta.push_str(&format!(
+        ",\"capacity\":{},\"pushed\":{},\"dropped\":{},\"records\":{}",
+        recorder.capacity(),
+        recorder.pushed(),
+        recorder.dropped(),
+        records.len()
+    ));
+    meta.push_str(",\"aging\":{");
+    for (i, (key, value)) in context.aging.iter().enumerate() {
+        if i > 0 {
+            meta.push(',');
+        }
+        crate::json::escape_into(key, &mut meta);
+        meta.push_str(&format!(":{value}"));
+    }
+    meta.push_str("}}}");
+    writeln!(out, "{meta}")?;
+    for record in &records {
+        writeln!(out, "{}", trace::record_to_jsonl(record))?;
+    }
+    Ok(())
+}
+
+/// [`write_dump`] into a `String` (for debug endpoints and tests).
+pub fn dump_to_string(recorder: &FlightRecorder, context: &DumpContext) -> String {
+    let mut bytes = Vec::new();
+    // Writing to a Vec cannot fail.
+    let _ = write_dump(recorder, context, &mut bytes);
+    String::from_utf8(bytes).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EventRecord, SpanRecord};
+
+    fn span_record(id: u64) -> TraceRecord {
+        TraceRecord::Span(SpanRecord {
+            id,
+            parent: None,
+            link: None,
+            tid: 0,
+            name: "test.span",
+            start_ns: id * 10,
+            end_ns: id * 10 + 5,
+            attrs: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn the_ring_keeps_the_newest_records_in_push_order() {
+        let recorder = FlightRecorder::new(16);
+        for id in 1..=40 {
+            recorder.push(span_record(id));
+        }
+        let records = recorder.snapshot();
+        assert_eq!(records.len(), 16);
+        let ids: Vec<u64> = records
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Span(s) => s.id,
+                TraceRecord::Event(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, (25..=40).collect::<Vec<u64>>());
+        assert_eq!(recorder.pushed(), 40);
+        assert_eq!(recorder.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_never_block_and_account_for_drops() {
+        let recorder = Arc::new(FlightRecorder::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let recorder = Arc::clone(&recorder);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    recorder.push(span_record(t * 1000 + i + 1));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(recorder.pushed(), 4000);
+        // Every push either landed in a slot or was counted dropped; the
+        // ring itself holds at most capacity records.
+        assert!(recorder.snapshot().len() <= 64);
+        assert!(recorder.dropped() <= 4000);
+    }
+
+    #[test]
+    fn a_dump_is_schema_valid_jsonl_with_a_flight_meta() {
+        let recorder = FlightRecorder::new(16);
+        recorder.push(span_record(1));
+        recorder.push(TraceRecord::Event(EventRecord {
+            parent: Some(1),
+            tid: 0,
+            name: "test.event",
+            ts_ns: 12,
+            attrs: Vec::new(),
+        }));
+        let context = DumpContext {
+            trigger: "panic".to_owned(),
+            detail: "job 7".to_owned(),
+            state: "serving".to_owned(),
+            aging: vec![("jobs_this_cycle", 7), ("panic_streak", 1)],
+        };
+        let text = dump_to_string(&recorder, &context);
+        let summary = crate::schema::check_jsonl(&text).expect("dump must be schema-valid");
+        assert!(
+            summary.flight,
+            "dump meta must be detected as a flight dump"
+        );
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.events, 1);
+        // The meta line is real JSON carrying the context.
+        let meta = crate::json::Json::parse(text.lines().next().unwrap()).unwrap();
+        let flight = meta.get("flight").unwrap();
+        assert_eq!(flight.get("trigger").unwrap().as_str(), Some("panic"));
+        assert_eq!(
+            flight
+                .get("aging")
+                .unwrap()
+                .get("jobs_this_cycle")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn dumps_tolerate_evicted_parents() {
+        // A ring where every surviving span's parent (and cross-thread
+        // link) has been overwritten: the dump still checks out, because
+        // flight mode tolerates references to evicted records.
+        let recorder = FlightRecorder::new(16);
+        for id in 1..=32u64 {
+            let mut record = span_record(id);
+            if let TraceRecord::Span(s) = &mut record {
+                s.parent = id.checked_sub(16).filter(|&p| p > 0);
+                s.link = id.checked_sub(20).filter(|&p| p > 0);
+            }
+            recorder.push(record);
+        }
+        let text = dump_to_string(&recorder, &DumpContext::default());
+        let summary = crate::schema::check_jsonl(&text).expect("dangling parents must pass");
+        assert_eq!(summary.spans, 16);
+    }
+}

@@ -4,16 +4,31 @@
 //! [`crate::json`] parser and enforces the structural invariants the
 //! exporter guarantees: a leading meta line, required fields with the right
 //! types, unique span ids, parent links that resolve to an enclosing span
-//! on the same thread, and proper nesting (two spans on one thread are
-//! either disjoint or one contains the other). [`check_chrome`] validates
-//! that a chrome export is one well-formed JSON array of trace-event
-//! objects. Both are used by the crate's tests and the `nvp-trace-check`
-//! binary CI runs against real sweep traces.
+//! on the same thread, cross-thread `link` references that point at a span
+//! which started first, and proper nesting (two spans on one thread are
+//! either disjoint or one contains the other). Flight-recorder dumps
+//! (detected by the `"flight"` object on the meta line) relax exactly one
+//! rule: a `parent` or `link` may reference a span the ring has already
+//! evicted. [`check_chrome`] validates that a chrome export is one
+//! well-formed JSON array of trace-event objects. Both are used by the
+//! crate's tests and the `nvp-trace-check` binary CI runs against real
+//! sweep traces and postmortem dumps.
 
 use std::collections::BTreeMap;
 
 use crate::json::Json;
 use crate::trace::JSONL_VERSION;
+
+/// Per-span facts retained for cross-span rules ([`check_link_rule`]) and
+/// for callers that need to find a specific span (tests grepping a dump
+/// for the triggering request).
+#[derive(Debug, Clone)]
+pub struct SpanInfo {
+    pub id: u64,
+    pub name: String,
+    pub tid: u64,
+    pub link: Option<u64>,
+}
 
 /// Summary of a validated JSONL trace.
 #[derive(Debug, Default)]
@@ -21,13 +36,19 @@ pub struct TraceSummary {
     pub spans: usize,
     pub events: usize,
     pub threads: usize,
+    /// True when the meta line carries a `"flight"` object, i.e. the
+    /// document is a flight-recorder dump rather than a full trace.
+    pub flight: bool,
     pub span_names: BTreeMap<String, usize>,
     pub event_names: BTreeMap<String, usize>,
+    /// One entry per span, in document order.
+    pub span_info: Vec<SpanInfo>,
 }
 
 struct SpanRow {
     id: u64,
     parent: Option<u64>,
+    link: Option<u64>,
     tid: u64,
     start_ns: u64,
     end_ns: u64,
@@ -88,8 +109,26 @@ pub fn check_jsonl(text: &str) -> Result<TraceSummary, String> {
             "unsupported trace version {version} (expected {JSONL_VERSION})"
         ));
     }
+    // A flight-recorder dump announces itself with a "flight" object; its
+    // ring evicts oldest-first, so referenced spans may be gone.
+    let flight = match meta.get("flight") {
+        None => false,
+        Some(Json::Obj(_)) => {
+            let flight = meta.get("flight").unwrap();
+            for key in ["trigger", "state"] {
+                if flight.get(key).and_then(Json::as_str).is_none() {
+                    return Err(format!("line 1: flight meta missing string field {key:?}"));
+                }
+            }
+            true
+        }
+        Some(_) => return Err("line 1: field \"flight\" is not an object".to_owned()),
+    };
 
-    let mut summary = TraceSummary::default();
+    let mut summary = TraceSummary {
+        flight,
+        ..TraceSummary::default()
+    };
     let mut spans: Vec<SpanRow> = Vec::new();
     let mut events: Vec<(Option<u64>, u64, u64, usize)> = Vec::new(); // (parent, tid, ts, line)
     let mut ids: BTreeMap<u64, usize> = BTreeMap::new(); // span id -> index in `spans`
@@ -113,6 +152,14 @@ pub fn check_jsonl(text: &str) -> Result<TraceSummary, String> {
                     return Err(format!("line {line}: span id 0 is reserved"));
                 }
                 let parent = opt_u64_field(&obj, "parent", line)?;
+                // Optional cross-thread causal parent; absent on most spans.
+                let link = match obj.get("link") {
+                    None => None,
+                    Some(v) if v.is_null() => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        format!("line {line}: field \"link\" is neither null nor an integer")
+                    })?),
+                };
                 let tid = u64_field(&obj, "tid", line)?;
                 let start_ns = u64_field(&obj, "start_ns", line)?;
                 let end_ns = u64_field(&obj, "end_ns", line)?;
@@ -120,14 +167,24 @@ pub fn check_jsonl(text: &str) -> Result<TraceSummary, String> {
                 if end_ns < start_ns {
                     return Err(format!("line {line}: span ends before it starts"));
                 }
+                if link == Some(id) {
+                    return Err(format!("line {line}: span {id} links to itself"));
+                }
                 if ids.insert(id, spans.len()).is_some() {
                     return Err(format!("line {line}: duplicate span id {id}"));
                 }
                 tids.insert(tid);
-                *summary.span_names.entry(name).or_insert(0) += 1;
+                *summary.span_names.entry(name.clone()).or_insert(0) += 1;
+                summary.span_info.push(SpanInfo {
+                    id,
+                    name,
+                    tid,
+                    link,
+                });
                 spans.push(SpanRow {
                     id,
                     parent,
+                    link,
                     tid,
                     start_ns,
                     end_ns,
@@ -150,10 +207,14 @@ pub fn check_jsonl(text: &str) -> Result<TraceSummary, String> {
     }
 
     // Parent links resolve to a span on the same thread whose interval
-    // contains the child.
+    // contains the child. In a flight dump the parent may be evicted; when
+    // it *is* present, the invariants hold as in a full trace.
     for span in &spans {
         if let Some(pid) = span.parent {
             let Some(&pidx) = ids.get(&pid) else {
+                if flight {
+                    continue;
+                }
                 return Err(format!(
                     "line {}: parent span {pid} not found in trace",
                     span.line
@@ -173,10 +234,34 @@ pub fn check_jsonl(text: &str) -> Result<TraceSummary, String> {
                 ));
             }
         }
+        // Cross-thread links carry causality, not containment: the linked
+        // span merely has to exist (unless evicted from a flight ring) and
+        // to have started no later than the work it caused.
+        if let Some(lid) = span.link {
+            let Some(&lidx) = ids.get(&lid) else {
+                if flight {
+                    continue;
+                }
+                return Err(format!(
+                    "line {}: linked span {lid} not found in trace",
+                    span.line
+                ));
+            };
+            let linked = &spans[lidx];
+            if span.start_ns < linked.start_ns {
+                return Err(format!(
+                    "line {}: span {} starts at {} before its linked cause {lid} at {}",
+                    span.line, span.id, span.start_ns, linked.start_ns
+                ));
+            }
+        }
     }
     for (parent, tid, ts_ns, line) in &events {
         if let Some(pid) = parent {
             let Some(&pidx) = ids.get(pid) else {
+                if flight {
+                    continue;
+                }
                 return Err(format!("line {line}: parent span {pid} not found in trace"));
             };
             let parent_span = &spans[pidx];
@@ -239,6 +324,46 @@ pub fn check_jsonl(text: &str) -> Result<TraceSummary, String> {
     summary.events = events.len();
     summary.threads = tids.len();
     Ok(summary)
+}
+
+/// Enforce a cross-thread linkage rule over a validated trace: every span
+/// named `child` must carry a `link`, and wherever the linked span is
+/// present in the document it must be named `parent`. In a flight dump the
+/// linked span may have been evicted (the link id still has to be there);
+/// in a full trace it must resolve — [`check_jsonl`] has already
+/// guaranteed that, so here the remaining question is its *name*.
+///
+/// Returns the number of `child` spans checked (zero is not an error: a
+/// drain dump taken before any job ran has nothing to link).
+pub fn check_link_rule(summary: &TraceSummary, child: &str, parent: &str) -> Result<usize, String> {
+    let by_id: BTreeMap<u64, &SpanInfo> = summary.span_info.iter().map(|s| (s.id, s)).collect();
+    let mut checked = 0;
+    for span in summary.span_info.iter().filter(|s| s.name == child) {
+        let Some(link) = span.link else {
+            return Err(format!(
+                "span {} ({child:?}) has no cross-thread link; expected a {parent:?} cause",
+                span.id
+            ));
+        };
+        match by_id.get(&link) {
+            Some(target) if target.name != parent => {
+                return Err(format!(
+                    "span {} ({child:?}) links to span {} ({:?}); expected {parent:?}",
+                    span.id, target.id, target.name
+                ));
+            }
+            Some(_) => {}
+            None if summary.flight => {}
+            None => {
+                return Err(format!(
+                    "span {} ({child:?}) links to unknown span {link}",
+                    span.id
+                ));
+            }
+        }
+        checked += 1;
+    }
+    Ok(checked)
 }
 
 /// Validate a chrome://tracing export: a single JSON array whose entries

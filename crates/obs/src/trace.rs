@@ -16,13 +16,20 @@
 
 use std::cell::RefCell;
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Capture destinations, packed into one atomic so the disabled fast path
+/// stays a single relaxed load. Bit 0: the drainable collector
+/// ([`start_recording`]/[`stop_recording`]). Bit 1: the process-global
+/// flight recorder ring ([`crate::recorder`]).
+const CAPTURE_COLLECT: u8 = 1 << 0;
+const CAPTURE_FLIGHT: u8 = 1 << 1;
+
+static CAPTURE: AtomicU8 = AtomicU8::new(0);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(0);
 
@@ -122,6 +129,12 @@ fn write_value(out: &mut String, v: &Value) {
 pub struct SpanRecord {
     pub id: u64,
     pub parent: Option<u64>,
+    /// Causal parent on *another* thread (cross-thread handoff): the span
+    /// that requested this work, e.g. the `http.request` span that
+    /// submitted a `job.run`. Unlike `parent`, a link carries no nesting or
+    /// containment contract — the linked span usually closes long before
+    /// this one does.
+    pub link: Option<u64>,
     pub tid: u32,
     pub name: &'static str,
     pub start_ns: u64,
@@ -152,6 +165,15 @@ fn collector() -> &'static Mutex<Vec<TraceRecord>> {
 }
 
 fn push_record(record: TraceRecord) {
+    let capture = CAPTURE.load(Ordering::Relaxed);
+    if capture & CAPTURE_FLIGHT != 0 {
+        if capture & CAPTURE_COLLECT != 0 {
+            crate::recorder::tee(record.clone());
+        } else {
+            crate::recorder::tee(record);
+            return;
+        }
+    }
     let mut guard = match collector().lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -159,11 +181,22 @@ fn push_record(record: TraceRecord) {
     guard.push(record);
 }
 
-/// Whether trace recording is currently on. One relaxed load; this is the
-/// only cost instrumentation pays when tracing is disabled.
+/// Whether any capture destination (collector or flight recorder) is
+/// currently on. One relaxed load; this is the only cost instrumentation
+/// pays when tracing is disabled.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    CAPTURE.load(Ordering::Relaxed) != 0
+}
+
+/// Turns the flight-recorder capture bit on or off. Called by
+/// [`crate::recorder::install`]; never cleared once a recorder exists.
+pub(crate) fn set_flight_capture(on: bool) {
+    if on {
+        CAPTURE.fetch_or(CAPTURE_FLIGHT, Ordering::SeqCst);
+    } else {
+        CAPTURE.fetch_and(!CAPTURE_FLIGHT, Ordering::SeqCst);
+    }
 }
 
 /// Clear the collector and start recording spans and events.
@@ -175,12 +208,12 @@ pub fn start_recording() {
         };
         guard.clear();
     }
-    ENABLED.store(true, Ordering::SeqCst);
+    CAPTURE.fetch_or(CAPTURE_COLLECT, Ordering::SeqCst);
 }
 
 /// Stop recording and drain all records collected since [`start_recording`].
 pub fn stop_recording() -> Vec<TraceRecord> {
-    ENABLED.store(false, Ordering::SeqCst);
+    CAPTURE.fetch_and(!CAPTURE_COLLECT, Ordering::SeqCst);
     let mut guard = match collector().lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -191,6 +224,7 @@ pub fn stop_recording() -> Vec<TraceRecord> {
 struct ActiveSpan {
     id: u64,
     parent: Option<u64>,
+    link: Option<u64>,
     tid: u32,
     name: &'static str,
     start_ns: u64,
@@ -203,10 +237,37 @@ pub struct SpanGuard {
     active: Option<Box<ActiveSpan>>,
 }
 
+/// A cheap, copyable reference to a live span, safe to move across
+/// threads. Obtained from [`SpanGuard::handle`] and redeemed by
+/// [`span_linked`] to attach a causal cross-thread parent to work executed
+/// elsewhere (an HTTP request span handing off to a job-worker span).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle {
+    id: u64,
+}
+
+impl SpanHandle {
+    /// The id of the span this handle points at.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
 /// Open a span. The innermost span already open on this thread becomes the
 /// parent. Returns an inert guard when recording is disabled.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
+    span_linked(name, None)
+}
+
+/// Open a span with an explicit cross-thread causal parent.
+///
+/// The same-thread `parent` is still taken from this thread's open-span
+/// stack; `link` additionally names the span (usually on another thread)
+/// whose work this span is carrying out. Returns an inert guard when
+/// recording is disabled.
+#[inline]
+pub fn span_linked(name: &'static str, link: Option<SpanHandle>) -> SpanGuard {
     if !enabled() {
         return SpanGuard { active: None };
     }
@@ -222,6 +283,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         active: Some(Box::new(ActiveSpan {
             id,
             parent,
+            link: link.map(|h| h.id),
             tid,
             name,
             start_ns: now_ns(),
@@ -241,6 +303,12 @@ impl SpanGuard {
     /// The span id, if the guard is live (recording was enabled).
     pub fn id(&self) -> Option<u64> {
         self.active.as_ref().map(|a| a.id)
+    }
+
+    /// A copyable cross-thread handle to this span, for [`span_linked`].
+    /// `None` when the guard is inert.
+    pub fn handle(&self) -> Option<SpanHandle> {
+        self.active.as_ref().map(|a| SpanHandle { id: a.id })
     }
 
     /// True when the guard is a disabled-recording no-op; lets callers skip
@@ -269,6 +337,7 @@ impl Drop for SpanGuard {
         push_record(TraceRecord::Span(SpanRecord {
             id: active.id,
             parent: active.parent,
+            link: active.link,
             tid: active.tid,
             name: active.name,
             start_ns: active.start_ns,
@@ -330,13 +399,19 @@ pub fn record_to_jsonl(record: &TraceRecord) -> String {
             out.push_str("{\"type\":\"span\",\"name\":");
             json::escape_into(s.name, &mut out);
             out.push_str(&format!(
-                ",\"id\":{},\"parent\":{},\"tid\":{},\"start_ns\":{},\"end_ns\":{},\"attrs\":",
+                ",\"id\":{},\"parent\":{},\"tid\":{},\"start_ns\":{},\"end_ns\":{},",
                 s.id,
                 s.parent.map_or("null".to_owned(), |p| p.to_string()),
                 s.tid,
                 s.start_ns,
                 s.end_ns
             ));
+            // `link` is optional in the schema: absent means "no
+            // cross-thread parent", so version 1 readers keep working.
+            if let Some(link) = s.link {
+                out.push_str(&format!("\"link\":{link},"));
+            }
+            out.push_str("\"attrs\":");
             write_attrs(&mut out, &s.attrs);
             out.push('}');
         }

@@ -10,11 +10,12 @@
 //! permit is refused up front with `429` + `Retry-After` instead of piling
 //! unbounded work onto a starved pool.
 
-use std::io::{self, BufRead, BufReader, Read};
+use std::io::{self, BufRead, BufReader, Read, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use nvp_core::analysis::linspace;
@@ -23,8 +24,10 @@ use nvp_core::jobs::{JobId, JobKind, JobOutcome, JobTable};
 use nvp_core::reliability::ReliabilitySource;
 use nvp_numerics::pool::{Permits, WorkerPool};
 use nvp_obs::json::Json;
-use nvp_obs::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use nvp_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+use nvp_obs::recorder::{self, DumpContext, FlightRecorder};
 use nvp_obs::sink;
+use nvp_obs::trace::{self, SpanHandle};
 
 use crate::api::{self, AnalyzeSpec, SweepSpec};
 use crate::http::{self, Request, RequestError, Response};
@@ -55,6 +58,17 @@ pub struct ServeConfig {
     /// When (and how) the daemon drains and renews its engine; the
     /// default policy never trips.
     pub rejuvenation: RejuvenationPolicy,
+    /// Directory flight-recorder dumps are written to on panic-in-job,
+    /// drain entry, and rejuvenation (created on first dump). `None`
+    /// disables dump files; the in-memory recorder and the
+    /// `/v1/debug/recorder` endpoint stay live either way.
+    pub flight_dir: Option<PathBuf>,
+    /// Capacity of the flight-recorder ring (most recent spans/events
+    /// kept). The process has one ring; the first server to bind sizes it.
+    pub flight_records: usize,
+    /// Emit one structured JSON access-log line per request through the
+    /// stderr sink instead of the human-readable line.
+    pub access_log: bool,
 }
 
 impl Default for ServeConfig {
@@ -66,8 +80,79 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(60),
             job_deadline_ms: None,
             rejuvenation: RejuvenationPolicy::default(),
+            flight_dir: None,
+            flight_records: recorder::DEFAULT_CAPACITY,
+            access_log: false,
         }
     }
+}
+
+/// The fixed endpoint vocabulary for per-endpoint telemetry. Unknown paths
+/// collapse into `other` so label cardinality is bounded no matter what
+/// clients probe for.
+const ENDPOINTS: [&str; 8] = [
+    "healthz",
+    "metrics",
+    "analyze",
+    "sweep",
+    "jobs",
+    "debug_recorder",
+    "debug_aging",
+    "other",
+];
+const STATUS_CLASSES: [&str; 4] = ["2xx", "3xx", "4xx", "5xx"];
+
+/// Index into [`ENDPOINTS`] for a request path.
+fn endpoint_index(path: &str) -> usize {
+    match path {
+        "/healthz" => 0,
+        "/metrics" => 1,
+        "/v1/analyze" => 2,
+        "/v1/sweep" => 3,
+        "/v1/debug/recorder" => 5,
+        "/v1/debug/aging" => 6,
+        _ if path.starts_with("/v1/jobs/") => 4,
+        _ => 7,
+    }
+}
+
+/// Index into [`STATUS_CLASSES`] for a status code (1xx — which the daemon
+/// never sends — lands in `2xx` rather than minting a fifth class).
+fn status_class_index(status: u16) -> usize {
+    match status / 100 {
+        0..=2 => 0,
+        3 => 1,
+        4 => 2,
+        _ => 3,
+    }
+}
+
+/// Pre-rendered static label bodies for every endpoint × status-class
+/// series, built once per process (the registry requires `'static` label
+/// strings; leaking 32 short strings once is the zero-dep way to get them).
+fn series_labels() -> &'static [[&'static str; 4]; 8] {
+    static LABELS: OnceLock<[[&'static str; 4]; 8]> = OnceLock::new();
+    LABELS.get_or_init(|| {
+        std::array::from_fn(|e| {
+            std::array::from_fn(|c| {
+                let body = format!(
+                    "endpoint=\"{}\",status=\"{}\"",
+                    ENDPOINTS[e], STATUS_CLASSES[c]
+                );
+                &*Box::leak(body.into_boxed_str())
+            })
+        })
+    })
+}
+
+/// Pre-rendered per-endpoint label bodies (latency histograms).
+fn endpoint_labels() -> &'static [&'static str; 8] {
+    static LABELS: OnceLock<[&'static str; 8]> = OnceLock::new();
+    LABELS.get_or_init(|| {
+        std::array::from_fn(|e| {
+            &*Box::leak(format!("endpoint=\"{}\"", ENDPOINTS[e]).into_boxed_str())
+        })
+    })
 }
 
 struct HttpMetrics {
@@ -80,13 +165,23 @@ struct HttpMetrics {
     jobs_failed: Counter,
     request_nanos: Histogram,
     active_connections: Gauge,
+    /// `nvp_http_requests_total{endpoint=...,status=...}` split.
+    requests_by: [[Counter; 4]; 8],
+    /// `nvp_http_request_nanos{endpoint=...}` latency split.
+    nanos_by: [Histogram; 8],
 }
 
 impl HttpMetrics {
     /// Registered on the *server's own* registry — not the engine's — so
     /// HTTP counters survive an engine swap during rejuvenation.
     /// `/metrics` concatenates both expositions.
+    ///
+    /// The unlabeled `nvp_http_requests_total` / `nvp_http_request_nanos`
+    /// aggregates are kept alongside the labeled splits for dashboard
+    /// compatibility.
     fn register(m: &MetricsRegistry) -> Self {
+        let series = series_labels();
+        let per_endpoint = endpoint_labels();
         Self {
             requests: m.counter("nvp_http_requests_total"),
             bad_requests: m.counter("nvp_http_bad_requests_total"),
@@ -97,7 +192,21 @@ impl HttpMetrics {
             jobs_failed: m.counter("nvp_http_jobs_failed_total"),
             request_nanos: m.histogram("nvp_http_request_nanos"),
             active_connections: m.gauge("nvp_http_active_connections"),
+            requests_by: std::array::from_fn(|e| {
+                std::array::from_fn(|c| m.counter_with("nvp_http_requests_total", series[e][c]))
+            }),
+            nanos_by: std::array::from_fn(|e| {
+                m.histogram_with("nvp_http_request_nanos", per_endpoint[e])
+            }),
         }
+    }
+
+    /// One observation per served request: aggregate and labeled series
+    /// move together so they can never drift.
+    fn observe(&self, endpoint: usize, status: u16, elapsed: Duration) {
+        self.request_nanos.record_duration(elapsed);
+        self.nanos_by[endpoint].record_duration(elapsed);
+        self.requests_by[endpoint][status_class_index(status)].inc();
     }
 }
 
@@ -160,6 +269,11 @@ struct ServerInner {
     cycle_jobs_base: AtomicU64,
     /// Consecutive job-worker panics; any success resets it.
     panic_streak: AtomicU32,
+    /// The process-global flight recorder (installed at bind time, shared
+    /// if several servers coexist in one process).
+    flight: Arc<FlightRecorder>,
+    /// Sequence number for dump file names under `flight_dir`.
+    flight_seq: AtomicU64,
 }
 
 impl ServerInner {
@@ -219,6 +333,10 @@ impl Server {
         let registry = MetricsRegistry::new();
         let metrics = HttpMetrics::register(&registry);
         let rejuvenations = registry.counter("nvp_engine_rejuvenations_total");
+        // The always-on black box: every span/event from here on is teed
+        // into the ring, so a postmortem exists even when nobody asked for
+        // a trace in advance.
+        let flight = recorder::install(config.flight_records);
         // A capacity-1 pool has zero grantable permits (the lone slot is
         // the implicit calling thread), which would make admission control
         // refuse every job forever on a single-core host. The daemon's
@@ -251,6 +369,8 @@ impl Server {
                 jobs_finished: AtomicU64::new(0),
                 cycle_jobs_base: AtomicU64::new(0),
                 panic_streak: AtomicU32::new(0),
+                flight,
+                flight_seq: AtomicU64::new(0),
             }),
         })
     }
@@ -258,6 +378,17 @@ impl Server {
     /// The bound address (resolves the actual port after binding `:0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.inner.local_addr
+    }
+
+    /// Per-endpoint request-latency snapshots, in the same order as the
+    /// endpoint vocabulary returned alongside each snapshot. The latency
+    /// bench reads quantiles from these instead of re-parsing `/metrics`.
+    pub fn latency_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        ENDPOINTS
+            .iter()
+            .zip(self.inner.metrics.nanos_by.iter())
+            .map(|(name, histogram)| (*name, histogram.snapshot()))
+            .collect()
     }
 
     /// Installs the closure that builds the replacement engine for
@@ -403,6 +534,26 @@ enum DrainKind {
     Terminate,
 }
 
+/// The current aging signals, sampled for the rejuvenation policy, the
+/// `/v1/debug/aging` endpoint, and every flight-dump header.
+fn aging_snapshot(inner: &Arc<ServerInner>) -> AgingSnapshot {
+    let cycle_secs = inner
+        .cycle_started
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .elapsed()
+        .as_secs();
+    AgingSnapshot {
+        jobs_this_cycle: inner
+            .jobs_finished
+            .load(Ordering::SeqCst)
+            .saturating_sub(inner.cycle_jobs_base.load(Ordering::SeqCst)),
+        cycle_secs,
+        cache_entries: inner.engine().cache_len(),
+        panic_streak: inner.panic_streak.load(Ordering::SeqCst),
+    }
+}
+
 /// Samples the aging signals and starts a rejuvenation drain if the
 /// policy says so. Called after every job completion and by the monitor.
 fn maybe_rejuvenate(inner: &Arc<ServerInner>) {
@@ -410,21 +561,57 @@ fn maybe_rejuvenate(inner: &Arc<ServerInner>) {
     if !policy.is_enabled() || inner.draining() {
         return;
     }
-    let cycle_secs = inner
-        .cycle_started
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .elapsed()
-        .as_secs();
-    let snapshot = AgingSnapshot {
-        jobs_this_cycle: inner.jobs_finished.load(Ordering::SeqCst)
-            - inner.cycle_jobs_base.load(Ordering::SeqCst),
-        cycle_secs,
-        cache_entries: inner.engine().cache_len(),
-        panic_streak: inner.panic_streak.load(Ordering::SeqCst),
-    };
+    let snapshot = aging_snapshot(inner);
     if let Some(reason) = policy.tripped(&snapshot) {
         begin_drain(inner, DrainKind::Rejuvenate, reason);
+    }
+}
+
+/// The [`DumpContext`] for a dump taken right now: trigger, serving state,
+/// and the aging snapshot, so each dump file is a self-contained
+/// postmortem.
+fn dump_context(inner: &Arc<ServerInner>, trigger: &str, detail: &str) -> DumpContext {
+    let aging = aging_snapshot(inner);
+    DumpContext {
+        trigger: trigger.to_owned(),
+        detail: detail.to_owned(),
+        state: if inner.draining() {
+            "draining".to_owned()
+        } else {
+            "serving".to_owned()
+        },
+        aging: vec![
+            ("jobs_this_cycle", aging.jobs_this_cycle),
+            ("cycle_secs", aging.cycle_secs),
+            ("cache_entries", aging.cache_entries as u64),
+            ("panic_streak", u64::from(aging.panic_streak)),
+            ("uptime_secs", inner.started.elapsed().as_secs()),
+            ("rejuvenations", inner.rejuvenations.get()),
+        ],
+    }
+}
+
+/// Write a flight-recorder dump to `flight_dir`, if one is configured.
+/// Failures are logged, never fatal — the black box must not take the
+/// plane down.
+fn flight_dump(inner: &Arc<ServerInner>, trigger: &str, detail: &str) {
+    let Some(dir) = &inner.config.flight_dir else {
+        return;
+    };
+    let context = dump_context(inner, trigger, detail);
+    let seq = inner.flight_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let path = dir.join(format!("flight-{seq:04}-{trigger}.jsonl"));
+    let result = std::fs::create_dir_all(dir).and_then(|()| {
+        let mut file = io::BufWriter::new(std::fs::File::create(&path)?);
+        recorder::write_dump(&inner.flight, &context, &mut file)?;
+        file.flush()
+    });
+    match result {
+        Ok(()) => sink::server(
+            "flight",
+            &format!("{trigger} dump written to {}", path.display()),
+        ),
+        Err(e) => sink::server("flight", &format!("cannot write {}: {e}", path.display())),
     }
 }
 
@@ -448,6 +635,9 @@ fn begin_drain(inner: &Arc<ServerInner>, kind: DrainKind, reason: &'static str) 
     }
     inner.state.store(STATE_DRAINING, Ordering::SeqCst);
     sink::server("drain", &format!("draining ({reason})"));
+    // The black box snapshot of what the daemon was doing when the drain
+    // started — covers operator drains, tripped triggers, and SIGTERM.
+    flight_dump(inner, "drain", reason);
     let worker = Arc::clone(inner);
     let spawned = std::thread::Builder::new()
         .name("nvp-serve-drain".to_owned())
@@ -502,6 +692,7 @@ fn drain_and_resolve(inner: &Arc<ServerInner>, kind: DrainKind) {
         }
         (DrainKind::Rejuvenate, RejuvenateMode::Exit) => {
             inner.rejuvenations.inc();
+            flight_dump(inner, "rejuvenate", "exit");
             inner.exit_rejuvenate.store(true, Ordering::SeqCst);
             inner.stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(inner.local_addr);
@@ -530,6 +721,9 @@ fn drain_and_resolve(inner: &Arc<ServerInner>, kind: DrainKind) {
                 }
             }
             inner.rejuvenations.inc();
+            // Dumped before the cycle counters reset, so the postmortem
+            // shows the aging that justified the swap.
+            flight_dump(inner, "rejuvenate", "swap");
             *inner
                 .cycle_started
                 .lock()
@@ -645,36 +839,40 @@ fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
                     inner.next_request.fetch_add(1, Ordering::Relaxed) + 1
                 );
                 inner.metrics.requests.inc();
+                let endpoint = endpoint_index(&request.path);
                 let started = Instant::now();
+                // The request's span carries the `[req-N]` id; its handle
+                // crosses into the job thread so every engine span a
+                // submission causes is attributable to this request.
+                let mut span = trace::span("http.request");
+                if !span.is_inert() {
+                    span.record("request_id", request_id.clone());
+                    span.record("method", request.method.clone());
+                    span.record("path", request.path.clone());
+                    span.record("endpoint", ENDPOINTS[endpoint]);
+                }
+                let link = span.handle();
                 // The connection supervisor: one panicking handler costs
                 // this request, never the daemon.
-                let response =
-                    catch_unwind(AssertUnwindSafe(|| dispatch(inner, &request_id, &request)))
-                        .unwrap_or_else(|payload| {
-                            inner.metrics.panics.inc();
-                            let message = panic_message(payload);
-                            sink::server(&request_id, &format!("handler panicked: {message}"));
-                            Response::json(500, api::error_body("internal error: handler panicked"))
-                        });
-                inner
-                    .metrics
-                    .request_nanos
-                    .record_duration(started.elapsed());
+                let response = catch_unwind(AssertUnwindSafe(|| {
+                    dispatch(inner, &request_id, &request, link)
+                }))
+                .unwrap_or_else(|payload| {
+                    inner.metrics.panics.inc();
+                    let message = panic_message(payload);
+                    sink::server(&request_id, &format!("handler panicked: {message}"));
+                    Response::json(500, api::error_body("internal error: handler panicked"))
+                });
+                span.record("status", u64::from(response.status));
+                drop(span);
+                let elapsed = started.elapsed();
+                inner.metrics.observe(endpoint, response.status, elapsed);
                 if response.status == 429 {
                     inner.metrics.rejected.inc();
                 } else if (400..500).contains(&response.status) {
                     inner.metrics.bad_requests.inc();
                 }
-                sink::server(
-                    &request_id,
-                    &format!(
-                        "{} {} -> {} ({:?})",
-                        request.method,
-                        request.path,
-                        response.status,
-                        started.elapsed()
-                    ),
-                );
+                access_log(inner, &request_id, &request, &response, endpoint, elapsed);
                 let close = request.close;
                 if http::write_response(&mut writer, &response, close).is_err() || close {
                     return;
@@ -706,6 +904,9 @@ fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
                 if let Some(response) = response {
                     inner.metrics.requests.inc();
                     inner.metrics.bad_requests.inc();
+                    // No parsed path to attribute this to: it lands in the
+                    // `other` endpoint bucket with zero measured latency.
+                    inner.metrics.requests_by[7][status_class_index(response.status)].inc();
                     let _ = http::write_response(&mut writer, &response, true);
                 }
                 return;
@@ -714,7 +915,54 @@ fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
     }
 }
 
-fn dispatch(inner: &Arc<ServerInner>, request_id: &str, request: &Request) -> Response {
+/// One line per served request through the shared stderr sink: structured
+/// JSON when configured (machine-greppable access log), the established
+/// human-readable line otherwise.
+fn access_log(
+    inner: &Arc<ServerInner>,
+    request_id: &str,
+    request: &Request,
+    response: &Response,
+    endpoint: usize,
+    elapsed: Duration,
+) {
+    if inner.config.access_log {
+        let line = Json::Obj(vec![
+            ("req".to_owned(), Json::Str(request_id.to_owned())),
+            ("method".to_owned(), Json::Str(request.method.clone())),
+            ("path".to_owned(), Json::Str(request.path.clone())),
+            (
+                "endpoint".to_owned(),
+                Json::Str(ENDPOINTS[endpoint].to_owned()),
+            ),
+            ("status".to_owned(), Json::Num(f64::from(response.status))),
+            (
+                "nanos".to_owned(),
+                Json::Num(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX) as f64),
+            ),
+            (
+                "body_bytes".to_owned(),
+                Json::Num(request.body.len() as f64),
+            ),
+        ]);
+        sink::server(request_id, &line.emit());
+    } else {
+        sink::server(
+            request_id,
+            &format!(
+                "{} {} -> {} ({:?})",
+                request.method, request.path, response.status, elapsed
+            ),
+        );
+    }
+}
+
+fn dispatch(
+    inner: &Arc<ServerInner>,
+    request_id: &str,
+    request: &Request,
+    link: Option<SpanHandle>,
+) -> Response {
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(inner),
@@ -727,8 +975,10 @@ fn dispatch(inner: &Arc<ServerInner>, request_id: &str, request: &Request) -> Re
             text.push_str(&inner.registry.render_prometheus());
             Response::text(200, text)
         }
-        ("POST", "/v1/analyze") => submit(inner, request_id, request, JobKind::Analyze),
-        ("POST", "/v1/sweep") => submit(inner, request_id, request, JobKind::Sweep),
+        ("POST", "/v1/analyze") => submit(inner, request_id, request, JobKind::Analyze, link),
+        ("POST", "/v1/sweep") => submit(inner, request_id, request, JobKind::Sweep, link),
+        ("GET", "/v1/debug/recorder") => debug_recorder(inner),
+        ("GET", "/v1/debug/aging") => debug_aging(inner),
         (method, path) => {
             if let Some(rest) = path.strip_prefix("/v1/jobs/") {
                 if method != "GET" {
@@ -736,12 +986,95 @@ fn dispatch(inner: &Arc<ServerInner>, request_id: &str, request: &Request) -> Re
                 }
                 return job_endpoint(inner, rest, request.query.as_deref());
             }
-            if matches!(path, "/healthz" | "/metrics" | "/v1/analyze" | "/v1/sweep") {
+            if matches!(
+                path,
+                "/healthz"
+                    | "/metrics"
+                    | "/v1/analyze"
+                    | "/v1/sweep"
+                    | "/v1/debug/recorder"
+                    | "/v1/debug/aging"
+            ) {
                 return method_not_allowed();
             }
             Response::json(404, api::error_body(&format!("no route for {path}")))
         }
     }
+}
+
+/// `GET /v1/debug/recorder`: the live flight ring as a JSONL dump (the
+/// same bytes a trigger would write to `--flight-dir`), read-only.
+fn debug_recorder(inner: &Arc<ServerInner>) -> Response {
+    let context = dump_context(inner, "inspect", "debug endpoint");
+    Response::text(200, recorder::dump_to_string(&inner.flight, &context))
+}
+
+/// `GET /v1/debug/aging`: the aging signals the rejuvenation policy
+/// judges, plus recorder health — the numbers an operator wants *before*
+/// a trigger trips.
+fn debug_aging(inner: &Arc<ServerInner>) -> Response {
+    let aging = aging_snapshot(inner);
+    let policy = &inner.config.rejuvenation;
+    let body = Json::Obj(vec![
+        (
+            "state".to_owned(),
+            Json::Str(if inner.draining() {
+                "draining".to_owned()
+            } else {
+                "serving".to_owned()
+            }),
+        ),
+        (
+            "aging".to_owned(),
+            Json::Obj(vec![
+                (
+                    "jobs_this_cycle".to_owned(),
+                    Json::Num(aging.jobs_this_cycle as f64),
+                ),
+                ("cycle_secs".to_owned(), Json::Num(aging.cycle_secs as f64)),
+                (
+                    "cache_entries".to_owned(),
+                    Json::Num(aging.cache_entries as f64),
+                ),
+                (
+                    "panic_streak".to_owned(),
+                    Json::Num(f64::from(aging.panic_streak)),
+                ),
+            ]),
+        ),
+        (
+            "policy".to_owned(),
+            Json::Obj(vec![
+                ("enabled".to_owned(), Json::Bool(policy.is_enabled())),
+                (
+                    "would_trip".to_owned(),
+                    match policy.tripped(&aging) {
+                        Some(reason) => Json::Str(reason.to_owned()),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+        ),
+        (
+            "recorder".to_owned(),
+            Json::Obj(vec![
+                (
+                    "capacity".to_owned(),
+                    Json::Num(inner.flight.capacity() as f64),
+                ),
+                ("pushed".to_owned(), Json::Num(inner.flight.pushed() as f64)),
+                (
+                    "dropped".to_owned(),
+                    Json::Num(inner.flight.dropped() as f64),
+                ),
+            ]),
+        ),
+        (
+            "rejuvenations".to_owned(),
+            Json::Num(inner.rejuvenations.get() as f64),
+        ),
+    ]);
+    Response::json(200, body.emit())
 }
 
 fn method_not_allowed() -> Response {
@@ -756,6 +1089,7 @@ fn submit(
     request_id: &str,
     request: &Request,
     kind: JobKind,
+    link: Option<SpanHandle>,
 ) -> Response {
     if inner.draining() {
         return Response::json(
@@ -803,7 +1137,7 @@ fn submit(
     let job_inner = Arc::clone(inner);
     let spawned = std::thread::Builder::new()
         .name(format!("nvp-serve-job-{id}"))
-        .spawn(move || run_job(&job_inner, id, &spec, permits));
+        .spawn(move || run_job(&job_inner, id, &spec, permits, link));
     match spawned {
         Ok(_) => Response::json(202, api::job_accepted(id).emit()),
         Err(e) => {
@@ -832,10 +1166,34 @@ fn retry_jitter(seed: &str) -> u64 {
 
 /// Job worker body. Holds its admission permit for the duration; panics
 /// fail the job, never the daemon.
-fn run_job(inner: &Arc<ServerInner>, id: JobId, spec: &JobSpec, permits: Permits<'static>) {
+///
+/// The `job.run` span carries the causing request's span id in its `link`
+/// field (cross-thread causality, not containment: the HTTP request span
+/// closed when the `202` went out). It is closed *before* any panic dump
+/// so the dump always contains the span that names the triggering job.
+fn run_job(
+    inner: &Arc<ServerInner>,
+    id: JobId,
+    spec: &JobSpec,
+    permits: Permits<'static>,
+    link: Option<SpanHandle>,
+) {
+    let mut span = trace::span_linked("job.run", link);
+    if !span.is_inert() {
+        span.record("job", id);
+    }
     inner.jobs.mark_running(id);
     let outcome = catch_unwind(AssertUnwindSafe(|| execute_job(inner, id, spec)));
     drop(permits);
+    let verdict = match &outcome {
+        Ok(Ok(_)) => "done",
+        Ok(Err(_)) => "failed",
+        Err(_) => "panicked",
+    };
+    if !span.is_inert() {
+        span.record("outcome", verdict);
+    }
+    drop(span);
     match outcome {
         Ok(Ok(result)) => {
             inner.jobs.finish(id, result);
@@ -855,6 +1213,9 @@ fn run_job(inner: &Arc<ServerInner>, id: JobId, spec: &JobSpec, permits: Permits
             sink::server(&format!("job-{id}"), &format!("worker panicked: {message}"));
             inner.jobs.fail(id, format!("worker panicked: {message}"));
             inner.panic_streak.fetch_add(1, Ordering::SeqCst);
+            // Black-box moment: the ring now holds the request span, this
+            // job's span, and whatever engine spans unwound — write them out.
+            flight_dump(inner, "panic", &format!("job-{id}: {message}"));
         }
     }
     inner.jobs_finished.fetch_add(1, Ordering::SeqCst);
@@ -868,6 +1229,17 @@ fn execute_job(
     id: JobId,
     spec: &JobSpec,
 ) -> Result<JobOutcome, nvp_core::CoreError> {
+    // Chaos hook for the flight-recorder drill: unlike the engine-level
+    // sites (whose panics the supervisor absorbs into degraded points),
+    // a panic here unwinds the whole worker — the path the recorder's
+    // "panic" trigger exists for.
+    #[cfg(feature = "fault-inject")]
+    if let Some(mode) = nvp_numerics::fault::check(nvp_numerics::fault::Site::ServeJob) {
+        return Err(nvp_core::CoreError::WorkerPanicked {
+            site: "serve-job (fault-inject)",
+            payload: format!("injected {mode:?}"),
+        });
+    }
     // One engine for the whole job: a rejuvenation swap mid-job must not
     // split a sweep across two engines.
     let engine = inner.engine();

@@ -631,6 +631,227 @@ fn rejuvenation_swaps_a_fresh_engine_with_byte_identical_answers() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Wait for a flight dump whose filename names `trigger` to appear in
+/// `dir`, and return its contents.
+fn await_dump(dir: &std::path::Path, trigger: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.contains(&format!("-{trigger}.jsonl")) {
+                    return std::fs::read_to_string(entry.path()).unwrap();
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no {trigger} dump ever appeared in {}",
+            dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Schema-check a dump and enforce the cross-thread link rule: it must be
+/// a flight dump, and every `job.run` span must link to an `http.request`.
+fn check_dump(text: &str) -> nvp_obs::schema::TraceSummary {
+    let summary = nvp_obs::schema::check_jsonl(text).unwrap_or_else(|e| {
+        panic!("flight dump failed schema check: {e}");
+    });
+    assert!(summary.flight, "dump is not marked as a flight dump");
+    nvp_obs::schema::check_link_rule(&summary, "job.run", "http.request")
+        .unwrap_or_else(|e| panic!("link rule violated: {e}"));
+    summary
+}
+
+#[test]
+fn rejuvenation_writes_checker_passing_flight_dumps() {
+    let dir = temp_store("flight-rejuvenate");
+    let ts = TestServer::start(
+        AnalysisEngine::new(),
+        ServeConfig {
+            flight_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+    );
+    let id = {
+        let _guard = submit_lock();
+        submit(ts.addr, "/v1/sweep", SWEEP_BODY)
+    };
+    await_job(ts.addr, id);
+    // A manual rejuvenation covers two triggers at once: the drain-entry
+    // dump and the rejuvenation dump written when the swap lands.
+    ts.server.rejuvenate();
+    let drain_dump = await_dump(&dir, "drain");
+    let rejuvenate_dump = await_dump(&dir, "rejuvenate");
+    for (tag, text) in [("drain", &drain_dump), ("rejuvenate", &rejuvenate_dump)] {
+        let summary = check_dump(text);
+        // The triggering request's span chain is in the black box: the
+        // HTTP ingress span, and the worker-side job span linked to it.
+        for name in ["http.request", "job.run"] {
+            assert!(
+                summary.span_names.contains_key(name),
+                "{tag} dump lost the {name} span: have {:?}",
+                summary.span_names.keys().collect::<Vec<_>>()
+            );
+        }
+    }
+    // The dump header carries the daemon's aging state for the postmortem.
+    let meta = drain_dump.lines().next().unwrap();
+    let doc = Json::parse(meta).unwrap();
+    let flight = doc.get("flight").unwrap();
+    assert_eq!(flight.get("trigger").unwrap().as_str(), Some("drain"));
+    assert!(flight
+        .get("aging")
+        .unwrap()
+        .get("jobs_this_cycle")
+        .is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn a_job_panic_writes_a_flight_dump_naming_the_job() {
+    use nvp_numerics::fault::{arm, FaultMode, FaultPlan, Site};
+    let dir = temp_store("flight-panic");
+    let ts = TestServer::start(
+        AnalysisEngine::new(),
+        ServeConfig {
+            flight_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+    );
+    let _guard = submit_lock();
+    // One injected panic at the serve-job site: the worker unwinds (the
+    // engine's own supervisor never sees it), the job fails, the daemon
+    // survives, and the black box hits the disk.
+    let id = {
+        let _fault = arm(FaultPlan::new(Site::ServeJob, FaultMode::Panic).times(1));
+        submit(ts.addr, "/v1/analyze", "{}")
+    };
+    let doc = await_job(ts.addr, id);
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("failed"));
+    assert!(
+        doc.get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("panic"),
+        "job failed for the wrong reason: {}",
+        doc.get("error").unwrap().as_str().unwrap()
+    );
+    let dump = await_dump(&dir, "panic");
+    let summary = check_dump(&dump);
+    assert!(summary.span_names.contains_key("job.run"));
+    // The dump detail names the panicking job.
+    let meta = Json::parse(dump.lines().next().unwrap()).unwrap();
+    let detail = meta
+        .get("flight")
+        .unwrap()
+        .get("detail")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    assert!(detail.contains(&format!("job-{id}")), "detail: {detail}");
+    // The daemon is still serving.
+    assert_eq!(roundtrip(ts.addr, "GET", "/healthz", None).status, 200);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn debug_endpoints_expose_recorder_and_aging() {
+    let ts = TestServer::default_start();
+    let id = {
+        let _guard = submit_lock();
+        submit(ts.addr, "/v1/analyze", "{}")
+    };
+    await_job(ts.addr, id);
+    // The live ring, served as the same JSONL a trigger would write.
+    let reply = roundtrip(ts.addr, "GET", "/v1/debug/recorder", None);
+    assert_eq!(reply.status, 200);
+    let summary = check_dump(&reply.body);
+    assert!(summary.spans >= 1, "recorder served an empty ring");
+    // The aging signals the rejuvenation policy would judge.
+    let reply = roundtrip(ts.addr, "GET", "/v1/debug/aging", None);
+    assert_eq!(reply.status, 200);
+    let doc = reply.json();
+    assert_eq!(doc.get("state").unwrap().as_str(), Some("serving"));
+    assert!(doc.get("aging").unwrap().get("jobs_this_cycle").is_some());
+    assert!(doc.get("recorder").unwrap().get("capacity").is_some());
+    // No policy armed by default, so nothing would trip.
+    assert!(doc
+        .get("policy")
+        .unwrap()
+        .get("would_trip")
+        .unwrap()
+        .is_null());
+    // Read-only: mutating methods are refused.
+    assert_eq!(
+        roundtrip(ts.addr, "POST", "/v1/debug/recorder", Some("{}")).status,
+        405
+    );
+    assert_eq!(
+        roundtrip(ts.addr, "POST", "/v1/debug/aging", Some("{}")).status,
+        405
+    );
+}
+
+#[test]
+fn metrics_split_by_endpoint_and_status_class() {
+    let ts = TestServer::default_start();
+    assert_eq!(roundtrip(ts.addr, "GET", "/healthz", None).status, 200);
+    assert_eq!(
+        roundtrip(ts.addr, "POST", "/v1/analyze", Some("broken")).status,
+        400
+    );
+    let scrape = roundtrip(ts.addr, "GET", "/metrics", None);
+    assert_eq!(scrape.status, 200);
+    // The labeled splits coexist with the original aggregate series (old
+    // dashboards keep working), under a single TYPE declaration per name.
+    assert!(
+        scrape
+            .body
+            .lines()
+            .any(|l| l.starts_with("nvp_http_requests_total ")),
+        "aggregate requests counter vanished"
+    );
+    for series in [
+        "nvp_http_requests_total{endpoint=\"healthz\",status=\"2xx\"}",
+        "nvp_http_requests_total{endpoint=\"analyze\",status=\"4xx\"}",
+        "nvp_http_request_nanos_bucket{endpoint=\"healthz\",le=",
+        "nvp_http_request_nanos_count{endpoint=\"healthz\"}",
+    ] {
+        assert!(scrape.body.contains(series), "missing {series}");
+    }
+    assert_eq!(
+        scrape
+            .body
+            .lines()
+            .filter(|l| *l == "# TYPE nvp_http_requests_total counter")
+            .count(),
+        1,
+        "TYPE line must appear exactly once per metric name"
+    );
+    // Cumulative bucket counts are monotone for every labeled series.
+    for endpoint in ["healthz", "metrics", "analyze"] {
+        let prefix = format!("nvp_http_request_nanos_bucket{{endpoint=\"{endpoint}\",le=");
+        let mut last = 0.0_f64;
+        let mut buckets = 0;
+        for line in scrape.body.lines().filter(|l| l.starts_with(&prefix)) {
+            let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(
+                value >= last,
+                "bucket counts regressed for {endpoint}: {line}"
+            );
+            last = value;
+            buckets += 1;
+        }
+        assert!(buckets > 1, "no bucket series for endpoint {endpoint}");
+    }
+}
+
 #[test]
 fn keep_alive_serves_multiple_requests_per_connection() {
     let ts = TestServer::default_start();
